@@ -1,0 +1,53 @@
+//! Ablations: each design ingredient toggled off on a fixed CL run —
+//! frequency ordering (via the ordered prefix), the position filter, the
+//! expansion triangle bounds and Lemma 5.3's mixed thresholds. Results are
+//! invariant (tested elsewhere); only the work changes.
+
+mod common;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use topk_rankings::PrefixKind;
+use topk_simjoin::{Algorithm, JoinConfig};
+
+fn bench(c: &mut Criterion) {
+    let data = common::orku(common::ORKU_N);
+    let mut group = c.benchmark_group("ablations/ORKU");
+    common::tune(&mut group);
+    let base = JoinConfig::new(0.3).with_partition_threshold(data.len() / 150);
+    let cases: Vec<(&str, Algorithm, JoinConfig)> = vec![
+        ("cl-default", Algorithm::Cl, base.clone()),
+        (
+            "cl-no-triangle",
+            Algorithm::Cl,
+            base.clone().with_triangle_bounds(false),
+        ),
+        (
+            "cl-no-lemma53",
+            Algorithm::Cl,
+            base.clone().with_lemma53(false),
+        ),
+        ("vjnl-default", Algorithm::VjNl, base.clone()),
+        (
+            "vjnl-no-posfilter",
+            Algorithm::VjNl,
+            base.clone().with_position_filter(false),
+        ),
+        (
+            "vjnl-ordered-prefix",
+            Algorithm::VjNl,
+            base.clone().with_prefix(PrefixKind::Ordered),
+        ),
+    ];
+    for (label, algo, config) in cases {
+        group.bench_with_input(BenchmarkId::from_parameter(label), &config, |b, config| {
+            b.iter(|| {
+                algo.run(&common::cluster(), &data, config)
+                    .expect("join failed")
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Shared knobs for the per-figure Criterion benches.
+//!
+//! The benches are regression-sized: small corpora, few samples, short
+//! measurement windows. The full paper-scale sweeps live in the
+//! `experiments` binary (`cargo run --release -p topk-bench --bin
+//! experiments`).
+//!
+//! Each bench target uses its own subset of these helpers.
+#![allow(dead_code)]
+
+use std::time::Duration;
+
+use criterion::{BenchmarkGroup, Criterion};
+use minispark::{Cluster, ClusterConfig};
+use topk_datagen::CorpusProfile;
+use topk_rankings::Ranking;
+
+/// Benchmark corpus sizes (deliberately small; see module docs).
+pub const DBLP_N: usize = 1_200;
+/// ORKU-like benchmark corpus size.
+pub const ORKU_N: usize = 1_600;
+
+/// DBLP-like benchmark corpus.
+pub fn dblp(n: usize) -> Vec<Ranking> {
+    CorpusProfile::dblp_like(n, 10).generate()
+}
+
+/// ORKU-like benchmark corpus.
+pub fn orku(n: usize) -> Vec<Ranking> {
+    CorpusProfile::orku_like(n, 10).generate()
+}
+
+/// A fresh local cluster for one measured run.
+pub fn cluster() -> Cluster {
+    Cluster::new(ClusterConfig::local(4).with_default_partitions(16))
+}
+
+/// Applies the common regression-bench settings to a group.
+pub fn tune<M: criterion::measurement::Measurement>(group: &mut BenchmarkGroup<'_, M>) {
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(400))
+        .measurement_time(Duration::from_millis(1_500));
+}
+
+/// Standard Criterion config for the figure benches.
+pub fn criterion() -> Criterion {
+    Criterion::default().configure_from_args()
+}

@@ -1,0 +1,82 @@
+//! Benchmarks for the beyond-the-paper extensions: the Jaccard joins
+//! (§8 future work), the variable-length join (footnote 1) and the online
+//! range-search index.
+
+mod common;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use topk_rankings::Ranking;
+use topk_simjoin::{jaccard_cl_join, jaccard_vj_join, varlen_join, JaccardConfig, RankingIndex};
+
+fn mixed_length_corpus(n: usize) -> Vec<Ranking> {
+    let base = common::dblp(n);
+    let mut rng = StdRng::seed_from_u64(0x7A7);
+    base.iter()
+        .enumerate()
+        .map(|(id, r)| {
+            let k = [6usize, 8, 10][rng.gen_range(0..3)];
+            Ranking::new_unchecked(id as u64, r.items()[..k].to_vec())
+        })
+        .collect()
+}
+
+fn bench(c: &mut Criterion) {
+    let sets = common::orku(common::ORKU_N);
+    let mut group = c.benchmark_group("extensions");
+    common::tune(&mut group);
+
+    for theta in [0.3, 0.5] {
+        group.bench_with_input(
+            BenchmarkId::new("jaccard-vj", theta),
+            &theta,
+            |b, &theta| {
+                b.iter(|| {
+                    jaccard_vj_join(&common::cluster(), &sets, &JaccardConfig::new(theta))
+                        .expect("join failed")
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("jaccard-cl", theta),
+            &theta,
+            |b, &theta| {
+                b.iter(|| {
+                    jaccard_cl_join(&common::cluster(), &sets, &JaccardConfig::new(theta))
+                        .expect("join failed")
+                })
+            },
+        );
+    }
+
+    let mixed = mixed_length_corpus(common::DBLP_N);
+    for theta_raw in [11u64, 33] {
+        group.bench_with_input(
+            BenchmarkId::new("varlen-join", theta_raw),
+            &theta_raw,
+            |b, &theta_raw| {
+                b.iter(|| {
+                    varlen_join(&common::cluster(), &mixed, theta_raw, 16).expect("join failed")
+                })
+            },
+        );
+    }
+
+    let data = common::orku(common::ORKU_N);
+    group.bench_function("index-build", |b| {
+        b.iter(|| RankingIndex::build(&data, 0.3).expect("build failed"))
+    });
+    let index = RankingIndex::build(&data, 0.3).expect("build failed");
+    group.bench_function("index-range-query", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 17) % data.len();
+            index.range_query(&data[i], 0.2).expect("query failed")
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Figure 6: VJ / VJ-NL / CL / CL-P over the distance threshold θ.
+//!
+//! The paper's headline comparison (Figures 6a–6e over DBLP/ORKU and their
+//! increased variants): VJ wins at θ = 0.1, CL and CL-P take over as θ
+//! grows. This regression bench runs the same series on the scaled corpora.
+
+mod common;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use topk_simjoin::{Algorithm, JoinConfig};
+
+fn bench(c: &mut Criterion) {
+    for (dataset, data) in [
+        ("DBLP", common::dblp(common::DBLP_N)),
+        ("ORKU", common::orku(common::ORKU_N)),
+    ] {
+        let mut group = c.benchmark_group(format!("fig06/{dataset}"));
+        common::tune(&mut group);
+        for theta in [0.1, 0.25, 0.4] {
+            for algo in Algorithm::paper_lineup() {
+                let config = JoinConfig::new(theta).with_partition_threshold(data.len() / 20);
+                group.bench_with_input(
+                    BenchmarkId::new(algo.name(), theta),
+                    &config,
+                    |b, config| {
+                        b.iter(|| {
+                            algo.run(&common::cluster(), &data, config)
+                                .expect("join failed")
+                        })
+                    },
+                );
+            }
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

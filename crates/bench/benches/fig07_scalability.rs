@@ -1,0 +1,36 @@
+//! Figure 7: CL-P scalability — 4 vs. 8 simulated nodes (DBLPx5, ORKU).
+
+mod common;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use minispark::{Cluster, ClusterConfig};
+use topk_simjoin::{Algorithm, JoinConfig};
+
+fn bench(c: &mut Criterion) {
+    let data = common::orku(common::ORKU_N);
+    let mut group = c.benchmark_group("fig07/ORKU");
+    common::tune(&mut group);
+    for nodes in [4usize, 8] {
+        for theta in [0.2, 0.4] {
+            let config = JoinConfig::new(theta).with_partition_threshold(data.len() / 20);
+            group.bench_with_input(
+                BenchmarkId::new(format!("{nodes}nodes"), theta),
+                &config,
+                |b, config| {
+                    b.iter(|| {
+                        let cluster = Cluster::new(
+                            ClusterConfig::paper_scalability(nodes).with_default_partitions(16),
+                        );
+                        Algorithm::ClP
+                            .run(&cluster, &data, config)
+                            .expect("join failed")
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Figure 8: CL-P under dataset increase (DBLP ×1 / ×2 / ×4; the paper uses
+//! ×1/×5/×10 at full scale).
+
+mod common;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use topk_datagen::increase_dataset;
+use topk_simjoin::{Algorithm, JoinConfig};
+
+fn bench(c: &mut Criterion) {
+    let base = common::dblp(common::DBLP_N / 2);
+    let mut group = c.benchmark_group("fig08/DBLP-increase");
+    common::tune(&mut group);
+    for times in [1usize, 2, 4] {
+        let data = increase_dataset(&base, times, 0xF8);
+        for theta in [0.2, 0.4] {
+            let config = JoinConfig::new(theta).with_partition_threshold(data.len() / 20);
+            group.bench_with_input(
+                BenchmarkId::new(format!("x{times}"), theta),
+                &config,
+                |b, config| {
+                    b.iter(|| {
+                        Algorithm::ClP
+                            .run(&common::cluster(), &data, config)
+                            .expect("join failed")
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

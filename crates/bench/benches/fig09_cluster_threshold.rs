@@ -1,0 +1,33 @@
+//! Figure 9: CL under varying clustering threshold θc (the paper finds
+//! θc = 0.03 near-optimal and recommends θc < 0.05).
+
+mod common;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use topk_simjoin::{Algorithm, JoinConfig};
+
+fn bench(c: &mut Criterion) {
+    let data = common::orku(common::ORKU_N);
+    let mut group = c.benchmark_group("fig09/ORKU");
+    common::tune(&mut group);
+    for theta_c in [0.01, 0.03, 0.05, 0.1] {
+        for theta in [0.2, 0.4] {
+            let config = JoinConfig::new(theta).with_cluster_threshold(theta_c);
+            group.bench_with_input(
+                BenchmarkId::new(format!("theta_c={theta_c}"), theta),
+                &config,
+                |b, config| {
+                    b.iter(|| {
+                        Algorithm::Cl
+                            .run(&common::cluster(), &data, config)
+                            .expect("join failed")
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

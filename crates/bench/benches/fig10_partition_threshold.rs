@@ -1,0 +1,33 @@
+//! Figure 10: CL-P under varying partitioning threshold δ (a shallow
+//! optimum: too small δ over-splits and pays join overhead, too large δ
+//! never splits).
+
+mod common;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use topk_simjoin::{Algorithm, JoinConfig};
+
+fn bench(c: &mut Criterion) {
+    let data = common::orku(common::ORKU_N);
+    let mut group = c.benchmark_group("fig10/ORKU");
+    common::tune(&mut group);
+    let base = data.len() / 20;
+    for delta in [base / 8, base / 2, base, base * 4, base * 32] {
+        let config = JoinConfig::new(0.3).with_partition_threshold(delta.max(1));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("delta={delta}")),
+            &config,
+            |b, config| {
+                b.iter(|| {
+                    Algorithm::ClP
+                        .run(&common::cluster(), &data, config)
+                        .expect("join failed")
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Figure 11: rankings of size k = 25 (ORKU extract), all four algorithms
+//! over θ.
+
+mod common;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use topk_datagen::CorpusProfile;
+use topk_simjoin::{Algorithm, JoinConfig};
+
+fn bench(c: &mut Criterion) {
+    let data = CorpusProfile::orku_like(common::ORKU_N / 2, 25).generate();
+    let mut group = c.benchmark_group("fig11/ORKU-k25");
+    common::tune(&mut group);
+    for theta in [0.1, 0.3] {
+        for algo in Algorithm::paper_lineup() {
+            let config = JoinConfig::new(theta).with_partition_threshold(data.len() / 20);
+            group.bench_with_input(
+                BenchmarkId::new(algo.name(), theta),
+                &config,
+                |b, config| {
+                    b.iter(|| {
+                        algo.run(&common::cluster(), &data, config)
+                            .expect("join failed")
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Figure 12: VJ / VJ-NL / CL under a varying number of partitions
+//! (θ = 0.3; the paper's grid is {86, 186, 286} — mild influence expected).
+
+mod common;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use topk_simjoin::{Algorithm, JoinConfig};
+
+fn bench(c: &mut Criterion) {
+    let data = common::dblp(common::DBLP_N);
+    let mut group = c.benchmark_group("fig12/DBLP");
+    common::tune(&mut group);
+    for partitions in [16usize, 86, 186, 286] {
+        for algo in [Algorithm::Vj, Algorithm::VjNl, Algorithm::Cl] {
+            let config = JoinConfig::new(0.3).with_partitions(partitions);
+            group.bench_with_input(
+                BenchmarkId::new(algo.name(), partitions),
+                &config,
+                |b, config| {
+                    b.iter(|| {
+                        algo.run(&common::cluster(), &data, config)
+                            .expect("join failed")
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

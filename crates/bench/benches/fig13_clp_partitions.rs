@@ -1,0 +1,33 @@
+//! Figure 13: CL-P under a varying number of partitions (θ = 0.3; the paper
+//! sweeps 286–686 and finds little sensitivity).
+
+mod common;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use topk_simjoin::{Algorithm, JoinConfig};
+
+fn bench(c: &mut Criterion) {
+    let data = common::dblp(common::DBLP_N);
+    let mut group = c.benchmark_group("fig13/DBLP");
+    common::tune(&mut group);
+    for partitions in [86usize, 286, 486, 686] {
+        let config = JoinConfig::new(0.3)
+            .with_partitions(partitions)
+            .with_partition_threshold(data.len() / 20);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(partitions),
+            &config,
+            |b, config| {
+                b.iter(|| {
+                    Algorithm::ClP
+                        .run(&common::cluster(), &data, config)
+                        .expect("join failed")
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! Micro-benchmarks of the hot kernels: Footrule distance (plain and
+//! early-exit), the bounds, frequency ordering and the engine's shuffle —
+//! the per-candidate costs everything else multiplies.
+
+mod common;
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use topk_rankings::bounds::{min_overlap, ordered_prefix_len, overlap_prefix_len};
+use topk_rankings::distance::{footrule_raw, footrule_within, raw_threshold};
+use topk_rankings::{FrequencyTable, OrderedRanking};
+
+fn bench(c: &mut Criterion) {
+    let data = common::dblp(2_000);
+    let freq = FrequencyTable::from_rankings(&data);
+    let a = &data[0];
+    let b = &data[1];
+    let theta_raw = raw_threshold(10, 0.3);
+
+    let mut group = c.benchmark_group("micro");
+    common::tune(&mut group);
+
+    group.bench_function("footrule_raw_k10", |bench| {
+        bench.iter(|| footrule_raw(black_box(a), black_box(b)))
+    });
+    group.bench_function("footrule_within_k10", |bench| {
+        bench.iter(|| footrule_within(black_box(a), black_box(b), black_box(theta_raw)))
+    });
+    group.bench_function("ordered_pairs_distance_k10", |bench| {
+        let oa = OrderedRanking::by_frequency(a, &freq);
+        let ob = OrderedRanking::by_frequency(b, &freq);
+        bench.iter(|| oa.footrule_within(black_box(&ob), black_box(theta_raw)))
+    });
+    group.bench_function("prefix_bounds_k10", |bench| {
+        bench.iter(|| {
+            (
+                overlap_prefix_len(black_box(10), black_box(theta_raw)),
+                ordered_prefix_len(black_box(10), black_box(theta_raw)),
+                min_overlap(black_box(10), black_box(theta_raw)),
+            )
+        })
+    });
+    group.bench_function("order_by_frequency_k10", |bench| {
+        bench.iter(|| OrderedRanking::by_frequency(black_box(a), black_box(&freq)))
+    });
+    group.bench_function("engine_group_by_key_20k", |bench| {
+        let pairs: Vec<(u32, u64)> = (0..20_000u64).map(|n| ((n % 97) as u32, n)).collect();
+        bench.iter(|| {
+            let cluster = common::cluster();
+            cluster
+                .parallelize(pairs.clone(), 16)
+                .group_by_key("bench", 16)
+                .count()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

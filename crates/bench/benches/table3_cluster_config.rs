@@ -1,0 +1,42 @@
+//! Table 3: the executor configuration. As a benchmark, this measures how
+//! the simulated executor layout (task slots) affects one fixed CL-P run —
+//! the runtime counterpart of the paper's static parameter table.
+
+mod common;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use minispark::{Cluster, ClusterConfig};
+use topk_simjoin::{Algorithm, JoinConfig};
+
+fn bench(c: &mut Criterion) {
+    let data = common::orku(common::ORKU_N);
+    let mut group = c.benchmark_group("table3/executor-layout");
+    common::tune(&mut group);
+    // "tiny executors" (1 core), the paper's 5-core recommendation, and a
+    // "fat" layout — total slots held comparable where possible.
+    for (label, executors, cores) in [
+        ("tiny-1core", 8, 1),
+        ("paper-5core", 2, 5),
+        ("fat-10core", 1, 10),
+    ] {
+        let config = JoinConfig::new(0.3).with_partition_threshold(data.len() / 20);
+        group.bench_with_input(BenchmarkId::from_parameter(label), &config, |b, config| {
+            b.iter(|| {
+                let cluster = Cluster::new(ClusterConfig {
+                    nodes: 1,
+                    executors_per_node: executors,
+                    cores_per_executor: cores,
+                    default_partitions: 16,
+                    ..ClusterConfig::default()
+                });
+                Algorithm::ClP
+                    .run(&cluster, &data, config)
+                    .expect("join failed")
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

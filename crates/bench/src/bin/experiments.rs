@@ -1,0 +1,105 @@
+//! The experiment harness: regenerates every table and figure of the
+//! paper's evaluation as CSV series.
+//!
+//! ```text
+//! experiments [fig6|fig7|fig8|fig9|fig10|fig11|fig12|fig13|table3|all] …
+//!
+//! TOPK_SCALE=2.0 experiments fig6     # run at twice the default size
+//! ```
+//!
+//! Results are printed to stdout and also written to `results/<id>.csv`.
+
+use std::path::PathBuf;
+
+use topk_bench::figures;
+use topk_bench::report::{print_csv, write_csv, Row};
+
+fn results_dir() -> PathBuf {
+    std::env::var("TOPK_RESULTS_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|_| PathBuf::from("results"))
+}
+
+fn run_figure(id: &str) -> bool {
+    let rows: Vec<Row> = match id {
+        "fig6" => figures::fig6(),
+        "fig7" => figures::fig7(),
+        "fig8" => figures::fig8(),
+        "fig9" => figures::fig9(),
+        "fig10" => figures::fig10(),
+        "fig11" => figures::fig11(),
+        "fig12" => figures::fig12(),
+        "fig13" => figures::fig13(),
+        "ablations" => figures::ablations(),
+        "phases" => {
+            for theta in [0.1, 0.4] {
+                println!("== CL-P phase breakdown at θ = {theta} (ORKU) ==");
+                let phases = figures::phase_breakdown(theta);
+                let total: f64 = phases.iter().map(|(_, s)| s).sum();
+                for (phase, seconds) in phases {
+                    println!(
+                        "{phase:<24} {:>8.1} ms  ({:>4.1}%)",
+                        seconds * 1e3,
+                        100.0 * seconds / total
+                    );
+                }
+            }
+            return true;
+        }
+        "table3" => {
+            println!("== Table 3: Spark parameters (paper) vs. simulated cluster ==");
+            for (key, value) in figures::table3() {
+                println!("{key:<28} {value}");
+            }
+            return true;
+        }
+        _ => return false,
+    };
+    eprintln!("# {id}: {} rows", rows.len());
+    print_csv(&rows);
+    let path = results_dir().join(format!("{id}.csv"));
+    match write_csv(&path, &rows) {
+        Ok(()) => eprintln!("# wrote {}", path.display()),
+        Err(e) => eprintln!("# could not write {}: {e}", path.display()),
+    }
+    true
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let ids: Vec<String> = if args.is_empty() || args.iter().any(|a| a == "all") {
+        [
+            "table3",
+            "fig6",
+            "fig7",
+            "fig8",
+            "fig9",
+            "fig10",
+            "fig11",
+            "fig12",
+            "fig13",
+            "ablations",
+            "phases",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect()
+    } else {
+        args
+    };
+
+    eprintln!(
+        "# workload scale: TOPK_SCALE = {} (DBLP base {}, ORKU base {})",
+        topk_bench::datasets::scale(),
+        topk_bench::datasets::DBLP_BASE,
+        topk_bench::datasets::ORKU_BASE,
+    );
+    for id in ids {
+        if !run_figure(&id) {
+            eprintln!(
+                "unknown experiment '{id}' — expected fig6..fig13, ablations, phases, table3 or all"
+            );
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,138 @@
+//! Exact brute-force join — the ground truth every algorithm is tested
+//! against.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use minispark::Cluster;
+use topk_rankings::distance::raw_threshold;
+use topk_rankings::Ranking;
+
+use crate::{JoinError, JoinOutcome};
+
+/// Computes the exact join result by comparing every pair, parallelized over
+/// the cluster (each task owns a stripe of `i` indices and scans `j > i`).
+///
+/// Quadratic — only suitable for validation-scale datasets, which is its
+/// purpose.
+pub fn brute_force_join(
+    cluster: &Cluster,
+    data: &[Ranking],
+    theta: f64,
+) -> Result<JoinOutcome, JoinError> {
+    if !(0.0..=1.0).contains(&theta) || !theta.is_finite() {
+        return Err(JoinError::InvalidThreshold(theta));
+    }
+    let start = Instant::now();
+    let k = crate::pipeline::uniform_k(data)?;
+    let Some(k) = k else {
+        return Ok(JoinOutcome::empty(start.elapsed()));
+    };
+    let theta_raw = raw_threshold(k, theta);
+
+    let shared = cluster.broadcast(Arc::new(data.to_vec()));
+    let partitions = cluster.config().default_partitions;
+    let indices = cluster.parallelize((0..data.len()).collect(), partitions);
+    let pairs_ds = indices.flat_map("brute-force/compare", move |&i| {
+        let data = shared.value();
+        let a = &data[i];
+        let mut out = Vec::new();
+        for b in &data[i + 1..] {
+            if topk_rankings::footrule_within(a, b, theta_raw).is_some() {
+                let (x, y) = if a.id() < b.id() {
+                    (a.id(), b.id())
+                } else {
+                    (b.id(), a.id())
+                };
+                out.push((x, y));
+            }
+        }
+        out
+    });
+    // Ids are unique per dataset, but be defensive about duplicate inputs.
+    let mut pairs = pairs_ds
+        .distinct("brute-force/distinct", partitions)
+        .collect();
+    pairs.sort_unstable();
+    Ok(JoinOutcome {
+        pairs,
+        stats: crate::stats::StatsSnapshot::default(),
+        elapsed: start.elapsed(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use minispark::ClusterConfig;
+    use topk_rankings::distance::footrule_raw;
+
+    fn r(id: u64, items: &[u32]) -> Ranking {
+        Ranking::new(id, items.to_vec()).unwrap()
+    }
+
+    #[test]
+    fn finds_exactly_the_close_pairs() {
+        let cluster = Cluster::new(ClusterConfig::local(2));
+        let data = vec![
+            r(1, &[1, 2, 3, 4, 5]),
+            r(2, &[2, 1, 3, 4, 5]),
+            r(3, &[9, 8, 7, 6, 5]),
+            r(4, &[1, 2, 3, 4, 5]),
+        ];
+        // θ = 0.1 → raw 3: pairs (1,2) d=2, (1,4) d=0, (2,4) d=2.
+        assert_eq!(footrule_raw(&data[0], &data[1]), 2);
+        let outcome = brute_force_join(&cluster, &data, 0.1).unwrap();
+        assert_eq!(outcome.pairs, vec![(1, 2), (1, 4), (2, 4)]);
+    }
+
+    #[test]
+    fn empty_dataset_yields_empty_result() {
+        let cluster = Cluster::new(ClusterConfig::local(2));
+        let outcome = brute_force_join(&cluster, &[], 0.3).unwrap();
+        assert!(outcome.pairs.is_empty());
+    }
+
+    #[test]
+    fn theta_zero_finds_only_duplicates() {
+        let cluster = Cluster::new(ClusterConfig::local(2));
+        let data = vec![r(1, &[1, 2, 3]), r(2, &[1, 2, 3]), r(3, &[1, 3, 2])];
+        let outcome = brute_force_join(&cluster, &data, 0.0).unwrap();
+        assert_eq!(outcome.pairs, vec![(1, 2)]);
+    }
+
+    #[test]
+    fn theta_one_joins_everything() {
+        let cluster = Cluster::new(ClusterConfig::local(2));
+        let data = vec![r(1, &[1, 2]), r(2, &[3, 4]), r(3, &[5, 6])];
+        let outcome = brute_force_join(&cluster, &data, 1.0).unwrap();
+        assert_eq!(outcome.pairs.len(), 3);
+    }
+
+    #[test]
+    fn rejects_invalid_threshold() {
+        let cluster = Cluster::new(ClusterConfig::local(2));
+        assert!(brute_force_join(&cluster, &[], 1.5).is_err());
+        assert!(brute_force_join(&cluster, &[], f64::NAN).is_err());
+    }
+
+    #[test]
+    fn rejects_duplicate_ids() {
+        let cluster = Cluster::new(ClusterConfig::local(2));
+        let data = vec![r(1, &[1, 2, 3]), r(1, &[4, 5, 6])];
+        assert!(matches!(
+            brute_force_join(&cluster, &data, 0.3),
+            Err(JoinError::DuplicateRankingId(1))
+        ));
+    }
+
+    #[test]
+    fn rejects_mixed_lengths() {
+        let cluster = Cluster::new(ClusterConfig::local(2));
+        let data = vec![r(1, &[1, 2, 3]), r(2, &[1, 2])];
+        assert!(matches!(
+            brute_force_join(&cluster, &data, 0.3),
+            Err(JoinError::MixedRankingLengths { .. })
+        ));
+    }
+}

@@ -1,0 +1,240 @@
+//! The *Joining* phase: the similarity join over cluster centroids
+//! (Algorithm 1, §5.2).
+//!
+//! Centroids are joined with threshold `θo = θ + 2·θc` (Lemma 5.1), but
+//! Lemma 5.3 relaxes this by centroid type: pairs of singleton centroids
+//! only need θ, mixed pairs `θ + θc`. Accordingly, non-singleton centroids
+//! emit a prefix sized for θo while singleton centroids emit a shorter
+//! prefix, and each candidate pair is verified against its type's threshold.
+//!
+//! **Prefix-size note.** The paper sizes the singleton prefix for θ. Prefix
+//! intersection for a pair within distance `D` is only guaranteed when *both*
+//! prefixes are at least `k − ω(D) + 1` long, and mixed pairs must be
+//! retrieved up to `D = θ + θc` — so a θ-sized singleton prefix can miss
+//! mixed pairs. By default we size singleton prefixes for `θ + θc` (sound,
+//! still shorter than the θo prefix, same asymptotic saving);
+//! [`crate::JoinConfig::strict_paper_prefixes`] restores the literal paper
+//! behaviour.
+
+use std::sync::Arc;
+
+use minispark::Dataset;
+use topk_rankings::OrderedRanking;
+
+use crate::kernels::GroupThresholds;
+use crate::pipeline::{
+    emit_prefixes, token_grouped_join, with_disjoint_sentinels, GroupJoinStyle, PairHit,
+};
+use crate::stats::JoinStats;
+use crate::JoinConfig;
+
+/// Joins the centroid set `C = C_m ∪ C_s` per Algorithm 1, returning every
+/// centroid pair within its type-specific threshold (with exact distances
+/// and type tags for the expansion phase).
+#[allow(clippy::too_many_arguments)]
+pub fn centroid_join(
+    centroids_m: &Dataset<Arc<OrderedRanking>>,
+    singletons: &Dataset<Arc<OrderedRanking>>,
+    k: usize,
+    theta_raw: u64,
+    theta_c_raw: u64,
+    config: &JoinConfig,
+    partitions: usize,
+    delta: Option<usize>,
+    stats: &Arc<JoinStats>,
+) -> Dataset<PairHit> {
+    let theta_o = theta_raw + 2 * theta_c_raw;
+    let theta_ms = if config.use_lemma53 {
+        theta_raw + theta_c_raw
+    } else {
+        // Ablation: no per-type relaxation — every pair joins at θ + 2θc.
+        theta_o
+    };
+    let theta_ss = if config.use_lemma53 {
+        theta_raw
+    } else {
+        theta_o
+    };
+    let p_m = config.prefix.prefix_len(k, theta_o);
+    let p_s = if !config.use_lemma53 {
+        p_m
+    } else if config.strict_paper_prefixes {
+        config.prefix.prefix_len(k, theta_raw)
+    } else {
+        config.prefix.prefix_len(k, theta_ms)
+    };
+
+    let emitted_m = emit_prefixes(centroids_m, p_m, false, "cl/join/emit-cm-prefixes");
+    // A pair involving a non-singleton centroid is retrieved up to θ + 2θc
+    // (mm) at most; a singleton's most permissive pair threshold is θ + θc
+    // (ms). Where those admit disjoint pairs, the sentinel routing kicks in
+    // (see pipeline::DISJOINT_SENTINEL).
+    let emitted_m = with_disjoint_sentinels(
+        emitted_m,
+        centroids_m,
+        k,
+        theta_o,
+        false,
+        "cl/join/emit-cm-sentinels",
+    );
+    let emitted_s = emit_prefixes(singletons, p_s, true, "cl/join/emit-cs-prefixes");
+    let emitted_s = with_disjoint_sentinels(
+        emitted_s,
+        singletons,
+        k,
+        theta_ms,
+        true,
+        "cl/join/emit-cs-sentinels",
+    );
+    let emitted = emitted_m.union(&emitted_s);
+
+    token_grouped_join(
+        &emitted,
+        GroupJoinStyle::NestedLoop,
+        move |singleton| if singleton { p_s } else { p_m },
+        GroupThresholds::Mixed {
+            mm: theta_o,
+            ms: theta_ms,
+            ss: theta_ss,
+        },
+        config.use_position_filter,
+        partitions,
+        delta,
+        stats,
+        "cl/join",
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::order_rankings;
+    use minispark::{Cluster, ClusterConfig};
+    use topk_rankings::distance::{footrule_raw, raw_threshold};
+    use topk_rankings::{PrefixKind, Ranking};
+
+    fn r(id: u64, items: &[u32]) -> Ranking {
+        Ranking::new(id, items.to_vec()).unwrap()
+    }
+
+    fn split_and_join(
+        cm: Vec<Ranking>,
+        cs: Vec<Ranking>,
+        theta: f64,
+        theta_c: f64,
+        delta: Option<usize>,
+    ) -> Vec<(u64, u64, u64, bool, bool)> {
+        let cluster = Cluster::new(ClusterConfig::local(2));
+        let config = JoinConfig::new(theta).with_cluster_threshold(theta_c);
+        let all: Vec<Ranking> = cm.iter().chain(cs.iter()).cloned().collect();
+        let k = all[0].k();
+        let cm_ids: std::collections::HashSet<u64> = cm.iter().map(|r| r.id()).collect();
+        let ordered = order_rankings(&cluster, &all, PrefixKind::Overlap, 4, "test");
+        let cm_ids2 = cm_ids.clone();
+        let centroids_m = ordered.filter("cm", move |r: &Arc<OrderedRanking>| {
+            cm_ids2.contains(&r.id())
+        });
+        let singletons = ordered.filter("cs", move |r: &Arc<OrderedRanking>| {
+            !cm_ids.contains(&r.id())
+        });
+        let stats = Arc::new(JoinStats::default());
+        let hits = centroid_join(
+            &centroids_m,
+            &singletons,
+            k,
+            raw_threshold(k, theta),
+            raw_threshold(k, theta_c),
+            &config,
+            4,
+            delta,
+            &stats,
+        );
+        let mut out: Vec<(u64, u64, u64, bool, bool)> = hits
+            .collect()
+            .into_iter()
+            .map(|h| (h.a.id(), h.b.id(), h.distance, h.a_singleton, h.b_singleton))
+            .collect();
+        out.sort();
+        out
+    }
+
+    #[test]
+    fn thresholds_depend_on_centroid_types() {
+        // k = 5 ⇒ max = 30. θ = 0.2 → raw 6, θc = 0.1 → raw 3.
+        // mm: 12, ms: 9, ss: 6.
+        let a = r(1, &[1, 2, 3, 4, 5]);
+        let b = r(2, &[4, 1, 2, 3, 5]); // distance to a:
+        assert_eq!(footrule_raw(&a, &b), 6);
+        let c = r(3, &[4, 1, 2, 5, 3]); // a↔c: item4:3,1:1,2:1,3:2,5:1 = 8
+        assert_eq!(footrule_raw(&a, &c), 8);
+
+        // Both non-singleton: both pairs retrieved (6 ≤ 12, 8 ≤ 12).
+        let mm = split_and_join(
+            vec![a.clone(), b.clone(), c.clone()],
+            vec![],
+            0.2,
+            0.1,
+            None,
+        );
+        assert_eq!(mm.iter().filter(|t| t.2 <= 12).count(), mm.len());
+        assert!(mm.iter().any(|t| (t.0, t.1) == (1, 3)));
+
+        // All singleton: only d ≤ 6 survives.
+        let ss = split_and_join(
+            vec![],
+            vec![a.clone(), b.clone(), c.clone()],
+            0.2,
+            0.1,
+            None,
+        );
+        assert!(ss.iter().any(|t| (t.0, t.1) == (1, 2)));
+        assert!(
+            !ss.iter().any(|t| (t.0, t.1) == (1, 3)),
+            "d = 8 > ss = 6: {ss:?}"
+        );
+
+        // Mixed: (1,3) with a ∈ Cm, c ∈ Cs → threshold 9 ≥ 8 → retrieved.
+        let ms = split_and_join(vec![a], vec![b, c], 0.2, 0.1, None);
+        let pair13 = ms
+            .iter()
+            .find(|t| (t.0, t.1) == (1, 3))
+            .expect("mixed pair");
+        assert_eq!(pair13.2, 8);
+        assert_eq!((pair13.3, pair13.4), (false, true));
+    }
+
+    #[test]
+    fn repartitioned_centroid_join_matches_plain() {
+        let data: Vec<Ranking> = (0..40)
+            .map(|i| {
+                let base = [1, 2, 3, 4, 5, 6, 7, 8, 9, 10];
+                let mut items: Vec<u32> = base.to_vec();
+                items.rotate_left((i % 4) as usize);
+                items[9] = 20 + i;
+                r(i as u64, &items)
+            })
+            .collect();
+        let cm: Vec<Ranking> = data[..20].to_vec();
+        let cs: Vec<Ranking> = data[20..].to_vec();
+        let plain = split_and_join(cm.clone(), cs.clone(), 0.3, 0.03, None);
+        let split = split_and_join(cm, cs, 0.3, 0.03, Some(3));
+        assert_eq!(plain, split);
+        assert!(!plain.is_empty());
+    }
+
+    #[test]
+    fn strict_paper_prefixes_flag_is_honoured() {
+        // Smoke test: the flag changes the singleton prefix length but on
+        // this small input the result set is the same.
+        let cluster = Cluster::new(ClusterConfig::local(2));
+        let data = vec![r(1, &[1, 2, 3, 4, 5]), r(2, &[2, 1, 3, 4, 5])];
+        let mut config = JoinConfig::new(0.2).with_cluster_threshold(0.1);
+        config.strict_paper_prefixes = true;
+        let ordered = order_rankings(&cluster, &data, PrefixKind::Overlap, 2, "test");
+        let empty = ordered.filter("none", |_| false);
+        let stats = Arc::new(JoinStats::default());
+        let hits = centroid_join(&empty, &ordered, 5, 6, 3, &config, 2, None, &stats);
+        let pairs: Vec<(u64, u64)> = hits.collect().iter().map(|h| h.ids()).collect();
+        assert_eq!(pairs, vec![(1, 2)]);
+    }
+}

@@ -1,0 +1,199 @@
+//! The CL and CL-P drivers: Ordering → Clustering → Joining → Expansion
+//! (Figure 2 of the paper), with CL-P adding Algorithm 3's repartitioning of
+//! oversized posting lists in the joining phase.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use minispark::Cluster;
+use topk_rankings::distance::raw_threshold;
+use topk_rankings::Ranking;
+
+use crate::centroid_join::centroid_join;
+use crate::clustering::clustering_phase;
+use crate::expansion::expansion;
+use crate::pipeline::{order_rankings, uniform_k};
+use crate::stats::JoinStats;
+use crate::{JoinConfig, JoinError, JoinOutcome};
+
+fn cl_flavour(
+    cluster: &Cluster,
+    data: &[Ranking],
+    config: &JoinConfig,
+    delta: Option<usize>,
+    label: &str,
+) -> Result<JoinOutcome, JoinError> {
+    config.validate()?;
+    let start = Instant::now();
+    let Some(k) = uniform_k(data)? else {
+        return Ok(JoinOutcome::empty(start.elapsed()));
+    };
+    let theta_raw = raw_threshold(k, config.theta);
+    let theta_c_raw = raw_threshold(k, config.cluster_threshold);
+    let partitions = config.effective_partitions(cluster.config().default_partitions);
+    let stats = Arc::new(JoinStats::default());
+
+    // Phase 1 — Ordering (done once; both sub-joins reuse it, §5).
+    let ordered = order_rankings(cluster, data, config.prefix, partitions, label);
+
+    // Phase 2 — Clustering at θc.
+    let clustering = clustering_phase(
+        cluster,
+        &ordered,
+        k,
+        theta_raw,
+        theta_c_raw,
+        config,
+        partitions,
+        &stats,
+    );
+
+    // Phase 3 — Joining the centroids at θ + 2θc (Lemma 5.1 / 5.3), with
+    // repartitioning for CL-P.
+    let cjoin = centroid_join(
+        &clustering.centroids_m,
+        &clustering.singletons,
+        k,
+        theta_raw,
+        theta_c_raw,
+        config,
+        partitions,
+        delta,
+        &stats,
+    );
+
+    // Phase 4 — Expansion back to ranking-level pairs.
+    let expanded = expansion(
+        &cjoin,
+        &clustering.clusters,
+        theta_raw,
+        config.use_triangle_bounds,
+        partitions,
+        &stats,
+    );
+
+    let mut pairs = expanded
+        .union(&clustering.within_cluster_pairs)
+        .distinct(&format!("{label}/final-distinct"), partitions)
+        .collect();
+    pairs.sort_unstable();
+    Ok(JoinOutcome {
+        pairs,
+        stats: stats.snapshot(),
+        elapsed: start.elapsed(),
+    })
+}
+
+/// CL: the clustering-based similarity join (§5).
+pub fn cl_join(
+    cluster: &Cluster,
+    data: &[Ranking],
+    config: &JoinConfig,
+) -> Result<JoinOutcome, JoinError> {
+    cl_flavour(cluster, data, config, None, "cl")
+}
+
+/// CL-P: CL with repartitioning of posting lists longer than
+/// `config.partition_threshold` in the joining phase (§6).
+pub fn clp_join(
+    cluster: &Cluster,
+    data: &[Ranking],
+    config: &JoinConfig,
+) -> Result<JoinOutcome, JoinError> {
+    cl_flavour(
+        cluster,
+        data,
+        config,
+        Some(config.partition_threshold),
+        "cl-p",
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baseline::brute_force_join;
+    use minispark::ClusterConfig;
+    use topk_datagen::CorpusProfile;
+
+    fn cluster() -> Cluster {
+        Cluster::new(ClusterConfig::local(4))
+    }
+
+    fn corpus() -> Vec<Ranking> {
+        // Enough near-duplicates for real clusters to form.
+        CorpusProfile::orku_like(300, 10).generate()
+    }
+
+    #[test]
+    fn cl_matches_brute_force() {
+        let c = cluster();
+        let data = corpus();
+        for theta in [0.1, 0.2, 0.3] {
+            let expected = brute_force_join(&c, &data, theta).unwrap().pairs;
+            let got = cl_join(&c, &data, &JoinConfig::new(theta)).unwrap().pairs;
+            assert_eq!(got, expected, "θ = {theta}");
+        }
+    }
+
+    #[test]
+    fn clp_matches_brute_force() {
+        let c = cluster();
+        let data = corpus();
+        let expected = brute_force_join(&c, &data, 0.3).unwrap().pairs;
+        let cfg = JoinConfig::new(0.3).with_partition_threshold(10);
+        let got = clp_join(&c, &data, &cfg).unwrap().pairs;
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn cl_is_invariant_to_theta_c() {
+        let c = cluster();
+        let data = corpus();
+        let expected = brute_force_join(&c, &data, 0.2).unwrap().pairs;
+        for theta_c in [0.0, 0.01, 0.03, 0.05, 0.1, 0.2] {
+            let cfg = JoinConfig::new(0.2).with_cluster_threshold(theta_c);
+            let got = cl_join(&c, &data, &cfg).unwrap().pairs;
+            assert_eq!(got, expected, "θc = {theta_c}");
+        }
+    }
+
+    #[test]
+    fn clustering_actually_forms_clusters() {
+        let c = cluster();
+        let data = corpus();
+        let outcome = cl_join(&c, &data, &JoinConfig::new(0.2)).unwrap();
+        assert!(outcome.stats.clusters > 0, "no clusters: {}", outcome.stats);
+        assert!(outcome.stats.singletons > 0);
+        assert!(
+            outcome.stats.triangle_accepted + outcome.stats.triangle_pruned > 0,
+            "triangle bounds never fired: {}",
+            outcome.stats
+        );
+    }
+
+    #[test]
+    fn empty_dataset() {
+        let c = cluster();
+        assert!(cl_join(&c, &[], &JoinConfig::new(0.3))
+            .unwrap()
+            .pairs
+            .is_empty());
+        assert!(clp_join(&c, &[], &JoinConfig::new(0.3))
+            .unwrap()
+            .pairs
+            .is_empty());
+    }
+
+    #[test]
+    fn theta_c_larger_than_theta_still_correct() {
+        // Degenerate but legal configuration: cluster radius beyond the join
+        // threshold forces member-pair verification inside clusters.
+        let c = cluster();
+        let data = corpus();
+        let expected = brute_force_join(&c, &data, 0.1).unwrap().pairs;
+        let cfg = JoinConfig::new(0.1).with_cluster_threshold(0.15);
+        let got = cl_join(&c, &data, &cfg).unwrap().pairs;
+        assert_eq!(got, expected);
+    }
+}

@@ -1,0 +1,285 @@
+//! The *Clustering* phase of CL/CL-P (§5.1).
+//!
+//! A similarity self-join at the (tiny) clustering threshold θc finds all
+//! near-duplicate pairs; clusters are then formed by grouping the result
+//! pairs by their first (smaller-id) ranking, which becomes the centroid.
+//! Rankings that appear in no pair form singleton clusters. Because the
+//! Footrule adaptation is a metric, every pair of rankings inside one
+//! cluster is within `2·θc` of each other, so cluster-internal result pairs
+//! can be emitted immediately (verified only when the triangle bounds cannot
+//! certify them).
+
+use std::collections::HashSet;
+use std::sync::Arc;
+
+use minispark::{Cluster, Dataset};
+use topk_rankings::OrderedRanking;
+
+use crate::pipeline::{prefix_self_join, GroupJoinStyle};
+use crate::stats::JoinStats;
+use crate::JoinConfig;
+
+/// `centroid id → [(member ranking, distance to centroid)]`.
+pub type ClusterTable = Dataset<(u64, Vec<(Arc<OrderedRanking>, u64)>)>;
+
+/// Output of the clustering phase.
+pub struct Clustering {
+    /// The cluster table for clusters with at least one member. Clusters may
+    /// overlap (a ranking can be a member of several clusters and a centroid
+    /// itself), as §5.1 accepts.
+    pub clusters: ClusterTable,
+    /// The non-singleton centroids `C_m` (one ranking per cluster).
+    pub centroids_m: Dataset<Arc<OrderedRanking>>,
+    /// The singleton centroids `C_s`: rankings with no neighbour within θc.
+    pub singletons: Dataset<Arc<OrderedRanking>>,
+    /// Result pairs already certain from the clustering phase (centroid ↔
+    /// member and member ↔ member inside one cluster).
+    pub within_cluster_pairs: Dataset<(u64, u64)>,
+}
+
+/// Runs the clustering phase over the canonicalized dataset.
+#[allow(clippy::too_many_arguments)]
+pub fn clustering_phase(
+    cluster: &Cluster,
+    ordered: &Dataset<Arc<OrderedRanking>>,
+    k: usize,
+    theta_raw: u64,
+    theta_c_raw: u64,
+    config: &JoinConfig,
+    partitions: usize,
+    stats: &Arc<JoinStats>,
+) -> Clustering {
+    // The θc self-join. The paper uses VJ here ("our experiments revealed
+    // that VJ is the most efficient one to be used here") with the
+    // iterator-style per-group processing of §4.1.
+    let rc = prefix_self_join(
+        ordered,
+        k,
+        theta_c_raw,
+        config.prefix,
+        GroupJoinStyle::NestedLoop,
+        config.use_position_filter,
+        partitions,
+        None,
+        stats,
+        "cl/cluster",
+    );
+
+    // Clusters: group pairs by the smaller-id ranking (PairHit guarantees
+    // a.id < b.id), matching "from the pairs, we take the first ranking …
+    // as the cluster centroid, and the second one as their member".
+    let clusters = rc
+        .map("cl/cluster/member-assignments", |hit| {
+            (hit.a.id(), (Arc::clone(&hit.b), hit.distance))
+        })
+        .group_by_key("cl/cluster/form-clusters", partitions);
+
+    // C_m: one ranking per centroid id.
+    let centroids_m = rc
+        .map("cl/cluster/centroid-candidates", |hit| {
+            (hit.a.id(), Arc::clone(&hit.a))
+        })
+        .reduce_by_key("cl/cluster/dedup-centroids", partitions, |a, _| a)
+        .values("cl/cluster/centroid-rankings");
+
+    // C_s: rankings that appear in no θc pair. The id set is small metadata
+    // (bounded by 2·|pairs|) and is broadcast, like the frequency order.
+    let non_singleton_ids: HashSet<u64> = rc
+        .flat_map("cl/cluster/paired-ids", |hit| vec![hit.a.id(), hit.b.id()])
+        .distinct("cl/cluster/distinct-paired-ids", partitions)
+        .collect()
+        .into_iter()
+        .collect();
+    JoinStats::add(&stats.clusters, clusters.count() as u64);
+    let paired = cluster.broadcast(non_singleton_ids);
+    let singletons = {
+        let paired = paired.clone();
+        ordered.filter("cl/cluster/singletons", move |r: &Arc<OrderedRanking>| {
+            !paired.value().contains(&r.id())
+        })
+    };
+    JoinStats::add(&stats.singletons, singletons.count() as u64);
+
+    // Cluster-internal results. Centroid–member distances are known exactly;
+    // member–member pairs are certified by the triangle bounds where
+    // possible (always, when 2·θc ≤ θ) and verified otherwise.
+    let use_triangle_bounds = config.use_triangle_bounds;
+    let within_cluster_pairs = {
+        let stats = Arc::clone(stats);
+        clusters.flat_map(
+            "cl/cluster/within-cluster-results",
+            move |(centroid, members)| {
+                let mut out = Vec::new();
+                for (member, d) in members {
+                    if *d <= theta_raw {
+                        out.push(ordered_pair(*centroid, member.id()));
+                    }
+                }
+                for i in 0..members.len() {
+                    for j in (i + 1)..members.len() {
+                        let (mi, di) = &members[i];
+                        let (mj, dj) = &members[j];
+                        if mi.id() == mj.id() {
+                            continue;
+                        }
+                        if use_triangle_bounds && di + dj <= theta_raw {
+                            JoinStats::bump(&stats.triangle_accepted);
+                            out.push(ordered_pair(mi.id(), mj.id()));
+                        } else if use_triangle_bounds && di.abs_diff(*dj) > theta_raw {
+                            JoinStats::bump(&stats.triangle_pruned);
+                        } else {
+                            JoinStats::bump(&stats.candidates);
+                            JoinStats::bump(&stats.verified);
+                            if mi.footrule_within(mj, theta_raw).is_some() {
+                                JoinStats::bump(&stats.result_pairs);
+                                out.push(ordered_pair(mi.id(), mj.id()));
+                            }
+                        }
+                    }
+                }
+                out
+            },
+        )
+    };
+
+    Clustering {
+        clusters,
+        centroids_m,
+        singletons,
+        within_cluster_pairs,
+    }
+}
+
+#[inline]
+fn ordered_pair(x: u64, y: u64) -> (u64, u64) {
+    if x < y {
+        (x, y)
+    } else {
+        (y, x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::order_rankings;
+    use minispark::ClusterConfig;
+    use topk_rankings::distance::raw_threshold;
+    use topk_rankings::{PrefixKind, Ranking};
+
+    fn r(id: u64, items: &[u32]) -> Ranking {
+        Ranking::new(id, items.to_vec()).unwrap()
+    }
+
+    /// Figure 3's setup: τ1, τ2, τ5 cluster around τ1; τ3, τ4 around τ3;
+    /// τ6 is a singleton.
+    fn figure3_dataset() -> Vec<Ranking> {
+        vec![
+            r(1, &[2, 5, 3, 4, 1]),
+            r(2, &[2, 5, 4, 3, 1]),
+            r(3, &[0, 8, 5, 3, 7]),
+            r(4, &[8, 0, 5, 3, 7]),
+            r(5, &[2, 5, 3, 1, 4]),
+            r(6, &[6, 9, 0, 8, 5]),
+        ]
+    }
+
+    fn run(theta: f64, theta_c: f64) -> (Clustering, Cluster) {
+        let cluster = Cluster::new(ClusterConfig::local(2));
+        let data = figure3_dataset();
+        let config = JoinConfig::new(theta).with_cluster_threshold(theta_c);
+        let ordered = order_rankings(&cluster, &data, PrefixKind::Overlap, 4, "test");
+        let stats = Arc::new(JoinStats::default());
+        let clustering = clustering_phase(
+            &cluster,
+            &ordered,
+            5,
+            raw_threshold(5, theta),
+            raw_threshold(5, theta_c),
+            &config,
+            4,
+            &stats,
+        );
+        (clustering, cluster)
+    }
+
+    #[test]
+    fn forms_figure3_clusters() {
+        // θc = 0.1 → raw 3. Distances: (1,2) swap of ranks 2/3 → 2;
+        // (1,5) swap of ranks 3/4 → 2; (2,5): [2,5,4,3,1] vs [2,5,3,1,4]:
+        // item4: |2-4|=2, item3: |3-2|=1, item1: |4-3|=1 → 4 > 3;
+        // (3,4) swap → 2. τ6 far from all.
+        let (clustering, _) = run(0.2, 0.1);
+        let mut clusters = clustering.clusters.collect();
+        clusters.sort_by_key(|(c, _)| *c);
+        assert_eq!(clusters.len(), 2);
+        assert_eq!(clusters[0].0, 1);
+        let mut members1: Vec<u64> = clusters[0].1.iter().map(|(m, _)| m.id()).collect();
+        members1.sort();
+        assert_eq!(members1, vec![2, 5]);
+        assert_eq!(clusters[1].0, 3);
+        assert_eq!(clusters[1].1.len(), 1);
+        assert_eq!(clusters[1].1[0].0.id(), 4);
+
+        let mut centroid_ids: Vec<u64> = clustering
+            .centroids_m
+            .collect()
+            .into_iter()
+            .map(|c| c.id())
+            .collect();
+        centroid_ids.sort();
+        assert_eq!(centroid_ids, vec![1, 3]);
+
+        let singleton_ids: Vec<u64> = clustering
+            .singletons
+            .collect()
+            .into_iter()
+            .map(|c| c.id())
+            .collect();
+        assert_eq!(singleton_ids, vec![6]);
+    }
+
+    #[test]
+    fn within_cluster_pairs_cover_members() {
+        let (clustering, _) = run(0.2, 0.1);
+        let mut pairs = clustering.within_cluster_pairs.collect();
+        pairs.sort();
+        pairs.dedup();
+        // Cluster {1,2,5}: (1,2), (1,5) centroid-member; (2,5) member-member
+        // at distance 4 ≤ θ_raw = 6. Cluster {3,4}: (3,4).
+        assert_eq!(pairs, vec![(1, 2), (1, 5), (2, 5), (3, 4)]);
+    }
+
+    #[test]
+    fn member_member_verification_respects_theta() {
+        // θ = 0.1 (raw 3): the member pair (2,5) at distance 4 must be
+        // dropped even though both are within θc·Footrule of the centroid.
+        let (clustering, _) = run(0.1, 0.1);
+        let mut pairs = clustering.within_cluster_pairs.collect();
+        pairs.sort();
+        pairs.dedup();
+        assert_eq!(pairs, vec![(1, 2), (1, 5), (3, 4)]);
+    }
+
+    #[test]
+    fn zero_theta_c_clusters_only_duplicates() {
+        let cluster = Cluster::new(ClusterConfig::local(2));
+        let data = figure3_dataset();
+        let config = JoinConfig::new(0.2).with_cluster_threshold(0.0);
+        let ordered = order_rankings(&cluster, &data, PrefixKind::Overlap, 4, "test");
+        let stats = Arc::new(JoinStats::default());
+        let clustering = clustering_phase(
+            &cluster,
+            &ordered,
+            5,
+            raw_threshold(5, 0.2),
+            0,
+            &config,
+            4,
+            &stats,
+        );
+        assert_eq!(clustering.clusters.count(), 0);
+        assert_eq!(clustering.singletons.count(), 6);
+        assert_eq!(stats.snapshot().singletons, 6);
+    }
+}

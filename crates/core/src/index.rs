@@ -1,0 +1,303 @@
+//! An in-memory similarity **range-search index** over top-k rankings — the
+//! online companion of the batch joins, in the spirit of the authors' prior
+//! work on top-k-list similarity search (Milchevski, Anand, Michel,
+//! EDBT 2015, ref. 18, which §4 builds on): an inverted index over
+//! frequency-ordered prefixes with the position filter and early-exit
+//! verification.
+//!
+//! Use it when rankings arrive one at a time (a new portal member, a fresh
+//! query) and the application needs that record's neighbours immediately —
+//! the batch algorithms answer the all-pairs question, this index answers
+//! the point question.
+//!
+//! The index is built for a maximum supported threshold `theta_max`:
+//! record prefixes are sized for it, so any query with `θ ≤ theta_max` is
+//! answered exactly (the prefix-intersection guarantee needs both sides'
+//! prefixes to cover the pair threshold; the stored side covers
+//! `theta_max ≥ θ`, the query side is probed with its exact `p(θ)`).
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use topk_rankings::bounds::position_filter_prunes;
+use topk_rankings::distance::{max_raw_distance, raw_threshold};
+use topk_rankings::{FrequencyTable, ItemId, OrderedRanking, PrefixKind, Ranking};
+
+use crate::JoinError;
+
+/// Inverted prefix index supporting exact Footrule range queries up to a
+/// build-time maximum threshold.
+pub struct RankingIndex {
+    k: usize,
+    theta_max: f64,
+    freq: FrequencyTable,
+    records: Vec<Arc<OrderedRanking>>,
+    /// item → [(record index, original rank of item in that record)] over
+    /// the records' `p(theta_max)` prefixes.
+    postings: HashMap<ItemId, Vec<(u32, u16)>>,
+}
+
+impl RankingIndex {
+    /// Builds the index over `data` for queries with `θ ≤ theta_max`.
+    ///
+    /// The frequency order is computed from `data` itself; `theta_max`
+    /// close to 1 degrades towards indexing whole rankings (prefix = k).
+    pub fn build(data: &[Ranking], theta_max: f64) -> Result<Self, JoinError> {
+        if !(0.0..=1.0).contains(&theta_max) || !theta_max.is_finite() {
+            return Err(JoinError::InvalidThreshold(theta_max));
+        }
+        let k = crate::pipeline::uniform_k(data)?.unwrap_or(0);
+        let freq = FrequencyTable::from_rankings(data);
+        let mut index = Self {
+            k,
+            theta_max,
+            freq,
+            records: Vec::with_capacity(data.len()),
+            postings: HashMap::new(),
+        };
+        for r in data {
+            index.insert_ranking(r)?;
+        }
+        Ok(index)
+    }
+
+    /// Number of indexed rankings.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether the index is empty.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// The (fixed) ranking length, 0 while empty.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// The maximum supported query threshold.
+    pub fn theta_max(&self) -> f64 {
+        self.theta_max
+    }
+
+    /// Inserts one ranking.
+    ///
+    /// Note: the canonical item order is frozen at build time; rankings
+    /// inserted later are ordered by the original frequency table (their
+    /// new items count as frequency 0, i.e. rare — which keeps prefixes
+    /// valid, since any consistent total order works for prefix filtering).
+    pub fn insert_ranking(&mut self, r: &Ranking) -> Result<(), JoinError> {
+        if self.records.is_empty() && self.k == 0 {
+            self.k = r.k();
+        }
+        if r.k() != self.k {
+            return Err(JoinError::MixedRankingLengths {
+                expected: self.k,
+                found: r.k(),
+            });
+        }
+        let idx = self.records.len() as u32;
+        let ordered = Arc::new(OrderedRanking::by_frequency(r, &self.freq));
+        let p = self.stored_prefix_len();
+        for &(item, rank) in ordered.prefix(p) {
+            self.postings.entry(item).or_default().push((idx, rank));
+        }
+        self.records.push(ordered);
+        Ok(())
+    }
+
+    fn stored_prefix_len(&self) -> usize {
+        let theta_raw = raw_threshold(self.k, self.theta_max);
+        PrefixKind::Overlap.prefix_len(self.k, theta_raw)
+    }
+
+    /// All indexed rankings within normalized Footrule distance `theta` of
+    /// `query`, as `(id, raw_distance)` pairs sorted by distance then id.
+    /// Self-matches (same id) are excluded.
+    ///
+    /// # Errors
+    /// `InvalidThreshold` when `theta > theta_max` (the stored prefixes
+    /// cannot guarantee completeness beyond the build threshold) or not a
+    /// probability; `MixedRankingLengths` when the query length differs.
+    pub fn range_query(&self, query: &Ranking, theta: f64) -> Result<Vec<(u64, u64)>, JoinError> {
+        if !(0.0..=1.0).contains(&theta) || !theta.is_finite() || theta > self.theta_max + 1e-12 {
+            return Err(JoinError::InvalidThreshold(theta));
+        }
+        if self.records.is_empty() {
+            return Ok(Vec::new());
+        }
+        if query.k() != self.k {
+            return Err(JoinError::MixedRankingLengths {
+                expected: self.k,
+                found: query.k(),
+            });
+        }
+        let theta_raw = raw_threshold(self.k, theta);
+        let ordered_query = OrderedRanking::by_frequency(query, &self.freq);
+
+        let mut results = Vec::new();
+        if theta_raw >= max_raw_distance(self.k) {
+            // Disjoint pairs qualify: prefix probing is incomplete, scan.
+            for record in &self.records {
+                if record.id() == query.id() {
+                    continue;
+                }
+                if let Some(d) = ordered_query.footrule_within(record, theta_raw) {
+                    results.push((record.id(), d));
+                }
+            }
+        } else {
+            let p = PrefixKind::Overlap.prefix_len(self.k, theta_raw);
+            let mut seen: Vec<bool> = vec![false; self.records.len()];
+            for &(item, query_rank) in ordered_query.prefix(p) {
+                let Some(postings) = self.postings.get(&item) else {
+                    continue;
+                };
+                for &(rec_idx, rec_rank) in postings {
+                    if seen[rec_idx as usize] {
+                        continue;
+                    }
+                    seen[rec_idx as usize] = true;
+                    let record = &self.records[rec_idx as usize];
+                    if record.id() == query.id() {
+                        continue;
+                    }
+                    if position_filter_prunes(query_rank as usize, rec_rank as usize, theta_raw) {
+                        continue;
+                    }
+                    if let Some(d) = ordered_query.footrule_within(record, theta_raw) {
+                        results.push((record.id(), d));
+                    }
+                }
+            }
+        }
+        results.sort_by_key(|&(id, d)| (d, id));
+        Ok(results)
+    }
+
+    /// The `n` nearest indexed rankings to `query` among those within
+    /// `theta_max` (ties by id). Convenience on top of [`RankingIndex::range_query`].
+    pub fn nearest(&self, query: &Ranking, n: usize) -> Result<Vec<(u64, u64)>, JoinError> {
+        let mut all = self.range_query(query, self.theta_max)?;
+        all.truncate(n);
+        Ok(all)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use topk_datagen::CorpusProfile;
+    use topk_rankings::footrule_raw;
+
+    fn corpus() -> Vec<Ranking> {
+        CorpusProfile::orku_like(400, 10).generate()
+    }
+
+    fn linear_scan(data: &[Ranking], query: &Ranking, theta: f64) -> Vec<(u64, u64)> {
+        let theta_raw = raw_threshold(query.k(), theta);
+        let mut out: Vec<(u64, u64)> = data
+            .iter()
+            .filter(|r| r.id() != query.id())
+            .filter_map(|r| {
+                let d = footrule_raw(query, r);
+                (d <= theta_raw).then_some((r.id(), d))
+            })
+            .collect();
+        out.sort_by_key(|&(id, d)| (d, id));
+        out
+    }
+
+    #[test]
+    fn range_query_matches_linear_scan() {
+        let data = corpus();
+        let index = RankingIndex::build(&data, 0.4).unwrap();
+        for theta in [0.05, 0.1, 0.2, 0.3, 0.4] {
+            for query in data.iter().step_by(37) {
+                let got = index.range_query(query, theta).unwrap();
+                let expected = linear_scan(&data, query, theta);
+                assert_eq!(got, expected, "θ = {theta}, query {}", query.id());
+            }
+        }
+    }
+
+    #[test]
+    fn foreign_queries_are_supported() {
+        // Queries that are not part of the index (e.g. a new user).
+        let data = corpus();
+        let index = RankingIndex::build(&data, 0.3).unwrap();
+        let foreign = Ranking::new_unchecked(999_999, data[3].items().to_vec());
+        let got = index.range_query(&foreign, 0.3).unwrap();
+        let expected = linear_scan(&data, &foreign, 0.3);
+        assert_eq!(got, expected);
+        // Its twin in the corpus is found at distance 0.
+        assert_eq!(got[0], (data[3].id(), 0));
+    }
+
+    #[test]
+    fn incremental_inserts() {
+        let data = corpus();
+        let (head, tail) = data.split_at(300);
+        let mut index = RankingIndex::build(head, 0.3).unwrap();
+        for r in tail {
+            index.insert_ranking(r).unwrap();
+        }
+        assert_eq!(index.len(), data.len());
+        for query in data.iter().step_by(61) {
+            let got = index.range_query(query, 0.3).unwrap();
+            let expected = linear_scan(&data, query, 0.3);
+            assert_eq!(got, expected, "query {}", query.id());
+        }
+    }
+
+    #[test]
+    fn theta_one_scans_everything() {
+        let data = vec![
+            Ranking::new(1, vec![1, 2, 3]).unwrap(),
+            Ranking::new(2, vec![7, 8, 9]).unwrap(),
+        ];
+        let index = RankingIndex::build(&data, 1.0).unwrap();
+        let got = index.range_query(&data[0], 1.0).unwrap();
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].0, 2);
+    }
+
+    #[test]
+    fn rejects_thresholds_beyond_build_max() {
+        let data = corpus();
+        let index = RankingIndex::build(&data, 0.2).unwrap();
+        assert!(index.range_query(&data[0], 0.3).is_err());
+        assert!(index.range_query(&data[0], f64::NAN).is_err());
+    }
+
+    #[test]
+    fn rejects_mismatched_query_length() {
+        let data = corpus();
+        let index = RankingIndex::build(&data, 0.3).unwrap();
+        let short = Ranking::new(5, vec![1, 2, 3]).unwrap();
+        assert!(matches!(
+            index.range_query(&short, 0.2),
+            Err(JoinError::MixedRankingLengths { .. })
+        ));
+        let mut mutable = RankingIndex::build(&data, 0.3).unwrap();
+        assert!(mutable.insert_ranking(&short).is_err());
+    }
+
+    #[test]
+    fn nearest_truncates_and_sorts() {
+        let data = corpus();
+        let index = RankingIndex::build(&data, 0.4).unwrap();
+        let near = index.nearest(&data[0], 3).unwrap();
+        assert!(near.len() <= 3);
+        assert!(near.windows(2).all(|w| w[0].1 <= w[1].1));
+    }
+
+    #[test]
+    fn empty_index() {
+        let index = RankingIndex::build(&[], 0.3).unwrap();
+        assert!(index.is_empty());
+        let q = Ranking::new(1, vec![1, 2, 3]).unwrap();
+        assert!(index.range_query(&q, 0.2).unwrap().is_empty());
+    }
+}

@@ -1,0 +1,814 @@
+//! Similarity joins under **Jaccard distance** — the paper's announced
+//! future work (§8), implemented with the same architecture: frequency
+//! ordering, prefix filtering, and the clustering/joining/expansion pipeline
+//! justified by Jaccard distance being a metric.
+//!
+//! Differences from the Footrule pipeline:
+//!
+//! * records are treated as **sets** (rank positions are ignored),
+//! * verification counts the overlap (`d_J = (2k − 2o)/(2k − o)` for two
+//!   k-sets) instead of summing rank displacements,
+//! * there is no position filter (ranks carry no information here),
+//! * thresholds and distances are rationals represented as `f64`; all
+//!   algorithms share one exact predicate
+//!   ([`topk_rankings::jaccard::jaccard_within`]) so they decide candidate
+//!   pairs identically, and the expansion's triangle bounds are applied
+//!   with a conservative ε margin (a pruned/accepted decision is only taken
+//!   when it holds with room to spare; everything else is verified).
+
+use std::collections::HashSet;
+use std::sync::Arc;
+use std::time::Instant;
+
+use minispark::{Cluster, Dataset};
+use topk_rankings::jaccard::{jaccard_prefix_len, jaccard_within};
+use topk_rankings::{FrequencyTable, ItemId, OrderedRanking, Ranking};
+
+use crate::stats::JoinStats;
+use crate::{JoinError, JoinOutcome};
+
+/// Safety margin for floating-point triangle bounds (distances are
+/// rationals with denominator ≤ 2k; 1e-9 is far below their granularity).
+const EPS: f64 = 1e-9;
+
+/// Configuration of a Jaccard join.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JaccardConfig {
+    /// Jaccard distance threshold θ ∈ [0, 1].
+    pub theta: f64,
+    /// Clustering threshold θc for the CL variant.
+    pub cluster_threshold: f64,
+    /// Partitioning threshold δ for the CL-P variant (Algorithm 3 applied
+    /// to sets): posting lists longer than this are split.
+    pub partition_threshold: usize,
+    /// Reduce-side partitions (0 = cluster default).
+    pub partitions: usize,
+}
+
+impl JaccardConfig {
+    /// A configuration with the paper-style default θc = 0.05 (Jaccard
+    /// distances are coarser than Footrule, so a slightly larger clustering
+    /// radius pays off).
+    pub fn new(theta: f64) -> Self {
+        Self {
+            theta,
+            cluster_threshold: 0.05,
+            partition_threshold: 2_000,
+            partitions: 0,
+        }
+    }
+
+    /// Sets the partitioning threshold δ.
+    pub fn with_partition_threshold(mut self, delta: usize) -> Self {
+        self.partition_threshold = delta;
+        self
+    }
+
+    /// Sets θc.
+    pub fn with_cluster_threshold(mut self, theta_c: f64) -> Self {
+        self.cluster_threshold = theta_c;
+        self
+    }
+
+    fn validate(&self) -> Result<(), JoinError> {
+        for t in [self.theta, self.cluster_threshold] {
+            if !(0.0..=1.0).contains(&t) || !t.is_finite() {
+                return Err(JoinError::InvalidThreshold(t));
+            }
+        }
+        if self.partition_threshold == 0 {
+            return Err(JoinError::InvalidPartitionThreshold);
+        }
+        Ok(())
+    }
+
+    fn effective_partitions(&self, default: usize) -> usize {
+        if self.partitions == 0 {
+            default.max(1)
+        } else {
+            self.partitions
+        }
+    }
+}
+
+type SetRecord = Arc<OrderedRanking>;
+
+#[inline]
+fn within(a: &SetRecord, b: &SetRecord, theta: f64, stats: &JoinStats) -> Option<f64> {
+    JoinStats::bump(&stats.candidates);
+    JoinStats::bump(&stats.verified);
+    // Overlap over the pair representation (item order is canonical-
+    // frequency order; only membership matters).
+    let o = a
+        .pairs()
+        .iter()
+        .filter(|(item, _)| b.pairs().iter().any(|(other, _)| other == item))
+        .count();
+    let total = a.k() + b.k();
+    let num = (total - 2 * o) as f64;
+    let den = (total - o) as f64;
+    if num <= theta * den {
+        JoinStats::bump(&stats.result_pairs);
+        Some(if den == 0.0 { 0.0 } else { num / den })
+    } else {
+        None
+    }
+}
+
+fn order_sets(cluster: &Cluster, data: &[Ranking], partitions: usize) -> Dataset<SetRecord> {
+    let ds = cluster.parallelize(data.to_vec(), partitions);
+    let counts = ds
+        .flat_map("jaccard/freq-emit", |r: &Ranking| {
+            r.items()
+                .iter()
+                .map(|&item| (item, 1u64))
+                .collect::<Vec<_>>()
+        })
+        .reduce_by_key("jaccard/freq-count", partitions, |a, b| a + b)
+        .collect();
+    let freq = cluster.broadcast(FrequencyTable::from_counts(counts));
+    ds.map("jaccard/order", move |r| {
+        Arc::new(OrderedRanking::by_frequency(r, freq.value()))
+    })
+}
+
+/// A `(smaller_id, larger_id, distance)` hit with both records attached.
+#[derive(Clone)]
+struct JaccardHit {
+    a: SetRecord,
+    b: SetRecord,
+    distance: f64,
+    a_singleton: bool,
+    b_singleton: bool,
+}
+
+/// Joins the members of every token group with `pair_fn`, optionally
+/// splitting groups longer than δ into sub-partitions that are spread with a
+/// composite partitioner and joined pairwise — Algorithm 3 transplanted to
+/// the Jaccard pipeline.
+///
+/// Deliberate twin of `crate::pipeline::token_grouped_join`'s δ branch: the
+/// Footrule pipeline works in integer thresholds with kernel styles and
+/// `PairHit`s, this one in rational thresholds with a caller-supplied pair
+/// function. Changes to the chunk-split/spread/pair mechanics of either
+/// should be mirrored in the other.
+fn split_group_join<M>(
+    grouped: &Dataset<(ItemId, Vec<M>)>,
+    delta: Option<usize>,
+    partitions: usize,
+    stats: &Arc<JoinStats>,
+    label: &str,
+    pair_fn: impl Fn(&M, &M) -> Option<JaccardHit> + Send + Sync + Clone + 'static,
+) -> Dataset<JaccardHit>
+where
+    M: Clone + Send + Sync + 'static,
+{
+    let all_pairs = |members: &[M], pair_fn: &dyn Fn(&M, &M) -> Option<JaccardHit>| {
+        let mut out = Vec::new();
+        for i in 0..members.len() {
+            for j in (i + 1)..members.len() {
+                if let Some(hit) = pair_fn(&members[i], &members[j]) {
+                    out.push(hit);
+                }
+            }
+        }
+        out
+    };
+    match delta {
+        None => {
+            let pair_fn = pair_fn.clone();
+            grouped.flat_map(&format!("{label}/join-groups"), move |(_, members)| {
+                all_pairs(members, &pair_fn)
+            })
+        }
+        Some(delta) => {
+            let delta = delta.max(1);
+            let small = {
+                let pair_fn = pair_fn.clone();
+                grouped.flat_map(
+                    &format!("{label}/join-small-groups"),
+                    move |(_, members)| {
+                        if members.len() <= delta {
+                            all_pairs(members, &pair_fn)
+                        } else {
+                            Vec::new()
+                        }
+                    },
+                )
+            };
+            let chunks = {
+                let stats = Arc::clone(stats);
+                grouped.flat_map(
+                    &format!("{label}/split-large-groups"),
+                    move |(token, members)| {
+                        if members.len() <= delta {
+                            return Vec::new();
+                        }
+                        JoinStats::bump(&stats.posting_lists_split);
+                        members
+                            .chunks(delta)
+                            .enumerate()
+                            .map(|(sub, chunk)| ((*token, sub as u32), chunk.to_vec()))
+                            .collect::<Vec<_>>()
+                    },
+                )
+            };
+            let spread = chunks.partition_by(
+                &format!("{label}/spread-chunks"),
+                &minispark::CompositePartitioner::new(partitions.saturating_mul(2).max(1)),
+            );
+            let self_hits = {
+                let pair_fn = pair_fn.clone();
+                spread.flat_map(&format!("{label}/join-chunks"), move |(_, chunk)| {
+                    all_pairs(chunk, &pair_fn)
+                })
+            };
+            let chunk_pairs = chunks
+                .map(
+                    &format!("{label}/key-chunks"),
+                    |((token, sub), chunk): &((ItemId, u32), Vec<M>)| {
+                        (*token, (*sub, chunk.clone()))
+                    },
+                )
+                .group_by_key(&format!("{label}/pair-chunks"), partitions)
+                .flat_map(&format!("{label}/emit-chunk-pairs"), |(token, subs)| {
+                    let mut sorted: Vec<&(u32, Vec<M>)> = subs.iter().collect();
+                    sorted.sort_by_key(|(sub, _)| *sub);
+                    let mut out = Vec::new();
+                    for i in 0..sorted.len() {
+                        for j in (i + 1)..sorted.len() {
+                            out.push((
+                                (*token, sorted[i].0, sorted[j].0),
+                                (sorted[i].1.clone(), sorted[j].1.clone()),
+                            ));
+                        }
+                    }
+                    out
+                });
+            let spread_pairs = chunk_pairs.partition_by(
+                &format!("{label}/spread-chunk-pairs"),
+                &minispark::CompositePartitioner::new(partitions.saturating_mul(2).max(1)),
+            );
+            let rs_hits = {
+                let stats = Arc::clone(stats);
+                spread_pairs.flat_map(
+                    &format!("{label}/rs-join-chunks"),
+                    move |(_, (left, right))| {
+                        JoinStats::bump(&stats.rs_joins);
+                        let mut out = Vec::new();
+                        for a in left {
+                            for b in right {
+                                if let Some(hit) = pair_fn(a, b) {
+                                    out.push(hit);
+                                }
+                            }
+                        }
+                        out
+                    },
+                )
+            };
+            small.union(&self_hits).union(&rs_hits)
+        }
+    }
+}
+
+/// Prefix self-join of `ordered` at `theta` (nested-loop groups, global
+/// dedup), the building block for both the flat join and CL's phases.
+fn jaccard_prefix_join(
+    ordered: &Dataset<SetRecord>,
+    k: usize,
+    theta: f64,
+    partitions: usize,
+    delta: Option<usize>,
+    stats: &Arc<JoinStats>,
+    label: &str,
+) -> Dataset<JaccardHit> {
+    let p = jaccard_prefix_len(k, theta);
+    let emitted = ordered.flat_map(&format!("{label}/emit-prefixes"), move |r: &SetRecord| {
+        r.prefix(p)
+            .iter()
+            .map(|&(item, _)| (item, Arc::clone(r)))
+            .collect::<Vec<_>>()
+    });
+    // θ = 1 admits disjoint pairs; route everyone into one sentinel group
+    // (prefix filtering alone cannot produce token-disjoint candidates).
+    let emitted = if theta >= 1.0 - EPS {
+        emitted.union(
+            &ordered.map(&format!("{label}/emit-sentinels"), |r: &SetRecord| {
+                (ItemId::MAX, Arc::clone(r))
+            }),
+        )
+    } else {
+        emitted
+    };
+    let grouped = emitted.group_by_key(&format!("{label}/group-by-token"), partitions);
+    let hits = {
+        let stats_for_pairs = Arc::clone(stats);
+        let pair_fn = move |a: &SetRecord, b: &SetRecord| -> Option<JaccardHit> {
+            let (x, y) = if a.id() < b.id() { (a, b) } else { (b, a) };
+            if x.id() == y.id() {
+                return None;
+            }
+            within(x, y, theta, &stats_for_pairs).map(|d| JaccardHit {
+                a: Arc::clone(x),
+                b: Arc::clone(y),
+                distance: d,
+                a_singleton: false,
+                b_singleton: false,
+            })
+        };
+        split_group_join(&grouped, delta, partitions, stats, label, pair_fn)
+    };
+    hits.map(&format!("{label}/key-pairs"), |h: &JaccardHit| {
+        ((h.a.id(), h.b.id()), h.clone())
+    })
+    .reduce_by_key(&format!("{label}/dedup"), partitions, |a, _| a)
+    .values(&format!("{label}/values"))
+}
+
+/// The flat prefix-filtered Jaccard join (the VJ-NL analogue for sets).
+pub fn jaccard_vj_join(
+    cluster: &Cluster,
+    data: &[Ranking],
+    config: &JaccardConfig,
+) -> Result<JoinOutcome, JoinError> {
+    config.validate()?;
+    let start = Instant::now();
+    let Some(k) = crate::pipeline::uniform_k(data)? else {
+        return Ok(JoinOutcome::empty(start.elapsed()));
+    };
+    let partitions = config.effective_partitions(cluster.config().default_partitions);
+    let stats = Arc::new(JoinStats::default());
+    let ordered = order_sets(cluster, data, partitions);
+    let hits = jaccard_prefix_join(
+        &ordered,
+        k,
+        config.theta,
+        partitions,
+        None,
+        &stats,
+        "jaccard-vj",
+    );
+    let mut pairs = hits
+        .map("jaccard-vj/ids", |h| (h.a.id(), h.b.id()))
+        .distinct("jaccard-vj/distinct", partitions)
+        .collect();
+    pairs.sort_unstable();
+    Ok(JoinOutcome {
+        pairs,
+        stats: stats.snapshot(),
+        elapsed: start.elapsed(),
+    })
+}
+
+/// The CL pipeline under Jaccard distance: cluster at θc, join centroids at
+/// `min(θ + 2θc, 1)`, expand with (ε-guarded) triangle bounds.
+pub fn jaccard_cl_join(
+    cluster: &Cluster,
+    data: &[Ranking],
+    config: &JaccardConfig,
+) -> Result<JoinOutcome, JoinError> {
+    jaccard_cl_flavour(cluster, data, config, None)
+}
+
+/// CL-P for sets: the CL pipeline with Algorithm-3 repartitioning of the
+/// centroid join's posting lists at `config.partition_threshold`.
+pub fn jaccard_clp_join(
+    cluster: &Cluster,
+    data: &[Ranking],
+    config: &JaccardConfig,
+) -> Result<JoinOutcome, JoinError> {
+    jaccard_cl_flavour(cluster, data, config, Some(config.partition_threshold))
+}
+
+fn jaccard_cl_flavour(
+    cluster: &Cluster,
+    data: &[Ranking],
+    config: &JaccardConfig,
+    delta: Option<usize>,
+) -> Result<JoinOutcome, JoinError> {
+    config.validate()?;
+    let start = Instant::now();
+    let Some(k) = crate::pipeline::uniform_k(data)? else {
+        return Ok(JoinOutcome::empty(start.elapsed()));
+    };
+    let theta = config.theta;
+    let theta_c = config.cluster_threshold;
+    let partitions = config.effective_partitions(cluster.config().default_partitions);
+    let stats = Arc::new(JoinStats::default());
+
+    let ordered = order_sets(cluster, data, partitions);
+
+    // ---- Clustering at θc. ------------------------------------------------
+    let rc = jaccard_prefix_join(
+        &ordered,
+        k,
+        theta_c,
+        partitions,
+        None,
+        &stats,
+        "jaccard-cl/cluster",
+    );
+    let clusters = rc
+        .map("jaccard-cl/assignments", |h| {
+            (h.a.id(), (Arc::clone(&h.b), h.distance))
+        })
+        .group_by_key("jaccard-cl/form-clusters", partitions);
+    let centroids_m = rc
+        .map("jaccard-cl/centroid-candidates", |h| {
+            (h.a.id(), Arc::clone(&h.a))
+        })
+        .reduce_by_key("jaccard-cl/dedup-centroids", partitions, |a, _| a)
+        .values("jaccard-cl/centroids");
+    let paired_ids: HashSet<u64> = rc
+        .flat_map("jaccard-cl/paired-ids", |h| vec![h.a.id(), h.b.id()])
+        .distinct("jaccard-cl/distinct-ids", partitions)
+        .collect()
+        .into_iter()
+        .collect();
+    JoinStats::add(&stats.clusters, clusters.count() as u64);
+    let paired = cluster.broadcast(paired_ids);
+    let singletons = {
+        let paired = paired.clone();
+        ordered.filter("jaccard-cl/singletons", move |r: &SetRecord| {
+            !paired.value().contains(&r.id())
+        })
+    };
+    JoinStats::add(&stats.singletons, singletons.count() as u64);
+
+    // Cluster-internal results.
+    let within_cluster = {
+        let stats = Arc::clone(&stats);
+        clusters.flat_map("jaccard-cl/within-cluster", move |(centroid, members)| {
+            let mut out = Vec::new();
+            for (m, d) in members {
+                if *d <= theta {
+                    out.push(ordered_ids(*centroid, m.id()));
+                }
+            }
+            for i in 0..members.len() {
+                for j in (i + 1)..members.len() {
+                    let (mi, di) = &members[i];
+                    let (mj, dj) = &members[j];
+                    if mi.id() == mj.id() {
+                        continue;
+                    }
+                    if di + dj <= theta - EPS {
+                        JoinStats::bump(&stats.triangle_accepted);
+                        out.push(ordered_ids(mi.id(), mj.id()));
+                    } else if (di - dj).abs() > theta + EPS {
+                        JoinStats::bump(&stats.triangle_pruned);
+                    } else if within(mi, mj, theta, &stats).is_some() {
+                        out.push(ordered_ids(mi.id(), mj.id()));
+                    }
+                }
+            }
+            out
+        })
+    };
+
+    // ---- Joining the centroids at θ + 2θc (mixed thresholds per type). ----
+    let theta_o = (theta + 2.0 * theta_c).min(1.0);
+    let theta_ms = (theta + theta_c).min(1.0);
+    let p_m = jaccard_prefix_len(k, theta_o);
+    let p_s = jaccard_prefix_len(k, theta_ms);
+    let tag = |ds: &Dataset<SetRecord>, singleton: bool, p: usize, label: &str| {
+        ds.flat_map(label, move |r: &SetRecord| {
+            r.prefix(p)
+                .iter()
+                .map(|&(item, _)| (item, (Arc::clone(r), singleton)))
+                .collect::<Vec<_>>()
+        })
+    };
+    let emitted = tag(&centroids_m, false, p_m, "jaccard-cl/emit-cm").union(&tag(
+        &singletons,
+        true,
+        p_s,
+        "jaccard-cl/emit-cs",
+    ));
+    // θ = 1 admits disjoint pairs, which share no token: route everyone into
+    // one sentinel group, as the Footrule pipeline does.
+    let emitted = if theta_o >= 1.0 - EPS {
+        let cm = centroids_m.map("jaccard-cl/cm-sentinels", |r: &SetRecord| {
+            (ItemId::MAX, (Arc::clone(r), false))
+        });
+        let cs = singletons.map("jaccard-cl/cs-sentinels", |r: &SetRecord| {
+            (ItemId::MAX, (Arc::clone(r), true))
+        });
+        emitted.union(&cm).union(&cs)
+    } else {
+        emitted
+    };
+    let grouped = emitted.group_by_key("jaccard-cl/group-centroids", partitions);
+    let cjoin = {
+        let stats_for_pairs = Arc::clone(&stats);
+        let pair_fn = move |x: &(SetRecord, bool), y: &(SetRecord, bool)| -> Option<JaccardHit> {
+            let ((ri, si), (rj, sj)) = (x, y);
+            if ri.id() == rj.id() {
+                return None;
+            }
+            let threshold = match (si, sj) {
+                (false, false) => theta_o,
+                (true, true) => theta,
+                _ => theta_ms,
+            };
+            within(ri, rj, threshold, &stats_for_pairs).map(|d| {
+                let (a, b, a_s, b_s) = if ri.id() < rj.id() {
+                    (ri, rj, *si, *sj)
+                } else {
+                    (rj, ri, *sj, *si)
+                };
+                JaccardHit {
+                    a: Arc::clone(a),
+                    b: Arc::clone(b),
+                    distance: d,
+                    a_singleton: a_s,
+                    b_singleton: b_s,
+                }
+            })
+        };
+        split_group_join(
+            &grouped,
+            delta,
+            partitions,
+            &stats,
+            "jaccard-cl/join",
+            pair_fn,
+        )
+    };
+    let cjoin = cjoin
+        .map("jaccard-cl/key-cpairs", |h: &JaccardHit| {
+            ((h.a.id(), h.b.id()), h.clone())
+        })
+        .reduce_by_key("jaccard-cl/dedup-cpairs", partitions, |a, _| a)
+        .values("jaccard-cl/cpairs");
+
+    // ---- Expansion. --------------------------------------------------------
+    let direct = cjoin
+        .filter("jaccard-cl/direct", move |h: &JaccardHit| {
+            h.distance <= theta
+        })
+        .map("jaccard-cl/direct-ids", |h| (h.a.id(), h.b.id()));
+    let rm = cjoin.filter("jaccard-cl/rm", |h: &JaccardHit| {
+        !(h.a_singleton && h.b_singleton)
+    });
+    let member_vs_centroid = {
+        let by_centroid = rm.flat_map("jaccard-cl/key-by-centroid", |h: &JaccardHit| {
+            let mut out = Vec::with_capacity(2);
+            if !h.a_singleton {
+                out.push((h.a.id(), (Arc::clone(&h.b), h.distance)));
+            }
+            if !h.b_singleton {
+                out.push((h.b.id(), (Arc::clone(&h.a), h.distance)));
+            }
+            out
+        });
+        let joined = by_centroid.join("jaccard-cl/join-members", &clusters, partitions);
+        let stats = Arc::clone(&stats);
+        joined.flat_map(
+            "jaccard-cl/member-centroid",
+            move |(_, ((other, d), members))| {
+                let mut out = Vec::new();
+                for (m, d_i) in members {
+                    if m.id() == other.id() {
+                        continue;
+                    }
+                    if (d - d_i).abs() > theta + EPS {
+                        JoinStats::bump(&stats.triangle_pruned);
+                    } else if d + d_i <= theta - EPS {
+                        JoinStats::bump(&stats.triangle_accepted);
+                        out.push(ordered_ids(m.id(), other.id()));
+                    } else if within(m, other, theta, &stats).is_some() {
+                        out.push(ordered_ids(m.id(), other.id()));
+                    }
+                }
+                out
+            },
+        )
+    };
+    let member_vs_member = {
+        let both_m = rm
+            .filter("jaccard-cl/both-m", |h: &JaccardHit| {
+                !h.a_singleton && !h.b_singleton
+            })
+            .map("jaccard-cl/key-mm", |h: &JaccardHit| {
+                (h.a.id(), (h.b.id(), h.distance))
+            });
+        let with_a = both_m
+            .join("jaccard-cl/join-a", &clusters, partitions)
+            .map("jaccard-cl/rekey-b", rekey_by_second_centroid);
+        let with_both = with_a.join("jaccard-cl/join-b", &clusters, partitions);
+        let stats = Arc::clone(&stats);
+        with_both.flat_map(
+            "jaccard-cl/member-member",
+            move |(_, ((d, members_a), members_b))| {
+                let mut out = Vec::new();
+                for (ma, d_a) in members_a {
+                    for (mb, d_b) in members_b {
+                        if ma.id() == mb.id() {
+                            continue;
+                        }
+                        let lower = (d - d_a - d_b).max(d_a - d - d_b).max(d_b - d - d_a);
+                        if lower > theta + EPS {
+                            JoinStats::bump(&stats.triangle_pruned);
+                        } else if d + d_a + d_b <= theta - EPS {
+                            JoinStats::bump(&stats.triangle_accepted);
+                            out.push(ordered_ids(ma.id(), mb.id()));
+                        } else if within(ma, mb, theta, &stats).is_some() {
+                            out.push(ordered_ids(ma.id(), mb.id()));
+                        }
+                    }
+                }
+                out
+            },
+        )
+    };
+
+    let mut pairs = direct
+        .union(&member_vs_centroid)
+        .union(&member_vs_member)
+        .union(&within_cluster)
+        .distinct("jaccard-cl/final-distinct", partitions)
+        .collect();
+    pairs.sort_unstable();
+    Ok(JoinOutcome {
+        pairs,
+        stats: stats.snapshot(),
+        elapsed: start.elapsed(),
+    })
+}
+
+/// Exact quadratic Jaccard baseline.
+pub fn jaccard_brute_force(
+    cluster: &Cluster,
+    data: &[Ranking],
+    theta: f64,
+) -> Result<JoinOutcome, JoinError> {
+    if !(0.0..=1.0).contains(&theta) || !theta.is_finite() {
+        return Err(JoinError::InvalidThreshold(theta));
+    }
+    let start = Instant::now();
+    crate::pipeline::uniform_k(data)?;
+    let shared = cluster.broadcast(Arc::new(data.to_vec()));
+    let partitions = cluster.config().default_partitions;
+    let indices = cluster.parallelize((0..data.len()).collect(), partitions);
+    let pairs_ds = indices.flat_map("jaccard-bf/compare", move |&i| {
+        let data = shared.value();
+        let a = &data[i];
+        let mut out = Vec::new();
+        for b in &data[i + 1..] {
+            if jaccard_within(a, b, theta).is_some() {
+                out.push(ordered_ids(a.id(), b.id()));
+            }
+        }
+        out
+    });
+    let mut pairs = pairs_ds
+        .distinct("jaccard-bf/distinct", partitions)
+        .collect();
+    pairs.sort_unstable();
+    Ok(JoinOutcome {
+        pairs,
+        stats: crate::stats::StatsSnapshot::default(),
+        elapsed: start.elapsed(),
+    })
+}
+
+type JaccardMmRow = (u64, ((u64, f64), Vec<(SetRecord, f64)>));
+
+/// Rekeys an `R_j ⋈ clusters` row by the second centroid (Algorithm 2).
+fn rekey_by_second_centroid(
+    (_, ((b_id, d), members_a)): &JaccardMmRow,
+) -> (u64, (f64, Vec<(SetRecord, f64)>)) {
+    (*b_id, (*d, members_a.clone()))
+}
+
+#[inline]
+fn ordered_ids(x: u64, y: u64) -> (u64, u64) {
+    if x < y {
+        (x, y)
+    } else {
+        (y, x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use minispark::ClusterConfig;
+    use topk_datagen::CorpusProfile;
+
+    fn cluster() -> Cluster {
+        Cluster::new(ClusterConfig::local(4).with_default_partitions(8))
+    }
+
+    fn corpus() -> Vec<Ranking> {
+        CorpusProfile::orku_like(300, 10).generate()
+    }
+
+    #[test]
+    fn vj_matches_brute_force() {
+        let c = cluster();
+        let data = corpus();
+        for theta in [0.1, 0.3, 0.5, 0.7] {
+            let expected = jaccard_brute_force(&c, &data, theta).unwrap().pairs;
+            let got = jaccard_vj_join(&c, &data, &JaccardConfig::new(theta))
+                .unwrap()
+                .pairs;
+            assert_eq!(got, expected, "θ = {theta}");
+        }
+    }
+
+    #[test]
+    fn cl_matches_brute_force() {
+        let c = cluster();
+        let data = corpus();
+        for theta in [0.2, 0.4, 0.6] {
+            let expected = jaccard_brute_force(&c, &data, theta).unwrap().pairs;
+            let got = jaccard_cl_join(&c, &data, &JaccardConfig::new(theta))
+                .unwrap()
+                .pairs;
+            assert_eq!(got, expected, "θ = {theta}");
+        }
+    }
+
+    #[test]
+    fn clp_matches_brute_force_and_is_invariant_to_delta() {
+        let c = cluster();
+        let data = corpus();
+        let expected = jaccard_brute_force(&c, &data, 0.4).unwrap().pairs;
+        for delta in [1usize, 5, 40, 100_000] {
+            let cfg = JaccardConfig::new(0.4).with_partition_threshold(delta);
+            let got = jaccard_clp_join(&c, &data, &cfg).unwrap().pairs;
+            assert_eq!(got, expected, "δ = {delta}");
+        }
+    }
+
+    #[test]
+    fn clp_actually_splits_lists() {
+        let c = cluster();
+        let data = corpus();
+        let cfg = JaccardConfig::new(0.4).with_partition_threshold(3);
+        let outcome = jaccard_clp_join(&c, &data, &cfg).unwrap();
+        assert!(outcome.stats.posting_lists_split > 0);
+        assert!(outcome.stats.rs_joins > 0);
+    }
+
+    #[test]
+    fn cl_invariant_to_theta_c() {
+        let c = cluster();
+        let data = corpus();
+        let expected = jaccard_brute_force(&c, &data, 0.4).unwrap().pairs;
+        for theta_c in [0.0, 0.05, 0.1, 0.2] {
+            let cfg = JaccardConfig::new(0.4).with_cluster_threshold(theta_c);
+            let got = jaccard_cl_join(&c, &data, &cfg).unwrap().pairs;
+            assert_eq!(got, expected, "θc = {theta_c}");
+        }
+    }
+
+    #[test]
+    fn extreme_thresholds() {
+        let c = cluster();
+        let data = CorpusProfile::dblp_like(120, 10).generate();
+        for theta in [0.0, 1.0] {
+            let expected = jaccard_brute_force(&c, &data, theta).unwrap().pairs;
+            let vj = jaccard_vj_join(&c, &data, &JaccardConfig::new(theta))
+                .unwrap()
+                .pairs;
+            assert_eq!(vj, expected, "VJ θ = {theta}");
+            let cl = jaccard_cl_join(&c, &data, &JaccardConfig::new(theta))
+                .unwrap()
+                .pairs;
+            assert_eq!(cl, expected, "CL θ = {theta}");
+        }
+    }
+
+    #[test]
+    fn clustering_forms_and_triangle_bounds_fire() {
+        let c = cluster();
+        let data = corpus();
+        let outcome = jaccard_cl_join(&c, &data, &JaccardConfig::new(0.4)).unwrap();
+        assert!(outcome.stats.clusters > 0);
+        assert!(outcome.stats.triangle_accepted + outcome.stats.triangle_pruned > 0);
+    }
+
+    #[test]
+    fn empty_and_invalid_inputs() {
+        let c = cluster();
+        assert!(jaccard_vj_join(&c, &[], &JaccardConfig::new(0.3))
+            .unwrap()
+            .pairs
+            .is_empty());
+        assert!(jaccard_cl_join(&c, &[], &JaccardConfig::new(0.3))
+            .unwrap()
+            .pairs
+            .is_empty());
+        assert!(jaccard_vj_join(&c, &[], &JaccardConfig::new(1.5)).is_err());
+        assert!(jaccard_brute_force(&c, &[], f64::NAN).is_err());
+        let zero_delta = JaccardConfig::new(0.3).with_partition_threshold(0);
+        assert!(matches!(
+            jaccard_clp_join(&c, &[], &zero_delta),
+            Err(JoinError::InvalidPartitionThreshold)
+        ));
+    }
+}

@@ -1,0 +1,453 @@
+//! Per-group join kernels.
+//!
+//! After the prefix-emission shuffle, every reduce-side group holds the
+//! rankings whose prefix contains one particular token. The kernels here
+//! find the qualifying pairs inside one group (or across two sub-partitions
+//! of a group, for CL-P's R-S joins), in the two styles §4 compares:
+//!
+//! * [`join_group_indexed`] — VJ's style: build a group-local inverted index
+//!   over the members' prefixes and probe it (the per-reducer PPJoin-like
+//!   pass of Vernica et al.),
+//! * [`join_group_nested_loop`] — VJ-NL's style (§4.1): stream ordered pairs
+//!   with iterators, applying the position filter on the group token, no
+//!   materialized index.
+//!
+//! Both produce the same pair set; the indexed variant pays index
+//! construction and hashing, the nested-loop variant pays O(|group|²)
+//! candidate enumeration — exactly the trade-off the paper measures.
+//!
+//! Kernels emit entry-index triples `(i, j, distance)` with
+//! `entries[i].id < entries[j].id`; callers map them to their output type.
+//! Cross-group duplicates are removed later by a global `distinct`, as in
+//! the paper's final phase.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use topk_rankings::verify::{verify_candidate, Verification};
+use topk_rankings::OrderedRanking;
+
+use crate::stats::JoinStats;
+
+/// One ranking's occurrence in a token group: the token's original rank in
+/// the ranking, the centroid-type tag (only meaningful in the centroid
+/// join), and the ranking itself.
+#[derive(Debug, Clone)]
+pub struct TokenEntry {
+    /// Original rank of the group token within `ranking`.
+    pub rank: u16,
+    /// Whether this entry is a singleton centroid (Algorithm 1); `false` in
+    /// plain self-joins.
+    pub singleton: bool,
+    /// The ranking, shared across groups.
+    pub ranking: Arc<OrderedRanking>,
+}
+
+impl TokenEntry {
+    /// A plain (non-centroid-tagged) entry.
+    pub fn plain(rank: u16, ranking: Arc<OrderedRanking>) -> Self {
+        Self {
+            rank,
+            singleton: false,
+            ranking,
+        }
+    }
+}
+
+/// Spill encoding (see `minispark::spill`): rank, singleton tag, ranking id
+/// and the `(item, original_rank)` pairs. Decoding rebuilds a fresh
+/// `OrderedRanking` (the `Arc` sharing is naturally lost across the disk
+/// boundary, exactly as it would be across Spark's serialization).
+impl minispark::Codec for TokenEntry {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.rank.encode(out);
+        self.singleton.encode(out);
+        self.ranking.id().encode(out);
+        self.ranking.pairs().to_vec().encode(out);
+    }
+
+    fn decode(input: &mut &[u8]) -> Option<Self> {
+        let rank = u16::decode(input)?;
+        let singleton = bool::decode(input)?;
+        let id = u64::decode(input)?;
+        let pairs = Vec::<(u32, u16)>::decode(input)?;
+        Some(Self {
+            rank,
+            singleton,
+            ranking: Arc::new(OrderedRanking::from_pairs(id, pairs)),
+        })
+    }
+}
+
+/// Distance thresholds for pairs within a group.
+#[derive(Debug, Clone, Copy)]
+pub enum GroupThresholds {
+    /// Self-joins: one threshold for every pair.
+    Uniform(u64),
+    /// The centroid join (Lemma 5.3): thresholds by the pair's centroid
+    /// types — both non-singleton (`mm` = θ + 2θc), mixed (`ms` = θ + θc),
+    /// both singleton (`ss` = θ).
+    Mixed {
+        /// Threshold for non-singleton / non-singleton pairs.
+        mm: u64,
+        /// Threshold for mixed pairs.
+        ms: u64,
+        /// Threshold for singleton / singleton pairs.
+        ss: u64,
+    },
+}
+
+impl GroupThresholds {
+    /// The verification threshold for a pair with the given singleton tags.
+    #[inline]
+    pub fn for_pair(&self, a_singleton: bool, b_singleton: bool) -> u64 {
+        match *self {
+            GroupThresholds::Uniform(t) => t,
+            GroupThresholds::Mixed { mm, ms, ss } => match (a_singleton, b_singleton) {
+                (false, false) => mm,
+                (true, true) => ss,
+                _ => ms,
+            },
+        }
+    }
+
+    /// The largest threshold (used for sizing shared structures).
+    pub fn max(&self) -> u64 {
+        match *self {
+            GroupThresholds::Uniform(t) => t,
+            GroupThresholds::Mixed { mm, ms, ss } => mm.max(ms).max(ss),
+        }
+    }
+}
+
+/// Verifies one candidate pair through the shared kernel
+/// ([`topk_rankings::verify::verify_candidate`]: position filter on the
+/// shared token's ranks, then early-exit Footrule), recording the stats.
+/// Returns the distance if the pair qualifies.
+#[inline]
+fn verify_pair(
+    a: &TokenEntry,
+    b: &TokenEntry,
+    shared_ranks: (u16, u16),
+    thresholds: &GroupThresholds,
+    use_position_filter: bool,
+    stats: &JoinStats,
+) -> Option<u64> {
+    let threshold = thresholds.for_pair(a.singleton, b.singleton);
+    JoinStats::bump(&stats.candidates);
+    match verify_candidate(
+        &a.ranking,
+        &b.ranking,
+        Some((shared_ranks.0 as usize, shared_ranks.1 as usize)),
+        threshold,
+        use_position_filter,
+    ) {
+        Verification::PositionPruned => {
+            JoinStats::bump(&stats.position_pruned);
+            None
+        }
+        Verification::Within(d) => {
+            JoinStats::bump(&stats.verified);
+            JoinStats::bump(&stats.result_pairs);
+            Some(d)
+        }
+        Verification::DistanceExceeded => {
+            JoinStats::bump(&stats.verified);
+            None
+        }
+    }
+}
+
+/// Orders an entry-index pair by ranking id.
+#[inline]
+fn ordered_indices(entries: &[TokenEntry], i: usize, j: usize) -> (usize, usize) {
+    if entries[i].ranking.id() < entries[j].ranking.id() {
+        (i, j)
+    } else {
+        (j, i)
+    }
+}
+
+/// VJ-style kernel: index the group members' prefixes in a group-local
+/// inverted index and probe it, verifying each distinct colliding pair once.
+///
+/// `prefix_len_of(singleton)` gives the prefix length of an entry (constant
+/// for self-joins, type-dependent in the centroid join).
+pub fn join_group_indexed(
+    entries: &[TokenEntry],
+    prefix_len_of: impl Fn(bool) -> usize,
+    thresholds: &GroupThresholds,
+    use_position_filter: bool,
+    stats: &JoinStats,
+) -> Vec<(usize, usize, u64)> {
+    let mut results = Vec::new();
+    if entries.len() < 2 {
+        return results;
+    }
+    // Process in ranking-id order so the index only ever holds smaller ids.
+    let mut order: Vec<usize> = (0..entries.len()).collect();
+    order.sort_by_key(|&i| entries[i].ranking.id());
+
+    let mut index: HashMap<u32, Vec<(usize, u16)>> = HashMap::new();
+    let mut seen: Vec<usize> = Vec::new();
+    let mut seen_flags: Vec<bool> = vec![false; entries.len()];
+    for &probe_idx in &order {
+        let probe = &entries[probe_idx];
+        let p = prefix_len_of(probe.singleton);
+        seen.clear();
+        for &(item, rank) in probe.ranking.prefix(p) {
+            if let Some(postings) = index.get(&item) {
+                for &(indexed_idx, indexed_rank) in postings {
+                    if seen_flags[indexed_idx] {
+                        continue;
+                    }
+                    seen_flags[indexed_idx] = true;
+                    seen.push(indexed_idx);
+                    let indexed = &entries[indexed_idx];
+                    if let Some(d) = verify_pair(
+                        indexed,
+                        probe,
+                        (indexed_rank, rank),
+                        thresholds,
+                        use_position_filter,
+                        stats,
+                    ) {
+                        let (a, b) = ordered_indices(entries, indexed_idx, probe_idx);
+                        results.push((a, b, d));
+                    }
+                }
+            }
+        }
+        for &idx in &seen {
+            seen_flags[idx] = false;
+        }
+        // Index the probe's prefix for subsequent (larger-id) members.
+        for &(item, rank) in probe.ranking.prefix(p) {
+            index.entry(item).or_default().push((probe_idx, rank));
+        }
+    }
+    results
+}
+
+/// VJ-NL-style kernel: iterate all ordered pairs of the group, position
+/// filter on the group token, verify with early exit — no index, no
+/// per-group allocations beyond the output.
+pub fn join_group_nested_loop(
+    entries: &[TokenEntry],
+    thresholds: &GroupThresholds,
+    use_position_filter: bool,
+    stats: &JoinStats,
+) -> Vec<(usize, usize, u64)> {
+    let mut results = Vec::new();
+    for i in 0..entries.len() {
+        for j in (i + 1)..entries.len() {
+            if entries[i].ranking.id() == entries[j].ranking.id() {
+                continue;
+            }
+            if let Some(d) = verify_pair(
+                &entries[i],
+                &entries[j],
+                (entries[i].rank, entries[j].rank),
+                thresholds,
+                use_position_filter,
+                stats,
+            ) {
+                let (a, b) = ordered_indices(entries, i, j);
+                results.push((a, b, d));
+            }
+        }
+    }
+    results
+}
+
+/// R-S kernel for CL-P (§6): pairs one sub-partition of a split posting list
+/// against another. Returns `(left_idx, right_idx, distance)` triples;
+/// callers normalize pair order by ranking id.
+pub fn join_group_rs(
+    left: &[TokenEntry],
+    right: &[TokenEntry],
+    thresholds: &GroupThresholds,
+    use_position_filter: bool,
+    stats: &JoinStats,
+) -> Vec<(usize, usize, u64)> {
+    let mut results = Vec::new();
+    for (i, a) in left.iter().enumerate() {
+        for (j, b) in right.iter().enumerate() {
+            if a.ranking.id() == b.ranking.id() {
+                continue;
+            }
+            if let Some(d) = verify_pair(
+                a,
+                b,
+                (a.rank, b.rank),
+                thresholds,
+                use_position_filter,
+                stats,
+            ) {
+                results.push((i, j, d));
+            }
+        }
+    }
+    results
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use topk_rankings::{FrequencyTable, Ranking};
+
+    fn entry(id: u64, items: &[u32], token: u32) -> TokenEntry {
+        let r = Ranking::new(id, items.to_vec()).unwrap();
+        let ordered = OrderedRanking::by_frequency(&r, &FrequencyTable::default());
+        let rank = ordered.rank_of(token).expect("token must be in ranking") as u16;
+        TokenEntry::plain(rank, Arc::new(ordered))
+    }
+
+    fn group() -> Vec<TokenEntry> {
+        // All contain token 1. Pairs within raw distance 8 (k = 5):
+        // (1,2): one swap → 2; (1,3): item 5↔9 at last position → 2;
+        // (2,3): differs by swap and item → 4. (1,4)/(2,4)/(3,4): far.
+        vec![
+            entry(1, &[1, 2, 3, 4, 5], 1),
+            entry(2, &[2, 1, 3, 4, 5], 1),
+            entry(3, &[1, 2, 3, 4, 9], 1),
+            entry(4, &[5, 9, 8, 7, 1], 1),
+        ]
+    }
+
+    fn pairs_of(results: &[(usize, usize, u64)], entries: &[TokenEntry]) -> Vec<(u64, u64, u64)> {
+        let mut out: Vec<(u64, u64, u64)> = results
+            .iter()
+            .map(|&(i, j, d)| (entries[i].ranking.id(), entries[j].ranking.id(), d))
+            .collect();
+        out.sort();
+        out
+    }
+
+    #[test]
+    fn nested_loop_finds_expected_pairs() {
+        let stats = JoinStats::default();
+        let entries = group();
+        let results = join_group_nested_loop(&entries, &GroupThresholds::Uniform(8), true, &stats);
+        let pairs = pairs_of(&results, &entries);
+        assert_eq!(pairs, vec![(1, 2, 2), (1, 3, 2), (2, 3, 4)]);
+        let snap = stats.snapshot();
+        assert_eq!(snap.candidates, 6);
+        assert_eq!(snap.result_pairs, 3);
+    }
+
+    #[test]
+    fn indexed_matches_nested_loop() {
+        let entries = group();
+        let stats_nl = JoinStats::default();
+        let nl = pairs_of(
+            &join_group_nested_loop(&entries, &GroupThresholds::Uniform(8), true, &stats_nl),
+            &entries,
+        );
+        let stats_ix = JoinStats::default();
+        let ix = pairs_of(
+            &join_group_indexed(
+                &entries,
+                |_| 3,
+                &GroupThresholds::Uniform(8),
+                true,
+                &stats_ix,
+            ),
+            &entries,
+        );
+        assert_eq!(nl, ix);
+    }
+
+    #[test]
+    fn indexed_verifies_each_pair_at_most_once() {
+        // Entries share many prefix tokens; the seen-set must prevent
+        // re-verification per collision.
+        let entries = vec![entry(1, &[1, 2, 3, 4, 5], 1), entry(2, &[1, 2, 3, 4, 6], 1)];
+        let stats = JoinStats::default();
+        let results = join_group_indexed(
+            &entries,
+            |_| 5, // full prefix → 5 shared tokens
+            &GroupThresholds::Uniform(110),
+            false,
+            &stats,
+        );
+        assert_eq!(results.len(), 1);
+        assert_eq!(stats.snapshot().candidates, 1);
+    }
+
+    #[test]
+    fn position_filter_reduces_verifications() {
+        let entries = group();
+        let with = JoinStats::default();
+        join_group_nested_loop(&entries, &GroupThresholds::Uniform(2), true, &with);
+        let without = JoinStats::default();
+        join_group_nested_loop(&entries, &GroupThresholds::Uniform(2), false, &without);
+        assert!(with.snapshot().verified < without.snapshot().verified);
+        assert_eq!(
+            with.snapshot().result_pairs,
+            without.snapshot().result_pairs
+        );
+    }
+
+    #[test]
+    fn mixed_thresholds_select_by_type() {
+        let t = GroupThresholds::Mixed {
+            mm: 30,
+            ms: 20,
+            ss: 10,
+        };
+        assert_eq!(t.for_pair(false, false), 30);
+        assert_eq!(t.for_pair(true, false), 20);
+        assert_eq!(t.for_pair(false, true), 20);
+        assert_eq!(t.for_pair(true, true), 10);
+        assert_eq!(t.max(), 30);
+        assert_eq!(GroupThresholds::Uniform(7).max(), 7);
+    }
+
+    #[test]
+    fn mixed_thresholds_gate_verification() {
+        // Pair at distance 4: qualifies under mm = 4 but not under ss = 2.
+        let mut a = entry(1, &[1, 2, 3, 4, 5], 1);
+        let mut b = entry(2, &[2, 1, 4, 3, 5], 1);
+        let stats = JoinStats::default();
+        let thresholds = GroupThresholds::Mixed {
+            mm: 4,
+            ms: 3,
+            ss: 2,
+        };
+        let both_m = join_group_nested_loop(&[a.clone(), b.clone()], &thresholds, false, &stats);
+        assert_eq!(both_m.len(), 1);
+        a.singleton = true;
+        b.singleton = true;
+        let both_s = join_group_nested_loop(&[a, b], &thresholds, false, &stats);
+        assert!(both_s.is_empty());
+    }
+
+    #[test]
+    fn rs_kernel_joins_across_lists_only() {
+        let left = vec![entry(1, &[1, 2, 3, 4, 5], 1)];
+        let right = vec![entry(2, &[2, 1, 3, 4, 5], 1), entry(9, &[9, 8, 7, 6, 1], 1)];
+        let stats = JoinStats::default();
+        let results = join_group_rs(&left, &right, &GroupThresholds::Uniform(8), true, &stats);
+        assert_eq!(results.len(), 1);
+        let (i, j, d) = results[0];
+        assert_eq!((left[i].ranking.id(), right[j].ranking.id(), d), (1, 2, 2));
+    }
+
+    #[test]
+    fn kernels_handle_tiny_groups() {
+        let stats = JoinStats::default();
+        let one = vec![entry(1, &[1, 2, 3], 1)];
+        assert!(
+            join_group_nested_loop(&one, &GroupThresholds::Uniform(5), true, &stats).is_empty()
+        );
+        assert!(
+            join_group_indexed(&one, |_| 2, &GroupThresholds::Uniform(5), true, &stats).is_empty()
+        );
+        assert!(join_group_rs(&one, &[], &GroupThresholds::Uniform(5), true, &stats).is_empty());
+        let empty: Vec<TokenEntry> = vec![];
+        assert!(
+            join_group_nested_loop(&empty, &GroupThresholds::Uniform(5), true, &stats).is_empty()
+        );
+    }
+}

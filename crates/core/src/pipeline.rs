@@ -1,0 +1,467 @@
+//! Shared pipeline stages: the *Ordering* phase, prefix emission, and the
+//! token-grouped join that underlies VJ, VJ-NL, the clustering phase, the
+//! centroid join and CL-P's repartitioned variants.
+//!
+//! The dataflow mirrors §4 of the paper:
+//!
+//! ```text
+//! rankings ─ count item frequencies ─ broadcast order ─ canonicalize
+//!          ─ emit (prefix-token, ranking) pairs ─ group by token
+//!          ─ per-group join kernel ─ deduplicate
+//! ```
+//!
+//! With a partitioning threshold δ ([`token_grouped_join`]'s `delta`), groups
+//! larger than δ are split into sub-partitions that are re-distributed with a
+//! composite `(token, sub-key)` partitioner and joined pairwise with an R-S
+//! kernel — Algorithm 3 / §6.
+
+use std::sync::Arc;
+
+use minispark::{Cluster, CompositePartitioner, Dataset};
+use topk_rankings::{FrequencyTable, ItemId, OrderedRanking, PrefixKind, Ranking, ResultPair};
+
+use crate::kernels::{
+    join_group_indexed, join_group_nested_loop, join_group_rs, GroupThresholds, TokenEntry,
+};
+use crate::stats::JoinStats;
+
+/// Which per-group kernel a pipeline uses (§4 vs. §4.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GroupJoinStyle {
+    /// VJ: group-local inverted index over member prefixes.
+    Indexed,
+    /// VJ-NL: streaming nested loop over the group.
+    NestedLoop,
+}
+
+/// A qualifying pair with everything downstream phases need: both rankings
+/// (shared `Arc`s), the exact distance and the centroid-type tags.
+/// `a.id() < b.id()` always holds.
+#[derive(Debug, Clone)]
+pub struct PairHit {
+    /// The ranking with the smaller id.
+    pub a: Arc<OrderedRanking>,
+    /// The ranking with the larger id.
+    pub b: Arc<OrderedRanking>,
+    /// Raw Footrule distance.
+    pub distance: u64,
+    /// Singleton tag of `a` (centroid joins only; `false` in self-joins).
+    pub a_singleton: bool,
+    /// Singleton tag of `b`.
+    pub b_singleton: bool,
+}
+
+impl PairHit {
+    /// The id pair `(a, b)` with `a < b`.
+    pub fn ids(&self) -> (u64, u64) {
+        (self.a.id(), self.b.id())
+    }
+
+    /// Conversion to the id-level result representation.
+    pub fn to_result_pair(&self) -> ResultPair {
+        ResultPair::new(self.a.id(), self.b.id(), self.distance)
+    }
+}
+
+/// Sentinel "token" under which rankings meet when the applicable threshold
+/// admits **disjoint** pairs (`θ_raw ≥ k·(k+1)`, i.e. ω = 0). Prefix
+/// filtering is inherently incomplete there — a disjoint qualifying pair
+/// shares no token at all — so such rankings are additionally routed into
+/// one group that is always joined with the nested-loop kernel. Irrelevant
+/// for the paper's thresholds (θ ≤ 0.4) but required for a total API.
+pub const DISJOINT_SENTINEL: ItemId = ItemId::MAX;
+
+/// Emits the sentinel entry for every ranking of `ds`.
+fn emit_sentinels(
+    ds: &Dataset<Arc<OrderedRanking>>,
+    singleton: bool,
+    label: &str,
+) -> Dataset<(ItemId, TokenEntry)> {
+    ds.map(label, move |r: &Arc<OrderedRanking>| {
+        (
+            DISJOINT_SENTINEL,
+            TokenEntry {
+                rank: 0,
+                singleton,
+                ranking: Arc::clone(r),
+            },
+        )
+    })
+}
+
+/// Unions sentinel emissions onto `emitted` when `threshold_raw` admits
+/// disjoint pairs for rankings of length `k`.
+pub fn with_disjoint_sentinels(
+    emitted: Dataset<(ItemId, TokenEntry)>,
+    source: &Dataset<Arc<OrderedRanking>>,
+    k: usize,
+    threshold_raw: u64,
+    singleton: bool,
+    label: &str,
+) -> Dataset<(ItemId, TokenEntry)> {
+    if threshold_raw >= topk_rankings::max_raw_distance(k) {
+        emitted.union(&emit_sentinels(source, singleton, label))
+    } else {
+        emitted
+    }
+}
+
+/// The *Ordering* phase: counts item frequencies with a distributed
+/// `reduce_by_key`, broadcasts the resulting order, and canonicalizes every
+/// ranking (§4 / §5 "Ordering"). With [`PrefixKind::Ordered`] the frequency
+/// pass is skipped and rankings keep their rank order (Lemma 4.1's prefix).
+pub fn order_rankings(
+    cluster: &Cluster,
+    data: &[Ranking],
+    prefix_kind: PrefixKind,
+    partitions: usize,
+    label: &str,
+) -> Dataset<Arc<OrderedRanking>> {
+    let ds = cluster.parallelize(data.to_vec(), partitions);
+    match prefix_kind {
+        PrefixKind::Overlap => {
+            let counts = ds
+                .flat_map(&format!("{label}/freq-emit"), |r: &Ranking| {
+                    r.items()
+                        .iter()
+                        .map(|&item| (item, 1u64))
+                        .collect::<Vec<_>>()
+                })
+                .reduce_by_key(&format!("{label}/freq-count"), partitions, |a, b| a + b)
+                .collect();
+            let freq = cluster.broadcast(FrequencyTable::from_counts(counts));
+            ds.map(&format!("{label}/order-by-frequency"), move |r| {
+                Arc::new(OrderedRanking::by_frequency(r, freq.value()))
+            })
+        }
+        PrefixKind::Ordered => ds.map(&format!("{label}/order-by-rank"), |r| {
+            Arc::new(OrderedRanking::by_rank(r))
+        }),
+    }
+}
+
+/// Emits `(token, entry)` pairs for the first `prefix_len` tokens of every
+/// ranking — the map side of the prefix-filtering shuffle.
+pub fn emit_prefixes(
+    ds: &Dataset<Arc<OrderedRanking>>,
+    prefix_len: usize,
+    singleton: bool,
+    label: &str,
+) -> Dataset<(ItemId, TokenEntry)> {
+    ds.flat_map(label, move |r: &Arc<OrderedRanking>| {
+        r.prefix(prefix_len)
+            .iter()
+            .map(|&(item, rank)| {
+                (
+                    item,
+                    TokenEntry {
+                        rank,
+                        singleton,
+                        ranking: Arc::clone(r),
+                    },
+                )
+            })
+            .collect::<Vec<_>>()
+    })
+}
+
+/// Applies the chosen kernel to one token group.
+fn run_kernel(
+    entries: &[TokenEntry],
+    style: GroupJoinStyle,
+    prefix_len_of: &(impl Fn(bool) -> usize + Sync),
+    thresholds: &GroupThresholds,
+    use_position_filter: bool,
+    stats: &JoinStats,
+) -> Vec<PairHit> {
+    let triples = match style {
+        GroupJoinStyle::Indexed => join_group_indexed(
+            entries,
+            prefix_len_of,
+            thresholds,
+            use_position_filter,
+            stats,
+        ),
+        GroupJoinStyle::NestedLoop => {
+            join_group_nested_loop(entries, thresholds, use_position_filter, stats)
+        }
+    };
+    triples
+        .into_iter()
+        .map(|(i, j, d)| {
+            debug_assert!(entries[i].ranking.id() < entries[j].ranking.id());
+            PairHit {
+                a: Arc::clone(&entries[i].ranking),
+                b: Arc::clone(&entries[j].ranking),
+                distance: d,
+                a_singleton: entries[i].singleton,
+                b_singleton: entries[j].singleton,
+            }
+        })
+        .collect()
+}
+
+/// Sentinel groups contain rankings that need not share any token, so the
+/// index-probing kernel (which only pairs prefix collisions) would miss
+/// pairs there — force the nested loop.
+#[inline]
+fn style_for(token: ItemId, requested: GroupJoinStyle) -> GroupJoinStyle {
+    if token == DISJOINT_SENTINEL {
+        GroupJoinStyle::NestedLoop
+    } else {
+        requested
+    }
+}
+
+fn rs_hits(
+    left: &[TokenEntry],
+    right: &[TokenEntry],
+    thresholds: &GroupThresholds,
+    use_position_filter: bool,
+    stats: &JoinStats,
+) -> Vec<PairHit> {
+    join_group_rs(left, right, thresholds, use_position_filter, stats)
+        .into_iter()
+        .map(|(i, j, d)| {
+            let (x, y) = if left[i].ranking.id() < right[j].ranking.id() {
+                (&left[i], &right[j])
+            } else {
+                (&right[j], &left[i])
+            };
+            PairHit {
+                a: Arc::clone(&x.ranking),
+                b: Arc::clone(&y.ranking),
+                distance: d,
+                a_singleton: x.singleton,
+                b_singleton: y.singleton,
+            }
+        })
+        .collect()
+}
+
+/// The reduce side of every prefix join: group emitted `(token, entry)`
+/// pairs by token, join inside each group, and deduplicate pairs that
+/// collided on several tokens.
+///
+/// With `delta = Some(δ)` (CL-P, Algorithm 3) groups longer than δ are split
+/// into sub-partitions of at most δ entries: each sub-partition is
+/// self-joined after being re-distributed with a composite partitioner, and
+/// every sub-partition pair is R-S-joined — spreading one hot token's work
+/// over the whole cluster.
+#[allow(clippy::too_many_arguments)]
+pub fn token_grouped_join(
+    emitted: &Dataset<(ItemId, TokenEntry)>,
+    style: GroupJoinStyle,
+    prefix_len_of: impl Fn(bool) -> usize + Sync + Send + Clone + 'static,
+    thresholds: GroupThresholds,
+    use_position_filter: bool,
+    partitions: usize,
+    delta: Option<usize>,
+    stats: &Arc<JoinStats>,
+    label: &str,
+) -> Dataset<PairHit> {
+    // Spark can spill shuffle groups to disk when executor memory runs low
+    // (the property §4.1 argues iterator-style processing preserves); the
+    // engine reproduces that when the cluster config sets a spill budget.
+    let grouped = if emitted.cluster().config().spill_record_budget != usize::MAX {
+        emitted.group_by_key_spilling(&format!("{label}/group-by-token"), partitions)
+    } else {
+        emitted.group_by_key(&format!("{label}/group-by-token"), partitions)
+    };
+
+    let hits = match delta {
+        None => {
+            let stats = Arc::clone(stats);
+            let prefix_len_of = prefix_len_of.clone();
+            grouped.flat_map(&format!("{label}/join-groups"), move |(token, entries)| {
+                run_kernel(
+                    entries,
+                    style_for(*token, style),
+                    &prefix_len_of,
+                    &thresholds,
+                    use_position_filter,
+                    &stats,
+                )
+            })
+        }
+        Some(delta) => {
+            let delta = delta.max(1);
+            // Small groups join as usual.
+            let small = {
+                let stats = Arc::clone(stats);
+                let prefix_len_of = prefix_len_of.clone();
+                grouped.flat_map(
+                    &format!("{label}/join-small-groups"),
+                    move |(token, entries)| {
+                        if entries.len() <= delta {
+                            run_kernel(
+                                entries,
+                                style_for(*token, style),
+                                &prefix_len_of,
+                                &thresholds,
+                                use_position_filter,
+                                &stats,
+                            )
+                        } else {
+                            Vec::new()
+                        }
+                    },
+                )
+            };
+            // Large groups are split into chunks of ≤ δ entries with a
+            // secondary key.
+            let chunks = {
+                let stats = Arc::clone(stats);
+                grouped.flat_map(
+                    &format!("{label}/split-large-groups"),
+                    move |(token, entries)| {
+                        if entries.len() <= delta {
+                            return Vec::new();
+                        }
+                        JoinStats::bump(&stats.posting_lists_split);
+                        entries
+                            .chunks(delta)
+                            .enumerate()
+                            .map(|(sub, chunk)| ((*token, sub as u32), chunk.to_vec()))
+                            .collect::<Vec<_>>()
+                    },
+                )
+            };
+            // Self-join each chunk after spreading chunks across the cluster
+            // by (token, sub-key) — the composite partitioner of §6.
+            let spread = chunks.partition_by(
+                &format!("{label}/spread-chunks"),
+                &CompositePartitioner::new(partitions.saturating_mul(2).max(1)),
+            );
+            let self_hits = {
+                let stats = Arc::clone(stats);
+                let prefix_len_of = prefix_len_of.clone();
+                spread.flat_map(
+                    &format!("{label}/join-chunks"),
+                    move |((token, _), chunk)| {
+                        run_kernel(
+                            chunk,
+                            style_for(*token, style),
+                            &prefix_len_of,
+                            &thresholds,
+                            use_position_filter,
+                            &stats,
+                        )
+                    },
+                )
+            };
+            // Every ordered pair of chunks of one token is R-S joined. (The
+            // paper realizes this as a Spark self-join of the chunk RDD
+            // keyed by token, keeping pairs with sub₁ < sub₂ — the pairing
+            // below moves exactly the same chunk replicas.)
+            let chunk_pairs = chunks
+                .map(
+                    &format!("{label}/key-chunks"),
+                    |((token, sub), chunk): &((ItemId, u32), Vec<TokenEntry>)| {
+                        (*token, (*sub, chunk.clone()))
+                    },
+                )
+                .group_by_key(&format!("{label}/pair-chunks"), partitions)
+                .flat_map(&format!("{label}/emit-chunk-pairs"), |(token, subs)| {
+                    let mut sorted: Vec<&(u32, Vec<TokenEntry>)> = subs.iter().collect();
+                    sorted.sort_by_key(|(sub, _)| *sub);
+                    let mut out = Vec::new();
+                    for i in 0..sorted.len() {
+                        for j in (i + 1)..sorted.len() {
+                            out.push((
+                                (*token, sorted[i].0, sorted[j].0),
+                                (sorted[i].1.clone(), sorted[j].1.clone()),
+                            ));
+                        }
+                    }
+                    out
+                });
+            let spread_pairs = chunk_pairs.partition_by(
+                &format!("{label}/spread-chunk-pairs"),
+                &CompositePartitioner::new(partitions.saturating_mul(2).max(1)),
+            );
+            let rs_results = {
+                let stats = Arc::clone(stats);
+                spread_pairs.flat_map(
+                    &format!("{label}/rs-join-chunks"),
+                    move |(_, (left, right))| {
+                        JoinStats::bump(&stats.rs_joins);
+                        rs_hits(left, right, &thresholds, use_position_filter, &stats)
+                    },
+                )
+            };
+            small.union(&self_hits).union(&rs_results)
+        }
+    };
+
+    // Deduplicate pairs found via several shared tokens (or several chunk
+    // joins) — keep one PairHit per id pair.
+    hits.map(&format!("{label}/key-pairs"), |hit: &PairHit| {
+        (hit.ids(), hit.clone())
+    })
+    .reduce_by_key(&format!("{label}/dedup-pairs"), partitions, |a, _b| a)
+    .values(&format!("{label}/drop-keys"))
+}
+
+/// A complete prefix-filtered self-join at `theta_raw` over a canonicalized
+/// dataset — the building block used directly by VJ/VJ-NL and twice by
+/// CL/CL-P (clustering with θc, centroid join with Algorithm 1's
+/// thresholds).
+#[allow(clippy::too_many_arguments)]
+pub fn prefix_self_join(
+    ordered: &Dataset<Arc<OrderedRanking>>,
+    k: usize,
+    theta_raw: u64,
+    prefix_kind: PrefixKind,
+    style: GroupJoinStyle,
+    use_position_filter: bool,
+    partitions: usize,
+    delta: Option<usize>,
+    stats: &Arc<JoinStats>,
+    label: &str,
+) -> Dataset<PairHit> {
+    let p = prefix_kind.prefix_len(k, theta_raw);
+    let emitted = emit_prefixes(ordered, p, false, &format!("{label}/emit-prefixes"));
+    let emitted = with_disjoint_sentinels(
+        emitted,
+        ordered,
+        k,
+        theta_raw,
+        false,
+        &format!("{label}/emit-sentinels"),
+    );
+    token_grouped_join(
+        &emitted,
+        style,
+        move |_| p,
+        GroupThresholds::Uniform(theta_raw),
+        use_position_filter,
+        partitions,
+        delta,
+        stats,
+        label,
+    )
+}
+
+/// Validates that all rankings share one length `k` and have unique ids;
+/// returns the length (`None` for an empty dataset).
+pub fn uniform_k(data: &[Ranking]) -> Result<Option<usize>, crate::JoinError> {
+    let mut k = None;
+    let mut ids = std::collections::HashSet::with_capacity(data.len());
+    for r in data {
+        match k {
+            None => k = Some(r.k()),
+            Some(expected) if expected != r.k() => {
+                return Err(crate::JoinError::MixedRankingLengths {
+                    expected,
+                    found: r.k(),
+                })
+            }
+            _ => {}
+        }
+        if !ids.insert(r.id()) {
+            return Err(crate::JoinError::DuplicateRankingId(r.id()));
+        }
+    }
+    Ok(k)
+}

@@ -1,0 +1,151 @@
+//! Join-run statistics: the filter/verification counters that explain *why*
+//! one algorithm beats another (candidates generated, position-filter and
+//! triangle-inequality prunes, clusters formed, …).
+//!
+//! Counters are atomics so the engine's parallel tasks can update them
+//! directly; a [`JoinStats`] is shared via `Arc` into the pipeline closures
+//! and snapshotted at the end of a run.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Thread-safe counters updated during a join run.
+#[derive(Debug, Default)]
+pub struct JoinStats {
+    /// Candidate pairs handed to verification (after candidate generation).
+    pub candidates: AtomicU64,
+    /// Candidates discarded by the position filter.
+    pub position_pruned: AtomicU64,
+    /// Candidates for which the full (early-exit) distance was computed.
+    pub verified: AtomicU64,
+    /// Verified candidates that qualified as results.
+    pub result_pairs: AtomicU64,
+    /// Expansion candidates discarded by the triangle lower bound.
+    pub triangle_pruned: AtomicU64,
+    /// Expansion candidates accepted by the triangle upper bound without a
+    /// distance computation.
+    pub triangle_accepted: AtomicU64,
+    /// Clusters with at least two members formed by the clustering phase.
+    pub clusters: AtomicU64,
+    /// Singleton clusters.
+    pub singletons: AtomicU64,
+    /// Posting lists split by CL-P's repartitioning.
+    pub posting_lists_split: AtomicU64,
+    /// Sub-partition R-S joins executed by CL-P.
+    pub rs_joins: AtomicU64,
+}
+
+impl JoinStats {
+    /// Increments a counter by one.
+    #[inline]
+    pub fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Increments a counter by `n`.
+    #[inline]
+    pub fn add(counter: &AtomicU64, n: u64) {
+        counter.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Takes an immutable snapshot.
+    pub fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            candidates: self.candidates.load(Ordering::Relaxed),
+            position_pruned: self.position_pruned.load(Ordering::Relaxed),
+            verified: self.verified.load(Ordering::Relaxed),
+            result_pairs: self.result_pairs.load(Ordering::Relaxed),
+            triangle_pruned: self.triangle_pruned.load(Ordering::Relaxed),
+            triangle_accepted: self.triangle_accepted.load(Ordering::Relaxed),
+            clusters: self.clusters.load(Ordering::Relaxed),
+            singletons: self.singletons.load(Ordering::Relaxed),
+            posting_lists_split: self.posting_lists_split.load(Ordering::Relaxed),
+            rs_joins: self.rs_joins.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Immutable snapshot of [`JoinStats`], attached to every
+/// [`crate::JoinOutcome`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StatsSnapshot {
+    /// Candidate pairs handed to verification.
+    pub candidates: u64,
+    /// Candidates discarded by the position filter.
+    pub position_pruned: u64,
+    /// Full distance computations performed.
+    pub verified: u64,
+    /// Pairs that qualified (before global dedup).
+    pub result_pairs: u64,
+    /// Triangle-lower-bound prunes in the expansion phase.
+    pub triangle_pruned: u64,
+    /// Triangle-upper-bound acceptances in the expansion phase.
+    pub triangle_accepted: u64,
+    /// Non-singleton clusters formed.
+    pub clusters: u64,
+    /// Singleton clusters.
+    pub singletons: u64,
+    /// Posting lists split by repartitioning.
+    pub posting_lists_split: u64,
+    /// Sub-partition R-S joins executed.
+    pub rs_joins: u64,
+}
+
+impl std::fmt::Display for StatsSnapshot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "candidates={} pos-pruned={} verified={} results={} tri-pruned={} tri-accepted={} clusters={} singletons={} splits={} rs-joins={}",
+            self.candidates,
+            self.position_pruned,
+            self.verified,
+            self.result_pairs,
+            self.triangle_pruned,
+            self.triangle_accepted,
+            self.clusters,
+            self.singletons,
+            self.posting_lists_split,
+            self.rs_joins,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_snapshot() {
+        let stats = JoinStats::default();
+        JoinStats::bump(&stats.candidates);
+        JoinStats::bump(&stats.candidates);
+        JoinStats::add(&stats.verified, 5);
+        let snap = stats.snapshot();
+        assert_eq!(snap.candidates, 2);
+        assert_eq!(snap.verified, 5);
+        assert_eq!(snap.result_pairs, 0);
+    }
+
+    #[test]
+    fn snapshot_is_displayable() {
+        let stats = JoinStats::default();
+        JoinStats::add(&stats.clusters, 3);
+        let text = stats.snapshot().to_string();
+        assert!(text.contains("clusters=3"));
+    }
+
+    #[test]
+    fn concurrent_updates_are_counted() {
+        let stats = std::sync::Arc::new(JoinStats::default());
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let stats = std::sync::Arc::clone(&stats);
+                s.spawn(move || {
+                    for _ in 0..1000 {
+                        JoinStats::bump(&stats.candidates);
+                    }
+                });
+            }
+        });
+        assert_eq!(stats.snapshot().candidates, 8000);
+    }
+}

@@ -1,0 +1,207 @@
+//! The Vernica-Join adaptation to top-k rankings (§4), in three flavours:
+//!
+//! * [`vj_join`] — inverted-index verification per token group (VJ),
+//! * [`vj_nl_join`] — iterator nested-loop verification (VJ-NL, §4.1),
+//! * [`vj_repartitioned_join`] — VJ-NL plus Algorithm 3's splitting of
+//!   oversized posting lists (the joining machinery CL-P adds on top of CL;
+//!   exposed standalone for ablation benchmarks).
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use minispark::Cluster;
+use topk_rankings::distance::raw_threshold;
+use topk_rankings::Ranking;
+
+use crate::pipeline::{order_rankings, prefix_self_join, uniform_k, GroupJoinStyle};
+use crate::stats::JoinStats;
+use crate::{JoinConfig, JoinError, JoinOutcome};
+
+fn vj_flavour(
+    cluster: &Cluster,
+    data: &[Ranking],
+    config: &JoinConfig,
+    style: GroupJoinStyle,
+    delta: Option<usize>,
+    label: &str,
+) -> Result<JoinOutcome, JoinError> {
+    config.validate()?;
+    let start = Instant::now();
+    let Some(k) = uniform_k(data)? else {
+        return Ok(JoinOutcome::empty(start.elapsed()));
+    };
+    let theta_raw = raw_threshold(k, config.theta);
+    let partitions = config.effective_partitions(cluster.config().default_partitions);
+    let stats = Arc::new(JoinStats::default());
+
+    let ordered = order_rankings(cluster, data, config.prefix, partitions, label);
+    let hits = prefix_self_join(
+        &ordered,
+        k,
+        theta_raw,
+        config.prefix,
+        style,
+        config.use_position_filter,
+        partitions,
+        delta,
+        &stats,
+        label,
+    );
+    let mut pairs = hits
+        .map(&format!("{label}/project-ids"), |hit| hit.ids())
+        .collect();
+    pairs.sort_unstable();
+    Ok(JoinOutcome {
+        pairs,
+        stats: stats.snapshot(),
+        elapsed: start.elapsed(),
+    })
+}
+
+/// VJ: prefix filtering with per-group inverted indexes (§4).
+pub fn vj_join(
+    cluster: &Cluster,
+    data: &[Ranking],
+    config: &JoinConfig,
+) -> Result<JoinOutcome, JoinError> {
+    vj_flavour(cluster, data, config, GroupJoinStyle::Indexed, None, "vj")
+}
+
+/// VJ-NL: prefix filtering with nested-loop (iterator) verification (§4.1).
+pub fn vj_nl_join(
+    cluster: &Cluster,
+    data: &[Ranking],
+    config: &JoinConfig,
+) -> Result<JoinOutcome, JoinError> {
+    vj_flavour(
+        cluster,
+        data,
+        config,
+        GroupJoinStyle::NestedLoop,
+        None,
+        "vj-nl",
+    )
+}
+
+/// VJ-NL with repartitioning of posting lists longer than the configured
+/// `partition_threshold` δ (Algorithm 3) — the standalone version of CL-P's
+/// joining machinery.
+pub fn vj_repartitioned_join(
+    cluster: &Cluster,
+    data: &[Ranking],
+    config: &JoinConfig,
+) -> Result<JoinOutcome, JoinError> {
+    vj_flavour(
+        cluster,
+        data,
+        config,
+        GroupJoinStyle::NestedLoop,
+        Some(config.partition_threshold),
+        "vj-p",
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baseline::brute_force_join;
+    use minispark::ClusterConfig;
+    use topk_datagen::CorpusProfile;
+
+    fn cluster() -> Cluster {
+        Cluster::new(ClusterConfig::local(4))
+    }
+
+    fn corpus() -> Vec<Ranking> {
+        CorpusProfile::dblp_like(300, 10).generate()
+    }
+
+    #[test]
+    fn vj_matches_brute_force() {
+        let c = cluster();
+        let data = corpus();
+        for theta in [0.1, 0.3] {
+            let expected = brute_force_join(&c, &data, theta).unwrap().pairs;
+            let got = vj_join(&c, &data, &JoinConfig::new(theta)).unwrap().pairs;
+            assert_eq!(got, expected, "θ = {theta}");
+        }
+    }
+
+    #[test]
+    fn vj_nl_matches_brute_force() {
+        let c = cluster();
+        let data = corpus();
+        let expected = brute_force_join(&c, &data, 0.3).unwrap().pairs;
+        let got = vj_nl_join(&c, &data, &JoinConfig::new(0.3)).unwrap().pairs;
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn repartitioned_result_is_invariant_to_delta() {
+        let c = cluster();
+        let data = corpus();
+        let expected = brute_force_join(&c, &data, 0.3).unwrap().pairs;
+        for delta in [1, 5, 50, 10_000] {
+            let cfg = JoinConfig::new(0.3).with_partition_threshold(delta);
+            let got = vj_repartitioned_join(&c, &data, &cfg).unwrap().pairs;
+            assert_eq!(got, expected, "δ = {delta}");
+        }
+    }
+
+    #[test]
+    fn repartitioning_actually_splits_lists() {
+        let c = cluster();
+        let data = corpus();
+        let cfg = JoinConfig::new(0.3).with_partition_threshold(5);
+        let outcome = vj_repartitioned_join(&c, &data, &cfg).unwrap();
+        assert!(outcome.stats.posting_lists_split > 0);
+        assert!(outcome.stats.rs_joins > 0);
+    }
+
+    #[test]
+    fn position_filter_changes_work_but_not_results() {
+        let c = cluster();
+        let data = corpus();
+        // The filter prunes on a shared-item rank difference > θ_raw / 2;
+        // for k = 10 that bound is below the maximum possible difference
+        // (k − 1 = 9) only for θ < 2/(k+1) ≈ 0.18, so test at θ = 0.1.
+        let with = vj_nl_join(&c, &data, &JoinConfig::new(0.1)).unwrap();
+        let without =
+            vj_nl_join(&c, &data, &JoinConfig::new(0.1).with_position_filter(false)).unwrap();
+        assert_eq!(with.pairs, without.pairs);
+        assert!(with.stats.position_pruned > 0);
+        assert!(with.stats.verified < without.stats.verified);
+    }
+
+    #[test]
+    fn ordered_prefix_matches_overlap_prefix() {
+        use topk_rankings::PrefixKind;
+        let c = cluster();
+        let data = corpus();
+        let overlap = vj_nl_join(&c, &data, &JoinConfig::new(0.2)).unwrap();
+        let ordered = vj_nl_join(
+            &c,
+            &data,
+            &JoinConfig::new(0.2).with_prefix(PrefixKind::Ordered),
+        )
+        .unwrap();
+        assert_eq!(overlap.pairs, ordered.pairs);
+    }
+
+    #[test]
+    fn empty_dataset() {
+        let c = cluster();
+        let outcome = vj_join(&c, &[], &JoinConfig::new(0.3)).unwrap();
+        assert!(outcome.pairs.is_empty());
+    }
+
+    #[test]
+    fn stats_are_populated() {
+        let c = cluster();
+        let data = corpus();
+        let outcome = vj_join(&c, &data, &JoinConfig::new(0.3)).unwrap();
+        assert!(outcome.stats.candidates > 0);
+        assert!(outcome.stats.verified > 0);
+        assert!(outcome.stats.result_pairs as usize >= outcome.pairs.len());
+    }
+}

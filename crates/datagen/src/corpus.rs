@@ -1,0 +1,264 @@
+//! Corpus profiles and the record generator.
+//!
+//! A [`CorpusProfile`] captures the knobs that matter for the join's
+//! behaviour: dataset size, vocabulary size, Zipf skew, ranking length `k`
+//! and the near-duplicate rate. Two presets mimic the paper's corpora:
+//!
+//! * [`CorpusProfile::dblp_like`] — bibliography records: moderate skew,
+//!   vocabulary about half the record count, a modest near-duplicate tail
+//!   (similar titles by the same authors).
+//! * [`CorpusProfile::orku_like`] — social-network membership sets: heavier
+//!   skew (hub communities), larger vocabulary, more near-duplicates
+//!   (mirrored/fan communities), and longer source records, which is why the
+//!   paper's `k = 25` experiment uses ORKU.
+//!
+//! Generation mimics the paper's preprocessing: source records are drawn with
+//! length ≥ `k` and truncated to their first `k` tokens; records that would
+//! be shorter than `k` simply are not produced. Near-duplicates perturb an
+//! earlier record by a couple of rank swaps or an item replacement —
+//! precisely the distance-`≤ θc` pairs the clustering phase groups.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use topk_rankings::{ItemId, Ranking};
+
+use crate::zipf::ZipfSampler;
+
+/// Parameters of a synthetic corpus.
+#[derive(Debug, Clone)]
+pub struct CorpusProfile {
+    /// Human-readable name (used by the harness in table/figure rows).
+    pub name: String,
+    /// Number of rankings to generate.
+    pub num_records: usize,
+    /// Vocabulary (item domain) size.
+    pub vocab_size: u32,
+    /// Zipf skew of the token distribution.
+    pub zipf_skew: f64,
+    /// Ranking length `k`.
+    pub k: usize,
+    /// Probability that a record is a perturbation of an earlier record.
+    pub near_dup_rate: f64,
+    /// RNG seed; same profile + seed ⇒ identical corpus.
+    pub seed: u64,
+}
+
+impl CorpusProfile {
+    /// A DBLP-like corpus of `num_records` top-`k` rankings.
+    pub fn dblp_like(num_records: usize, k: usize) -> Self {
+        Self {
+            name: format!("DBLP(n={num_records},k={k})"),
+            num_records,
+            vocab_size: ((num_records / 2).max(1_000)) as u32,
+            zipf_skew: 0.8,
+            k,
+            near_dup_rate: 0.15,
+            seed: 0xDB1F,
+        }
+    }
+
+    /// An ORKU-like corpus of `num_records` top-`k` rankings.
+    pub fn orku_like(num_records: usize, k: usize) -> Self {
+        Self {
+            name: format!("ORKU(n={num_records},k={k})"),
+            num_records,
+            vocab_size: (num_records.max(2_000)) as u32,
+            zipf_skew: 1.05,
+            k,
+            near_dup_rate: 0.25,
+            seed: 0x04C0,
+        }
+    }
+
+    /// Returns a copy with a different seed (for independent repetitions).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Generates the corpus. Ranking ids are `0..num_records`.
+    pub fn generate(&self) -> Vec<Ranking> {
+        assert!(self.k >= 1, "k must be at least 1");
+        assert!(
+            self.vocab_size as usize >= self.k,
+            "vocabulary must be at least as large as k"
+        );
+        assert!(
+            (0.0..=1.0).contains(&self.near_dup_rate),
+            "near_dup_rate must be a probability"
+        );
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let zipf = ZipfSampler::new(self.vocab_size, self.zipf_skew);
+        let mut records: Vec<Ranking> = Vec::with_capacity(self.num_records);
+        for id in 0..self.num_records {
+            let items = if !records.is_empty() && rng.gen_bool(self.near_dup_rate) {
+                let source = &records[rng.gen_range(0..records.len())];
+                perturb(source.items(), &zipf, &mut rng)
+            } else {
+                sample_distinct(self.k, &zipf, &mut rng)
+            };
+            records.push(Ranking::new_unchecked(id as u64, items));
+        }
+        records
+    }
+}
+
+/// Draws `k` *distinct* Zipf items (rejection sampling with a uniform
+/// fallback so heavy skew over a small vocabulary cannot loop forever).
+fn sample_distinct(k: usize, zipf: &ZipfSampler, rng: &mut StdRng) -> Vec<ItemId> {
+    let mut items: Vec<ItemId> = Vec::with_capacity(k);
+    let mut attempts = 0usize;
+    while items.len() < k {
+        let candidate = if attempts < k * 64 {
+            zipf.sample(rng)
+        } else {
+            // Fallback: uniform draws always terminate for vocab ≥ k.
+            rng.gen_range(0..zipf.vocab_size())
+        };
+        attempts += 1;
+        if !items.contains(&candidate) {
+            items.push(candidate);
+        }
+    }
+    items
+}
+
+/// Produces a near-duplicate of `source`.
+///
+/// Calibrated so that the paper's recommended clustering threshold
+/// (θc = 0.03, i.e. a raw Footrule budget of 3 for k = 10) harvests the
+/// bulk of the near-duplicates, as it does on the real corpora: most
+/// perturbations are a single adjacent-rank swap (raw cost 2), some are two
+/// swaps (cost ≤ 4), and a minority replace the bottom item (a farther
+/// "reformulated" record).
+fn perturb(source: &[ItemId], zipf: &ZipfSampler, rng: &mut StdRng) -> Vec<ItemId> {
+    let mut items = source.to_vec();
+    let k = items.len();
+    if k >= 2 {
+        let roll: f64 = rng.gen();
+        if roll < 0.85 {
+            // One adjacent swap (raw distance 2 to the source).
+            let pos = rng.gen_range(0..k - 1);
+            items.swap(pos, pos + 1);
+            if roll < 0.25 {
+                // Occasionally a second swap (raw distance ≤ 4).
+                let pos = rng.gen_range(0..k - 1);
+                items.swap(pos, pos + 1);
+            }
+        } else {
+            // Replace the bottom-most item (cheapest position) by a fresh
+            // one — a farther near-duplicate.
+            let mut replacement = zipf.sample(rng);
+            let mut attempts = 0;
+            while items.contains(&replacement) {
+                replacement = if attempts < 64 {
+                    zipf.sample(rng)
+                } else {
+                    rng.gen_range(0..zipf.vocab_size())
+                };
+                attempts += 1;
+            }
+            items[k - 1] = replacement;
+        }
+    }
+    items
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use topk_rankings::distance::footrule_raw;
+
+    #[test]
+    fn generates_the_requested_shape() {
+        let corpus = CorpusProfile::dblp_like(500, 10).generate();
+        assert_eq!(corpus.len(), 500);
+        for (idx, r) in corpus.iter().enumerate() {
+            assert_eq!(r.id(), idx as u64);
+            assert_eq!(r.k(), 10);
+        }
+    }
+
+    #[test]
+    fn is_deterministic_per_seed() {
+        let a = CorpusProfile::dblp_like(200, 10).generate();
+        let b = CorpusProfile::dblp_like(200, 10).generate();
+        assert_eq!(a, b);
+        let c = CorpusProfile::dblp_like(200, 10).with_seed(99).generate();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn near_duplicates_exist() {
+        // With near_dup_rate 0.25 there must be pairs at tiny distances.
+        let corpus = CorpusProfile::orku_like(400, 10).generate();
+        let mut close_pairs = 0usize;
+        for i in 0..corpus.len() {
+            for j in (i + 1)..corpus.len() {
+                if footrule_raw(&corpus[i], &corpus[j]) <= 6 {
+                    close_pairs += 1;
+                }
+            }
+        }
+        assert!(close_pairs > 20, "only {close_pairs} near-duplicate pairs");
+    }
+
+    #[test]
+    fn token_frequencies_are_skewed() {
+        let corpus = CorpusProfile::orku_like(1000, 10).generate();
+        let freq = topk_rankings::FrequencyTable::from_rankings(&corpus);
+        let rel = freq.relative_frequencies();
+        // The most frequent token should dominate the median token clearly.
+        let median = rel[rel.len() / 2];
+        assert!(
+            rel[0] > 10.0 * median,
+            "top = {}, median = {}",
+            rel[0],
+            median
+        );
+    }
+
+    #[test]
+    fn k25_profile_works() {
+        let corpus = CorpusProfile::orku_like(100, 25).generate();
+        assert!(corpus.iter().all(|r| r.k() == 25));
+    }
+
+    #[test]
+    #[should_panic(expected = "vocabulary")]
+    fn rejects_vocab_smaller_than_k() {
+        let profile = CorpusProfile {
+            name: "bad".into(),
+            num_records: 1,
+            vocab_size: 3,
+            zipf_skew: 1.0,
+            k: 5,
+            near_dup_rate: 0.0,
+            seed: 1,
+        };
+        let _ = profile.generate();
+    }
+
+    #[test]
+    fn perturb_keeps_length_and_distinctness() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let zipf = ZipfSampler::new(100, 1.0);
+        let source: Vec<ItemId> = (0..10).collect();
+        for _ in 0..200 {
+            let p = perturb(&source, &zipf, &mut rng);
+            assert_eq!(p.len(), 10);
+            let unique: std::collections::HashSet<_> = p.iter().collect();
+            assert_eq!(unique.len(), 10, "duplicate items after perturbation");
+        }
+    }
+
+    #[test]
+    fn sample_distinct_survives_tight_vocabulary() {
+        // vocab == k forces the fallback path.
+        let mut rng = StdRng::seed_from_u64(11);
+        let zipf = ZipfSampler::new(10, 2.0);
+        let items = sample_distinct(10, &zipf, &mut rng);
+        let unique: std::collections::HashSet<_> = items.iter().collect();
+        assert_eq!(unique.len(), 10);
+    }
+}

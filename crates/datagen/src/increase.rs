@@ -1,0 +1,207 @@
+//! The ×N dataset increase (§7: "we also increase their size using the same
+//! method as in [10, 24], where the domain of the items remains the same, and
+//! the join result increases approximately linearly with the size of the
+//! dataset").
+//!
+//! Implemented as in the set-similarity-join literature: every extra copy of
+//! the dataset applies one **frequency-preserving token permutation** to all
+//! records — each token is swapped with a token of (near-)equal frequency,
+//! consistently within the copy. Consequences, all matching the method's
+//! stated properties:
+//!
+//! * the item domain is unchanged (the permutation is a bijection on it),
+//! * the token frequency distribution is unchanged up to the permutation
+//!   window (so prefix selectivity and posting-list skew are preserved),
+//! * distances *within* one copy equal the original distances exactly
+//!   (a bijection on items preserves overlaps and rank positions), so every
+//!   copy reproduces the original join result — the result grows linearly
+//!   in N, plus only coincidental cross-copy pairs,
+//! * records from different copies are unrelated (different permutations),
+//!   so copies do not flood the θc clustering phase.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use topk_rankings::{FrequencyTable, ItemId, Ranking};
+
+/// Window size for the frequency-preserving permutation: tokens are
+/// shuffled only with tokens whose frequency rank is within the same window
+/// of this many positions, keeping each copy's frequency profile close to
+/// the original's.
+pub const PERMUTATION_WINDOW: usize = 16;
+
+/// Increases `dataset` to `times × |dataset|` rankings with per-copy
+/// frequency-preserving token permutations. Copy ids are
+/// `r.id() + c · id_stride` with `id_stride = max_id + 1`.
+///
+/// `times == 1` returns the dataset unchanged (the "×1" base case).
+pub fn increase_dataset(dataset: &[Ranking], times: usize, seed: u64) -> Vec<Ranking> {
+    assert!(times >= 1, "the increase factor must be at least 1");
+    if dataset.is_empty() {
+        return Vec::new();
+    }
+    let id_stride = dataset.iter().map(|r| r.id()).max().unwrap_or(0) + 1;
+
+    // Tokens sorted by descending frequency: permutations shuffle within
+    // windows of this order.
+    let freq = FrequencyTable::from_rankings(dataset);
+    let mut tokens: Vec<ItemId> = dataset
+        .iter()
+        .flat_map(|r| r.items().iter().copied())
+        .collect();
+    tokens.sort_unstable();
+    tokens.dedup();
+    tokens.sort_by_key(|&t| std::cmp::Reverse(freq.order_key(t)));
+
+    let mut out = Vec::with_capacity(dataset.len() * times);
+    out.extend_from_slice(dataset);
+    for c in 1..times {
+        let mut rng =
+            StdRng::seed_from_u64(seed ^ (0x9E37_79B9_7F4A_7C15u64.wrapping_mul(c as u64)));
+        // Build the copy's permutation: shuffle tokens inside each
+        // frequency window.
+        let mut permuted = tokens.clone();
+        for window in permuted.chunks_mut(PERMUTATION_WINDOW) {
+            window.shuffle(&mut rng);
+        }
+        let mapping: std::collections::HashMap<ItemId, ItemId> = tokens
+            .iter()
+            .copied()
+            .zip(permuted.iter().copied())
+            .collect();
+        for r in dataset {
+            let items: Vec<ItemId> = r.items().iter().map(|item| mapping[item]).collect();
+            out.push(Ranking::new_unchecked(r.id() + c as u64 * id_stride, items));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpus::CorpusProfile;
+    use std::collections::HashSet;
+    use topk_rankings::distance::{footrule_raw, raw_threshold};
+
+    fn base() -> Vec<Ranking> {
+        CorpusProfile::dblp_like(300, 10).generate()
+    }
+
+    #[test]
+    fn times_one_is_identity() {
+        let ds = base();
+        assert_eq!(increase_dataset(&ds, 1, 1), ds);
+    }
+
+    #[test]
+    fn empty_dataset_stays_empty() {
+        assert!(increase_dataset(&[], 5, 1).is_empty());
+    }
+
+    #[test]
+    fn size_and_ids_scale() {
+        let ds = base();
+        let x5 = increase_dataset(&ds, 5, 1);
+        assert_eq!(x5.len(), 5 * ds.len());
+        let ids: HashSet<u64> = x5.iter().map(|r| r.id()).collect();
+        assert_eq!(ids.len(), x5.len(), "copy ids must be unique");
+        for r in &x5 {
+            assert_eq!(r.k(), 10);
+        }
+    }
+
+    #[test]
+    fn copies_are_valid_rankings() {
+        let ds = base();
+        let x3 = increase_dataset(&ds, 3, 2);
+        for r in &x3 {
+            let unique: HashSet<_> = r.items().iter().collect();
+            assert_eq!(unique.len(), r.k(), "duplicate items in {r}");
+        }
+    }
+
+    #[test]
+    fn domain_is_preserved_exactly() {
+        let ds = base();
+        let original_domain: HashSet<u32> =
+            ds.iter().flat_map(|r| r.items().iter().copied()).collect();
+        let x5 = increase_dataset(&ds, 5, 4);
+        let new_domain: HashSet<u32> = x5.iter().flat_map(|r| r.items().iter().copied()).collect();
+        assert_eq!(new_domain, original_domain);
+    }
+
+    #[test]
+    fn within_copy_distances_equal_the_original() {
+        // The defining property of a per-copy item bijection.
+        let ds = base();
+        let n = ds.len();
+        let x3 = increase_dataset(&ds, 3, 5);
+        for copy in 1..3 {
+            for i in (0..40).step_by(7) {
+                for j in (1..40).step_by(11) {
+                    let original = footrule_raw(&ds[i], &ds[j]);
+                    let shifted = footrule_raw(&x3[copy * n + i], &x3[copy * n + j]);
+                    assert_eq!(original, shifted, "copy {copy}, pair ({i}, {j})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn result_grows_linearly() {
+        let ds = CorpusProfile::dblp_like(150, 10).generate();
+        let theta = raw_threshold(10, 0.3);
+        let count_pairs = |data: &[Ranking]| {
+            let mut n = 0usize;
+            for i in 0..data.len() {
+                for j in (i + 1)..data.len() {
+                    if footrule_raw(&data[i], &data[j]) <= theta {
+                        n += 1;
+                    }
+                }
+            }
+            n
+        };
+        let r1 = count_pairs(&ds);
+        let x3 = increase_dataset(&ds, 3, 6);
+        let r3 = count_pairs(&x3);
+        assert!(r1 > 0, "base corpus produced no result pairs");
+        // Each copy reproduces r1; cross-copy pairs are coincidental extras.
+        assert!(r3 >= 3 * r1, "r3 = {r3} < 3·{r1}");
+        assert!(
+            (r3 as f64) < 6.0 * r1 as f64,
+            "×3 grew the result superlinearly: r1 = {r1}, r3 = {r3}"
+        );
+    }
+
+    #[test]
+    fn frequency_profile_roughly_preserved() {
+        let ds = base();
+        let x2 = increase_dataset(&ds, 2, 7);
+        let n = ds.len();
+        let base_freq = FrequencyTable::from_rankings(&ds);
+        let copy_freq = FrequencyTable::from_rankings(&x2[n..]);
+        // The hottest token of the copy must be about as hot as the base's.
+        let max_base = ds
+            .iter()
+            .flat_map(|r| r.items())
+            .map(|&t| base_freq.count(t))
+            .max()
+            .unwrap();
+        let max_copy = x2[n..]
+            .iter()
+            .flat_map(|r| r.items())
+            .map(|&t| copy_freq.count(t))
+            .max()
+            .unwrap();
+        let ratio = max_copy as f64 / max_base as f64;
+        assert!((0.5..=2.0).contains(&ratio), "hot-token ratio {ratio}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn rejects_zero_times() {
+        let _ = increase_dataset(&base(), 0, 1);
+    }
+}

@@ -1,0 +1,174 @@
+//! Plain-text dataset IO.
+//!
+//! One ranking per line: the ranking id, then the `k` item ids top-rank
+//! first, whitespace-separated — the same shape as the benchmark files used
+//! by the set-similarity-join literature (each line a record of tokens), with
+//! an explicit id column so datasets survive shuffling.
+
+use std::fs::File;
+use std::io::{self, BufRead, BufReader, BufWriter, Write};
+use std::path::Path;
+
+use topk_rankings::{Ranking, RankingError};
+
+/// Errors raised while loading a dataset.
+#[derive(Debug)]
+pub enum LoadError {
+    /// Underlying IO failure.
+    Io(io::Error),
+    /// A line could not be parsed.
+    Parse {
+        /// 1-based line number of the offending line.
+        line: usize,
+        /// What failed to parse.
+        message: String,
+    },
+    /// A parsed ranking was invalid (duplicate items, empty).
+    Invalid {
+        /// 1-based line number of the offending line.
+        line: usize,
+        /// The underlying validation error.
+        source: RankingError,
+    },
+}
+
+impl std::fmt::Display for LoadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LoadError::Io(e) => write!(f, "io error: {e}"),
+            LoadError::Parse { line, message } => write!(f, "line {line}: {message}"),
+            LoadError::Invalid { line, source } => write!(f, "line {line}: {source}"),
+        }
+    }
+}
+
+impl std::error::Error for LoadError {}
+
+impl From<io::Error> for LoadError {
+    fn from(e: io::Error) -> Self {
+        LoadError::Io(e)
+    }
+}
+
+/// Writes `rankings` to `path`, one per line.
+pub fn write_rankings(path: &Path, rankings: &[Ranking]) -> io::Result<()> {
+    let mut out = BufWriter::new(File::create(path)?);
+    for r in rankings {
+        write!(out, "{}", r.id())?;
+        for item in r.items() {
+            write!(out, " {item}")?;
+        }
+        writeln!(out)?;
+    }
+    out.flush()
+}
+
+/// Reads a dataset written by [`write_rankings`]. Blank lines and lines
+/// starting with `#` are skipped.
+pub fn read_rankings(path: &Path) -> Result<Vec<Ranking>, LoadError> {
+    let reader = BufReader::new(File::open(path)?);
+    let mut out = Vec::new();
+    let mut line_buf = String::new();
+    let mut reader = reader;
+    let mut line_no = 0usize;
+    loop {
+        line_buf.clear();
+        if reader.read_line(&mut line_buf)? == 0 {
+            break;
+        }
+        line_no += 1;
+        let line = line_buf.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut fields = line.split_ascii_whitespace();
+        let id: u64 = fields
+            .next()
+            .expect("trimmed non-empty line has a first field")
+            .parse()
+            .map_err(|e| LoadError::Parse {
+                line: line_no,
+                message: format!("bad ranking id: {e}"),
+            })?;
+        let items: Result<Vec<u32>, _> = fields.map(str::parse).collect();
+        let items = items.map_err(|e| LoadError::Parse {
+            line: line_no,
+            message: format!("bad item id: {e}"),
+        })?;
+        let ranking = Ranking::new(id, items).map_err(|source| LoadError::Invalid {
+            line: line_no,
+            source,
+        })?;
+        out.push(ranking);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpus::CorpusProfile;
+
+    fn temp_path(tag: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("topk-datagen-{}-{tag}.txt", std::process::id()))
+    }
+
+    #[test]
+    fn round_trip() {
+        let ds = CorpusProfile::dblp_like(50, 10).generate();
+        let path = temp_path("roundtrip");
+        write_rankings(&path, &ds).unwrap();
+        let loaded = read_rankings(&path).unwrap();
+        assert_eq!(loaded, ds);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn skips_comments_and_blank_lines() {
+        let path = temp_path("comments");
+        std::fs::write(&path, "# header\n\n1 10 20 30\n\n# tail\n2 40 50 60\n").unwrap();
+        let loaded = read_rankings(&path).unwrap();
+        assert_eq!(loaded.len(), 2);
+        assert_eq!(loaded[0].items(), &[10, 20, 30]);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn reports_parse_errors_with_line_numbers() {
+        let path = temp_path("badparse");
+        std::fs::write(&path, "1 10 20\nnot-an-id 1 2\n").unwrap();
+        let err = read_rankings(&path).unwrap_err();
+        match err {
+            LoadError::Parse { line, .. } => assert_eq!(line, 2),
+            other => panic!("unexpected error {other}"),
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn reports_invalid_rankings() {
+        let path = temp_path("dupitem");
+        std::fs::write(&path, "7 1 2 2\n").unwrap();
+        let err = read_rankings(&path).unwrap_err();
+        match err {
+            LoadError::Invalid { line, .. } => assert_eq!(line, 1),
+            other => panic!("unexpected error {other}"),
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn missing_file_is_io_error() {
+        let err = read_rankings(Path::new("/nonexistent/nope.txt")).unwrap_err();
+        assert!(matches!(err, LoadError::Io(_)));
+        assert!(err.to_string().contains("io error"));
+    }
+
+    #[test]
+    fn empty_file_loads_empty_dataset() {
+        let path = temp_path("empty");
+        std::fs::write(&path, "").unwrap();
+        assert!(read_rankings(&path).unwrap().is_empty());
+        std::fs::remove_file(&path).unwrap();
+    }
+}

@@ -1,0 +1,464 @@
+//! [`Cluster`] and [`Dataset`]: the engine's RDD analogue.
+//!
+//! A [`Dataset<T>`] is an immutable collection split into partitions.
+//! Transformations are **eager** (each call runs one stage on the cluster's
+//! bounded task pool and records metrics) but otherwise mirror the RDD API:
+//! narrow transformations here, key-based wide transformations in
+//! [`crate::pair`].
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use crate::broadcast::Broadcast;
+use crate::config::ClusterConfig;
+use crate::executor::run_tasks;
+use crate::metrics::{MetricsRegistry, MetricsReport, StageMetrics};
+
+pub(crate) struct ClusterInner {
+    pub(crate) config: ClusterConfig,
+    pub(crate) metrics: MetricsRegistry,
+}
+
+/// Handle to the simulated cluster: owns the configuration and the metrics
+/// registry. Cheap to clone (it is an `Arc` handle), like a `SparkContext`
+/// reference.
+#[derive(Clone)]
+pub struct Cluster {
+    pub(crate) inner: Arc<ClusterInner>,
+}
+
+impl Cluster {
+    /// Boots a cluster with the given configuration.
+    pub fn new(config: ClusterConfig) -> Self {
+        Self {
+            inner: Arc::new(ClusterInner {
+                config,
+                metrics: MetricsRegistry::default(),
+            }),
+        }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &ClusterConfig {
+        &self.inner.config
+    }
+
+    /// Snapshot of all stage metrics recorded so far.
+    pub fn metrics(&self) -> MetricsReport {
+        self.inner.metrics.report()
+    }
+
+    /// Clears recorded metrics (between benchmark iterations).
+    pub fn reset_metrics(&self) {
+        self.inner.metrics.reset();
+    }
+
+    /// Broadcasts a read-only value to all tasks.
+    pub fn broadcast<T>(&self, value: T) -> Broadcast<T> {
+        Broadcast::new(value)
+    }
+
+    /// Distributes `data` into `partitions` chunks (contiguous split, like
+    /// Spark's `parallelize`).
+    pub fn parallelize<T: Send + Sync + 'static>(
+        &self,
+        data: Vec<T>,
+        partitions: usize,
+    ) -> Dataset<T> {
+        let partitions = partitions.max(1);
+        let total = data.len();
+        let chunk = total.div_ceil(partitions).max(1);
+        let mut parts: Vec<Vec<T>> = Vec::with_capacity(partitions);
+        let mut iter = data.into_iter();
+        for _ in 0..partitions {
+            let part: Vec<T> = iter.by_ref().take(chunk).collect();
+            parts.push(part);
+        }
+        // Any remainder (can only happen if chunk*partitions < total, which
+        // div_ceil prevents) would be dropped; assert the invariant instead.
+        debug_assert_eq!(iter.count(), 0);
+        Dataset::from_partitions(self.clone(), parts)
+    }
+
+    /// An empty dataset with one empty partition.
+    pub fn empty<T: Send + Sync + 'static>(&self) -> Dataset<T> {
+        Dataset::from_partitions(self.clone(), vec![Vec::new()])
+    }
+
+    /// Records a driver-side stage (operations that gather or rearrange
+    /// data on the driver rather than on executor tasks), so they appear in
+    /// the metrics report like every other data movement.
+    pub(crate) fn record_driver_stage(
+        &self,
+        name: &str,
+        start: Instant,
+        records: usize,
+        shuffled: usize,
+    ) {
+        let wall = start.elapsed();
+        self.inner.metrics.record(StageMetrics {
+            stage_id: 0,
+            name: name.to_string(),
+            wall,
+            task_time: wall,
+            task_durations: vec![wall],
+            num_tasks: 1,
+            input_records: records,
+            output_records: records,
+            shuffle_records: shuffled,
+            shuffle_bytes: shuffled * std::mem::size_of::<usize>(),
+            max_partition_records: records,
+            spilled_runs: 0,
+        });
+    }
+
+    /// Runs one narrow stage: `f(partition_index, partition) → new partition`
+    /// per input partition, bounded by the cluster's task slots. Records
+    /// metrics under `name`.
+    pub(crate) fn run_narrow_stage<T, U>(
+        &self,
+        name: &str,
+        input: &Dataset<T>,
+        f: impl Fn(usize, &[T]) -> Vec<U> + Sync,
+    ) -> Dataset<U>
+    where
+        T: Send + Sync + 'static,
+        U: Send + Sync + 'static,
+    {
+        let start = Instant::now();
+        let inputs: Vec<Arc<Vec<T>>> = input.partitions.clone();
+        let input_records: usize = inputs.iter().map(|p| p.len()).sum();
+        let (outputs, times) = run_tasks(self.config().task_slots(), inputs, |idx, part| {
+            f(idx, &part)
+        });
+        let output_records: usize = outputs.iter().map(|p| p.len()).sum();
+        let max_partition_records = outputs.iter().map(|p| p.len()).max().unwrap_or(0);
+        self.inner.metrics.record(StageMetrics {
+            stage_id: 0,
+            name: name.to_string(),
+            wall: start.elapsed(),
+            task_time: times.total,
+            task_durations: times.per_task,
+            num_tasks: outputs.len(),
+            input_records,
+            output_records,
+            shuffle_records: 0,
+            shuffle_bytes: 0,
+            max_partition_records,
+            spilled_runs: 0,
+        });
+        Dataset::from_partitions(self.clone(), outputs)
+    }
+}
+
+/// An immutable, partitioned collection — the engine's RDD.
+///
+/// Cloning a `Dataset` is cheap: partitions are shared `Arc`s, matching RDD
+/// immutability (a transformation never mutates its input).
+#[derive(Clone)]
+pub struct Dataset<T> {
+    pub(crate) cluster: Cluster,
+    pub(crate) partitions: Vec<Arc<Vec<T>>>,
+}
+
+impl<T: Send + Sync + 'static> Dataset<T> {
+    /// Builds a dataset from explicit partitions.
+    pub fn from_partitions(cluster: Cluster, parts: Vec<Vec<T>>) -> Self {
+        let partitions = if parts.is_empty() {
+            vec![Arc::new(Vec::new())]
+        } else {
+            parts.into_iter().map(Arc::new).collect()
+        };
+        Self {
+            cluster,
+            partitions,
+        }
+    }
+
+    /// The owning cluster handle.
+    pub fn cluster(&self) -> &Cluster {
+        &self.cluster
+    }
+
+    /// Number of partitions.
+    pub fn num_partitions(&self) -> usize {
+        self.partitions.len()
+    }
+
+    /// Total number of records (driver-side, no stage).
+    pub fn count(&self) -> usize {
+        self.partitions.iter().map(|p| p.len()).sum()
+    }
+
+    /// Record count per partition (for skew inspection in tests/benches).
+    pub fn partition_sizes(&self) -> Vec<usize> {
+        self.partitions.iter().map(|p| p.len()).collect()
+    }
+
+    /// Borrowing access to a partition's records.
+    pub fn partition(&self, idx: usize) -> &[T] {
+        &self.partitions[idx]
+    }
+
+    /// One-to-one transformation.
+    pub fn map<U, F>(&self, name: &str, f: F) -> Dataset<U>
+    where
+        U: Send + Sync + 'static,
+        F: Fn(&T) -> U + Sync,
+    {
+        self.cluster
+            .clone()
+            .run_narrow_stage(name, self, |_, part| part.iter().map(&f).collect())
+    }
+
+    /// Keeps records satisfying the predicate.
+    pub fn filter<F>(&self, name: &str, f: F) -> Dataset<T>
+    where
+        T: Clone,
+        F: Fn(&T) -> bool + Sync,
+    {
+        self.cluster
+            .clone()
+            .run_narrow_stage(name, self, |_, part| {
+                part.iter().filter(|t| f(t)).cloned().collect()
+            })
+    }
+
+    /// One-to-many transformation.
+    pub fn flat_map<U, I, F>(&self, name: &str, f: F) -> Dataset<U>
+    where
+        U: Send + Sync + 'static,
+        I: IntoIterator<Item = U>,
+        F: Fn(&T) -> I + Sync,
+    {
+        self.cluster
+            .clone()
+            .run_narrow_stage(name, self, |_, part| part.iter().flat_map(&f).collect())
+    }
+
+    /// Whole-partition transformation (the engine's `mapPartitions`): `f`
+    /// receives the partition index and its records.
+    pub fn map_partitions<U, F>(&self, name: &str, f: F) -> Dataset<U>
+    where
+        U: Send + Sync + 'static,
+        F: Fn(usize, &[T]) -> Vec<U> + Sync,
+    {
+        self.cluster.clone().run_narrow_stage(name, self, f)
+    }
+
+    /// Concatenates two datasets partition-wise (no data movement).
+    pub fn union(&self, other: &Dataset<T>) -> Dataset<T> {
+        let mut partitions = self.partitions.clone();
+        partitions.extend(other.partitions.iter().cloned());
+        Dataset {
+            cluster: self.cluster.clone(),
+            partitions,
+        }
+    }
+
+    /// Redistributes records round-robin into `n` partitions (a full
+    /// shuffle; used to rebalance after skewed stages).
+    pub fn repartition(&self, name: &str, n: usize) -> Dataset<T>
+    where
+        T: Clone,
+    {
+        let n = n.max(1);
+        let start = Instant::now();
+        let mut targets: Vec<Vec<T>> = (0..n).map(|_| Vec::new()).collect();
+        let mut next = 0usize;
+        for part in &self.partitions {
+            for record in part.iter() {
+                targets[next].push(record.clone());
+                next = (next + 1) % n;
+            }
+        }
+        let moved: usize = targets.iter().map(|p| p.len()).sum();
+        let max_partition_records = targets.iter().map(|p| p.len()).max().unwrap_or(0);
+        self.cluster.inner.metrics.record(StageMetrics {
+            stage_id: 0,
+            name: name.to_string(),
+            wall: start.elapsed(),
+            task_time: start.elapsed(),
+            task_durations: vec![start.elapsed()],
+            num_tasks: n,
+            input_records: moved,
+            output_records: moved,
+            shuffle_records: moved,
+            shuffle_bytes: moved * std::mem::size_of::<T>(),
+            max_partition_records,
+            spilled_runs: 0,
+        });
+        Dataset::from_partitions(self.cluster.clone(), targets)
+    }
+
+    /// Materializes all records on the driver.
+    pub fn collect(&self) -> Vec<T>
+    where
+        T: Clone,
+    {
+        let mut out = Vec::with_capacity(self.count());
+        for part in &self.partitions {
+            out.extend(part.iter().cloned());
+        }
+        out
+    }
+
+    /// The first `n` records in partition order.
+    pub fn take(&self, n: usize) -> Vec<T>
+    where
+        T: Clone,
+    {
+        let mut out = Vec::with_capacity(n);
+        for part in &self.partitions {
+            for record in part.iter() {
+                if out.len() == n {
+                    return out;
+                }
+                out.push(record.clone());
+            }
+        }
+        out
+    }
+
+    /// Keys every record: `t → (f(t), t)`.
+    pub fn key_by<K, F>(&self, name: &str, f: F) -> Dataset<(K, T)>
+    where
+        T: Clone,
+        K: Send + Sync + 'static,
+        F: Fn(&T) -> K + Sync,
+    {
+        self.map(name, |t| (f(t), t.clone()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cluster() -> Cluster {
+        Cluster::new(ClusterConfig::local(4))
+    }
+
+    #[test]
+    fn parallelize_splits_evenly_and_loses_nothing() {
+        let ds = cluster().parallelize((0..103u32).collect(), 10);
+        assert_eq!(ds.num_partitions(), 10);
+        assert_eq!(ds.count(), 103);
+        let mut all = ds.collect();
+        all.sort();
+        assert_eq!(all, (0..103).collect::<Vec<_>>());
+        // Contiguous chunking: each partition holds ≤ ceil(103/10) = 11.
+        assert!(ds.partition_sizes().iter().all(|&s| s <= 11));
+    }
+
+    #[test]
+    fn parallelize_more_partitions_than_records() {
+        let ds = cluster().parallelize(vec![1u8, 2], 8);
+        assert_eq!(ds.count(), 2);
+        assert_eq!(ds.num_partitions(), 8);
+    }
+
+    #[test]
+    fn empty_dataset() {
+        let ds = cluster().empty::<u32>();
+        assert_eq!(ds.count(), 0);
+        assert_eq!(ds.num_partitions(), 1);
+        assert!(ds.collect().is_empty());
+    }
+
+    #[test]
+    fn map_filter_flat_map_pipeline() {
+        let c = cluster();
+        let ds = c.parallelize((1..=10u32).collect(), 3);
+        let result = ds
+            .map("double", |n| n * 2)
+            .filter("gt-five", |n| *n > 5)
+            .flat_map("twice", |n| vec![*n, *n]);
+        let mut all = result.collect();
+        all.sort();
+        let mut expected: Vec<u32> = (1..=10)
+            .map(|n| n * 2)
+            .filter(|n| *n > 5)
+            .flat_map(|n| vec![n, n])
+            .collect();
+        expected.sort();
+        assert_eq!(all, expected);
+        // Three stages were recorded.
+        assert_eq!(c.metrics().stages.len(), 3);
+        assert_eq!(c.metrics().stages[0].name, "double");
+    }
+
+    #[test]
+    fn map_partitions_sees_the_partition_index() {
+        let c = cluster();
+        let ds = c.parallelize(vec![(); 8], 4);
+        let tagged = ds.map_partitions("tag", |idx, part| vec![idx; part.len()]);
+        let mut all = tagged.collect();
+        all.sort();
+        assert_eq!(all, vec![0, 0, 1, 1, 2, 2, 3, 3]);
+    }
+
+    #[test]
+    fn union_concatenates_partitions() {
+        let c = cluster();
+        let a = c.parallelize(vec![1, 2], 2);
+        let b = c.parallelize(vec![3], 1);
+        let u = a.union(&b);
+        assert_eq!(u.num_partitions(), 3);
+        let mut all = u.collect();
+        all.sort();
+        assert_eq!(all, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn repartition_rebalances() {
+        let c = cluster();
+        // Everything in one partition, then spread over 5.
+        let ds = c.parallelize((0..50u32).collect(), 1);
+        let re = ds.repartition("rebalance", 5);
+        assert_eq!(re.num_partitions(), 5);
+        assert!(re.partition_sizes().iter().all(|&s| s == 10));
+        let metrics = c.metrics();
+        let stage = metrics.stages_named("rebalance")[0];
+        assert_eq!(stage.shuffle_records, 50);
+        assert!(stage.shuffle_bytes > 0);
+    }
+
+    #[test]
+    fn take_respects_order_and_bound() {
+        let ds = cluster().parallelize((0..10u32).collect(), 2);
+        assert_eq!(ds.take(3), vec![0, 1, 2]);
+        assert_eq!(ds.take(0), Vec::<u32>::new());
+        assert_eq!(ds.take(99).len(), 10);
+    }
+
+    #[test]
+    fn key_by_attaches_keys() {
+        let ds = cluster().parallelize(vec!["aa".to_string(), "b".to_string()], 1);
+        let keyed = ds.key_by("by-len", |s| s.len());
+        let mut all = keyed.collect();
+        all.sort();
+        assert_eq!(all, vec![(1, "b".to_string()), (2, "aa".to_string())]);
+    }
+
+    #[test]
+    fn metrics_capture_record_counts() {
+        let c = cluster();
+        let ds = c.parallelize((0..100u32).collect(), 4);
+        ds.filter("keep-even", |n| n % 2 == 0);
+        let m = c.metrics();
+        let stage = &m.stages[0];
+        assert_eq!(stage.input_records, 100);
+        assert_eq!(stage.output_records, 50);
+        assert_eq!(stage.num_tasks, 4);
+        c.reset_metrics();
+        assert!(c.metrics().stages.is_empty());
+    }
+
+    #[test]
+    fn dataset_clone_shares_partitions() {
+        let ds = cluster().parallelize(vec![1u32, 2, 3], 1);
+        let clone = ds.clone();
+        assert!(Arc::ptr_eq(&ds.partitions[0], &clone.partitions[0]));
+    }
+}

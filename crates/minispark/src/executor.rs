@@ -1,0 +1,176 @@
+//! The task executor: runs one stage's tasks on a bounded pool of worker
+//! threads, emulating a cluster with a fixed number of executor cores.
+//!
+//! Tasks are claimed dynamically (work stealing via an atomic cursor), which
+//! matches Spark's behaviour of assigning tasks to whichever core frees up —
+//! important for skewed workloads where one oversized partition dominates
+//! (the exact effect the paper's CL-P repartitioning attacks).
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+
+/// Timing of one executed stage: the summed busy time plus the per-task
+/// durations (the input to the cluster-simulation makespan, see
+/// [`crate::metrics::StageMetrics::simulated_wall`]).
+#[derive(Debug, Clone, Default)]
+pub struct TaskTimes {
+    /// Sum of all task durations.
+    pub total: Duration,
+    /// Duration of each task, in task order.
+    pub per_task: Vec<Duration>,
+}
+
+/// Runs `f(task_index, input)` for every input, using at most `slots`
+/// concurrent worker threads. Returns the outputs in input order along with
+/// the task timings.
+///
+/// Panics in a task propagate to the caller (the stage fails), mirroring a
+/// failed Spark job.
+pub fn run_tasks<I, O, F>(slots: usize, inputs: Vec<I>, f: F) -> (Vec<O>, TaskTimes)
+where
+    I: Send,
+    O: Send,
+    F: Fn(usize, I) -> O + Sync,
+{
+    let slots = slots.max(1);
+    let num_tasks = inputs.len();
+    if num_tasks == 0 {
+        return (Vec::new(), TaskTimes::default());
+    }
+
+    if slots == 1 || num_tasks == 1 {
+        // Fast sequential path (also keeps single-slot runs deterministic in
+        // their scheduling for tests).
+        let mut outputs = Vec::with_capacity(num_tasks);
+        let mut per_task = Vec::with_capacity(num_tasks);
+        for (idx, input) in inputs.into_iter().enumerate() {
+            let start = Instant::now();
+            outputs.push(f(idx, input));
+            per_task.push(start.elapsed());
+        }
+        let total = per_task.iter().sum();
+        return (outputs, TaskTimes { total, per_task });
+    }
+
+    let pending: Vec<Mutex<Option<I>>> = inputs.into_iter().map(|i| Mutex::new(Some(i))).collect();
+    let results: Vec<Mutex<Option<(O, Duration)>>> =
+        (0..num_tasks).map(|_| Mutex::new(None)).collect();
+    let cursor = AtomicUsize::new(0);
+    let busy_nanos = AtomicU64::new(0);
+
+    let workers = slots.min(num_tasks);
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let idx = cursor.fetch_add(1, Ordering::Relaxed);
+                if idx >= num_tasks {
+                    break;
+                }
+                let input = pending[idx]
+                    .lock()
+                    .take()
+                    .expect("task input claimed twice");
+                let start = Instant::now();
+                let output = f(idx, input);
+                let elapsed = start.elapsed();
+                busy_nanos.fetch_add(elapsed.as_nanos() as u64, Ordering::Relaxed);
+                *results[idx].lock() = Some((output, elapsed));
+            });
+        }
+    });
+
+    let mut outputs = Vec::with_capacity(num_tasks);
+    let mut per_task = Vec::with_capacity(num_tasks);
+    for cell in results {
+        let (output, elapsed) = cell.into_inner().expect("task produced no output");
+        outputs.push(output);
+        per_task.push(elapsed);
+    }
+    (
+        outputs,
+        TaskTimes {
+            total: Duration::from_nanos(busy_nanos.load(Ordering::Relaxed)),
+            per_task,
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn outputs_preserve_input_order() {
+        let inputs: Vec<usize> = (0..100).collect();
+        let (out, _) = run_tasks(8, inputs, |idx, input| {
+            assert_eq!(idx, input);
+            input * 2
+        });
+        assert_eq!(out, (0..100).map(|n| n * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_input_yields_empty_output() {
+        let (out, times) = run_tasks::<u32, u32, _>(4, vec![], |_, i| i);
+        assert!(out.is_empty());
+        assert_eq!(times.total, Duration::ZERO);
+        assert!(times.per_task.is_empty());
+    }
+
+    #[test]
+    fn sequential_path_matches_parallel_path() {
+        let inputs: Vec<u64> = (0..50).collect();
+        let (seq, _) = run_tasks(1, inputs.clone(), |_, n| n * n);
+        let (par, _) = run_tasks(16, inputs, |_, n| n * n);
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn every_task_runs_exactly_once() {
+        let counter = AtomicUsize::new(0);
+        let inputs: Vec<usize> = (0..200).collect();
+        let (out, _) = run_tasks(7, inputs, |_, input| {
+            counter.fetch_add(1, Ordering::SeqCst);
+            input
+        });
+        assert_eq!(counter.load(Ordering::SeqCst), 200);
+        assert_eq!(out.iter().copied().collect::<HashSet<_>>().len(), 200);
+    }
+
+    #[test]
+    fn uses_at_most_the_requested_slots() {
+        let live = AtomicUsize::new(0);
+        let peak = AtomicUsize::new(0);
+        let inputs: Vec<usize> = (0..64).collect();
+        run_tasks(3, inputs, |_, input| {
+            let now = live.fetch_add(1, Ordering::SeqCst) + 1;
+            peak.fetch_max(now, Ordering::SeqCst);
+            std::thread::sleep(Duration::from_micros(200));
+            live.fetch_sub(1, Ordering::SeqCst);
+            input
+        });
+        assert!(peak.load(Ordering::SeqCst) <= 3);
+    }
+
+    #[test]
+    fn busy_time_accumulates() {
+        let inputs = vec![(); 8];
+        let (_, times) = run_tasks(4, inputs, |_, ()| {
+            std::thread::sleep(Duration::from_millis(2));
+        });
+        assert!(
+            times.total >= Duration::from_millis(8),
+            "busy = {:?}",
+            times.total
+        );
+        assert_eq!(times.per_task.len(), 8);
+        assert!(times
+            .per_task
+            .iter()
+            .all(|d| *d >= Duration::from_millis(2)));
+    }
+}

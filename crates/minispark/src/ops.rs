@@ -1,0 +1,265 @@
+//! Additional dataset operators beyond the core set used by the joins:
+//! outer joins, per-key counting, sorting, sampling, coalescing and
+//! key-wise aggregation — the rest of the RDD vocabulary a downstream user
+//! expects from the substrate.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::dataset::Dataset;
+
+impl<K, V> Dataset<(K, V)>
+where
+    K: Hash + Eq + Clone + Send + Sync + 'static,
+    V: Clone + Send + Sync + 'static,
+{
+    /// Left outer hash join: every `(k, v)` is paired with each `(k, w)` of
+    /// `other`, or with `None` if the key is absent there.
+    pub fn left_outer_join<W>(
+        &self,
+        name: &str,
+        other: &Dataset<(K, W)>,
+        partitions: usize,
+    ) -> Dataset<(K, (V, Option<W>))>
+    where
+        W: Clone + Send + Sync + 'static,
+    {
+        let cogrouped = self.cogroup(name, other, partitions);
+        cogrouped.flat_map(&format!("{name}/emit"), |(k, (vs, ws))| {
+            let mut out = Vec::new();
+            for v in vs {
+                if ws.is_empty() {
+                    out.push((k.clone(), (v.clone(), None)));
+                } else {
+                    for w in ws {
+                        out.push((k.clone(), (v.clone(), Some(w.clone()))));
+                    }
+                }
+            }
+            out
+        })
+    }
+
+    /// Number of records per key (Spark's `countByKey`, as a dataset).
+    pub fn count_by_key(&self, name: &str, partitions: usize) -> Dataset<(K, u64)> {
+        self.map_values(&format!("{name}/ones"), |_| 1u64)
+            .reduce_by_key(name, partitions, |a, b| a + b)
+    }
+
+    /// Key-wise aggregation with a zero value, a per-record fold and a
+    /// cross-partition combine (Spark's `aggregateByKey`).
+    pub fn aggregate_by_key<A, FF, FC>(
+        &self,
+        name: &str,
+        partitions: usize,
+        zero: A,
+        fold: FF,
+        combine: FC,
+    ) -> Dataset<(K, A)>
+    where
+        A: Clone + Send + Sync + 'static,
+        FF: Fn(A, &V) -> A + Sync,
+        FC: Fn(A, A) -> A + Sync,
+    {
+        // Map-side fold per partition…
+        let folded = self.map_partitions(&format!("{name}/fold"), move |_, part| {
+            let mut acc: HashMap<K, A> = HashMap::new();
+            for (k, v) in part {
+                let entry = acc.remove(k).unwrap_or_else(|| zero.clone());
+                acc.insert(k.clone(), fold(entry, v));
+            }
+            acc.into_iter().collect::<Vec<(K, A)>>()
+        });
+        // …then a combine-only reduce.
+        folded.reduce_by_key(name, partitions, combine)
+    }
+
+    /// Globally sorts by key onto a single partition (small results only —
+    /// driver-side sorts of join outputs, top-N reports). Recorded as a
+    /// full-shuffle stage: every record moves to the driver.
+    pub fn sort_by_key(&self, name: &str) -> Dataset<(K, V)>
+    where
+        K: Ord,
+    {
+        let start = std::time::Instant::now();
+        let mut all = self.collect();
+        all.sort_by(|a, b| a.0.cmp(&b.0));
+        let records = all.len();
+        let out = Dataset::from_partitions(self.cluster().clone(), vec![all]);
+        self.cluster()
+            .record_driver_stage(name, start, records, records);
+        out
+    }
+}
+
+impl<T> Dataset<T>
+where
+    T: Clone + Send + Sync + 'static,
+{
+    /// Merges partitions down to at most `n` without a shuffle (adjacent
+    /// partitions are concatenated), Spark's `coalesce`.
+    pub fn coalesce(&self, name: &str, n: usize) -> Dataset<T> {
+        let n = n.max(1);
+        let current = self.num_partitions();
+        if current <= n {
+            return self.clone();
+        }
+        let start = std::time::Instant::now();
+        let per_target = current.div_ceil(n);
+        let merged: Vec<Vec<T>> = (0..n)
+            .map(|t| {
+                let mut part = Vec::new();
+                for idx in (t * per_target)..((t + 1) * per_target).min(current) {
+                    part.extend(self.partition(idx).iter().cloned());
+                }
+                part
+            })
+            .collect();
+        let records: usize = merged.iter().map(Vec::len).sum();
+        // Coalescing merges adjacent partitions without a shuffle.
+        self.cluster().record_driver_stage(name, start, records, 0);
+        Dataset::from_partitions(self.cluster().clone(), merged)
+    }
+
+    /// Bernoulli sample with the given per-record probability, seeded
+    /// per-partition for determinism.
+    pub fn sample(&self, name: &str, fraction: f64, seed: u64) -> Dataset<T> {
+        assert!(
+            (0.0..=1.0).contains(&fraction),
+            "sample fraction must be a probability"
+        );
+        self.map_partitions(name, move |idx, part| {
+            let mut rng = StdRng::seed_from_u64(seed ^ (idx as u64).wrapping_mul(0x9E37_79B9));
+            part.iter()
+                .filter(|_| rng.gen_bool(fraction))
+                .cloned()
+                .collect()
+        })
+    }
+
+    /// Folds every record into an accumulator, then combines across
+    /// partitions (Spark's `aggregate`). Driver-side result.
+    pub fn aggregate<A, FF, FC>(&self, name: &str, zero: A, fold: FF, combine: FC) -> A
+    where
+        A: Clone + Send + Sync + 'static,
+        FF: Fn(A, &T) -> A + Sync,
+        FC: Fn(A, A) -> A,
+    {
+        let partials =
+            self.map_partitions(name, |_, part| vec![part.iter().fold(zero.clone(), &fold)]);
+        partials.collect().into_iter().fold(zero, combine)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ClusterConfig;
+    use crate::dataset::Cluster;
+
+    fn cluster() -> Cluster {
+        Cluster::new(ClusterConfig::local(4))
+    }
+
+    #[test]
+    fn left_outer_join_keeps_unmatched_left_rows() {
+        let c = cluster();
+        let left = c.parallelize(vec![(1u32, 'a'), (2, 'b'), (2, 'c')], 2);
+        let right = c.parallelize(vec![(2u32, 9u8)], 1);
+        let mut all = left.left_outer_join("loj", &right, 4).collect();
+        all.sort();
+        assert_eq!(
+            all,
+            vec![(1, ('a', None)), (2, ('b', Some(9))), (2, ('c', Some(9))),]
+        );
+    }
+
+    #[test]
+    fn count_by_key_counts() {
+        let c = cluster();
+        let ds = c.parallelize((0..100u32).map(|n| (n % 3, ())).collect(), 8);
+        let mut counts = ds.count_by_key("cbk", 4).collect();
+        counts.sort();
+        assert_eq!(counts, vec![(0, 34), (1, 33), (2, 33)]);
+    }
+
+    #[test]
+    fn aggregate_by_key_matches_manual_fold() {
+        let c = cluster();
+        let ds = c.parallelize((0..50u64).map(|n| ((n % 4) as u32, n)).collect(), 6);
+        // Per key: (count, sum).
+        let mut got = ds
+            .aggregate_by_key(
+                "abk",
+                4,
+                (0u64, 0u64),
+                |(c, s), v| (c + 1, s + v),
+                |(c1, s1), (c2, s2)| (c1 + c2, s1 + s2),
+            )
+            .collect();
+        got.sort();
+        let mut expected: HashMap<u32, (u64, u64)> = HashMap::new();
+        for n in 0..50u64 {
+            let e = expected.entry((n % 4) as u32).or_insert((0, 0));
+            e.0 += 1;
+            e.1 += n;
+        }
+        let mut expected: Vec<(u32, (u64, u64))> = expected.into_iter().collect();
+        expected.sort();
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn sort_by_key_orders_globally() {
+        let c = cluster();
+        let ds = c.parallelize(vec![(3u32, 'c'), (1, 'a'), (2, 'b')], 3);
+        let sorted = ds.sort_by_key("sort");
+        assert_eq!(sorted.num_partitions(), 1);
+        assert_eq!(sorted.collect(), vec![(1, 'a'), (2, 'b'), (3, 'c')]);
+    }
+
+    #[test]
+    fn coalesce_reduces_partitions_losslessly() {
+        let c = cluster();
+        let ds = c.parallelize((0..100u32).collect(), 16);
+        let co = ds.coalesce("co", 3);
+        assert_eq!(co.num_partitions(), 3);
+        let mut all = co.collect();
+        all.sort();
+        assert_eq!(all, (0..100).collect::<Vec<_>>());
+        // Coalescing to more partitions than exist is a no-op.
+        assert_eq!(ds.coalesce("co2", 99).num_partitions(), 16);
+    }
+
+    #[test]
+    fn sample_is_deterministic_and_roughly_sized() {
+        let c = cluster();
+        let ds = c.parallelize((0..10_000u32).collect(), 8);
+        let s1 = ds.sample("s", 0.1, 42).collect();
+        let s2 = ds.sample("s", 0.1, 42).collect();
+        assert_eq!(s1, s2);
+        assert!((700..1300).contains(&s1.len()), "sampled {}", s1.len());
+        assert!(ds.sample("s0", 0.0, 1).collect().is_empty());
+        assert_eq!(ds.sample("s1", 1.0, 1).count(), 10_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "probability")]
+    fn sample_rejects_bad_fraction() {
+        let c = cluster();
+        let _ = c.parallelize(vec![1u32], 1).sample("bad", 1.5, 0);
+    }
+
+    #[test]
+    fn aggregate_folds_and_combines() {
+        let c = cluster();
+        let ds = c.parallelize((1..=100u64).collect(), 7);
+        let sum = ds.aggregate("agg", 0u64, |acc, n| acc + n, |a, b| a + b);
+        assert_eq!(sum, 5050);
+        let max = ds.aggregate("max", 0u64, |acc, n| acc.max(*n), |a, b| a.max(b));
+        assert_eq!(max, 100);
+    }
+}

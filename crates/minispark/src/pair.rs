@@ -1,0 +1,546 @@
+//! Wide (shuffle-based) transformations on key-value datasets, plus
+//! `distinct` for arbitrary hashable records.
+//!
+//! Every operation here moves data across a shuffle boundary: records are
+//! scattered to target partitions by a [`Partitioner`], the move is accounted
+//! in the stage metrics (records, estimated bytes, resulting skew), and the
+//! reduce side runs one task per target partition on the bounded executor.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+use std::sync::Arc;
+use std::time::Instant;
+
+use crate::codec::Codec;
+use crate::dataset::{Cluster, Dataset};
+use crate::executor::{run_tasks, TaskTimes};
+use crate::metrics::StageMetrics;
+use crate::shuffle::{stable_hash, HashPartitioner, Partitioner};
+use crate::spill::external_group_by;
+
+/// Scatters every record of `input` into `targets` buckets according to
+/// `target_of`, in parallel on the map side. Returns the target partitions.
+pub(crate) fn shuffle_scatter<T, F>(
+    input: &Dataset<T>,
+    targets: usize,
+    target_of: F,
+) -> (Vec<Vec<T>>, TaskTimes)
+where
+    T: Clone + Send + Sync + 'static,
+    F: Fn(&T) -> usize + Sync,
+{
+    let targets = targets.max(1);
+    let inputs: Vec<Arc<Vec<T>>> = input.partitions.clone();
+    let slots = input.cluster().config().task_slots();
+    let (bucketed, times) = run_tasks(slots, inputs, |_, part| {
+        let mut buckets: Vec<Vec<T>> = (0..targets).map(|_| Vec::new()).collect();
+        for record in part.iter() {
+            let t = target_of(record);
+            debug_assert!(t < targets, "partitioner returned out-of-range target");
+            buckets[t].push(record.clone());
+        }
+        buckets
+    });
+    // Reduce-side gather: concatenate the map-side buckets per target.
+    let mut out: Vec<Vec<T>> = (0..targets).map(|_| Vec::new()).collect();
+    for mut task_buckets in bucketed {
+        for (t, bucket) in task_buckets.drain(..).enumerate() {
+            out[t].extend(bucket);
+        }
+    }
+    (out, times)
+}
+
+fn merge_times(a: TaskTimes, b: TaskTimes) -> TaskTimes {
+    TaskTimes {
+        total: a.total + b.total,
+        per_task: a.per_task.into_iter().chain(b.per_task).collect(),
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn record_wide_stage(
+    cluster: &Cluster,
+    name: &str,
+    start: Instant,
+    times: TaskTimes,
+    input_records: usize,
+    shuffled: usize,
+    out_sizes: &[usize],
+    spilled_runs: usize,
+    record_size: usize,
+) {
+    cluster.inner.metrics.record(StageMetrics {
+        stage_id: 0,
+        name: name.to_string(),
+        wall: start.elapsed(),
+        task_time: times.total,
+        task_durations: times.per_task,
+        num_tasks: out_sizes.len(),
+        input_records,
+        output_records: out_sizes.iter().sum(),
+        shuffle_records: shuffled,
+        shuffle_bytes: shuffled * record_size,
+        max_partition_records: out_sizes.iter().copied().max().unwrap_or(0),
+        spilled_runs,
+    });
+}
+
+impl<K, V> Dataset<(K, V)>
+where
+    K: Hash + Eq + Clone + Send + Sync + 'static,
+    V: Clone + Send + Sync + 'static,
+{
+    /// Groups all values sharing a key onto one partition and into one
+    /// record, Spark's `groupByKey`.
+    pub fn group_by_key(&self, name: &str, partitions: usize) -> Dataset<(K, Vec<V>)> {
+        let start = Instant::now();
+        let input_records = self.count();
+        let n = partitions.max(1);
+        let partitioner = HashPartitioner::new(n);
+        let (scattered, scatter_times) =
+            shuffle_scatter(self, n, |(k, _): &(K, V)| partitioner.partition(k));
+        let shuffled: usize = scattered.iter().map(|p| p.len()).sum();
+        let slots = self.cluster().config().task_slots();
+        let (grouped, times) = run_tasks(slots, scattered, |_, part| {
+            let mut groups: HashMap<K, Vec<V>> = HashMap::new();
+            for (k, v) in part {
+                groups.entry(k).or_default().push(v);
+            }
+            groups.into_iter().collect::<Vec<(K, Vec<V>)>>()
+        });
+        let out_sizes: Vec<usize> = grouped.iter().map(|p| p.len()).collect();
+        record_wide_stage(
+            self.cluster(),
+            name,
+            start,
+            merge_times(scatter_times, times),
+            input_records,
+            shuffled,
+            &out_sizes,
+            0,
+            std::mem::size_of::<(K, V)>(),
+        );
+        Dataset::from_partitions(self.cluster().clone(), grouped)
+    }
+
+    /// `groupByKey` with a bounded in-memory footprint: each reduce task
+    /// keeps at most the cluster's `spill_record_budget` records in memory
+    /// and spills encoded runs to disk beyond that (see [`crate::spill`]).
+    pub fn group_by_key_spilling(&self, name: &str, partitions: usize) -> Dataset<(K, Vec<V>)>
+    where
+        K: Codec + Ord,
+        V: Codec,
+    {
+        let start = Instant::now();
+        let input_records = self.count();
+        let budget = self.cluster().config().spill_record_budget;
+        let spill_dir = self.cluster().config().spill_dir.clone();
+        let n = partitions.max(1);
+        let partitioner = HashPartitioner::new(n);
+        let (scattered, scatter_times) =
+            shuffle_scatter(self, n, |(k, _): &(K, V)| partitioner.partition(k));
+        let shuffled: usize = scattered.iter().map(|p| p.len()).sum();
+        let slots = self.cluster().config().task_slots();
+        let (results, times) = run_tasks(slots, scattered, |_, part| {
+            external_group_by(part.into_iter(), budget, spill_dir.as_deref())
+                .expect("spill I/O failed")
+        });
+        let mut grouped = Vec::with_capacity(results.len());
+        let mut spilled_runs = 0;
+        for r in results {
+            spilled_runs += r.spilled_runs;
+            grouped.push(r.groups);
+        }
+        let out_sizes: Vec<usize> = grouped.iter().map(|p| p.len()).collect();
+        record_wide_stage(
+            self.cluster(),
+            name,
+            start,
+            merge_times(scatter_times, times),
+            input_records,
+            shuffled,
+            &out_sizes,
+            spilled_runs,
+            std::mem::size_of::<(K, V)>(),
+        );
+        Dataset::from_partitions(self.cluster().clone(), grouped)
+    }
+
+    /// Merges all values per key with `f`, with map-side combining (Spark's
+    /// `reduceByKey`), so only one record per key and map task is shuffled.
+    pub fn reduce_by_key<F>(&self, name: &str, partitions: usize, f: F) -> Dataset<(K, V)>
+    where
+        F: Fn(V, V) -> V + Sync,
+    {
+        let start = Instant::now();
+        let input_records = self.count();
+        let slots = self.cluster().config().task_slots();
+        // Map-side combine.
+        let inputs: Vec<Arc<Vec<(K, V)>>> = self.partitions.clone();
+        let (combined, combine_times) = run_tasks(slots, inputs, |_, part| {
+            let mut acc: HashMap<K, V> = HashMap::new();
+            for (k, v) in part.iter() {
+                match acc.remove(k) {
+                    Some(prev) => {
+                        acc.insert(k.clone(), f(prev, v.clone()));
+                    }
+                    None => {
+                        acc.insert(k.clone(), v.clone());
+                    }
+                }
+            }
+            acc.into_iter().collect::<Vec<(K, V)>>()
+        });
+        let combined = Dataset::from_partitions(self.cluster().clone(), combined);
+
+        let n = partitions.max(1);
+        let partitioner = HashPartitioner::new(n);
+        let (scattered, scatter_times) =
+            shuffle_scatter(&combined, n, |(k, _): &(K, V)| partitioner.partition(k));
+        let shuffled: usize = scattered.iter().map(|p| p.len()).sum();
+        let (reduced, reduce_times) = run_tasks(slots, scattered, |_, part| {
+            let mut acc: HashMap<K, V> = HashMap::new();
+            for (k, v) in part {
+                match acc.remove(&k) {
+                    Some(prev) => {
+                        acc.insert(k, f(prev, v));
+                    }
+                    None => {
+                        acc.insert(k, v);
+                    }
+                }
+            }
+            acc.into_iter().collect::<Vec<(K, V)>>()
+        });
+        let out_sizes: Vec<usize> = reduced.iter().map(|p| p.len()).collect();
+        record_wide_stage(
+            self.cluster(),
+            name,
+            start,
+            merge_times(merge_times(combine_times, scatter_times), reduce_times),
+            input_records,
+            shuffled,
+            &out_sizes,
+            0,
+            std::mem::size_of::<(K, V)>(),
+        );
+        Dataset::from_partitions(self.cluster().clone(), reduced)
+    }
+
+    /// Inner hash join: pairs every `(k, v)` with every `(k, w)` of `other`.
+    pub fn join<W>(
+        &self,
+        name: &str,
+        other: &Dataset<(K, W)>,
+        partitions: usize,
+    ) -> Dataset<(K, (V, W))>
+    where
+        W: Clone + Send + Sync + 'static,
+    {
+        let cogrouped = self.cogroup(name, other, partitions);
+        cogrouped.flat_map(&format!("{name}/emit"), |(k, (vs, ws))| {
+            let mut out = Vec::with_capacity(vs.len() * ws.len());
+            for v in vs {
+                for w in ws {
+                    out.push((k.clone(), (v.clone(), w.clone())));
+                }
+            }
+            out
+        })
+    }
+
+    /// Groups both sides by key onto common partitions (Spark's `cogroup`).
+    #[allow(clippy::type_complexity)]
+    pub fn cogroup<W>(
+        &self,
+        name: &str,
+        other: &Dataset<(K, W)>,
+        partitions: usize,
+    ) -> Dataset<(K, (Vec<V>, Vec<W>))>
+    where
+        W: Clone + Send + Sync + 'static,
+    {
+        let start = Instant::now();
+        let input_records = self.count() + other.count();
+        let n = partitions.max(1);
+        let partitioner = HashPartitioner::new(n);
+        let (left, left_times) =
+            shuffle_scatter(self, n, |(k, _): &(K, V)| partitioner.partition(k));
+        let (right, right_times) =
+            shuffle_scatter(other, n, |(k, _): &(K, W)| partitioner.partition(k));
+        let shuffled: usize = left.iter().map(|p| p.len()).sum::<usize>()
+            + right.iter().map(|p| p.len()).sum::<usize>();
+        let record_size = std::mem::size_of::<(K, V)>().max(std::mem::size_of::<(K, W)>());
+        #[allow(clippy::type_complexity)]
+        let zipped: Vec<(Vec<(K, V)>, Vec<(K, W)>)> = left.into_iter().zip(right).collect();
+        let slots = self.cluster().config().task_slots();
+        let (cogrouped, times) = run_tasks(slots, zipped, |_, (lpart, rpart)| {
+            let mut groups: HashMap<K, (Vec<V>, Vec<W>)> = HashMap::new();
+            for (k, v) in lpart {
+                groups.entry(k).or_default().0.push(v);
+            }
+            for (k, w) in rpart {
+                groups.entry(k).or_default().1.push(w);
+            }
+            groups.into_iter().collect::<Vec<(K, (Vec<V>, Vec<W>))>>()
+        });
+        let out_sizes: Vec<usize> = cogrouped.iter().map(|p| p.len()).collect();
+        record_wide_stage(
+            self.cluster(),
+            name,
+            start,
+            merge_times(merge_times(left_times, right_times), times),
+            input_records,
+            shuffled,
+            &out_sizes,
+            0,
+            record_size,
+        );
+        Dataset::from_partitions(self.cluster().clone(), cogrouped)
+    }
+
+    /// Re-partitions by an arbitrary [`Partitioner`] without grouping —
+    /// records sharing a key land on the same partition, in arrival order.
+    pub fn partition_by<P>(&self, name: &str, partitioner: &P) -> Dataset<(K, V)>
+    where
+        P: Partitioner<K>,
+    {
+        let start = Instant::now();
+        let input_records = self.count();
+        let (scattered, scatter_times) =
+            shuffle_scatter(self, partitioner.num_partitions(), |(k, _)| {
+                partitioner.partition(k)
+            });
+        let shuffled: usize = scattered.iter().map(|p| p.len()).sum();
+        let out_sizes: Vec<usize> = scattered.iter().map(|p| p.len()).collect();
+        record_wide_stage(
+            self.cluster(),
+            name,
+            start,
+            scatter_times,
+            input_records,
+            shuffled,
+            &out_sizes,
+            0,
+            std::mem::size_of::<(K, V)>(),
+        );
+        Dataset::from_partitions(self.cluster().clone(), scattered)
+    }
+
+    /// Drops the values.
+    pub fn keys(&self, name: &str) -> Dataset<K> {
+        self.map(name, |(k, _)| k.clone())
+    }
+
+    /// Drops the keys.
+    pub fn values(&self, name: &str) -> Dataset<V> {
+        self.map(name, |(_, v)| v.clone())
+    }
+
+    /// Transforms values, keeping keys (and partitioning) unchanged.
+    pub fn map_values<U, F>(&self, name: &str, f: F) -> Dataset<(K, U)>
+    where
+        U: Send + Sync + 'static,
+        F: Fn(&V) -> U + Sync,
+    {
+        self.map(name, |(k, v)| (k.clone(), f(v)))
+    }
+}
+
+impl<T> Dataset<T>
+where
+    T: Hash + Eq + Clone + Send + Sync + 'static,
+{
+    /// Removes duplicate records globally: shuffle by record hash, dedup per
+    /// partition. The final duplicate-elimination step of every algorithm in
+    /// the paper.
+    pub fn distinct(&self, name: &str, partitions: usize) -> Dataset<T> {
+        let start = Instant::now();
+        let input_records = self.count();
+        let targets = partitions.max(1);
+        let (scattered, scatter_times) = shuffle_scatter(self, targets, |t| {
+            (stable_hash(t) % targets as u64) as usize
+        });
+        let shuffled: usize = scattered.iter().map(|p| p.len()).sum();
+        let slots = self.cluster().config().task_slots();
+        let (deduped, times) = run_tasks(slots, scattered, |_, part| {
+            // The seen-set owns each unique record once; the output is
+            // rebuilt from it, so records are cloned exactly once.
+            let mut seen = std::collections::HashSet::with_capacity(part.len());
+            let mut out = Vec::new();
+            for record in part {
+                if !seen.contains(&record) {
+                    out.push(record.clone());
+                    seen.insert(record);
+                }
+            }
+            out
+        });
+        let out_sizes: Vec<usize> = deduped.iter().map(|p| p.len()).collect();
+        record_wide_stage(
+            self.cluster(),
+            name,
+            start,
+            merge_times(scatter_times, times),
+            input_records,
+            shuffled,
+            &out_sizes,
+            0,
+            std::mem::size_of::<T>(),
+        );
+        Dataset::from_partitions(self.cluster().clone(), deduped)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ClusterConfig;
+
+    fn cluster() -> Cluster {
+        Cluster::new(ClusterConfig::local(4))
+    }
+
+    #[test]
+    fn group_by_key_groups_everything() {
+        let c = cluster();
+        let pairs: Vec<(u32, u32)> = (0..100).map(|n| (n % 5, n)).collect();
+        let grouped = c.parallelize(pairs, 8).group_by_key("group", 4);
+        let mut all = grouped.collect();
+        all.sort_by_key(|(k, _)| *k);
+        assert_eq!(all.len(), 5);
+        for (k, vs) in all {
+            assert_eq!(vs.len(), 20);
+            assert!(vs.iter().all(|v| v % 5 == k));
+        }
+    }
+
+    #[test]
+    fn group_by_key_copartitions_keys() {
+        let c = cluster();
+        let pairs: Vec<(u32, u32)> = (0..1000).map(|n| (n % 40, n)).collect();
+        let grouped = c.parallelize(pairs, 8).group_by_key("group", 4);
+        // Each key appears exactly once across all partitions.
+        let keys: Vec<u32> = grouped.collect().into_iter().map(|(k, _)| k).collect();
+        let unique: std::collections::HashSet<u32> = keys.iter().copied().collect();
+        assert_eq!(keys.len(), unique.len());
+        assert_eq!(unique.len(), 40);
+    }
+
+    #[test]
+    fn reduce_by_key_sums() {
+        let c = cluster();
+        let pairs: Vec<(u32, u64)> = (0..1000u64).map(|n| ((n % 7) as u32, n)).collect();
+        let reduced = c
+            .parallelize(pairs, 16)
+            .reduce_by_key("sum", 4, |a, b| a + b);
+        let mut all = reduced.collect();
+        all.sort();
+        let mut expected: HashMap<u32, u64> = HashMap::new();
+        for n in 0..1000u64 {
+            *expected.entry((n % 7) as u32).or_default() += n;
+        }
+        let mut expected: Vec<(u32, u64)> = expected.into_iter().collect();
+        expected.sort();
+        assert_eq!(all, expected);
+    }
+
+    #[test]
+    fn reduce_by_key_shuffles_less_than_group_by_key() {
+        // Map-side combining is the whole point of reduceByKey.
+        let c = cluster();
+        let pairs: Vec<(u32, u64)> = (0..10_000u64).map(|n| ((n % 3) as u32, 1)).collect();
+        let ds = c.parallelize(pairs, 8);
+        ds.clone().group_by_key("group", 4);
+        ds.reduce_by_key("reduce", 4, |a, b| a + b);
+        let m = c.metrics();
+        let group_shuffle = m.stages_named("group")[0].shuffle_records;
+        let reduce_shuffle = m.stages_named("reduce")[0].shuffle_records;
+        assert_eq!(group_shuffle, 10_000);
+        // ≤ keys × map tasks = 3 × 8.
+        assert!(reduce_shuffle <= 24, "reduce shuffled {reduce_shuffle}");
+    }
+
+    #[test]
+    fn join_produces_the_cross_product_per_key() {
+        let c = cluster();
+        let left = c.parallelize(vec![(1u32, 'a'), (1, 'b'), (2, 'c')], 2);
+        let right = c.parallelize(vec![(1u32, 10u8), (2, 20), (3, 30)], 2);
+        let joined = left.join("join", &right, 4);
+        let mut all = joined.collect();
+        all.sort();
+        assert_eq!(all, vec![(1, ('a', 10)), (1, ('b', 10)), (2, ('c', 20))]);
+    }
+
+    #[test]
+    fn cogroup_collects_both_sides() {
+        let c = cluster();
+        let left = c.parallelize(vec![(1u32, 'x')], 1);
+        let right = c.parallelize(vec![(1u32, 'y'), (2, 'z')], 1);
+        let mut all = left.cogroup("cg", &right, 2).collect();
+        all.sort_by_key(|(k, _)| *k);
+        assert_eq!(all[0], (1, (vec!['x'], vec!['y'])));
+        assert_eq!(all[1], (2, (vec![], vec!['z'])));
+    }
+
+    #[test]
+    fn partition_by_composite_spreads_hot_key() {
+        use crate::shuffle::CompositePartitioner;
+        let c = cluster();
+        // One hot primary key with 64 sub-keys.
+        let records: Vec<((u32, u32), u64)> = (0..64).map(|s| ((7u32, s), s as u64)).collect();
+        let ds = c.parallelize(records, 4);
+        let parted = ds.partition_by("spread", &CompositePartitioner::new(16));
+        let sizes = parted.partition_sizes();
+        let nonempty = sizes.iter().filter(|&&s| s > 0).count();
+        assert!(nonempty >= 10, "hot key reached only {nonempty} partitions");
+        assert_eq!(parted.count(), 64);
+    }
+
+    #[test]
+    fn distinct_removes_duplicates() {
+        let c = cluster();
+        let data: Vec<u32> = (0..500).map(|n| n % 50).collect();
+        let d = c.parallelize(data, 8).distinct("dedup", 4);
+        let mut all = d.collect();
+        all.sort();
+        assert_eq!(all, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn keys_values_map_values() {
+        let c = cluster();
+        let ds = c.parallelize(vec![(1u32, 2u32), (3, 4)], 1);
+        let mut ks = ds.keys("k").collect();
+        ks.sort();
+        assert_eq!(ks, vec![1, 3]);
+        let mut vs = ds.values("v").collect();
+        vs.sort();
+        assert_eq!(vs, vec![2, 4]);
+        let mut mv = ds.map_values("mv", |v| v * 10).collect();
+        mv.sort();
+        assert_eq!(mv, vec![(1, 20), (3, 40)]);
+    }
+
+    #[test]
+    fn wide_stage_metrics_are_recorded() {
+        let c = cluster();
+        let pairs: Vec<(u32, u32)> = (0..100).map(|n| (n % 10, n)).collect();
+        c.parallelize(pairs, 4).group_by_key("wide", 4);
+        let m = c.metrics();
+        let stage = m.stages_named("wide")[0];
+        assert_eq!(stage.shuffle_records, 100);
+        assert!(stage.shuffle_bytes >= 100);
+        assert_eq!(stage.output_records, 10);
+        assert_eq!(stage.num_tasks, 4);
+    }
+
+    #[test]
+    fn group_by_key_with_empty_input() {
+        let c = cluster();
+        let ds = c.empty::<(u32, u32)>();
+        let grouped = ds.group_by_key("empty", 4);
+        assert_eq!(grouped.count(), 0);
+    }
+}

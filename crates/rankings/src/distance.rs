@@ -1,0 +1,320 @@
+//! Distance functions for top-k rankings.
+//!
+//! The paper uses Spearman's Footrule adaptation for top-k lists (Fagin,
+//! Kumar, Sivakumar: *Comparing Top k Lists*, SIAM J. Discrete Math. 2003):
+//!
+//! ```text
+//! F(τ, σ) = Σ_{i ∈ D_τ ∪ D_σ} |τ(i) − σ(i)|
+//! ```
+//!
+//! where ranks run from `0` to `k − 1` and items not contained in a ranking
+//! receive the artificial rank `l = k`. With both lists of the same size `k`
+//! the maximum distance is `k·(k+1)` (two disjoint rankings) and the minimum
+//! is `0` (identical rankings). The adaptation is a **metric** — in
+//! particular the triangle inequality holds — which is what licenses the
+//! clustering algorithm's pruning (paper §5, and property-tested in this
+//! crate).
+
+use crate::ranking::Ranking;
+
+/// The maximum raw Footrule distance between two top-k rankings of length
+/// `k`: attained exactly when the rankings are disjoint, where every item
+/// contributes `k − rank` in its own list, summing to `k(k+1)/2` per side.
+#[inline]
+pub fn max_raw_distance(k: usize) -> u64 {
+    (k as u64) * (k as u64 + 1)
+}
+
+/// Converts a normalized threshold `θ ∈ [0, 1]` into a raw distance bound for
+/// rankings of length `k`, rounding down (a pair is a result iff
+/// `raw ≤ raw_threshold`).
+#[inline]
+pub fn raw_threshold(k: usize, theta: f64) -> u64 {
+    debug_assert!((0.0..=1.0).contains(&theta), "θ must be normalized");
+    (theta * max_raw_distance(k) as f64).floor() as u64
+}
+
+/// Raw Footrule distance between two top-k rankings.
+///
+/// Works for rankings of equal or different lengths; missing items get the
+/// artificial rank `l = k` *of the ranking they are missing from*, matching
+/// the footnote in §1.1 (for variable-length rankings only the distance
+/// bounds change, not the distance itself).
+pub fn footrule_raw(a: &Ranking, b: &Ranking) -> u64 {
+    let la = a.k() as u64;
+    let lb = b.k() as u64;
+    let mut sum = 0u64;
+    for (item, rank_a) in a.iter_with_ranks() {
+        let rank_a = rank_a as u64;
+        match b.rank_of(item) {
+            Some(rank_b) => sum += rank_a.abs_diff(rank_b as u64),
+            None => sum += rank_a.abs_diff(lb),
+        }
+    }
+    for (item, rank_b) in b.iter_with_ranks() {
+        if !a.contains(item) {
+            sum += (rank_b as u64).abs_diff(la);
+        }
+    }
+    sum
+}
+
+/// Normalized Footrule distance in `[0, 1]`.
+///
+/// For rankings of different lengths the normalizer uses the larger `k`,
+/// which keeps the value in `[0, 1]`.
+pub fn footrule_norm(a: &Ranking, b: &Ranking) -> f64 {
+    let k = a.k().max(b.k());
+    footrule_raw(a, b) as f64 / max_raw_distance(k) as f64
+}
+
+/// Early-exit Footrule verification: returns `Some(distance)` iff
+/// `F(a, b) ≤ threshold_raw`, bailing out as soon as the partial sum exceeds
+/// the threshold. This is the verification kernel of all join algorithms.
+pub fn footrule_within(a: &Ranking, b: &Ranking, threshold_raw: u64) -> Option<u64> {
+    let lb = b.k() as u64;
+    let la = a.k() as u64;
+    let mut sum = 0u64;
+    for (item, rank_a) in a.iter_with_ranks() {
+        let rank_a = rank_a as u64;
+        sum += match b.rank_of(item) {
+            Some(rank_b) => rank_a.abs_diff(rank_b as u64),
+            None => rank_a.abs_diff(lb),
+        };
+        if sum > threshold_raw {
+            return None;
+        }
+    }
+    for (item, rank_b) in b.iter_with_ranks() {
+        if !a.contains(item) {
+            sum += (rank_b as u64).abs_diff(la);
+            if sum > threshold_raw {
+                return None;
+            }
+        }
+    }
+    Some(sum)
+}
+
+/// Raw Footrule distance over `(item, original_rank)` pair slices, the
+/// representation used by [`crate::ordered::OrderedRanking`].
+///
+/// Both slices must stem from rankings of length `k_a` resp. `k_b` (i.e. the
+/// original ranks are `< k`); the item order within the slices is irrelevant.
+pub fn footrule_pairs(a: &[(u32, u16)], b: &[(u32, u16)]) -> u64 {
+    footrule_pairs_within(a, b, u64::MAX).expect("u64::MAX threshold never prunes")
+}
+
+/// Early-exit variant of [`footrule_pairs`]: `Some(distance)` iff the
+/// distance is `≤ threshold_raw`.
+pub fn footrule_pairs_within(
+    a: &[(u32, u16)],
+    b: &[(u32, u16)],
+    threshold_raw: u64,
+) -> Option<u64> {
+    let la = a.len() as u64;
+    let lb = b.len() as u64;
+    let mut sum = 0u64;
+    for &(item, rank_a) in a {
+        let rank_a = rank_a as u64;
+        sum += match b.iter().find(|(i, _)| *i == item) {
+            Some(&(_, rank_b)) => rank_a.abs_diff(rank_b as u64),
+            None => rank_a.abs_diff(lb),
+        };
+        if sum > threshold_raw {
+            return None;
+        }
+    }
+    for &(item, rank_b) in b {
+        if !a.iter().any(|(i, _)| *i == item) {
+            sum += (rank_b as u64).abs_diff(la);
+            if sum > threshold_raw {
+                return None;
+            }
+        }
+    }
+    Some(sum)
+}
+
+/// Kendall's tau adaptation for top-k lists with penalty parameter `p = 0`
+/// (the "optimistic" variant `K^(0)` of Fagin et al.).
+///
+/// Counts discordant pairs over the union of the two domains:
+///
+/// * both items in both lists → 1 if the relative order differs,
+/// * `i, j` in τ but only `i` in σ → 1 if τ ranks `j` ahead of `i`,
+/// * `i` only in τ and `j` only in σ → 0 (case 4 of Fagin et al. with
+///   `p = 0`; with `p = 1/2` each such pair would contribute `1/2`),
+/// * `i, j` both in exactly one list, neither in the other → 1.
+///
+/// Not used by the join algorithms (the paper's clustering only requires a
+/// metric and uses Footrule), but provided because Footrule and Kendall's tau
+/// are within constant factors of each other (Diaconis–Graham), which makes
+/// this useful for sanity checks and downstream users.
+pub fn kendall_tau_topk(a: &Ranking, b: &Ranking) -> u64 {
+    let mut domain: Vec<u32> = a.items().to_vec();
+    for &item in b.items() {
+        if !a.contains(item) {
+            domain.push(item);
+        }
+    }
+    let mut discordant = 0u64;
+    for (x, &i) in domain.iter().enumerate() {
+        for &j in &domain[x + 1..] {
+            let (ra_i, ra_j) = (a.rank_of(i), a.rank_of(j));
+            let (rb_i, rb_j) = (b.rank_of(i), b.rank_of(j));
+            discordant += match ((ra_i, ra_j), (rb_i, rb_j)) {
+                // Case 1: both pairs ranked in both lists.
+                ((Some(ai), Some(aj)), (Some(bi), Some(bj))) => u64::from((ai < aj) != (bi < bj)),
+                // Case 2: i,j ∈ a, only one of them ∈ b (or vice versa): the
+                // list containing both fixes the order; the other list ranks
+                // its present item ahead of the absent one.
+                ((Some(ai), Some(aj)), (Some(_), None)) => u64::from(aj < ai),
+                ((Some(ai), Some(aj)), (None, Some(_))) => u64::from(ai < aj),
+                ((Some(_), None), (Some(bi), Some(bj))) => u64::from(bj < bi),
+                ((None, Some(_)), (Some(bi), Some(bj))) => u64::from(bi < bj),
+                // Case 3: i appears only in a, j appears only in b (each list
+                // ranks its own item ahead) → discordant.
+                ((Some(_), None), (None, Some(_))) => 1,
+                ((None, Some(_)), (Some(_), None)) => 1,
+                // Case 4 (p = 0): i,j together in one list only, no
+                // information from the other list → optimistic 0.
+                ((Some(_), Some(_)), (None, None)) => 0,
+                ((None, None), (Some(_), Some(_))) => 0,
+                // Remaining combinations cannot occur for items drawn from
+                // the union of the domains.
+                _ => 0,
+            };
+        }
+    }
+    discordant
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(id: u64, items: &[u32]) -> Ranking {
+        Ranking::new(id, items.to_vec()).unwrap()
+    }
+
+    #[test]
+    fn paper_intro_example() {
+        // §1.1: τ1 = [2,5,4,3,1], τ2 = [1,4,5,9,0], l = 5 (0-based ranks)
+        // gives F = 16. (The paper's prose uses 1-based ranks with l = 6 and
+        // reaches the same value, as shifting all ranks by one cancels out.)
+        let t1 = r(1, &[2, 5, 4, 3, 1]);
+        let t2 = r(2, &[1, 4, 5, 9, 0]);
+        assert_eq!(footrule_raw(&t1, &t2), 16);
+        assert_eq!(footrule_raw(&t2, &t1), 16);
+    }
+
+    #[test]
+    fn identical_rankings_have_distance_zero() {
+        let t = r(1, &[3, 1, 4, 1 + 4, 9]);
+        assert_eq!(footrule_raw(&t, &t), 0);
+        assert_eq!(footrule_norm(&t, &t), 0.0);
+    }
+
+    #[test]
+    fn disjoint_rankings_attain_the_maximum() {
+        let a = r(1, &[0, 1, 2, 3, 4]);
+        let b = r(2, &[10, 11, 12, 13, 14]);
+        assert_eq!(footrule_raw(&a, &b), max_raw_distance(5));
+        assert_eq!(footrule_norm(&a, &b), 1.0);
+    }
+
+    #[test]
+    fn single_swap_costs_two() {
+        let a = r(1, &[1, 2, 3, 4, 5]);
+        let b = r(2, &[2, 1, 3, 4, 5]);
+        assert_eq!(footrule_raw(&a, &b), 2);
+    }
+
+    #[test]
+    fn figure_one_example() {
+        // Figure 1: same domain, first p = 2 items disjoint, F = 8 = 2p².
+        let a = r(1, &[1, 2, 3, 4, 5]);
+        let b = r(2, &[3, 4, 1, 2, 5]);
+        assert_eq!(footrule_raw(&a, &b), 8);
+    }
+
+    #[test]
+    fn raw_threshold_rounds_down() {
+        // k = 10 → max = 110. θ = 0.1 → 11.0 → 11; θ = 0.35 → 38.5 → 38.
+        assert_eq!(raw_threshold(10, 0.1), 11);
+        assert_eq!(raw_threshold(10, 0.35), 38);
+        assert_eq!(raw_threshold(10, 0.0), 0);
+        assert_eq!(raw_threshold(10, 1.0), 110);
+    }
+
+    #[test]
+    fn footrule_within_agrees_with_exact() {
+        let a = r(1, &[1, 2, 3, 4, 5]);
+        let b = r(2, &[2, 1, 3, 9, 5]);
+        let exact = footrule_raw(&a, &b);
+        assert_eq!(footrule_within(&a, &b, exact), Some(exact));
+        assert_eq!(footrule_within(&a, &b, exact - 1), None);
+        assert_eq!(footrule_within(&a, &b, u64::MAX), Some(exact));
+    }
+
+    #[test]
+    fn footrule_pairs_matches_ranking_distance() {
+        let a = r(1, &[7, 3, 9, 1, 5]);
+        let b = r(2, &[3, 7, 9, 8, 2]);
+        let pa: Vec<(u32, u16)> = a
+            .iter_with_ranks()
+            .map(|(item, rank)| (item, rank as u16))
+            .collect();
+        // Scramble the pair order: the distance must not depend on it.
+        let mut pb: Vec<(u32, u16)> = b
+            .iter_with_ranks()
+            .map(|(item, rank)| (item, rank as u16))
+            .collect();
+        pb.reverse();
+        assert_eq!(footrule_pairs(&pa, &pb), footrule_raw(&a, &b));
+        let exact = footrule_raw(&a, &b);
+        assert_eq!(footrule_pairs_within(&pa, &pb, exact - 1), None);
+    }
+
+    #[test]
+    fn variable_length_rankings_are_supported() {
+        // a = [1,2,3] (k=3), b = [1,2] (k=2):
+        // item 1: |0-0| = 0; item 2: |1-1| = 0; item 3 missing in b → l_b = 2,
+        // contributes |rank_a − l_b| = |2 − 2| = 0. Total 0.
+        let a = r(1, &[1, 2, 3]);
+        let b = r(2, &[1, 2]);
+        assert_eq!(footrule_raw(&a, &b), 0);
+        // b = [2,1]: item 1: |0-1| = 1, item 2: |1-0| = 1, item 3: 0 → 2.
+        let b2 = r(3, &[2, 1]);
+        assert_eq!(footrule_raw(&a, &b2), 2);
+    }
+
+    #[test]
+    fn kendall_tau_zero_for_identical_and_positive_for_swap() {
+        let a = r(1, &[1, 2, 3, 4, 5]);
+        assert_eq!(kendall_tau_topk(&a, &a), 0);
+        let b = r(2, &[2, 1, 3, 4, 5]);
+        assert_eq!(kendall_tau_topk(&a, &b), 1);
+    }
+
+    #[test]
+    fn kendall_tau_disjoint_lists() {
+        // Disjoint lists of size k: every (i from a, j from b) pair is
+        // discordant (case 3) → k² discordances; pairs within a single list
+        // fall under case 4 and cost 0 with p = 0.
+        let a = r(1, &[1, 2]);
+        let b = r(2, &[8, 9]);
+        assert_eq!(kendall_tau_topk(&a, &b), 4);
+    }
+
+    #[test]
+    fn diaconis_graham_relation_holds() {
+        // F ≤ 2·K for permutations of the same domain (Diaconis–Graham).
+        let a = r(1, &[1, 2, 3, 4, 5]);
+        let b = r(2, &[5, 3, 1, 2, 4]);
+        let f = footrule_raw(&a, &b);
+        let k = kendall_tau_topk(&a, &b);
+        assert!(k <= f && f <= 2 * k, "K = {k}, F = {f}");
+    }
+}

@@ -1,0 +1,333 @@
+//! The *Ordering* phase: canonical reordering of ranking items by global
+//! frequency (§4 and §5 of the paper).
+//!
+//! Prefix filtering requires all rankings to list their items in one common
+//! canonical order. The paper orders items by **increasing frequency** of
+//! occurrence in the dataset ("most real world datasets follow a skewed
+//! distribution […] reordering the rankings by the item's frequency leads to
+//! major performance gains"), so rare items land in the prefix and posting
+//! lists stay short. The reordering only determines *which items form the
+//! prefix*; the original ranks are preserved alongside each item because the
+//! Footrule distance is computed over them.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::distance::{footrule_pairs, footrule_pairs_within};
+use crate::ranking::{ItemId, Ranking, RankingId};
+
+/// Per-item occurrence counts over a dataset, defining the canonical order.
+///
+/// The canonical key is `(count, item)` ascending — ties are broken by item
+/// id, which the paper leaves arbitrary ("ties are arbitrarily broken") but a
+/// deterministic tiebreak makes runs reproducible.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct FrequencyTable {
+    counts: HashMap<ItemId, u64>,
+}
+
+impl FrequencyTable {
+    /// Builds the table by counting item occurrences across `rankings`.
+    pub fn from_rankings<'a>(rankings: impl IntoIterator<Item = &'a Ranking>) -> Self {
+        let mut counts = HashMap::new();
+        for ranking in rankings {
+            for &item in ranking.items() {
+                *counts.entry(item).or_insert(0) += 1;
+            }
+        }
+        Self { counts }
+    }
+
+    /// Builds the table from pre-aggregated `(item, count)` pairs — the shape
+    /// produced by a distributed `reduce_by_key` stage.
+    pub fn from_counts(pairs: impl IntoIterator<Item = (ItemId, u64)>) -> Self {
+        Self {
+            counts: pairs.into_iter().collect(),
+        }
+    }
+
+    /// Occurrence count of `item` (0 if never seen).
+    #[inline]
+    pub fn count(&self, item: ItemId) -> u64 {
+        self.counts.get(&item).copied().unwrap_or(0)
+    }
+
+    /// The canonical sort key of `item`: ascending frequency, ties by id.
+    #[inline]
+    pub fn order_key(&self, item: ItemId) -> (u64, ItemId) {
+        (self.count(item), item)
+    }
+
+    /// Number of distinct items seen.
+    pub fn distinct_items(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Total number of item occurrences.
+    pub fn total_occurrences(&self) -> u64 {
+        self.counts.values().sum()
+    }
+
+    /// Relative frequencies of all items, descending — the input shape for
+    /// [`crate::bounds::expected_posting_list_len`].
+    pub fn relative_frequencies(&self) -> Vec<f64> {
+        let total = self.total_occurrences();
+        if total == 0 {
+            return Vec::new();
+        }
+        let mut freqs: Vec<f64> = self
+            .counts
+            .values()
+            .map(|&c| c as f64 / total as f64)
+            .collect();
+        freqs.sort_by(|a, b| b.partial_cmp(a).expect("counts are finite"));
+        freqs
+    }
+}
+
+/// A ranking in canonical form: `(item, original_rank)` pairs sorted either
+/// by ascending global frequency ([`OrderedRanking::by_frequency`]) or by the
+/// original rank ([`OrderedRanking::by_rank`], the form used with the ordered
+/// prefix of Lemma 4.1).
+///
+/// This mirrors the paper's transformation of rankings into "arrays of
+/// `(i_id, τ(i))` pairs" (§4) — the prefix is a slice of the head, while the
+/// attached original ranks keep the Footrule distance computable.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct OrderedRanking {
+    id: RankingId,
+    pairs: Box<[(ItemId, u16)]>,
+}
+
+impl OrderedRanking {
+    /// Canonicalizes `ranking` by ascending item frequency (the default for
+    /// VJ-style joins with the overlap prefix).
+    pub fn by_frequency(ranking: &Ranking, freq: &FrequencyTable) -> Self {
+        let mut pairs: Vec<(ItemId, u16)> = ranking
+            .iter_with_ranks()
+            .map(|(item, rank)| (item, rank as u16))
+            .collect();
+        pairs.sort_by_key(|&(item, _)| freq.order_key(item));
+        Self {
+            id: ranking.id(),
+            pairs: pairs.into_boxed_slice(),
+        }
+    }
+
+    /// Keeps the original rank order — the canonical form for the **ordered
+    /// prefix** (Lemma 4.1), whose prefix is the best-ranked items.
+    pub fn by_rank(ranking: &Ranking) -> Self {
+        let pairs: Vec<(ItemId, u16)> = ranking
+            .iter_with_ranks()
+            .map(|(item, rank)| (item, rank as u16))
+            .collect();
+        Self {
+            id: ranking.id(),
+            pairs: pairs.into_boxed_slice(),
+        }
+    }
+
+    /// Rebuilds from raw parts (used by codecs; pairs must be a permutation
+    /// of a valid ranking's `(item, rank)` pairs).
+    pub fn from_pairs(id: RankingId, pairs: Vec<(ItemId, u16)>) -> Self {
+        Self {
+            id,
+            pairs: pairs.into_boxed_slice(),
+        }
+    }
+
+    /// The ranking id.
+    #[inline]
+    pub fn id(&self) -> RankingId {
+        self.id
+    }
+
+    /// The ranking length `k`.
+    #[inline]
+    pub fn k(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// All `(item, original_rank)` pairs in canonical order.
+    #[inline]
+    pub fn pairs(&self) -> &[(ItemId, u16)] {
+        &self.pairs
+    }
+
+    /// The first `p` pairs — the prefix to be indexed.
+    #[inline]
+    pub fn prefix(&self, p: usize) -> &[(ItemId, u16)] {
+        &self.pairs[..p.min(self.pairs.len())]
+    }
+
+    /// The original rank of `item`, or `None` if not contained.
+    pub fn rank_of(&self, item: ItemId) -> Option<usize> {
+        self.pairs
+            .iter()
+            .find(|(i, _)| *i == item)
+            .map(|&(_, rank)| rank as usize)
+    }
+
+    /// Raw Footrule distance to `other` (uses the preserved original ranks).
+    pub fn footrule_raw(&self, other: &OrderedRanking) -> u64 {
+        footrule_pairs(&self.pairs, &other.pairs)
+    }
+
+    /// Early-exit verification: `Some(distance)` iff within `threshold_raw`.
+    pub fn footrule_within(&self, other: &OrderedRanking, threshold_raw: u64) -> Option<u64> {
+        footrule_pairs_within(&self.pairs, &other.pairs, threshold_raw)
+    }
+
+    /// Converts back into a plain [`Ranking`] (restoring the original item
+    /// order).
+    pub fn to_ranking(&self) -> Ranking {
+        let mut items: Vec<(u16, ItemId)> = self
+            .pairs
+            .iter()
+            .map(|&(item, rank)| (rank, item))
+            .collect();
+        items.sort_unstable();
+        Ranking::new_unchecked(self.id, items.into_iter().map(|(_, item)| item).collect())
+    }
+
+    /// Approximate deep size in bytes (for shuffle accounting).
+    pub fn approx_bytes(&self) -> usize {
+        std::mem::size_of::<Self>() + self.pairs.len() * std::mem::size_of::<(ItemId, u16)>()
+    }
+}
+
+/// Canonicalizes a whole dataset by frequency (driver-side convenience; the
+/// distributed pipelines do the same per partition with a broadcast table).
+pub fn order_dataset(rankings: &[Ranking], freq: &FrequencyTable) -> Vec<OrderedRanking> {
+    rankings
+        .iter()
+        .map(|r| OrderedRanking::by_frequency(r, freq))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(id: u64, items: &[u32]) -> Ranking {
+        Ranking::new(id, items.to_vec()).unwrap()
+    }
+
+    fn sample_dataset() -> Vec<Ranking> {
+        // Figure 3's spirit: item 5 occurs everywhere (most frequent), item 9
+        // once (rarest).
+        vec![
+            r(1, &[2, 5, 4, 3, 1]),
+            r(2, &[5, 2, 4, 3, 1]),
+            r(3, &[0, 8, 5, 3, 7]),
+            r(4, &[8, 0, 5, 3, 7]),
+            r(5, &[2, 5, 3, 4, 1]),
+            r(6, &[6, 9, 8, 0, 5]),
+        ]
+    }
+
+    #[test]
+    fn frequency_table_counts() {
+        let ds = sample_dataset();
+        let freq = FrequencyTable::from_rankings(&ds);
+        assert_eq!(freq.count(5), 6);
+        assert_eq!(freq.count(9), 1);
+        assert_eq!(freq.count(42), 0);
+        assert_eq!(freq.total_occurrences(), 30);
+        assert_eq!(freq.distinct_items(), 10);
+    }
+
+    #[test]
+    fn from_counts_matches_from_rankings() {
+        let ds = sample_dataset();
+        let direct = FrequencyTable::from_rankings(&ds);
+        let mut agg: HashMap<ItemId, u64> = HashMap::new();
+        for ranking in &ds {
+            for &item in ranking.items() {
+                *agg.entry(item).or_insert(0) += 1;
+            }
+        }
+        let rebuilt = FrequencyTable::from_counts(agg);
+        for item in 0..=9 {
+            assert_eq!(direct.count(item), rebuilt.count(item));
+        }
+    }
+
+    #[test]
+    fn ordering_puts_rare_items_first() {
+        let ds = sample_dataset();
+        let freq = FrequencyTable::from_rankings(&ds);
+        let ordered = OrderedRanking::by_frequency(&ds[5], &freq);
+        // τ6 = [6,9,8,0,5]; counts: 6→1, 9→1, 8→3, 0→3, 5→6.
+        // Ascending (count, id): (1,6), (1,9), (3,0), (3,8), (6,5).
+        let items: Vec<u32> = ordered.pairs().iter().map(|&(i, _)| i).collect();
+        assert_eq!(items, vec![6, 9, 0, 8, 5]);
+        // Original ranks are preserved.
+        assert_eq!(ordered.rank_of(6), Some(0));
+        assert_eq!(ordered.rank_of(5), Some(4));
+        assert_eq!(ordered.rank_of(0), Some(3));
+    }
+
+    #[test]
+    fn by_rank_is_identity_order() {
+        let ranking = r(9, &[7, 3, 1]);
+        let ordered = OrderedRanking::by_rank(&ranking);
+        assert_eq!(ordered.pairs(), &[(7, 0), (3, 1), (1, 2)]);
+        assert_eq!(ordered.prefix(2), &[(7, 0), (3, 1)]);
+    }
+
+    #[test]
+    fn ordered_distance_equals_plain_distance() {
+        let ds = sample_dataset();
+        let freq = FrequencyTable::from_rankings(&ds);
+        let ordered = order_dataset(&ds, &freq);
+        for i in 0..ds.len() {
+            for j in 0..ds.len() {
+                assert_eq!(
+                    ordered[i].footrule_raw(&ordered[j]),
+                    crate::distance::footrule_raw(&ds[i], &ds[j]),
+                    "pair ({}, {})",
+                    ds[i].id(),
+                    ds[j].id()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn prefix_is_clamped() {
+        let ds = sample_dataset();
+        let freq = FrequencyTable::from_rankings(&ds);
+        let ordered = OrderedRanking::by_frequency(&ds[0], &freq);
+        assert_eq!(ordered.prefix(99).len(), 5);
+        assert_eq!(ordered.prefix(0).len(), 0);
+    }
+
+    #[test]
+    fn round_trip_to_ranking() {
+        let ds = sample_dataset();
+        let freq = FrequencyTable::from_rankings(&ds);
+        for original in &ds {
+            let ordered = OrderedRanking::by_frequency(original, &freq);
+            assert_eq!(&ordered.to_ranking(), original);
+        }
+    }
+
+    #[test]
+    fn empty_frequency_table_relative_frequencies() {
+        let freq = FrequencyTable::default();
+        assert!(freq.relative_frequencies().is_empty());
+    }
+
+    #[test]
+    fn relative_frequencies_sum_to_one() {
+        let ds = sample_dataset();
+        let freq = FrequencyTable::from_rankings(&ds);
+        let rel = freq.relative_frequencies();
+        let sum: f64 = rel.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+        // Descending order.
+        assert!(rel.windows(2).all(|w| w[0] >= w[1]));
+    }
+}

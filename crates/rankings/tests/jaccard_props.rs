@@ -1,0 +1,93 @@
+//! Property tests for the Jaccard extension: metric axioms and bound
+//! admissibility.
+
+use proptest::prelude::*;
+use topk_rankings::jaccard::{
+    jaccard_distance, jaccard_min_overlap, jaccard_prefix_len, jaccard_within,
+};
+use topk_rankings::{FrequencyTable, OrderedRanking, Ranking};
+
+fn set_strategy(k: usize, universe: u32) -> impl Strategy<Value = Ranking> {
+    proptest::sample::subsequence((0..universe).collect::<Vec<u32>>(), k)
+        .prop_map(|items| Ranking::new_unchecked(0, items))
+}
+
+proptest! {
+    #[test]
+    fn jaccard_is_symmetric_and_bounded((a, b) in (set_strategy(6, 14), set_strategy(6, 14))) {
+        let ab = jaccard_distance(&a, &b);
+        let ba = jaccard_distance(&b, &a);
+        prop_assert!((ab - ba).abs() < 1e-12);
+        prop_assert!((0.0..=1.0).contains(&ab));
+    }
+
+    #[test]
+    fn jaccard_identity((a, b) in (set_strategy(6, 14), set_strategy(6, 14))) {
+        let d = jaccard_distance(&a, &b);
+        let same_set = a.overlap(&b) == a.k() && a.k() == b.k();
+        prop_assert_eq!(d == 0.0, same_set);
+    }
+
+    #[test]
+    fn jaccard_triangle_inequality(
+        (a, b, c) in (set_strategy(5, 10), set_strategy(5, 10), set_strategy(5, 10)),
+    ) {
+        let ab = jaccard_distance(&a, &b);
+        let bc = jaccard_distance(&b, &c);
+        let ac = jaccard_distance(&a, &c);
+        prop_assert!(ac <= ab + bc + 1e-12, "d(a,c)={ac} > {ab}+{bc}");
+    }
+
+    #[test]
+    fn jaccard_within_agrees_with_distance(
+        (a, b) in (set_strategy(6, 14), set_strategy(6, 14)),
+        theta in 0.0f64..=1.0,
+    ) {
+        let d = jaccard_distance(&a, &b);
+        let within = jaccard_within(&a, &b, theta);
+        // The predicate is evaluated cross-multiplied; allow the float
+        // boundary itself to go either way only when |d - θ| is tiny.
+        if (d - theta).abs() > 1e-9 {
+            prop_assert_eq!(within.is_some(), d <= theta);
+        }
+        if let Some(reported) = within {
+            prop_assert!((reported - d).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn jaccard_min_overlap_is_admissible(
+        (a, b) in (set_strategy(6, 12), set_strategy(6, 12)),
+        theta in 0.0f64..1.0,
+    ) {
+        // Any pair within θ shares at least ω items.
+        if jaccard_within(&a, &b, theta).is_some() {
+            let omega = jaccard_min_overlap(6, theta);
+            prop_assert!(
+                a.overlap(&b) >= omega,
+                "pair within θ={theta} shares {} < ω={omega}",
+                a.overlap(&b)
+            );
+        }
+    }
+
+    #[test]
+    fn jaccard_prefix_filter_is_complete(
+        (a, b) in (set_strategy(6, 12), set_strategy(6, 12)),
+        theta in 0.0f64..0.95,
+    ) {
+        let a = Ranking::new_unchecked(1, a.items().to_vec());
+        let b = Ranking::new_unchecked(2, b.items().to_vec());
+        if jaccard_within(&a, &b, theta).is_some() {
+            let freq = FrequencyTable::from_rankings([&a, &b]);
+            let oa = OrderedRanking::by_frequency(&a, &freq);
+            let ob = OrderedRanking::by_frequency(&b, &freq);
+            let p = jaccard_prefix_len(6, theta);
+            let shares = oa
+                .prefix(p)
+                .iter()
+                .any(|(item, _)| ob.prefix(p).iter().any(|(other, _)| other == item));
+            prop_assert!(shares, "pair within θ={theta} escaped prefixes of length {p}");
+        }
+    }
+}

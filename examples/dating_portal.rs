@@ -1,0 +1,68 @@
+//! Dating-portal matchmaking — the paper's §1 motivation at scale.
+//!
+//! Every member of the portal ranks their k = 10 favourite movies. The
+//! portal wants all pairs of members with similar taste (Footrule distance
+//! ≤ θ) to propose dates. Member preferences cluster naturally (fans of the
+//! same franchise rank near-identically), which is exactly the structure the
+//! CL algorithm exploits: near-duplicate profiles are clustered first, only
+//! cluster representatives are joined, and matches are expanded back.
+//!
+//! ```text
+//! cargo run --release --example dating_portal
+//! ```
+
+use minispark::{Cluster, ClusterConfig};
+use topk_datagen::CorpusProfile;
+use topk_simjoin::{cl_join, JoinConfig};
+use topk_simjoin_suite::format_pairs;
+
+fn main() {
+    // A member base with strong taste clusters (near_dup_rate models fans
+    // sharing almost identical top-10 lists).
+    let profile = CorpusProfile {
+        name: "portal-members".into(),
+        num_records: 5_000,
+        vocab_size: 4_000, // the movie catalogue
+        zipf_skew: 0.9,    // blockbusters dominate
+        k: 10,
+        near_dup_rate: 0.35,
+        seed: 0xDA7E,
+    };
+    let members = profile.generate();
+    println!(
+        "portal: {} members ranking their top-{} of {} movies",
+        members.len(),
+        profile.k,
+        profile.vocab_size
+    );
+
+    let cluster = Cluster::new(ClusterConfig::local(8).with_default_partitions(32));
+    let config = JoinConfig::new(0.15).with_cluster_threshold(0.03);
+
+    let outcome = cl_join(&cluster, &members, &config).expect("matchmaking failed");
+    println!(
+        "\nfound {} compatible pairs in {:.1} ms",
+        outcome.pairs.len(),
+        outcome.elapsed.as_secs_f64() * 1e3
+    );
+    println!(
+        "clustering grouped {} taste clusters ({} loners); triangle bounds \
+         settled {} candidate pairs without a distance computation",
+        outcome.stats.clusters,
+        outcome.stats.singletons,
+        outcome.stats.triangle_accepted + outcome.stats.triangle_pruned
+    );
+
+    println!("\nsample matches (movie ids):");
+    print!("{}", format_pairs(&outcome.pairs, &members, 8));
+
+    // How busy was the simulated cluster?
+    let metrics = cluster.metrics();
+    println!(
+        "engine: {} stages, {} records shuffled (≈ {} KiB), worst partition skew {:.2}×",
+        metrics.stages.len(),
+        metrics.total_shuffle_records(),
+        metrics.total_shuffle_bytes() / 1024,
+        metrics.max_skew()
+    );
+}

@@ -1,0 +1,85 @@
+//! A tour of the `minispark` substrate: the Spark-like mechanics the joins
+//! run on — partitions, shuffles, broadcast, skew, repartitioning and
+//! spill-to-disk — shown directly, without the join algorithms on top.
+//!
+//! ```text
+//! cargo run --release --example engine_tour
+//! ```
+
+use minispark::{Cluster, ClusterConfig, CompositePartitioner};
+use topk_datagen::CorpusProfile;
+use topk_rankings::Ranking;
+
+fn main() {
+    // A "cluster": 2 nodes × 2 executors × 2 cores = 8 task slots, with a
+    // deliberately tiny spill budget so the external group-by kicks in.
+    let config = ClusterConfig {
+        nodes: 2,
+        executors_per_node: 2,
+        cores_per_executor: 2,
+        default_partitions: 16,
+        ..ClusterConfig::default()
+    }
+    .with_spill_budget(5_000);
+    let cluster = Cluster::new(config);
+    println!(
+        "cluster: {} nodes → {} task slots",
+        cluster.config().nodes,
+        cluster.config().task_slots()
+    );
+
+    // Load a skewed corpus and build the inverted index the joins use.
+    let data = CorpusProfile::orku_like(10_000, 10).generate();
+    let rankings = cluster.parallelize(data, 16);
+
+    // Token frequencies via reduceByKey (map-side combined).
+    let frequencies = rankings
+        .flat_map("emit-tokens", |r: &Ranking| {
+            r.items().iter().map(|&i| (i, 1u64)).collect::<Vec<_>>()
+        })
+        .reduce_by_key("count-tokens", 16, |a, b| a + b);
+    let mut top: Vec<(u32, u64)> = frequencies.collect();
+    top.sort_by_key(|(_, c)| std::cmp::Reverse(*c));
+    println!(
+        "\ntoken skew (Zipf): hottest token appears {}×, median ≈ {}×",
+        top[0].1,
+        top[top.len() / 2].1
+    );
+
+    // Posting lists via groupByKey — watch the skew metric.
+    let postings = rankings
+        .flat_map("emit-postings", |r: &Ranking| {
+            r.items().iter().map(|&i| (i, r.id())).collect::<Vec<_>>()
+        })
+        .group_by_key("group-postings", 16);
+    let longest = postings
+        .collect()
+        .iter()
+        .map(|(_, ids)| ids.len())
+        .max()
+        .unwrap_or(0);
+    println!("longest posting list: {longest} rankings (the CL-P problem)");
+
+    // The CL-P fix, in engine terms: spread one hot key's sub-partitions
+    // with a composite partitioner.
+    let hot_token = top[0].0;
+    let spread = rankings
+        .filter("only-hot", move |r: &Ranking| r.contains(hot_token))
+        .map("sub-key", |r: &Ranking| ((r.id() % 32) as u32, r.id()))
+        .map("composite-key", move |(sub, id): &(u32, u64)| {
+            ((hot_token, *sub), *id)
+        })
+        .partition_by("spread-hot-token", &CompositePartitioner::new(32));
+    let nonempty = spread.partition_sizes().iter().filter(|&&s| s > 0).count();
+    println!("hot token spread over {nonempty} of 32 partitions via (token, sub-key)");
+
+    // Spill-to-disk: the same grouping with a 5k-record memory budget.
+    let spilled = rankings
+        .flat_map("emit-postings-2", |r: &Ranking| {
+            r.items().iter().map(|&i| (i, r.id())).collect::<Vec<_>>()
+        })
+        .group_by_key_spilling("group-with-spill", 4);
+    let _ = spilled.count();
+
+    println!("\nper-stage metrics:\n{}", cluster.metrics());
+}

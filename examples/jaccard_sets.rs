@@ -1,0 +1,81 @@
+//! Set similarity under **Jaccard distance** — the paper's §8 future work,
+//! implemented: the same clustering architecture applied to plain item sets.
+//!
+//! Scenario: near-duplicate detection over shopping baskets. Two baskets
+//! are near-duplicates when their Jaccard distance is small; the CL pipeline
+//! clusters almost-identical baskets first and joins only representatives.
+//!
+//! ```text
+//! cargo run --release --example jaccard_sets
+//! ```
+
+use minispark::{Cluster, ClusterConfig};
+use topk_datagen::CorpusProfile;
+use topk_rankings::jaccard::{jaccard_distance, jaccard_min_overlap, jaccard_prefix_len};
+use topk_simjoin::{jaccard_brute_force, jaccard_cl_join, jaccard_vj_join, JaccardConfig};
+
+fn main() {
+    // k-item "baskets" (the ranking order is ignored by the Jaccard join).
+    let baskets = CorpusProfile {
+        name: "baskets".into(),
+        num_records: 3_000,
+        vocab_size: 2_500,
+        zipf_skew: 1.0,
+        k: 10,
+        near_dup_rate: 0.3,
+        seed: 0xBA5E,
+    }
+    .generate();
+
+    println!("== Jaccard bounds for k = 10 ==");
+    println!("  θ      min-overlap ω   prefix p");
+    for theta in [0.1, 0.3, 0.5, 0.7] {
+        println!(
+            "  {theta:<6} {:<15} {}",
+            jaccard_min_overlap(10, theta),
+            jaccard_prefix_len(10, theta)
+        );
+    }
+
+    let cluster = Cluster::new(ClusterConfig::local(4).with_default_partitions(16));
+    let theta = 0.5;
+    let config = JaccardConfig::new(theta);
+    println!(
+        "\n== all basket pairs with Jaccard distance ≤ {theta} over {} baskets ==",
+        baskets.len()
+    );
+
+    let bf = jaccard_brute_force(&cluster, &baskets, theta).expect("brute force failed");
+    let vj = jaccard_vj_join(&cluster, &baskets, &config).expect("VJ failed");
+    let cl = jaccard_cl_join(&cluster, &baskets, &config).expect("CL failed");
+    assert_eq!(vj.pairs, bf.pairs);
+    assert_eq!(cl.pairs, bf.pairs);
+
+    println!(
+        "  brute force  {:>6} pairs in {:>8.1} ms",
+        bf.pairs.len(),
+        bf.elapsed.as_secs_f64() * 1e3
+    );
+    println!(
+        "  prefix join  {:>6} pairs in {:>8.1} ms   ({} candidates verified)",
+        vj.pairs.len(),
+        vj.elapsed.as_secs_f64() * 1e3,
+        vj.stats.verified
+    );
+    println!(
+        "  CL pipeline  {:>6} pairs in {:>8.1} ms   ({} clusters, {} triangle decisions)",
+        cl.pairs.len(),
+        cl.elapsed.as_secs_f64() * 1e3,
+        cl.stats.clusters,
+        cl.stats.triangle_accepted + cl.stats.triangle_pruned
+    );
+
+    // Show a couple of matches with their distances.
+    let by_id: std::collections::HashMap<u64, _> = baskets.iter().map(|r| (r.id(), r)).collect();
+    println!("\n  sample near-duplicate baskets:");
+    for (a, b) in cl.pairs.iter().take(5) {
+        let d = jaccard_distance(by_id[a], by_id[b]);
+        println!("    basket {a} ↔ basket {b}: d_J = {d:.3}");
+    }
+    println!("  ✓ all three methods returned the identical pair set");
+}

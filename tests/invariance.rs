@@ -1,0 +1,169 @@
+//! Invariance tests: the result set must not depend on any tuning knob —
+//! partition counts, node counts, δ, θc, prefix flavour, position filter.
+//! (Performance depends on all of them; correctness on none.)
+
+use minispark::{Cluster, ClusterConfig};
+use topk_datagen::CorpusProfile;
+use topk_rankings::{PrefixKind, Ranking};
+use topk_simjoin::{Algorithm, JoinConfig};
+
+fn corpus() -> Vec<Ranking> {
+    CorpusProfile::orku_like(350, 10).generate()
+}
+
+fn reference(data: &[Ranking], theta: f64) -> Vec<(u64, u64)> {
+    let cluster = Cluster::new(ClusterConfig::local(4));
+    Algorithm::BruteForce
+        .run(&cluster, data, &JoinConfig::new(theta))
+        .unwrap()
+        .pairs
+}
+
+#[test]
+fn invariant_to_partition_count() {
+    let data = corpus();
+    let expected = reference(&data, 0.25);
+    for partitions in [1, 2, 7, 86, 286] {
+        let cluster = Cluster::new(ClusterConfig::local(4));
+        let config = JoinConfig::new(0.25).with_partitions(partitions);
+        for algo in [Algorithm::Vj, Algorithm::Cl] {
+            let got = algo.run(&cluster, &data, &config).unwrap().pairs;
+            assert_eq!(
+                got,
+                expected,
+                "{} with {partitions} partitions",
+                algo.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn invariant_to_node_count() {
+    let data = corpus();
+    let expected = reference(&data, 0.25);
+    for nodes in [1, 2, 4, 8] {
+        let cluster =
+            Cluster::new(ClusterConfig::paper_scalability(nodes).with_default_partitions(24));
+        let got = Algorithm::ClP
+            .run(
+                &cluster,
+                &data,
+                &JoinConfig::new(0.25).with_partition_threshold(25),
+            )
+            .unwrap()
+            .pairs;
+        assert_eq!(got, expected, "{nodes} nodes");
+    }
+}
+
+#[test]
+fn invariant_to_partitioning_threshold() {
+    let data = corpus();
+    let expected = reference(&data, 0.3);
+    for delta in [1, 3, 10, 40, 200, 1_000_000] {
+        let cluster = Cluster::new(ClusterConfig::local(4));
+        let config = JoinConfig::new(0.3).with_partition_threshold(delta);
+        let got = Algorithm::ClP.run(&cluster, &data, &config).unwrap().pairs;
+        assert_eq!(got, expected, "δ = {delta}");
+    }
+}
+
+#[test]
+fn invariant_to_clustering_threshold() {
+    let data = corpus();
+    let expected = reference(&data, 0.3);
+    for theta_c in [0.0, 0.01, 0.02, 0.03, 0.05, 0.1] {
+        let cluster = Cluster::new(ClusterConfig::local(4));
+        let config = JoinConfig::new(0.3)
+            .with_cluster_threshold(theta_c)
+            .with_partition_threshold(30);
+        for algo in [Algorithm::Cl, Algorithm::ClP] {
+            let got = algo.run(&cluster, &data, &config).unwrap().pairs;
+            assert_eq!(got, expected, "{} with θc = {theta_c}", algo.name());
+        }
+    }
+}
+
+#[test]
+fn invariant_to_prefix_kind() {
+    let data = corpus();
+    let expected = reference(&data, 0.2);
+    for prefix in [PrefixKind::Overlap, PrefixKind::Ordered] {
+        let cluster = Cluster::new(ClusterConfig::local(4));
+        let config = JoinConfig::new(0.2).with_prefix(prefix);
+        for algo in [Algorithm::Vj, Algorithm::VjNl, Algorithm::Cl] {
+            let got = algo.run(&cluster, &data, &config).unwrap().pairs;
+            assert_eq!(got, expected, "{} with {prefix:?}", algo.name());
+        }
+    }
+}
+
+#[test]
+fn invariant_to_position_filter() {
+    let data = corpus();
+    let expected = reference(&data, 0.1);
+    for enabled in [true, false] {
+        let cluster = Cluster::new(ClusterConfig::local(4));
+        let config = JoinConfig::new(0.1).with_position_filter(enabled);
+        for algo in Algorithm::paper_lineup() {
+            let got = algo.run(&cluster, &data, &config).unwrap().pairs;
+            assert_eq!(got, expected, "{} position_filter = {enabled}", algo.name());
+        }
+    }
+}
+
+#[test]
+fn deterministic_across_runs() {
+    let data = corpus();
+    let cluster = Cluster::new(ClusterConfig::local(8));
+    let config = JoinConfig::new(0.3).with_partition_threshold(20);
+    let first = Algorithm::ClP.run(&cluster, &data, &config).unwrap().pairs;
+    for _ in 0..3 {
+        let again = Algorithm::ClP.run(&cluster, &data, &config).unwrap().pairs;
+        assert_eq!(again, first);
+    }
+}
+
+#[test]
+fn invariant_to_ablation_flags() {
+    // Disabling the triangle bounds or Lemma 5.3 changes work, not results.
+    let data = corpus();
+    let expected = reference(&data, 0.3);
+    for (triangle, lemma53) in [(false, true), (true, false), (false, false)] {
+        let cluster = Cluster::new(ClusterConfig::local(4));
+        let config = JoinConfig::new(0.3)
+            .with_triangle_bounds(triangle)
+            .with_lemma53(lemma53)
+            .with_partition_threshold(30);
+        for algo in [Algorithm::Cl, Algorithm::ClP] {
+            let got = algo.run(&cluster, &data, &config).unwrap().pairs;
+            assert_eq!(
+                got,
+                expected,
+                "{} triangle={triangle} lemma53={lemma53}",
+                algo.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn ablations_change_the_work_profile() {
+    let data = corpus();
+    let cluster = Cluster::new(ClusterConfig::local(4));
+    let with = Algorithm::Cl
+        .run(&cluster, &data, &JoinConfig::new(0.3))
+        .unwrap();
+    let without = Algorithm::Cl
+        .run(
+            &cluster,
+            &data,
+            &JoinConfig::new(0.3).with_triangle_bounds(false),
+        )
+        .unwrap();
+    assert_eq!(with.pairs, without.pairs);
+    assert_eq!(without.stats.triangle_accepted, 0);
+    assert_eq!(without.stats.triangle_pruned, 0);
+    assert!(without.stats.verified >= with.stats.verified);
+}

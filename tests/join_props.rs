@@ -1,0 +1,73 @@
+//! Property-based end-to-end tests: random datasets, random thresholds —
+//! the distributed algorithms must match the brute-force result exactly.
+
+use proptest::prelude::*;
+
+use minispark::{Cluster, ClusterConfig};
+use topk_rankings::Ranking;
+use topk_simjoin::{Algorithm, JoinConfig};
+
+/// A random dataset of `n` rankings with `k` distinct items from a small
+/// universe (small universe ⇒ high overlap ⇒ the regime where filter bugs
+/// would surface).
+fn dataset(n: usize, k: usize, universe: u32) -> impl Strategy<Value = Vec<Ranking>> {
+    proptest::collection::vec(
+        proptest::sample::subsequence((0..universe).collect::<Vec<u32>>(), k).prop_shuffle(),
+        n,
+    )
+    .prop_map(|rows| {
+        rows.into_iter()
+            .enumerate()
+            .map(|(id, items)| Ranking::new_unchecked(id as u64, items))
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn vj_and_vj_nl_match_brute_force(
+        data in dataset(40, 6, 14),
+        theta in 0.0f64..=0.5,
+    ) {
+        let cluster = Cluster::new(ClusterConfig::local(4).with_default_partitions(8));
+        let config = JoinConfig::new(theta);
+        let expected = Algorithm::BruteForce.run(&cluster, &data, &config).unwrap().pairs;
+        let vj = Algorithm::Vj.run(&cluster, &data, &config).unwrap().pairs;
+        prop_assert_eq!(&vj, &expected);
+        let vjnl = Algorithm::VjNl.run(&cluster, &data, &config).unwrap().pairs;
+        prop_assert_eq!(&vjnl, &expected);
+    }
+
+    #[test]
+    fn cl_and_clp_match_brute_force(
+        data in dataset(40, 6, 14),
+        theta in 0.0f64..=0.5,
+        theta_c in 0.0f64..=0.15,
+        delta in 1usize..=20,
+    ) {
+        let cluster = Cluster::new(ClusterConfig::local(4).with_default_partitions(8));
+        let config = JoinConfig::new(theta)
+            .with_cluster_threshold(theta_c)
+            .with_partition_threshold(delta);
+        let expected = Algorithm::BruteForce.run(&cluster, &data, &config).unwrap().pairs;
+        let cl = Algorithm::Cl.run(&cluster, &data, &config).unwrap().pairs;
+        prop_assert_eq!(&cl, &expected, "CL, θ={}, θc={}", theta, theta_c);
+        let clp = Algorithm::ClP.run(&cluster, &data, &config).unwrap().pairs;
+        prop_assert_eq!(&clp, &expected, "CL-P, θ={}, θc={}, δ={}", theta, theta_c, delta);
+    }
+
+    #[test]
+    fn repartitioned_vj_matches_brute_force(
+        data in dataset(35, 5, 12),
+        theta in 0.0f64..=0.6,
+        delta in 1usize..=15,
+    ) {
+        let cluster = Cluster::new(ClusterConfig::local(4).with_default_partitions(8));
+        let config = JoinConfig::new(theta).with_partition_threshold(delta);
+        let expected = Algorithm::BruteForce.run(&cluster, &data, &config).unwrap().pairs;
+        let got = Algorithm::VjRepartitioned.run(&cluster, &data, &config).unwrap().pairs;
+        prop_assert_eq!(got, expected);
+    }
+}
