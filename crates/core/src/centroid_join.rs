@@ -55,6 +55,7 @@ pub fn centroid_join(
     } else {
         theta_o
     };
+    crate::invariants::check_centroid_thresholds(theta_ss, theta_ms, theta_o);
     let p_m = config.prefix.prefix_len(k, theta_o);
     let p_s = if !config.use_lemma53 {
         p_m

@@ -212,10 +212,12 @@ mod tests {
     #[test]
     fn range_query_matches_linear_scan() {
         let data = corpus();
-        let index = RankingIndex::build(&data, 0.4).unwrap();
+        let index = RankingIndex::build(&data, 0.4).expect("uniform-length corpus builds");
         for theta in [0.05, 0.1, 0.2, 0.3, 0.4] {
             for query in data.iter().step_by(37) {
-                let got = index.range_query(query, theta).unwrap();
+                let got = index
+                    .range_query(query, theta)
+                    .expect("θ is within the build maximum");
                 let expected = linear_scan(&data, query, theta);
                 assert_eq!(got, expected, "θ = {theta}, query {}", query.id());
             }
@@ -226,9 +228,11 @@ mod tests {
     fn foreign_queries_are_supported() {
         // Queries that are not part of the index (e.g. a new user).
         let data = corpus();
-        let index = RankingIndex::build(&data, 0.3).unwrap();
+        let index = RankingIndex::build(&data, 0.3).expect("uniform-length corpus builds");
         let foreign = Ranking::new_unchecked(999_999, data[3].items().to_vec());
-        let got = index.range_query(&foreign, 0.3).unwrap();
+        let got = index
+            .range_query(&foreign, 0.3)
+            .expect("foreign query with matching k is accepted");
         let expected = linear_scan(&data, &foreign, 0.3);
         assert_eq!(got, expected);
         // Its twin in the corpus is found at distance 0.
@@ -239,13 +243,17 @@ mod tests {
     fn incremental_inserts() {
         let data = corpus();
         let (head, tail) = data.split_at(300);
-        let mut index = RankingIndex::build(head, 0.3).unwrap();
+        let mut index = RankingIndex::build(head, 0.3).expect("uniform-length corpus builds");
         for r in tail {
-            index.insert_ranking(r).unwrap();
+            index
+                .insert_ranking(r)
+                .expect("insert of a same-length ranking succeeds");
         }
         assert_eq!(index.len(), data.len());
         for query in data.iter().step_by(61) {
-            let got = index.range_query(query, 0.3).unwrap();
+            let got = index
+                .range_query(query, 0.3)
+                .expect("θ is within the build maximum");
             let expected = linear_scan(&data, query, 0.3);
             assert_eq!(got, expected, "query {}", query.id());
         }
@@ -254,11 +262,13 @@ mod tests {
     #[test]
     fn theta_one_scans_everything() {
         let data = vec![
-            Ranking::new(1, vec![1, 2, 3]).unwrap(),
-            Ranking::new(2, vec![7, 8, 9]).unwrap(),
+            Ranking::new(1, vec![1, 2, 3]).expect("distinct items form a valid ranking"),
+            Ranking::new(2, vec![7, 8, 9]).expect("distinct items form a valid ranking"),
         ];
-        let index = RankingIndex::build(&data, 1.0).unwrap();
-        let got = index.range_query(&data[0], 1.0).unwrap();
+        let index = RankingIndex::build(&data, 1.0).expect("uniform-length corpus builds");
+        let got = index
+            .range_query(&data[0], 1.0)
+            .expect("θ = 1 equals the build maximum");
         assert_eq!(got.len(), 1);
         assert_eq!(got[0].0, 2);
     }
@@ -266,7 +276,7 @@ mod tests {
     #[test]
     fn rejects_thresholds_beyond_build_max() {
         let data = corpus();
-        let index = RankingIndex::build(&data, 0.2).unwrap();
+        let index = RankingIndex::build(&data, 0.2).expect("uniform-length corpus builds");
         assert!(index.range_query(&data[0], 0.3).is_err());
         assert!(index.range_query(&data[0], f64::NAN).is_err());
     }
@@ -274,30 +284,35 @@ mod tests {
     #[test]
     fn rejects_mismatched_query_length() {
         let data = corpus();
-        let index = RankingIndex::build(&data, 0.3).unwrap();
-        let short = Ranking::new(5, vec![1, 2, 3]).unwrap();
+        let index = RankingIndex::build(&data, 0.3).expect("uniform-length corpus builds");
+        let short = Ranking::new(5, vec![1, 2, 3]).expect("distinct items form a valid ranking");
         assert!(matches!(
             index.range_query(&short, 0.2),
             Err(JoinError::MixedRankingLengths { .. })
         ));
-        let mut mutable = RankingIndex::build(&data, 0.3).unwrap();
+        let mut mutable = RankingIndex::build(&data, 0.3).expect("uniform-length corpus builds");
         assert!(mutable.insert_ranking(&short).is_err());
     }
 
     #[test]
     fn nearest_truncates_and_sorts() {
         let data = corpus();
-        let index = RankingIndex::build(&data, 0.4).unwrap();
-        let near = index.nearest(&data[0], 3).unwrap();
+        let index = RankingIndex::build(&data, 0.4).expect("uniform-length corpus builds");
+        let near = index
+            .nearest(&data[0], 3)
+            .expect("nearest uses the build maximum θ");
         assert!(near.len() <= 3);
         assert!(near.windows(2).all(|w| w[0].1 <= w[1].1));
     }
 
     #[test]
     fn empty_index() {
-        let index = RankingIndex::build(&[], 0.3).unwrap();
+        let index = RankingIndex::build(&[], 0.3).expect("empty corpus builds");
         assert!(index.is_empty());
-        let q = Ranking::new(1, vec![1, 2, 3]).unwrap();
-        assert!(index.range_query(&q, 0.2).unwrap().is_empty());
+        let q = Ranking::new(1, vec![1, 2, 3]).expect("distinct items form a valid ranking");
+        assert!(index
+            .range_query(&q, 0.2)
+            .expect("θ is within the build maximum")
+            .is_empty());
     }
 }

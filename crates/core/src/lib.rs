@@ -43,6 +43,7 @@ pub mod clustering;
 pub mod config;
 pub mod expansion;
 pub mod index;
+pub mod invariants;
 pub mod jaccard_join;
 pub mod kernels;
 pub mod pipeline;

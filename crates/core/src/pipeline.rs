@@ -322,7 +322,10 @@ pub fn token_grouped_join(
                         entries
                             .chunks(delta)
                             .enumerate()
-                            .map(|(sub, chunk)| ((*token, sub as u32), chunk.to_vec()))
+                            .map(|(sub, chunk)| {
+                                crate::invariants::check_subpartition(chunk.len(), delta);
+                                ((*token, sub as u32), chunk.to_vec())
+                            })
                             .collect::<Vec<_>>()
                     },
                 )
@@ -397,7 +400,9 @@ pub fn token_grouped_join(
     // Deduplicate pairs found via several shared tokens (or several chunk
     // joins) — keep one PairHit per id pair.
     hits.map(&format!("{label}/key-pairs"), |hit: &PairHit| {
-        (hit.ids(), hit.clone())
+        let ids = hit.ids();
+        crate::invariants::check_pair_normalized(ids.0, ids.1);
+        (ids, hit.clone())
     })
     .reduce_by_key(&format!("{label}/dedup-pairs"), partitions, |a, _b| a)
     .values(&format!("{label}/drop-keys"))

@@ -38,28 +38,35 @@ impl JoinStats {
     /// Increments a counter by one.
     #[inline]
     pub fn bump(counter: &AtomicU64) {
+        // Relaxed: an independent monotonic counter — no other memory is
+        // published with it, and the executor's thread join orders all
+        // increments before any snapshot.
         counter.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Increments a counter by `n`.
     #[inline]
     pub fn add(counter: &AtomicU64, n: u64) {
+        // Relaxed: same reasoning as `bump` — a pure counter increment.
         counter.fetch_add(n, Ordering::Relaxed);
     }
 
     /// Takes an immutable snapshot.
     pub fn snapshot(&self) -> StatsSnapshot {
+        // Relaxed loads: snapshots are taken after the run's worker threads
+        // have joined, which already makes every increment visible.
+        let load = |counter: &AtomicU64| counter.load(Ordering::Relaxed);
         StatsSnapshot {
-            candidates: self.candidates.load(Ordering::Relaxed),
-            position_pruned: self.position_pruned.load(Ordering::Relaxed),
-            verified: self.verified.load(Ordering::Relaxed),
-            result_pairs: self.result_pairs.load(Ordering::Relaxed),
-            triangle_pruned: self.triangle_pruned.load(Ordering::Relaxed),
-            triangle_accepted: self.triangle_accepted.load(Ordering::Relaxed),
-            clusters: self.clusters.load(Ordering::Relaxed),
-            singletons: self.singletons.load(Ordering::Relaxed),
-            posting_lists_split: self.posting_lists_split.load(Ordering::Relaxed),
-            rs_joins: self.rs_joins.load(Ordering::Relaxed),
+            candidates: load(&self.candidates),
+            position_pruned: load(&self.position_pruned),
+            verified: load(&self.verified),
+            result_pairs: load(&self.result_pairs),
+            triangle_pruned: load(&self.triangle_pruned),
+            triangle_accepted: load(&self.triangle_accepted),
+            clusters: load(&self.clusters),
+            singletons: load(&self.singletons),
+            posting_lists_split: load(&self.posting_lists_split),
+            rs_joins: load(&self.rs_joins),
         }
     }
 }

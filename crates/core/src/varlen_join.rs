@@ -222,7 +222,8 @@ mod tests {
         let mut out = Vec::new();
         let mut id = 0u64;
         for r in &base {
-            let k = *[5usize, 8, 10][..].get(rng.gen_range(0..3)).unwrap();
+            let lengths = [5usize, 8, 10];
+            let k = lengths[rng.gen_range(0..lengths.len())];
             out.push(Ranking::new_unchecked(id, r.items()[..k].to_vec()));
             id += 1;
             // Occasionally add a truncation of the same ranking — a
@@ -240,8 +241,12 @@ mod tests {
         let c = cluster();
         let data = mixed_corpus();
         for theta_raw in [0u64, 5, 15, 30, 60] {
-            let expected = varlen_brute_force(&c, &data, theta_raw).unwrap().pairs;
-            let got = varlen_join(&c, &data, theta_raw, 8).unwrap().pairs;
+            let expected = varlen_brute_force(&c, &data, theta_raw)
+                .expect("mixed-length corpus is valid input")
+                .pairs;
+            let got = varlen_join(&c, &data, theta_raw, 8)
+                .expect("mixed-length corpus is valid input")
+                .pairs;
             assert_eq!(got, expected, "θ_raw = {theta_raw}");
         }
     }
@@ -251,11 +256,14 @@ mod tests {
         // [1..5] vs [1..7]: distance Δ(Δ−1)/2 = 1 with Δ = 2.
         let c = cluster();
         let data = vec![
-            Ranking::new(1, vec![1, 2, 3, 4, 5]).unwrap(),
-            Ranking::new(2, vec![1, 2, 3, 4, 5, 6, 7]).unwrap(),
-            Ranking::new(3, vec![8, 9, 10]).unwrap(),
+            Ranking::new(1, vec![1, 2, 3, 4, 5]).expect("distinct items form a valid ranking"),
+            Ranking::new(2, vec![1, 2, 3, 4, 5, 6, 7])
+                .expect("distinct items form a valid ranking"),
+            Ranking::new(3, vec![8, 9, 10]).expect("distinct items form a valid ranking"),
         ];
-        let got = varlen_join(&c, &data, 1, 4).unwrap().pairs;
+        let got = varlen_join(&c, &data, 1, 4)
+            .expect("mixed-length input is valid for the varlen join")
+            .pairs;
         assert_eq!(got, vec![(1, 2)]);
     }
 
@@ -263,17 +271,23 @@ mod tests {
     fn length_filter_prunes_wide_gaps() {
         let c = cluster();
         let data = vec![
-            Ranking::new(1, vec![1, 2, 3]).unwrap(),
-            Ranking::new(2, vec![1, 2, 3, 4, 5, 6, 7, 8, 9, 10]).unwrap(),
+            Ranking::new(1, vec![1, 2, 3]).expect("distinct items form a valid ranking"),
+            Ranking::new(2, vec![1, 2, 3, 4, 5, 6, 7, 8, 9, 10])
+                .expect("distinct items form a valid ranking"),
         ];
         // Gap Δ = 7 ⇒ min distance 21 > θ = 20 ⇒ pruned by lengths alone.
-        let outcome = varlen_join(&c, &data, 20, 4).unwrap();
+        let outcome =
+            varlen_join(&c, &data, 20, 4).expect("mixed-length input is valid for the varlen join");
         assert!(outcome.pairs.is_empty());
         assert!(outcome.stats.triangle_pruned > 0 || outcome.stats.candidates == 0);
         // At θ = 21 the pair becomes reachable; whether it qualifies is up
         // to verification.
-        let expected = varlen_brute_force(&c, &data, 21).unwrap().pairs;
-        let got = varlen_join(&c, &data, 21, 4).unwrap().pairs;
+        let expected = varlen_brute_force(&c, &data, 21)
+            .expect("mixed-length input is valid for the brute force")
+            .pairs;
+        let got = varlen_join(&c, &data, 21, 4)
+            .expect("mixed-length input is valid for the varlen join")
+            .pairs;
         assert_eq!(got, expected);
     }
 
@@ -281,19 +295,24 @@ mod tests {
     fn huge_threshold_admits_disjoint_pairs() {
         let c = cluster();
         let data = vec![
-            Ranking::new(1, vec![1, 2]).unwrap(),
-            Ranking::new(2, vec![8, 9]).unwrap(),
-            Ranking::new(3, vec![4, 5, 6]).unwrap(),
+            Ranking::new(1, vec![1, 2]).expect("distinct items form a valid ranking"),
+            Ranking::new(2, vec![8, 9]).expect("distinct items form a valid ranking"),
+            Ranking::new(3, vec![4, 5, 6]).expect("distinct items form a valid ranking"),
         ];
         // Max possible distance across these lengths is small; a raw budget
         // of 100 admits everything, including disjoint pairs.
-        let got = varlen_join(&c, &data, 100, 2).unwrap().pairs;
+        let got = varlen_join(&c, &data, 100, 2)
+            .expect("mixed-length input is valid for the varlen join")
+            .pairs;
         assert_eq!(got, vec![(1, 2), (1, 3), (2, 3)]);
     }
 
     #[test]
     fn empty_dataset() {
         let c = cluster();
-        assert!(varlen_join(&c, &[], 10, 4).unwrap().pairs.is_empty());
+        assert!(varlen_join(&c, &[], 10, 4)
+            .expect("empty input is valid for the varlen join")
+            .pairs
+            .is_empty());
     }
 }

@@ -64,6 +64,8 @@ where
     std::thread::scope(|scope| {
         for _ in 0..workers {
             scope.spawn(|| loop {
+                // Relaxed: the fetch_add's atomicity alone guarantees unique
+                // task indices; the per-slot mutexes order the data accesses.
                 let idx = cursor.fetch_add(1, Ordering::Relaxed);
                 if idx >= num_tasks {
                     break;
@@ -75,6 +77,8 @@ where
                 let start = Instant::now();
                 let output = f(idx, input);
                 let elapsed = start.elapsed();
+                // Relaxed: an independent duration counter, only read after
+                // the scope below joins every worker.
                 busy_nanos.fetch_add(elapsed.as_nanos() as u64, Ordering::Relaxed);
                 *results[idx].lock() = Some((output, elapsed));
             });
@@ -88,9 +92,21 @@ where
         outputs.push(output);
         per_task.push(elapsed);
     }
+    debug_assert_eq!(
+        outputs.len(),
+        num_tasks,
+        "executor invariant: exactly one output per task"
+    );
+    debug_assert_eq!(
+        per_task.len(),
+        num_tasks,
+        "executor invariant: exactly one timing per task"
+    );
     (
         outputs,
         TaskTimes {
+            // Relaxed: the thread scope joined all workers above, so every
+            // fetch_add to busy_nanos happens-before this load.
             total: Duration::from_nanos(busy_nanos.load(Ordering::Relaxed)),
             per_task,
         },

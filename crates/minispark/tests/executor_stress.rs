@@ -1,0 +1,106 @@
+//! Concurrency stress tests for [`minispark::executor::run_tasks`].
+//!
+//! The executor's work-stealing claim loop (an atomic cursor plus per-slot
+//! mutexes) must deliver three guarantees regardless of slot count and task
+//! mix: every task runs exactly once, outputs come back in input order, and
+//! one timing is recorded per task. These tests hammer those guarantees
+//! across slot counts from sequential to heavily oversubscribed, with jitter
+//! so that claim interleavings actually vary between runs.
+
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Duration;
+
+use minispark::executor::run_tasks;
+
+/// Every `(slots, tasks)` combination must return outputs in input order
+/// with one timing per task — including slots > tasks, slots == 1, and the
+/// empty input.
+#[test]
+fn outputs_stay_in_input_order_across_slot_counts() {
+    for slots in [1, 2, 3, 4, 7, 8, 16, 64] {
+        for num_tasks in [0usize, 1, 2, 7, 64, 257] {
+            let inputs: Vec<usize> = (0..num_tasks).collect();
+            let (outputs, times) = run_tasks(slots, inputs, |idx, input| {
+                assert_eq!(idx, input, "task index must match input position");
+                // Jitter the fast tasks so claim order varies between runs.
+                if input % 13 == 0 {
+                    std::thread::sleep(Duration::from_micros(50));
+                }
+                input.wrapping_mul(2)
+            });
+            let expected: Vec<usize> = (0..num_tasks).map(|n| n * 2).collect();
+            assert_eq!(
+                outputs, expected,
+                "outputs out of order at slots = {slots}, tasks = {num_tasks}"
+            );
+            assert_eq!(
+                times.per_task.len(),
+                num_tasks,
+                "one timing per task at slots = {slots}, tasks = {num_tasks}"
+            );
+        }
+    }
+}
+
+/// Under contention every task must execute exactly once — no lost or
+/// double-claimed indices.
+#[test]
+fn every_task_claimed_exactly_once_under_contention() {
+    let executions = AtomicUsize::new(0);
+    let inputs: Vec<usize> = (0..1000).collect();
+    let (outputs, _) = run_tasks(16, inputs, |_, input| {
+        executions.fetch_add(1, Ordering::SeqCst);
+        input
+    });
+    assert_eq!(executions.load(Ordering::SeqCst), 1000);
+    let unique: HashSet<usize> = outputs.iter().copied().collect();
+    assert_eq!(unique.len(), 1000, "an input was dropped or duplicated");
+}
+
+/// Mixed task durations (a skewed stage): order and count still hold when
+/// the slow tasks land on different workers than the fast ones.
+#[test]
+fn skewed_task_durations_keep_order() {
+    let inputs: Vec<u64> = (0..128).collect();
+    let (outputs, times) = run_tasks(8, inputs, |_, input| {
+        if input % 17 == 0 {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        input
+    });
+    assert_eq!(outputs, (0..128).collect::<Vec<u64>>());
+    assert_eq!(times.per_task.len(), 128);
+    assert!(times.total >= Duration::from_millis(2 * (128 / 17)));
+}
+
+/// A panic inside any task must propagate to the caller (the stage fails),
+/// not vanish inside a worker thread. On the parallel path the panic
+/// surfaces through `std::thread::scope`, which re-panics with its own
+/// payload ("a scoped thread panicked") rather than the task's message —
+/// what matters is that the caller unwinds at all.
+#[test]
+#[should_panic(expected = "a scoped thread panicked")]
+fn panicking_task_propagates_to_the_caller() {
+    let inputs: Vec<usize> = (0..64).collect();
+    let _ = run_tasks(4, inputs, |_, input| {
+        if input == 37 {
+            panic!("task 37 exploded");
+        }
+        input
+    });
+}
+
+/// The sequential fast path (slots = 1) must panic just like the parallel
+/// path does.
+#[test]
+#[should_panic(expected = "sequential task exploded")]
+fn panicking_task_propagates_on_the_sequential_path() {
+    let inputs: Vec<usize> = vec![0, 1, 2];
+    let _ = run_tasks(1, inputs, |_, input| {
+        if input == 1 {
+            panic!("sequential task exploded");
+        }
+        input
+    });
+}

@@ -83,13 +83,15 @@ pub fn min_overlap(k: usize, theta_raw: u64) -> usize {
 /// candidate generation relies on.
 pub fn overlap_prefix_len(k: usize, theta_raw: u64) -> usize {
     let omega = min_overlap(k, theta_raw);
-    if omega == 0 {
+    let p = if omega == 0 {
         // Disjoint pairs can qualify: prefix filtering cannot prune anything
         // and the whole ranking must be indexed.
         k
     } else {
         (k - omega + 1).min(k)
-    }
+    };
+    crate::invariants::check_prefix_len(p, k);
+    p
 }
 
 /// Lower bound `L(p, k) = 2p²` on the Footrule distance of two rankings of
@@ -113,7 +115,9 @@ pub fn ordered_prefix_len(k: usize, theta_raw: u64) -> Option<usize> {
     // Largest x with 2x² ≤ θ, then one more item to avoid missing pairs at
     // exactly the bound.
     let x = isqrt(theta_raw / 2);
-    Some(((x + 1) as usize).min(k))
+    let p = ((x + 1) as usize).min(k);
+    crate::invariants::check_prefix_len(p, k);
+    Some(p)
 }
 
 /// Position filter (\[19\]): a shared item whose ranks in the two rankings

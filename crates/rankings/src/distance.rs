@@ -30,7 +30,7 @@ pub fn max_raw_distance(k: usize) -> u64 {
 /// `raw ≤ raw_threshold`).
 #[inline]
 pub fn raw_threshold(k: usize, theta: f64) -> u64 {
-    debug_assert!((0.0..=1.0).contains(&theta), "θ must be normalized");
+    crate::invariants::check_normalized(theta);
     (theta * max_raw_distance(k) as f64).floor() as u64
 }
 
@@ -56,6 +56,7 @@ pub fn footrule_raw(a: &Ranking, b: &Ranking) -> u64 {
             sum += (rank_b as u64).abs_diff(la);
         }
     }
+    crate::invariants::check_raw_distance(sum, a.k(), b.k());
     sum
 }
 
@@ -65,7 +66,9 @@ pub fn footrule_raw(a: &Ranking, b: &Ranking) -> u64 {
 /// which keeps the value in `[0, 1]`.
 pub fn footrule_norm(a: &Ranking, b: &Ranking) -> f64 {
     let k = a.k().max(b.k());
-    footrule_raw(a, b) as f64 / max_raw_distance(k) as f64
+    let norm = footrule_raw(a, b) as f64 / max_raw_distance(k) as f64;
+    crate::invariants::check_normalized(norm);
+    norm
 }
 
 /// Early-exit Footrule verification: returns `Some(distance)` iff
@@ -93,6 +96,8 @@ pub fn footrule_within(a: &Ranking, b: &Ranking, threshold_raw: u64) -> Option<u
             }
         }
     }
+    crate::invariants::check_within_threshold(sum, threshold_raw);
+    crate::invariants::check_raw_distance(sum, a.k(), b.k());
     Some(sum)
 }
 
@@ -133,6 +138,8 @@ pub fn footrule_pairs_within(
             }
         }
     }
+    crate::invariants::check_within_threshold(sum, threshold_raw);
+    crate::invariants::check_raw_distance(sum, a.len(), b.len());
     Some(sum)
 }
 

@@ -20,7 +20,9 @@
 //!   minimum-distance-given-overlap bound and the posting-list length
 //!   estimator (Eq. 4),
 //! * [`ordered`] — global frequency ordering (the *Ordering* phase),
-//! * [`verify`] — the shared candidate-verification kernels.
+//! * [`verify`] — the shared candidate-verification kernels,
+//! * [`invariants`] — `debug_assert!`-backed runtime checks wired into the
+//!   kernels above (free in release builds, exercised by every test run).
 //!
 //! # Example
 //!
@@ -41,6 +43,7 @@
 
 pub mod bounds;
 pub mod distance;
+pub mod invariants;
 pub mod jaccard;
 pub mod ordered;
 pub mod ranking;

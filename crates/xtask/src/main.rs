@@ -1,0 +1,98 @@
+//! `xtask` — project-native developer tooling, run as `cargo run -p xtask -- <cmd>`.
+//!
+//! Currently one command:
+//!
+//! * `lint [--root <path>]` — static analysis of the workspace source tree
+//!   against the project policy (no `unsafe`, no `.unwrap()`/`panic!` in
+//!   library code, justified `Ordering::Relaxed`, no `todo!`/`dbg!`). Exits
+//!   non-zero when any violation is found. The same analysis runs as a
+//!   `#[test]`, so plain `cargo test` enforces the policy too.
+
+mod lint;
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn workspace_root(explicit: Option<PathBuf>) -> PathBuf {
+    if let Some(root) = explicit {
+        return root;
+    }
+    // This file lives at <root>/crates/xtask/src/main.rs.
+    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    manifest
+        .parent()
+        .and_then(std::path::Path::parent)
+        .map_or(manifest.clone(), std::path::Path::to_path_buf)
+}
+
+fn run_lint(root: &std::path::Path) -> ExitCode {
+    match lint::lint_tree(root) {
+        Ok(violations) if violations.is_empty() => {
+            eprintln!("xtask lint: clean ({})", root.display());
+            ExitCode::SUCCESS
+        }
+        Ok(violations) => {
+            for v in &violations {
+                eprintln!("{v}");
+            }
+            eprintln!(
+                "xtask lint: {} violation(s). Fix them or (exceptionally, with a reviewer's \
+                 blessing) add `rule path` lines to crates/xtask/lint-allow.txt.",
+                violations.len()
+            );
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("xtask lint: failed to scan {}: {e}", root.display());
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let cmd = args.next();
+    match cmd.as_deref() {
+        Some("lint") => {
+            let mut root = None;
+            while let Some(arg) = args.next() {
+                match arg.as_str() {
+                    "--root" => root = args.next().map(PathBuf::from),
+                    other => {
+                        eprintln!("xtask lint: unknown argument `{other}`");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            run_lint(&workspace_root(root))
+        }
+        _ => {
+            eprintln!("usage: cargo run -p xtask -- lint [--root <path>]");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The policy gate: `cargo test` fails on any lint violation in the
+    /// workspace tree, keeping CI and local runs honest without a separate
+    /// tool invocation.
+    #[test]
+    fn workspace_is_lint_clean() {
+        let root = workspace_root(None);
+        let violations = lint::lint_tree(&root).expect("workspace tree must be readable");
+        assert!(
+            violations.is_empty(),
+            "xtask lint found {} violation(s):\n{}",
+            violations.len(),
+            violations
+                .iter()
+                .map(std::string::ToString::to_string)
+                .collect::<Vec<_>>()
+                .join("\n")
+        );
+    }
+}

@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Runs the minispark test suite under ThreadSanitizer.
+#
+# The engine's only lock-free code is the executor's work-stealing cursor and
+# the stats/spill counters; everything else synchronizes through mutexes and
+# thread scopes. TSan is the tool that would catch a regression there — e.g.
+# someone replacing a mutex with an insufficiently-ordered atomic.
+#
+# Requires a nightly toolchain with the rust-src component
+# (`rustup toolchain install nightly --component rust-src`), because
+# `-Zsanitizer=thread` must rebuild std with instrumentation (`-Zbuild-std`).
+#
+# Usage: scripts/tsan.sh [extra cargo test args...]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+HOST_TARGET=$(rustc +nightly -vV | sed -n 's/^host: //p')
+
+# TSAN_OPTIONS: the executor intentionally leaks nothing, but libtest's
+# harness threads can outlive the leak checker; keep the signal focused on
+# races.
+export TSAN_OPTIONS="halt_on_error=1"
+export RUSTFLAGS="-Zsanitizer=thread"
+
+exec cargo +nightly test -p minispark \
+    -Zbuild-std \
+    --target "$HOST_TARGET" \
+    "$@"

@@ -28,9 +28,12 @@ static STDOUT_CLOSED: std::sync::atomic::AtomicBool = std::sync::atomic::AtomicB
 macro_rules! out {
     ($($arg:tt)*) => {{
         use std::sync::atomic::Ordering;
+        // Relaxed: a sticky best-effort flag — a lagging read only costs one
+        // extra failed write, so no cross-thread ordering is needed.
         if !STDOUT_CLOSED.load(Ordering::Relaxed) {
             let mut stdout = std::io::stdout().lock();
             if writeln!(stdout, $($arg)*).is_err() {
+                // Relaxed: same flag as above, set-once semantics.
                 STDOUT_CLOSED.store(true, Ordering::Relaxed);
             }
         }
