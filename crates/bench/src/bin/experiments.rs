@@ -3,14 +3,23 @@
 //!
 //! ```text
 //! experiments [fig6|fig7|fig8|fig9|fig10|fig11|fig12|fig13|table3|all] …
+//!             [--scale <f>] [--trace-out <path>] [--report-out <path>]
 //!
 //! TOPK_SCALE=2.0 experiments fig6     # run at twice the default size
+//! experiments fig6 --scale 0.05 --trace-out trace.json --report-out run.json
 //! ```
 //!
 //! Results are printed to stdout and also written to `results/<id>.csv`.
+//! With `--trace-out`, every run records onto one shared trace timeline and
+//! a Chrome `trace_event` document (Perfetto-loadable) is written at the
+//! end; with `--report-out`, one JSON run report per measured run (metrics,
+//! stats, configs, executor analytics) is written. `--scale` is a
+//! command-line synonym for the `TOPK_SCALE` environment variable.
 
 use std::path::PathBuf;
 
+use minispark::Json;
+use topk_bench::capture::Capture;
 use topk_bench::figures;
 use topk_bench::report::{print_csv, write_csv, Row};
 
@@ -65,8 +74,86 @@ fn run_figure(id: &str) -> bool {
     true
 }
 
+/// Writes `text` to `path`, creating parent directories as needed.
+fn write_output(path: &str, text: &str, what: &str) {
+    let path = PathBuf::from(path);
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            if let Err(e) = std::fs::create_dir_all(parent) {
+                eprintln!("# could not create {}: {e}", parent.display());
+                return;
+            }
+        }
+    }
+    match std::fs::write(&path, text) {
+        Ok(()) => eprintln!("# wrote {what} to {}", path.display()),
+        Err(e) => eprintln!("# could not write {}: {e}", path.display()),
+    }
+}
+
+struct Options {
+    ids: Vec<String>,
+    trace_out: Option<String>,
+    report_out: Option<String>,
+}
+
+/// Splits `--scale` / `--trace-out` / `--report-out` (each taking one value)
+/// from the experiment ids. `--scale` is applied to `TOPK_SCALE` right here,
+/// before any workload is built.
+fn parse_args(args: Vec<String>) -> Result<Options, String> {
+    let mut ids = Vec::new();
+    let mut trace_out = None;
+    let mut report_out = None;
+    let mut iter = args.into_iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--scale" | "--trace-out" | "--report-out" => {
+                let value = iter
+                    .next()
+                    .ok_or_else(|| format!("{arg} requires a value"))?;
+                match arg.as_str() {
+                    "--scale" => {
+                        value
+                            .parse::<f64>()
+                            .ok()
+                            .filter(|s| s.is_finite() && *s > 0.0)
+                            .ok_or_else(|| format!("--scale {value}: not a positive number"))?;
+                        std::env::set_var("TOPK_SCALE", &value);
+                    }
+                    "--trace-out" => trace_out = Some(value),
+                    _ => report_out = Some(value),
+                }
+            }
+            other if other.starts_with("--") => {
+                return Err(format!("unknown flag {other}"));
+            }
+            _ => ids.push(arg),
+        }
+    }
+    Ok(Options {
+        ids,
+        trace_out,
+        report_out,
+    })
+}
+
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Options {
+        ids: args,
+        trace_out,
+        report_out,
+    } = match parse_args(std::env::args().skip(1).collect()) {
+        Ok(options) => options,
+        Err(message) => {
+            eprintln!("{message}");
+            std::process::exit(2);
+        }
+    };
+    let capture = if trace_out.is_some() || report_out.is_some() {
+        Some(Capture::install())
+    } else {
+        None
+    };
     let ids: Vec<String> = if args.is_empty() || args.iter().any(|a| a == "all") {
         [
             "table3",
@@ -101,5 +188,24 @@ fn main() {
             );
             std::process::exit(2);
         }
+    }
+
+    let Some(capture) = capture else { return };
+    if let Some(path) = trace_out {
+        let text = minispark::trace::chrome_trace_json(&capture.trace().snapshot());
+        // Self-check: the emitted document must parse back.
+        if let Err(e) = Json::parse(&text) {
+            eprintln!("# internal error: chrome trace does not parse: {e}");
+            std::process::exit(1);
+        }
+        write_output(&path, &text, "Chrome trace");
+    }
+    if let Some(path) = report_out {
+        let doc = topk_simjoin::runs_to_json(&capture.reports());
+        if let Err(e) = topk_simjoin::report::validate(&doc) {
+            eprintln!("# internal error: run report fails validation: {e}");
+            std::process::exit(1);
+        }
+        write_output(&path, &doc.render(), "run report");
     }
 }

@@ -1,0 +1,67 @@
+//! Process-wide observability capture for the benchmark harness.
+//!
+//! The figure runners in [`crate::figures`] create one fresh [`Cluster`]
+//! per measured run, so a trace/report consumer cannot simply hold a cluster
+//! handle. Instead, a harness frontend (the `experiments` binary, an
+//! example) [`Capture::install`]s a process-wide capture once; from then on
+//! every `measure*` call runs its cluster with a [`TraceCollector::fork`] of
+//! the shared collector, merges the run's events back (one comparable
+//! timeline across runs) and pushes a [`RunReport`].
+//!
+//! When nothing is installed the harness behaves exactly as before: clusters
+//! get the default disabled collector and pay nothing.
+//!
+//! [`Cluster`]: minispark::Cluster
+
+use std::sync::{Mutex, OnceLock};
+
+use minispark::TraceCollector;
+use topk_simjoin::RunReport;
+
+static CAPTURE: OnceLock<Capture> = OnceLock::new();
+
+/// The process-wide trace collector and run-report accumulator.
+#[derive(Debug)]
+pub struct Capture {
+    trace: TraceCollector,
+    reports: Mutex<Vec<RunReport>>,
+}
+
+impl Capture {
+    /// Installs (or returns the already-installed) process-wide capture with
+    /// an enabled collector. Idempotent.
+    pub fn install() -> &'static Capture {
+        CAPTURE.get_or_init(|| Capture {
+            trace: TraceCollector::enabled(),
+            reports: Mutex::new(Vec::new()),
+        })
+    }
+
+    /// The installed capture, if any. The figure runners check this on
+    /// every measurement.
+    pub fn active() -> Option<&'static Capture> {
+        CAPTURE.get()
+    }
+
+    /// The shared collector (fork it per run; merge back with
+    /// [`TraceCollector::extend`]).
+    pub fn trace(&self) -> &TraceCollector {
+        &self.trace
+    }
+
+    /// Appends one finished run's report.
+    pub fn push(&self, report: RunReport) {
+        self.reports
+            .lock()
+            .expect("capture report lock poisoned")
+            .push(report);
+    }
+
+    /// A copy of all reports accumulated so far, in run order.
+    pub fn reports(&self) -> Vec<RunReport> {
+        self.reports
+            .lock()
+            .expect("capture report lock poisoned")
+            .clone()
+    }
+}

@@ -58,11 +58,36 @@ pub fn measure_with_sim_slots(
     algorithm: Algorithm,
     config: &JoinConfig,
 ) -> Row {
-    let cluster = Cluster::new(exec_config.clone());
+    let capture = crate::capture::Capture::active();
+    let cluster = match capture {
+        // Forked collector: the run records onto its own buffer (isolated
+        // analytics) while sharing the capture's epoch (one timeline).
+        Some(cap) => Cluster::with_trace(exec_config.clone(), cap.trace().fork()),
+        None => Cluster::new(exec_config.clone()),
+    };
+    let run_span = cluster.trace().span(format!(
+        "run/{figure}/{}/{}@{}",
+        workload.name,
+        algorithm.name(),
+        config.theta
+    ));
     let outcome = algorithm
         .run(&cluster, &workload.data, config)
         .expect("benchmark join failed");
+    drop(run_span);
     let sim = cluster.metrics().simulated_total(sim_slots);
+    if let Some(cap) = capture {
+        cap.push(topk_simjoin::RunReport::capture(
+            algorithm.name(),
+            &workload.name,
+            workload.data.len(),
+            &cluster,
+            config,
+            &outcome,
+            sim_slots,
+        ));
+        cap.trace().extend(cluster.trace().snapshot().events);
+    }
     Row {
         figure,
         dataset: workload.name.clone(),

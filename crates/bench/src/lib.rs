@@ -15,6 +15,7 @@
 
 #![warn(missing_docs)]
 
+pub mod capture;
 pub mod datasets;
 pub mod figures;
 pub mod report;

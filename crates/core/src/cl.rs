@@ -33,50 +33,71 @@ fn cl_flavour(
     let partitions = config.effective_partitions(cluster.config().default_partitions);
     let stats = Arc::new(JoinStats::default());
 
+    // Phase spans put Figure 2's Ordering → Clustering → Joining →
+    // Expansion pipeline on the trace timeline (no-ops unless the cluster
+    // records a trace).
+    let run_span = cluster.trace().span(format!("{label}/run"));
+
     // Phase 1 — Ordering (done once; both sub-joins reuse it, §5).
-    let ordered = order_rankings(cluster, data, config.prefix, partitions, label);
+    let ordered = {
+        let _phase = cluster.trace().span(format!("{label}/phase/ordering"));
+        order_rankings(cluster, data, config.prefix, partitions, label)
+    };
 
     // Phase 2 — Clustering at θc.
-    let clustering = clustering_phase(
-        cluster,
-        &ordered,
-        k,
-        theta_raw,
-        theta_c_raw,
-        config,
-        partitions,
-        &stats,
-    );
+    let clustering = {
+        let _phase = cluster.trace().span(format!("{label}/phase/clustering"));
+        clustering_phase(
+            cluster,
+            &ordered,
+            k,
+            theta_raw,
+            theta_c_raw,
+            config,
+            partitions,
+            &stats,
+        )
+    };
 
     // Phase 3 — Joining the centroids at θ + 2θc (Lemma 5.1 / 5.3), with
     // repartitioning for CL-P.
-    let cjoin = centroid_join(
-        &clustering.centroids_m,
-        &clustering.singletons,
-        k,
-        theta_raw,
-        theta_c_raw,
-        config,
-        partitions,
-        delta,
-        &stats,
-    );
+    let cjoin = {
+        let _phase = cluster.trace().span(format!("{label}/phase/joining"));
+        centroid_join(
+            &clustering.centroids_m,
+            &clustering.singletons,
+            k,
+            theta_raw,
+            theta_c_raw,
+            config,
+            partitions,
+            delta,
+            &stats,
+        )
+    };
 
     // Phase 4 — Expansion back to ranking-level pairs.
-    let expanded = expansion(
-        &cjoin,
-        &clustering.clusters,
-        theta_raw,
-        config.use_triangle_bounds,
-        partitions,
-        &stats,
-    );
+    let expanded = {
+        let _phase = cluster.trace().span(format!("{label}/phase/expansion"));
+        expansion(
+            &cjoin,
+            &clustering.clusters,
+            theta_raw,
+            config.use_triangle_bounds,
+            partitions,
+            &stats,
+        )
+    };
 
-    let mut pairs = expanded
-        .union(&clustering.within_cluster_pairs)
-        .distinct(&format!("{label}/final-distinct"), partitions)
-        .collect();
+    let mut pairs = {
+        let _phase = cluster.trace().span(format!("{label}/phase/dedup"));
+        expanded
+            .union(&clustering.within_cluster_pairs)
+            .distinct(&format!("{label}/final-distinct"), partitions)
+            .collect()
+    };
     pairs.sort_unstable();
+    drop(run_span);
     Ok(JoinOutcome {
         pairs,
         stats: stats.snapshot(),

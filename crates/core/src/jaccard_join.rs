@@ -339,21 +339,31 @@ pub fn jaccard_vj_join(
     };
     let partitions = config.effective_partitions(cluster.config().default_partitions);
     let stats = Arc::new(JoinStats::default());
-    let ordered = order_sets(cluster, data, partitions);
-    let hits = jaccard_prefix_join(
-        &ordered,
-        k,
-        config.theta,
-        partitions,
-        None,
-        &stats,
-        "jaccard-vj",
-    );
-    let mut pairs = hits
-        .map("jaccard-vj/ids", |h| (h.a.id(), h.b.id()))
-        .distinct("jaccard-vj/distinct", partitions)
-        .collect();
+    let run_span = cluster.trace().span("jaccard-vj/run");
+    let ordered = {
+        let _phase = cluster.trace().span("jaccard-vj/phase/ordering");
+        order_sets(cluster, data, partitions)
+    };
+    let hits = {
+        let _phase = cluster.trace().span("jaccard-vj/phase/joining");
+        jaccard_prefix_join(
+            &ordered,
+            k,
+            config.theta,
+            partitions,
+            None,
+            &stats,
+            "jaccard-vj",
+        )
+    };
+    let mut pairs = {
+        let _phase = cluster.trace().span("jaccard-vj/phase/projection");
+        hits.map("jaccard-vj/ids", |h| (h.a.id(), h.b.id()))
+            .distinct("jaccard-vj/distinct", partitions)
+            .collect()
+    };
     pairs.sort_unstable();
+    drop(run_span);
     Ok(JoinOutcome {
         pairs,
         stats: stats.snapshot(),
@@ -397,9 +407,16 @@ fn jaccard_cl_flavour(
     let partitions = config.effective_partitions(cluster.config().default_partitions);
     let stats = Arc::new(JoinStats::default());
 
+    // Phase spans mirror the Footrule CL driver: Ordering → Clustering →
+    // Joining → Expansion → Dedup on the trace timeline (no-ops unless the
+    // cluster records a trace). The guard is rebound at each section break.
+    let run_span = cluster.trace().span("jaccard-cl/run");
+    let phase = cluster.trace().span("jaccard-cl/phase/ordering");
     let ordered = order_sets(cluster, data, partitions);
+    drop(phase);
 
     // ---- Clustering at θc. ------------------------------------------------
+    let phase = cluster.trace().span("jaccard-cl/phase/clustering");
     let rc = jaccard_prefix_join(
         &ordered,
         k,
@@ -467,7 +484,10 @@ fn jaccard_cl_flavour(
         })
     };
 
+    drop(phase);
+
     // ---- Joining the centroids at θ + 2θc (mixed thresholds per type). ----
+    let phase = cluster.trace().span("jaccard-cl/phase/joining");
     let theta_o = (theta + 2.0 * theta_c).min(1.0);
     let theta_ms = (theta + theta_c).min(1.0);
     let p_m = jaccard_prefix_len(k, theta_o);
@@ -543,7 +563,10 @@ fn jaccard_cl_flavour(
         .reduce_by_key("jaccard-cl/dedup-cpairs", partitions, |a, _| a)
         .values("jaccard-cl/cpairs");
 
+    drop(phase);
+
     // ---- Expansion. --------------------------------------------------------
+    let phase = cluster.trace().span("jaccard-cl/phase/expansion");
     let direct = cjoin
         .filter("jaccard-cl/direct", move |h: &JaccardHit| {
             h.distance <= theta
@@ -624,6 +647,9 @@ fn jaccard_cl_flavour(
         )
     };
 
+    drop(phase);
+
+    let phase = cluster.trace().span("jaccard-cl/phase/dedup");
     let mut pairs = direct
         .union(&member_vs_centroid)
         .union(&member_vs_member)
@@ -631,6 +657,8 @@ fn jaccard_cl_flavour(
         .distinct("jaccard-cl/final-distinct", partitions)
         .collect();
     pairs.sort_unstable();
+    drop(phase);
+    drop(run_span);
     Ok(JoinOutcome {
         pairs,
         stats: stats.snapshot(),

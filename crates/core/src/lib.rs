@@ -47,6 +47,7 @@ pub mod invariants;
 pub mod jaccard_join;
 pub mod kernels;
 pub mod pipeline;
+pub mod report;
 pub mod stats;
 pub mod varlen_join;
 pub mod vj;
@@ -60,6 +61,7 @@ pub use index::RankingIndex;
 pub use jaccard_join::{
     jaccard_brute_force, jaccard_cl_join, jaccard_clp_join, jaccard_vj_join, JaccardConfig,
 };
+pub use report::{runs_to_json, RunReport, RUN_REPORT_SCHEMA};
 pub use stats::{JoinStats, StatsSnapshot};
 pub use varlen_join::{varlen_brute_force, varlen_join};
 pub use vj::{vj_join, vj_nl_join, vj_repartitioned_join};

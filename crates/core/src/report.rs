@@ -1,0 +1,534 @@
+//! The run report: one JSON document per measured join run, unifying the
+//! engine's [`MetricsReport`], the join's [`StatsSnapshot`], both
+//! configurations and (when tracing was on) the [`ExecutorAnalytics`].
+//!
+//! The schema is versioned (`"topk-simjoin/run-report/v1"`) so downstream
+//! tooling can detect incompatible changes; [`validate`] checks a parsed
+//! document against the schema *and* the physical invariants the numbers
+//! must satisfy (occupancy in `[0, 1]`, non-negative times, per-stage keys).
+
+use minispark::{Cluster, ExecutorAnalytics, Json, MetricsReport, TraceSnapshot};
+use topk_rankings::PrefixKind;
+
+use crate::{JoinConfig, JoinOutcome, StatsSnapshot};
+
+/// The versioned schema identifier embedded in every report document.
+pub const RUN_REPORT_SCHEMA: &str = "topk-simjoin/run-report/v1";
+
+/// Everything measured about one join run, ready for JSON export.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Algorithm display name (`"VJ"`, `"CL-P"`, …).
+    pub algorithm: String,
+    /// Dataset label.
+    pub dataset: String,
+    /// Input size (number of rankings).
+    pub n: usize,
+    /// The join configuration of the run.
+    pub join_config: JoinConfig,
+    /// The simulated-cluster configuration of the run.
+    pub cluster_config: minispark::ClusterConfig,
+    /// Measured wall-clock seconds of the run.
+    pub seconds: f64,
+    /// Simulated seconds at [`RunReport::sim_slots`] slots (LPT makespan).
+    pub sim_seconds: f64,
+    /// The slot count `sim_seconds` was computed for.
+    pub sim_slots: usize,
+    /// Number of result pairs.
+    pub pairs: usize,
+    /// The join's filter/verification counters.
+    pub stats: StatsSnapshot,
+    /// Per-stage engine metrics.
+    pub metrics: MetricsReport,
+    /// Executor-utilization analytics; `None` when tracing was disabled.
+    pub analytics: Option<ExecutorAnalytics>,
+}
+
+impl RunReport {
+    /// Captures a report from a finished run: the cluster's metrics and (if
+    /// tracing is enabled) its trace snapshot, plus the join outcome.
+    pub fn capture(
+        algorithm: &str,
+        dataset: &str,
+        n: usize,
+        cluster: &Cluster,
+        join_config: &JoinConfig,
+        outcome: &JoinOutcome,
+        sim_slots: usize,
+    ) -> Self {
+        let metrics = cluster.metrics();
+        let sim_slots = sim_slots.max(1);
+        let sim_seconds = metrics.simulated_total(sim_slots).as_secs_f64();
+        let trace = cluster.trace();
+        let analytics = if trace.is_enabled() {
+            Some(ExecutorAnalytics::from_snapshot(
+                &trace.snapshot(),
+                cluster.config().task_slots(),
+            ))
+        } else {
+            None
+        };
+        Self {
+            algorithm: algorithm.to_string(),
+            dataset: dataset.to_string(),
+            n,
+            join_config: join_config.clone(),
+            cluster_config: cluster.config().clone(),
+            seconds: outcome.elapsed.as_secs_f64(),
+            sim_seconds,
+            sim_slots,
+            pairs: outcome.pairs.len(),
+            stats: outcome.stats,
+            metrics,
+            analytics,
+        }
+    }
+
+    /// As [`RunReport::capture`], but from an already-forked
+    /// [`TraceSnapshot`] (harnesses that merge the per-run trace into a
+    /// parent collector pass the isolated snapshot here).
+    #[allow(clippy::too_many_arguments)] // the capture signature plus the snapshot
+    pub fn capture_with_trace(
+        algorithm: &str,
+        dataset: &str,
+        n: usize,
+        cluster: &Cluster,
+        join_config: &JoinConfig,
+        outcome: &JoinOutcome,
+        sim_slots: usize,
+        trace: &TraceSnapshot,
+    ) -> Self {
+        let mut report = Self::capture(
+            algorithm,
+            dataset,
+            n,
+            cluster,
+            join_config,
+            outcome,
+            sim_slots,
+        );
+        report.analytics = Some(ExecutorAnalytics::from_snapshot(
+            trace,
+            cluster.config().task_slots(),
+        ));
+        report
+    }
+
+    /// Renders this report as one JSON object (schema
+    /// [`RUN_REPORT_SCHEMA`]).
+    pub fn to_json(&self) -> Json {
+        Json::obj()
+            .with("schema", Json::str(RUN_REPORT_SCHEMA))
+            .with("algorithm", Json::str(&self.algorithm))
+            .with("dataset", Json::str(&self.dataset))
+            .with("n", Json::num_usize(self.n))
+            .with("join_config", join_config_json(&self.join_config))
+            .with("cluster_config", cluster_config_json(&self.cluster_config))
+            .with("seconds", Json::num(self.seconds))
+            .with("sim_seconds", Json::num(self.sim_seconds))
+            .with("sim_slots", Json::num_usize(self.sim_slots))
+            .with("pairs", Json::num_usize(self.pairs))
+            .with("stats", stats_json(&self.stats))
+            .with("stages", stages_json(&self.metrics))
+            .with(
+                "executor",
+                match &self.analytics {
+                    Some(a) => analytics_json(a),
+                    None => Json::Null,
+                },
+            )
+    }
+}
+
+fn prefix_name(prefix: PrefixKind) -> &'static str {
+    match prefix {
+        PrefixKind::Overlap => "overlap",
+        PrefixKind::Ordered => "ordered",
+    }
+}
+
+fn join_config_json(c: &JoinConfig) -> Json {
+    Json::obj()
+        .with("theta", Json::num(c.theta))
+        .with("cluster_threshold", Json::num(c.cluster_threshold))
+        .with(
+            "partition_threshold",
+            Json::num_usize(c.partition_threshold),
+        )
+        .with("partitions", Json::num_usize(c.partitions))
+        .with("prefix", Json::str(prefix_name(c.prefix)))
+        .with("use_position_filter", Json::Bool(c.use_position_filter))
+        .with("use_triangle_bounds", Json::Bool(c.use_triangle_bounds))
+        .with("use_lemma53", Json::Bool(c.use_lemma53))
+        .with("strict_paper_prefixes", Json::Bool(c.strict_paper_prefixes))
+}
+
+fn cluster_config_json(c: &minispark::ClusterConfig) -> Json {
+    Json::obj()
+        .with("nodes", Json::num_usize(c.nodes))
+        .with("executors_per_node", Json::num_usize(c.executors_per_node))
+        .with("cores_per_executor", Json::num_usize(c.cores_per_executor))
+        .with("task_slots", Json::num_usize(c.task_slots()))
+        .with("default_partitions", Json::num_usize(c.default_partitions))
+        .with(
+            "executor_memory_bytes",
+            Json::num_usize(c.executor_memory_bytes),
+        )
+        .with(
+            "spill_record_budget",
+            // MAX means "spilling disabled" — exported as null so readers
+            // don't mistake a sentinel for a real budget.
+            if c.spill_record_budget == usize::MAX {
+                Json::Null
+            } else {
+                Json::num_usize(c.spill_record_budget)
+            },
+        )
+        .with(
+            "spill_dir",
+            match &c.spill_dir {
+                Some(dir) => Json::str(dir.to_string_lossy()),
+                None => Json::Null,
+            },
+        )
+}
+
+fn stats_json(s: &StatsSnapshot) -> Json {
+    Json::obj()
+        .with("candidates", Json::num_u64(s.candidates))
+        .with("position_pruned", Json::num_u64(s.position_pruned))
+        .with("verified", Json::num_u64(s.verified))
+        .with("result_pairs", Json::num_u64(s.result_pairs))
+        .with("triangle_pruned", Json::num_u64(s.triangle_pruned))
+        .with("triangle_accepted", Json::num_u64(s.triangle_accepted))
+        .with("clusters", Json::num_u64(s.clusters))
+        .with("singletons", Json::num_u64(s.singletons))
+        .with("posting_lists_split", Json::num_u64(s.posting_lists_split))
+        .with("rs_joins", Json::num_u64(s.rs_joins))
+}
+
+fn stages_json(metrics: &MetricsReport) -> Json {
+    let slots = metrics.slots.max(1);
+    Json::Arr(
+        metrics
+            .stages
+            .iter()
+            .map(|s| {
+                Json::obj()
+                    .with("id", Json::num_usize(s.stage_id))
+                    .with("name", Json::str(&s.name))
+                    .with("wall_ms", Json::num(s.wall.as_secs_f64() * 1e3))
+                    .with(
+                        "sim_ms",
+                        Json::num(s.simulated_wall(slots).as_secs_f64() * 1e3),
+                    )
+                    .with("tasks", Json::num_usize(s.num_tasks))
+                    .with("input_records", Json::num_usize(s.input_records))
+                    .with("output_records", Json::num_usize(s.output_records))
+                    .with("shuffle_records", Json::num_usize(s.shuffle_records))
+                    .with("shuffle_bytes", Json::num_usize(s.shuffle_bytes))
+                    .with(
+                        "max_partition_records",
+                        Json::num_usize(s.max_partition_records),
+                    )
+                    .with("skew", Json::num(s.skew()))
+                    .with("spilled_runs", Json::num_usize(s.spilled_runs))
+            })
+            .collect(),
+    )
+}
+
+fn analytics_json(a: &ExecutorAnalytics) -> Json {
+    Json::obj()
+        .with("slots", Json::num_usize(a.slots))
+        .with(
+            "critical_path_ms",
+            Json::num(a.critical_path().as_secs_f64() * 1e3),
+        )
+        .with(
+            "total_busy_ms",
+            Json::num(a.total_busy().as_secs_f64() * 1e3),
+        )
+        .with("overall_occupancy", Json::num(a.overall_occupancy()))
+        .with(
+            "overall_idle_fraction",
+            Json::num(a.overall_idle_fraction()),
+        )
+        .with(
+            "stages",
+            Json::Arr(
+                a.stages
+                    .iter()
+                    .map(|s| {
+                        Json::obj()
+                            .with("id", Json::num_usize(s.stage_id))
+                            .with("name", Json::str(&s.stage))
+                            .with("tasks", Json::num_usize(s.tasks))
+                            .with("span_ms", Json::num(s.span.as_secs_f64() * 1e3))
+                            .with("busy_ms", Json::num(s.busy.as_secs_f64() * 1e3))
+                            .with("queue_wait_ms", Json::num(s.queue_wait.as_secs_f64() * 1e3))
+                            .with("occupancy", Json::num(s.occupancy))
+                            .with("idle_fraction", Json::num(s.idle_fraction))
+                            .with(
+                                "queue_wait_p50_ms",
+                                Json::num(s.queue_wait_p50.as_secs_f64() * 1e3),
+                            )
+                            .with(
+                                "queue_wait_p95_ms",
+                                Json::num(s.queue_wait_p95.as_secs_f64() * 1e3),
+                            )
+                            .with(
+                                "queue_wait_max_ms",
+                                Json::num(s.queue_wait_max.as_secs_f64() * 1e3),
+                            )
+                            .with(
+                                "longest_task_ms",
+                                Json::num(s.longest_task.as_secs_f64() * 1e3),
+                            )
+                            .with(
+                                "slot_busy_ms",
+                                Json::Arr(
+                                    s.slot_busy
+                                        .iter()
+                                        .map(|d| Json::num(d.as_secs_f64() * 1e3))
+                                        .collect(),
+                                ),
+                            )
+                    })
+                    .collect(),
+            ),
+        )
+}
+
+/// Renders a batch of reports as one document:
+/// `{"schema": ..., "runs": [...]}`.
+pub fn runs_to_json(reports: &[RunReport]) -> Json {
+    Json::obj()
+        .with("schema", Json::str(RUN_REPORT_SCHEMA))
+        .with(
+            "runs",
+            Json::Arr(reports.iter().map(RunReport::to_json).collect()),
+        )
+}
+
+fn expect_key<'a>(obj: &'a Json, key: &str, ctx: &str) -> Result<&'a Json, String> {
+    obj.get(key)
+        .ok_or_else(|| format!("{ctx}: missing key {key:?}"))
+}
+
+fn expect_unit_interval(value: &Json, ctx: &str) -> Result<(), String> {
+    match value.as_f64() {
+        Some(v) if (0.0..=1.0).contains(&v) => Ok(()),
+        Some(v) => Err(format!("{ctx}: {v} outside [0, 1]")),
+        None => Err(format!("{ctx}: not a number")),
+    }
+}
+
+fn expect_non_negative(value: &Json, ctx: &str) -> Result<(), String> {
+    match value.as_f64() {
+        Some(v) if v >= 0.0 => Ok(()),
+        Some(v) => Err(format!("{ctx}: {v} is negative")),
+        None => Err(format!("{ctx}: not a number")),
+    }
+}
+
+/// Validates a parsed run-report document (a single run object or a
+/// `{"schema", "runs"}` batch): schema identifier, required keys, and the
+/// physical invariants (non-negative times and counters, occupancy and idle
+/// fraction in `[0, 1]`, `occupancy + idle_fraction = 1` per stage).
+pub fn validate(doc: &Json) -> Result<(), String> {
+    let schema = expect_key(doc, "schema", "document")?
+        .as_str()
+        .ok_or_else(|| "document: schema is not a string".to_string())?;
+    if schema != RUN_REPORT_SCHEMA {
+        return Err(format!(
+            "document: schema {schema:?} != {RUN_REPORT_SCHEMA:?}"
+        ));
+    }
+    if let Some(runs) = doc.get("runs") {
+        let runs = runs
+            .as_arr()
+            .ok_or_else(|| "document: runs is not an array".to_string())?;
+        for (i, run) in runs.iter().enumerate() {
+            validate_run(run, &format!("runs[{i}]"))?;
+        }
+        Ok(())
+    } else {
+        validate_run(doc, "run")
+    }
+}
+
+fn validate_run(run: &Json, ctx: &str) -> Result<(), String> {
+    for key in [
+        "algorithm",
+        "dataset",
+        "n",
+        "join_config",
+        "cluster_config",
+        "seconds",
+        "sim_seconds",
+        "sim_slots",
+        "pairs",
+        "stats",
+        "stages",
+        "executor",
+    ] {
+        expect_key(run, key, ctx)?;
+    }
+    expect_non_negative(expect_key(run, "seconds", ctx)?, &format!("{ctx}.seconds"))?;
+    expect_non_negative(
+        expect_key(run, "sim_seconds", ctx)?,
+        &format!("{ctx}.sim_seconds"),
+    )?;
+    let join = expect_key(run, "join_config", ctx)?;
+    expect_unit_interval(
+        expect_key(join, "theta", ctx)?,
+        &format!("{ctx}.join_config.theta"),
+    )?;
+    let stats = expect_key(run, "stats", ctx)?;
+    for key in ["candidates", "verified", "result_pairs"] {
+        expect_non_negative(expect_key(stats, key, ctx)?, &format!("{ctx}.stats.{key}"))?;
+    }
+    let stages = expect_key(run, "stages", ctx)?
+        .as_arr()
+        .ok_or_else(|| format!("{ctx}.stages is not an array"))?;
+    for (i, stage) in stages.iter().enumerate() {
+        let sctx = format!("{ctx}.stages[{i}]");
+        for key in ["id", "name", "wall_ms", "sim_ms", "tasks"] {
+            expect_key(stage, key, &sctx)?;
+        }
+        expect_non_negative(
+            expect_key(stage, "wall_ms", &sctx)?,
+            &format!("{sctx}.wall_ms"),
+        )?;
+        expect_non_negative(
+            expect_key(stage, "sim_ms", &sctx)?,
+            &format!("{sctx}.sim_ms"),
+        )?;
+    }
+    let executor = expect_key(run, "executor", ctx)?;
+    if !matches!(executor, Json::Null) {
+        let ectx = format!("{ctx}.executor");
+        expect_unit_interval(
+            expect_key(executor, "overall_occupancy", &ectx)?,
+            &format!("{ectx}.overall_occupancy"),
+        )?;
+        expect_unit_interval(
+            expect_key(executor, "overall_idle_fraction", &ectx)?,
+            &format!("{ectx}.overall_idle_fraction"),
+        )?;
+        expect_non_negative(
+            expect_key(executor, "critical_path_ms", &ectx)?,
+            &format!("{ectx}.critical_path_ms"),
+        )?;
+        let estages = expect_key(executor, "stages", &ectx)?
+            .as_arr()
+            .ok_or_else(|| format!("{ectx}.stages is not an array"))?;
+        for (i, stage) in estages.iter().enumerate() {
+            let sctx = format!("{ectx}.stages[{i}]");
+            let occ = expect_key(stage, "occupancy", &sctx)?;
+            let idle = expect_key(stage, "idle_fraction", &sctx)?;
+            expect_unit_interval(occ, &format!("{sctx}.occupancy"))?;
+            expect_unit_interval(idle, &format!("{sctx}.idle_fraction"))?;
+            match (occ.as_f64(), idle.as_f64()) {
+                (Some(o), Some(d)) if (o + d - 1.0).abs() <= 1e-9 => {}
+                _ => return Err(format!("{sctx}: occupancy + idle_fraction != 1")),
+            }
+            expect_non_negative(
+                expect_key(stage, "busy_ms", &sctx)?,
+                &format!("{sctx}.busy_ms"),
+            )?;
+            expect_non_negative(
+                expect_key(stage, "queue_wait_ms", &sctx)?,
+                &format!("{sctx}.queue_wait_ms"),
+            )?;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{vj_join, Algorithm};
+    use minispark::{ClusterConfig, TraceCollector};
+    use topk_datagen::CorpusProfile;
+
+    fn run_report(trace: bool) -> RunReport {
+        let config = ClusterConfig::local(4);
+        let cluster = if trace {
+            Cluster::with_trace(config, TraceCollector::enabled())
+        } else {
+            Cluster::new(config)
+        };
+        let data = CorpusProfile::dblp_like(120, 10).generate();
+        let jc = JoinConfig::new(0.3);
+        let outcome = vj_join(&cluster, &data, &jc).expect("valid corpus");
+        RunReport::capture(
+            Algorithm::Vj.name(),
+            "dblp-like",
+            data.len(),
+            &cluster,
+            &jc,
+            &outcome,
+            8,
+        )
+    }
+
+    #[test]
+    fn report_without_trace_has_null_executor() {
+        let report = run_report(false);
+        let doc = report.to_json();
+        assert!(matches!(doc.get("executor"), Some(Json::Null)));
+        validate(&doc).expect("report validates");
+    }
+
+    #[test]
+    fn report_with_trace_round_trips_and_validates() {
+        let report = run_report(true);
+        let doc = report.to_json();
+        validate(&doc).expect("report validates");
+        let text = doc.render();
+        let parsed = Json::parse(&text).expect("report JSON parses");
+        validate(&parsed).expect("parsed report validates");
+        let executor = parsed.get("executor").expect("executor present");
+        assert!(executor.get("stages").and_then(Json::as_arr).is_some());
+        assert_eq!(parsed.get("algorithm").and_then(Json::as_str), Some("VJ"));
+        // Spilling is disabled in the default config → exported as null.
+        assert!(matches!(
+            parsed
+                .get("cluster_config")
+                .and_then(|c| c.get("spill_record_budget")),
+            Some(Json::Null)
+        ));
+    }
+
+    #[test]
+    fn batch_document_validates() {
+        let reports = vec![run_report(false), run_report(true)];
+        let doc = runs_to_json(&reports);
+        validate(&doc).expect("batch validates");
+        let parsed = Json::parse(&doc.render()).expect("batch parses");
+        let runs = parsed
+            .get("runs")
+            .and_then(Json::as_arr)
+            .expect("runs array");
+        assert_eq!(runs.len(), 2);
+    }
+
+    #[test]
+    fn validate_rejects_broken_documents() {
+        assert!(validate(&Json::obj()).is_err());
+        let wrong_schema = Json::obj().with("schema", Json::str("nope"));
+        assert!(validate(&wrong_schema).is_err());
+        let mut doc = run_report(true).to_json();
+        if let Json::Obj(fields) = &mut doc {
+            for (key, value) in fields.iter_mut() {
+                if key == "seconds" {
+                    *value = Json::num(-1.0);
+                }
+            }
+        }
+        assert!(validate(&doc).is_err());
+    }
+}

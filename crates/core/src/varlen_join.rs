@@ -61,6 +61,11 @@ pub fn varlen_join(
     };
     let stats = Arc::new(JoinStats::default());
 
+    // Phase spans label Ordering → Joining → Dedup on the trace timeline
+    // (no-ops unless the cluster records a trace).
+    let run_span = cluster.trace().span("varlen/run");
+    let phase = cluster.trace().span("varlen/phase/ordering");
+
     // Distinct lengths present (small driver-side metadata).
     let lengths: Vec<usize> = data
         .iter()
@@ -97,8 +102,11 @@ pub fn varlen_join(
         Arc::new(OrderedRanking::by_frequency(r, freq.value()))
     });
 
+    drop(phase);
+
     // Prefix emission with per-length prefixes (+ sentinel routing when
     // disjoint pairs qualify).
+    let phase = cluster.trace().span("varlen/phase/joining");
     let emitted = {
         let prefix_of = prefix_of.clone();
         ordered.flat_map("varlen/emit-prefixes", move |r: &Record| {
@@ -156,8 +164,13 @@ pub fn varlen_join(
         })
     };
 
+    drop(phase);
+
+    let phase = cluster.trace().span("varlen/phase/dedup");
     let mut pairs = pairs_ds.distinct("varlen/distinct", partitions).collect();
     pairs.sort_unstable();
+    drop(phase);
+    drop(run_span);
     Ok(JoinOutcome {
         pairs,
         stats: stats.snapshot(),

@@ -34,23 +34,35 @@ fn vj_flavour(
     let partitions = config.effective_partitions(cluster.config().default_partitions);
     let stats = Arc::new(JoinStats::default());
 
-    let ordered = order_rankings(cluster, data, config.prefix, partitions, label);
-    let hits = prefix_self_join(
-        &ordered,
-        k,
-        theta_raw,
-        config.prefix,
-        style,
-        config.use_position_filter,
-        partitions,
-        delta,
-        &stats,
-        label,
-    );
-    let mut pairs = hits
-        .map(&format!("{label}/project-ids"), |hit| hit.ids())
-        .collect();
+    // Phase spans label the Ordering → Joining → Projection pipeline on the
+    // trace timeline (no-ops unless the cluster records a trace).
+    let run_span = cluster.trace().span(format!("{label}/run"));
+    let ordered = {
+        let _phase = cluster.trace().span(format!("{label}/phase/ordering"));
+        order_rankings(cluster, data, config.prefix, partitions, label)
+    };
+    let hits = {
+        let _phase = cluster.trace().span(format!("{label}/phase/joining"));
+        prefix_self_join(
+            &ordered,
+            k,
+            theta_raw,
+            config.prefix,
+            style,
+            config.use_position_filter,
+            partitions,
+            delta,
+            &stats,
+            label,
+        )
+    };
+    let mut pairs = {
+        let _phase = cluster.trace().span(format!("{label}/phase/projection"));
+        hits.map(&format!("{label}/project-ids"), |hit| hit.ids())
+            .collect()
+    };
     pairs.sort_unstable();
+    drop(run_span);
     Ok(JoinOutcome {
         pairs,
         stats: stats.snapshot(),

@@ -11,12 +11,14 @@ use std::time::Instant;
 
 use crate::broadcast::Broadcast;
 use crate::config::ClusterConfig;
-use crate::executor::run_tasks;
+use crate::executor::{run_tasks, TaskSpan, TaskTimes};
 use crate::metrics::{MetricsRegistry, MetricsReport, StageMetrics};
+use crate::trace::TraceCollector;
 
 pub(crate) struct ClusterInner {
     pub(crate) config: ClusterConfig,
     pub(crate) metrics: MetricsRegistry,
+    pub(crate) trace: TraceCollector,
 }
 
 /// Handle to the simulated cluster: owns the configuration and the metrics
@@ -28,12 +30,22 @@ pub struct Cluster {
 }
 
 impl Cluster {
-    /// Boots a cluster with the given configuration.
+    /// Boots a cluster with the given configuration. Tracing is disabled
+    /// (the collector is a no-op); use [`Cluster::with_trace`] to observe a
+    /// run.
     pub fn new(config: ClusterConfig) -> Self {
+        Self::with_trace(config, TraceCollector::disabled())
+    }
+
+    /// Boots a cluster whose stages report into `trace` (pass
+    /// [`TraceCollector::enabled`] to record per-task spans, phase spans and
+    /// shuffle/spill events).
+    pub fn with_trace(config: ClusterConfig, trace: TraceCollector) -> Self {
         Self {
             inner: Arc::new(ClusterInner {
                 config,
                 metrics: MetricsRegistry::default(),
+                trace,
             }),
         }
     }
@@ -43,9 +55,18 @@ impl Cluster {
         &self.inner.config
     }
 
-    /// Snapshot of all stage metrics recorded so far.
+    /// The cluster's trace collector (a no-op unless the cluster was built
+    /// with [`Cluster::with_trace`]).
+    pub fn trace(&self) -> &TraceCollector {
+        &self.inner.trace
+    }
+
+    /// Snapshot of all stage metrics recorded so far. The report's simulated
+    /// wall column uses this cluster's slot count.
     pub fn metrics(&self) -> MetricsReport {
-        self.inner.metrics.report()
+        let mut report = self.inner.metrics.report();
+        report.slots = self.inner.config.task_slots();
+        report
     }
 
     /// Clears recorded metrics (between benchmark iterations).
@@ -96,7 +117,7 @@ impl Cluster {
         shuffled: usize,
     ) {
         let wall = start.elapsed();
-        self.inner.metrics.record(StageMetrics {
+        let id = self.inner.metrics.record(StageMetrics {
             stage_id: 0,
             name: name.to_string(),
             wall,
@@ -110,6 +131,19 @@ impl Cluster {
             max_partition_records: records,
             spilled_runs: 0,
         });
+        // Driver stages occupy no executor slot; trace them as one slot-0
+        // task so the timeline stays gap-free.
+        self.inner.trace.record_stage_tasks(
+            id,
+            name,
+            &[TaskSpan {
+                task: 0,
+                slot: 0,
+                queued: start,
+                started: start,
+                finished: start + wall,
+            }],
+        );
     }
 
     /// Runs one narrow stage: `f(partition_index, partition) → new partition`
@@ -133,12 +167,17 @@ impl Cluster {
         });
         let output_records: usize = outputs.iter().map(|p| p.len()).sum();
         let max_partition_records = outputs.iter().map(|p| p.len()).max().unwrap_or(0);
-        self.inner.metrics.record(StageMetrics {
+        let TaskTimes {
+            total,
+            per_task,
+            spans,
+        } = times;
+        let id = self.inner.metrics.record(StageMetrics {
             stage_id: 0,
             name: name.to_string(),
             wall: start.elapsed(),
-            task_time: times.total,
-            task_durations: times.per_task,
+            task_time: total,
+            task_durations: per_task,
             num_tasks: outputs.len(),
             input_records,
             output_records,
@@ -147,6 +186,7 @@ impl Cluster {
             max_partition_records,
             spilled_runs: 0,
         });
+        self.inner.trace.record_stage_tasks(id, name, &spans);
         Dataset::from_partitions(self.clone(), outputs)
     }
 }
@@ -274,12 +314,13 @@ impl<T: Send + Sync + 'static> Dataset<T> {
         }
         let moved: usize = targets.iter().map(|p| p.len()).sum();
         let max_partition_records = targets.iter().map(|p| p.len()).max().unwrap_or(0);
-        self.cluster.inner.metrics.record(StageMetrics {
+        let wall = start.elapsed();
+        let id = self.cluster.inner.metrics.record(StageMetrics {
             stage_id: 0,
             name: name.to_string(),
-            wall: start.elapsed(),
-            task_time: start.elapsed(),
-            task_durations: vec![start.elapsed()],
+            wall,
+            task_time: wall,
+            task_durations: vec![wall],
             num_tasks: n,
             input_records: moved,
             output_records: moved,
@@ -288,6 +329,23 @@ impl<T: Send + Sync + 'static> Dataset<T> {
             max_partition_records,
             spilled_runs: 0,
         });
+        self.cluster.inner.trace.record_stage_tasks(
+            id,
+            name,
+            &[TaskSpan {
+                task: 0,
+                slot: 0,
+                queued: start,
+                started: start,
+                finished: start + wall,
+            }],
+        );
+        if self.cluster.inner.trace.is_enabled() && moved > 0 {
+            self.cluster
+                .inner
+                .trace
+                .mark(&format!("shuffle-flush/{name}"), moved as u64);
+        }
         Dataset::from_partitions(self.cluster.clone(), targets)
     }
 

@@ -11,6 +11,25 @@ use std::time::{Duration, Instant};
 
 use parking_lot::Mutex;
 
+/// Scheduling trace of one executed task: which slot ran it and the
+/// queued → started → finished instants. `queued` is the stage submission
+/// time (all tasks of a stage become runnable together), so
+/// `started − queued` is the task's queue wait and `finished − started` its
+/// busy time. Consumed by [`crate::trace::TraceCollector::record_stage_tasks`].
+#[derive(Debug, Clone, Copy)]
+pub struct TaskSpan {
+    /// Task index within the stage.
+    pub task: usize,
+    /// Worker slot (0-based) the task executed on.
+    pub slot: usize,
+    /// When the task became runnable.
+    pub queued: Instant,
+    /// When a worker picked it up.
+    pub started: Instant,
+    /// When it finished.
+    pub finished: Instant,
+}
+
 /// Timing of one executed stage: the summed busy time plus the per-task
 /// durations (the input to the cluster-simulation makespan, see
 /// [`crate::metrics::StageMetrics::simulated_wall`]).
@@ -20,6 +39,10 @@ pub struct TaskTimes {
     pub total: Duration,
     /// Duration of each task, in task order.
     pub per_task: Vec<Duration>,
+    /// Scheduling trace of each task, in task order. Built from instants the
+    /// executor takes anyway, so the cost is independent of whether a
+    /// [`crate::trace::TraceCollector`] consumes it.
+    pub spans: Vec<TaskSpan>,
 }
 
 /// Runs `f(task_index, input)` for every input, using at most `slots`
@@ -39,31 +62,56 @@ where
     if num_tasks == 0 {
         return (Vec::new(), TaskTimes::default());
     }
+    // Stage submission time: every task of the stage is runnable from here,
+    // so `started − queued` measures the wait for a free slot.
+    let queued = Instant::now();
 
     if slots == 1 || num_tasks == 1 {
         // Fast sequential path (also keeps single-slot runs deterministic in
         // their scheduling for tests).
         let mut outputs = Vec::with_capacity(num_tasks);
         let mut per_task = Vec::with_capacity(num_tasks);
+        let mut spans = Vec::with_capacity(num_tasks);
         for (idx, input) in inputs.into_iter().enumerate() {
             let start = Instant::now();
             outputs.push(f(idx, input));
-            per_task.push(start.elapsed());
+            let elapsed = start.elapsed();
+            per_task.push(elapsed);
+            spans.push(TaskSpan {
+                task: idx,
+                slot: 0,
+                queued,
+                started: start,
+                finished: start + elapsed,
+            });
         }
         let total = per_task.iter().sum();
-        return (outputs, TaskTimes { total, per_task });
+        return (
+            outputs,
+            TaskTimes {
+                total,
+                per_task,
+                spans,
+            },
+        );
     }
 
     let pending: Vec<Mutex<Option<I>>> = inputs.into_iter().map(|i| Mutex::new(Some(i))).collect();
-    let results: Vec<Mutex<Option<(O, Duration)>>> =
-        (0..num_tasks).map(|_| Mutex::new(None)).collect();
+    // Per-task result slot: output, busy duration, start instant, worker slot.
+    type TaskResult<O> = Mutex<Option<(O, Duration, Instant, usize)>>;
+    let results: Vec<TaskResult<O>> = (0..num_tasks).map(|_| Mutex::new(None)).collect();
     let cursor = AtomicUsize::new(0);
     let busy_nanos = AtomicU64::new(0);
 
     let workers = slots.min(num_tasks);
     std::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| loop {
+        let pending = &pending;
+        let results = &results;
+        let cursor = &cursor;
+        let busy_nanos = &busy_nanos;
+        let f = &f;
+        for slot in 0..workers {
+            scope.spawn(move || loop {
                 // Relaxed: the fetch_add's atomicity alone guarantees unique
                 // task indices; the per-slot mutexes order the data accesses.
                 let idx = cursor.fetch_add(1, Ordering::Relaxed);
@@ -80,17 +128,25 @@ where
                 // Relaxed: an independent duration counter, only read after
                 // the scope below joins every worker.
                 busy_nanos.fetch_add(elapsed.as_nanos() as u64, Ordering::Relaxed);
-                *results[idx].lock() = Some((output, elapsed));
+                *results[idx].lock() = Some((output, elapsed, start, slot));
             });
         }
     });
 
     let mut outputs = Vec::with_capacity(num_tasks);
     let mut per_task = Vec::with_capacity(num_tasks);
-    for cell in results {
-        let (output, elapsed) = cell.into_inner().expect("task produced no output");
+    let mut spans = Vec::with_capacity(num_tasks);
+    for (idx, cell) in results.into_iter().enumerate() {
+        let (output, elapsed, started, slot) = cell.into_inner().expect("task produced no output");
         outputs.push(output);
         per_task.push(elapsed);
+        spans.push(TaskSpan {
+            task: idx,
+            slot,
+            queued,
+            started,
+            finished: started + elapsed,
+        });
     }
     debug_assert_eq!(
         outputs.len(),
@@ -109,6 +165,7 @@ where
             // fetch_add to busy_nanos happens-before this load.
             total: Duration::from_nanos(busy_nanos.load(Ordering::Relaxed)),
             per_task,
+            spans,
         },
     )
 }
@@ -170,6 +227,25 @@ mod tests {
             input
         });
         assert!(peak.load(Ordering::SeqCst) <= 3);
+    }
+
+    #[test]
+    fn spans_carry_slots_and_ordered_instants() {
+        let inputs = vec![(); 16];
+        let (_, times) = run_tasks(4, inputs, |_, ()| {
+            std::thread::sleep(Duration::from_micros(100));
+        });
+        assert_eq!(times.spans.len(), 16);
+        for (idx, s) in times.spans.iter().enumerate() {
+            assert_eq!(s.task, idx);
+            assert!(s.slot < 4);
+            assert!(s.queued <= s.started);
+            assert!(s.started <= s.finished);
+        }
+        // The sequential path pins everything on slot 0.
+        let (_, seq) = run_tasks(1, vec![(); 3], |_, ()| ());
+        assert_eq!(seq.spans.len(), 3);
+        assert!(seq.spans.iter().all(|s| s.slot == 0));
     }
 
     #[test]

@@ -24,7 +24,13 @@
 //! * **spill-to-disk** ([`spill`]): an external group-by that encodes
 //!   overflowing groups to temporary run files and merges them, reproducing
 //!   Spark's ability to spill shuffle data that iterator-style (VJ-NL)
-//!   processing preserves and materialized indexes defeat.
+//!   processing preserves and materialized indexes defeat,
+//! * **tracing** ([`trace`]): an opt-in per-task span/event collector
+//!   (queue-wait vs. busy split, slot ids, phase spans, shuffle-flush and
+//!   spill-run events) with executor-utilization analytics
+//!   ([`ExecutorAnalytics`]) and a Chrome `trace_event` exporter
+//!   (Perfetto-loadable); a hand-rolled [`json`] value type backs the
+//!   exporters without adding dependencies.
 //!
 //! Everything runs in one OS process; "distribution" means bounded
 //! parallelism plus explicit shuffle boundaries with accounted data movement.
@@ -55,15 +61,19 @@ pub mod codec;
 pub mod config;
 pub mod dataset;
 pub mod executor;
+pub mod json;
 pub mod metrics;
 pub mod ops;
 pub mod pair;
 pub mod shuffle;
 pub mod spill;
+pub mod trace;
 
 pub use broadcast::Broadcast;
 pub use codec::Codec;
 pub use config::ClusterConfig;
 pub use dataset::{Cluster, Dataset};
+pub use json::Json;
 pub use metrics::{MetricsReport, StageMetrics};
 pub use shuffle::{CompositePartitioner, HashPartitioner, Partitioner};
+pub use trace::{ExecutorAnalytics, TraceCollector, TraceSnapshot};

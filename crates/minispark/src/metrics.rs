@@ -99,9 +99,12 @@ impl MetricsRegistry {
         id
     }
 
-    /// Snapshot of everything recorded so far.
+    /// Snapshot of everything recorded so far. The registry does not know
+    /// the cluster's slot count; `Cluster::metrics` fills
+    /// [`MetricsReport::slots`] in.
     pub fn report(&self) -> MetricsReport {
         MetricsReport {
+            slots: 1,
             stages: self.stages.lock().clone(),
         }
     }
@@ -115,6 +118,11 @@ impl MetricsRegistry {
 /// An immutable snapshot of all stage metrics of a cluster.
 #[derive(Debug, Clone, Default)]
 pub struct MetricsReport {
+    /// The task-slot count of the cluster the report came from; the
+    /// `sim(ms)` column of the [`fmt::Display`] table is
+    /// [`StageMetrics::simulated_wall`] for this many slots (0 is treated
+    /// as 1).
+    pub slots: usize,
     /// The recorded stages in execution order.
     pub stages: Vec<StageMetrics>,
 }
@@ -190,12 +198,14 @@ impl MetricsReport {
 
 impl fmt::Display for MetricsReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let slots = self.slots.max(1);
         writeln!(
             f,
-            "{:>4} {:<32} {:>9} {:>6} {:>10} {:>10} {:>10} {:>12} {:>6} {:>6}",
+            "{:>4} {:<32} {:>9} {:>9} {:>6} {:>10} {:>10} {:>10} {:>12} {:>6} {:>6}",
             "id",
             "stage",
             "wall(ms)",
+            "sim(ms)",
             "tasks",
             "in",
             "out",
@@ -207,10 +217,11 @@ impl fmt::Display for MetricsReport {
         for s in &self.stages {
             writeln!(
                 f,
-                "{:>4} {:<32} {:>9.1} {:>6} {:>10} {:>10} {:>10} {:>12} {:>6.2} {:>6}",
+                "{:>4} {:<32} {:>9.1} {:>9.1} {:>6} {:>10} {:>10} {:>10} {:>12} {:>6.2} {:>6}",
                 s.stage_id,
                 s.name,
                 s.wall.as_secs_f64() * 1e3,
+                s.simulated_wall(slots).as_secs_f64() * 1e3,
                 s.num_tasks,
                 s.input_records,
                 s.output_records,
@@ -222,8 +233,10 @@ impl fmt::Display for MetricsReport {
         }
         writeln!(
             f,
-            "total wall: {:.1} ms, shuffle: {} records / {} bytes, max skew {:.2}",
+            "total wall: {:.1} ms, simulated @ {} slots: {:.1} ms, shuffle: {} records / {} bytes, max skew {:.2}",
             self.total_wall().as_secs_f64() * 1e3,
+            slots,
+            self.simulated_total(slots).as_secs_f64() * 1e3,
             self.total_shuffle_records(),
             self.total_shuffle_bytes(),
             self.max_skew(),
@@ -297,6 +310,21 @@ mod tests {
         // Display renders without panicking and contains the stage name.
         let text = r.to_string();
         assert!(text.contains("test"));
+    }
+
+    #[test]
+    fn display_reports_simulated_wall_for_the_slot_count() {
+        let reg = MetricsRegistry::default();
+        let mut s = stage(1, 1, 4);
+        s.task_durations = vec![Duration::from_millis(8); 4];
+        reg.record(s);
+        let mut report = reg.report();
+        report.slots = 2;
+        let text = report.to_string();
+        assert!(text.contains("sim(ms)"));
+        // 4 × 8 ms on 2 slots → 16 ms simulated.
+        assert!(text.contains("16.0"));
+        assert!(text.contains("simulated @ 2 slots"));
     }
 
     #[test]

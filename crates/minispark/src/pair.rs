@@ -55,6 +55,7 @@ fn merge_times(a: TaskTimes, b: TaskTimes) -> TaskTimes {
     TaskTimes {
         total: a.total + b.total,
         per_task: a.per_task.into_iter().chain(b.per_task).collect(),
+        spans: a.spans.into_iter().chain(b.spans).collect(),
     }
 }
 
@@ -70,12 +71,17 @@ fn record_wide_stage(
     spilled_runs: usize,
     record_size: usize,
 ) {
-    cluster.inner.metrics.record(StageMetrics {
+    let TaskTimes {
+        total,
+        per_task,
+        spans,
+    } = times;
+    let id = cluster.inner.metrics.record(StageMetrics {
         stage_id: 0,
         name: name.to_string(),
         wall: start.elapsed(),
-        task_time: times.total,
-        task_durations: times.per_task,
+        task_time: total,
+        task_durations: per_task,
         num_tasks: out_sizes.len(),
         input_records,
         output_records: out_sizes.iter().sum(),
@@ -84,6 +90,13 @@ fn record_wide_stage(
         max_partition_records: out_sizes.iter().copied().max().unwrap_or(0),
         spilled_runs,
     });
+    let trace = &cluster.inner.trace;
+    trace.record_stage_tasks(id, name, &spans);
+    if trace.is_enabled() && shuffled > 0 {
+        // The map side has flushed its buckets by the time the reduce tasks
+        // run; this instant event marks the shuffle boundary.
+        trace.mark(&format!("shuffle-flush/{name}"), shuffled as u64);
+    }
 }
 
 impl<K, V> Dataset<(K, V)>
@@ -142,9 +155,19 @@ where
             shuffle_scatter(self, n, |(k, _): &(K, V)| partitioner.partition(k));
         let shuffled: usize = scattered.iter().map(|p| p.len()).sum();
         let slots = self.cluster().config().task_slots();
+        let trace = self.cluster().trace().clone();
         let (results, times) = run_tasks(slots, scattered, |_, part| {
-            external_group_by(part.into_iter(), budget, spill_dir.as_deref())
-                .expect("spill I/O failed")
+            let result = external_group_by(part.into_iter(), budget, spill_dir.as_deref())
+                .expect("spill I/O failed");
+            if trace.is_enabled() {
+                // One instant event per spilled run file, emitted as the
+                // reduce task merges them back — the timeline counterpart of
+                // the stage's `spilled_runs` metric.
+                for _ in 0..result.spilled_runs {
+                    trace.mark(&format!("spill-run/{name}"), 1);
+                }
+            }
+            result
         });
         let mut grouped = Vec::with_capacity(results.len());
         let mut spilled_runs = 0;

@@ -1,0 +1,85 @@
+//! Spill observability: the `spilled_runs` stage metric, the `spill-run/…`
+//! trace marks and a driver-side replay of the hash partitioning must all
+//! agree on how many run files the spilling group-by wrote and merged back.
+
+use minispark::{Cluster, ClusterConfig, HashPartitioner, Partitioner, TraceCollector};
+
+const BUDGET: usize = 16;
+const PARTITIONS: usize = 4;
+
+fn records() -> Vec<(u32, u64)> {
+    (0..500u32).map(|n| (n % 37, u64::from(n))).collect()
+}
+
+#[test]
+fn spilled_runs_metric_marks_and_replay_agree() {
+    let config = ClusterConfig::local(2).with_spill_budget(BUDGET);
+    let cluster = Cluster::with_trace(config, TraceCollector::enabled());
+    let data = records();
+    let grouped = cluster
+        .parallelize(data.clone(), 8)
+        .group_by_key_spilling("spilly", PARTITIONS);
+
+    // Grouping is still correct despite the spills.
+    let collected = grouped.collect();
+    assert_eq!(collected.len(), 37);
+    let total: usize = collected.iter().map(|(_, vs)| vs.len()).sum();
+    assert_eq!(total, data.len());
+
+    // The stage metric.
+    let metrics = cluster.metrics();
+    let stage = metrics
+        .stages
+        .iter()
+        .find(|s| s.name == "spilly")
+        .expect("the spilling stage was recorded");
+    assert!(stage.spilled_runs > 0, "the budget must force spills");
+    assert_eq!(metrics.total_spilled_runs(), stage.spilled_runs);
+
+    // The trace marks: one instant event of value 1 per merged run file.
+    let snapshot = cluster.trace().snapshot();
+    let marks: Vec<_> = snapshot
+        .marks()
+        .filter(|m| m.name == "spill-run/spilly")
+        .collect();
+    assert!(marks.iter().all(|m| m.value == 1));
+    assert_eq!(
+        marks.len(),
+        stage.spilled_runs,
+        "every merged run file must leave one trace mark"
+    );
+
+    // Driver-side replay: the external group-by writes one run per full
+    // budget of records buffered in a reduce partition, so the expected
+    // count is Σ over partitions of ⌊len / budget⌋ under the same hash
+    // partitioner the shuffle used.
+    let partitioner = HashPartitioner::new(PARTITIONS);
+    let mut lens = vec![0usize; PARTITIONS];
+    for (key, _) in &data {
+        lens[partitioner.partition(key)] += 1;
+    }
+    let expected: usize = lens.iter().map(|len| len / BUDGET).sum();
+    assert_eq!(
+        stage.spilled_runs, expected,
+        "metric must match the partition-replay prediction"
+    );
+}
+
+#[test]
+fn no_spills_without_budget_pressure() {
+    let cluster = Cluster::with_trace(ClusterConfig::local(2), TraceCollector::enabled());
+    cluster
+        .parallelize(records(), 8)
+        .group_by_key_spilling("roomy", PARTITIONS)
+        .collect();
+    assert_eq!(cluster.metrics().total_spilled_runs(), 0);
+    assert_eq!(
+        cluster
+            .trace()
+            .snapshot()
+            .marks()
+            .filter(|m| m.name.starts_with("spill-run/"))
+            .count(),
+        0
+    );
+}

@@ -1,0 +1,152 @@
+//! Invariants of the tracing layer against real engine runs: the
+//! queued ≤ started ≤ finished ordering, per-task residence bounded by the
+//! stage wall time, analytics ranges, the Chrome export, and the disabled
+//! collector being a true no-op.
+
+use minispark::trace::chrome_trace_json;
+use minispark::{Cluster, ClusterConfig, ExecutorAnalytics, Json, TraceCollector};
+
+/// Runs a small but representative workload: a narrow map, a wide
+/// group-by-key, a repartition and a driver-side stage (`parallelize`).
+fn run_workload(cluster: &Cluster) {
+    let ds = cluster.parallelize((0..4_000u32).collect::<Vec<_>>(), 8);
+    let mapped = ds.map("square", |&n| (n % 97, u64::from(n) * u64::from(n)));
+    let grouped = mapped.group_by_key("group-by-mod", 4);
+    assert_eq!(grouped.collect().len(), 97);
+}
+
+#[test]
+fn disabled_collector_is_a_true_noop() {
+    let cluster = Cluster::new(ClusterConfig::local(2));
+    run_workload(&cluster);
+    assert!(!cluster.trace().is_enabled());
+    assert!(
+        cluster.trace().snapshot().is_empty(),
+        "a disabled collector must record nothing"
+    );
+}
+
+#[test]
+fn task_events_obey_ordering_and_stage_wall_bounds() {
+    let cluster = Cluster::with_trace(ClusterConfig::local(2), TraceCollector::enabled());
+    run_workload(&cluster);
+    let snapshot = cluster.trace().snapshot();
+    let metrics = cluster.metrics();
+    let slots = cluster.config().task_slots();
+    assert!(snapshot.tasks().count() > 0, "tasks were recorded");
+
+    for task in snapshot.tasks() {
+        assert!(
+            task.queued_ns <= task.started_ns && task.started_ns <= task.finished_ns,
+            "task ordering violated in stage {:?}: {} / {} / {}",
+            task.stage,
+            task.queued_ns,
+            task.started_ns,
+            task.finished_ns
+        );
+        assert!(task.slot < slots, "slot {} out of range", task.slot);
+        let stage = &metrics.stages[task.stage_id];
+        assert_eq!(&*task.stage, stage.name.as_str());
+        // queue_wait + busy is the task's residence (finished − queued),
+        // which can never exceed the stage's wall time: the queued stamp is
+        // taken after the stage starts, the finished stamp before its
+        // metrics are recorded.
+        let residence = task.queue_wait() + task.busy();
+        assert!(
+            residence <= stage.wall,
+            "task residence {:?} exceeds wall {:?} of stage {}",
+            residence,
+            stage.wall,
+            stage.name
+        );
+    }
+
+    // Every traced stage id resolves to a recorded metrics stage.
+    let max_id = snapshot.tasks().map(|t| t.stage_id).max().unwrap_or(0);
+    assert!(max_id < metrics.stages.len());
+}
+
+#[test]
+fn analytics_ranges_are_physical() {
+    let cluster = Cluster::with_trace(ClusterConfig::local(2), TraceCollector::enabled());
+    run_workload(&cluster);
+    let analytics = ExecutorAnalytics::from_snapshot(
+        &cluster.trace().snapshot(),
+        cluster.config().task_slots(),
+    );
+    assert!(!analytics.stages.is_empty());
+    assert!((0.0..=1.0).contains(&analytics.overall_occupancy()));
+    assert!((0.0..=1.0).contains(&analytics.overall_idle_fraction()));
+    assert!(analytics.critical_path() <= analytics.total_busy());
+    for stage in &analytics.stages {
+        assert!((0.0..=1.0).contains(&stage.occupancy), "{}", stage.stage);
+        assert!(
+            (0.0..=1.0).contains(&stage.idle_fraction),
+            "{}",
+            stage.stage
+        );
+        assert!(
+            (stage.occupancy + stage.idle_fraction - 1.0).abs() < 1e-9,
+            "occupancy and idle fraction must sum to 1"
+        );
+        assert!(stage.queue_wait_p50 <= stage.queue_wait_p95);
+        assert!(stage.queue_wait_p95 <= stage.queue_wait_max);
+        assert!(stage.longest_task <= stage.busy);
+        let slot_sum: std::time::Duration = stage.slot_busy.iter().sum();
+        assert_eq!(slot_sum, stage.busy, "slot timeline must account busy");
+    }
+}
+
+#[test]
+fn chrome_export_parses_and_covers_all_tasks() {
+    let cluster = Cluster::with_trace(ClusterConfig::local(2), TraceCollector::enabled());
+    {
+        let _run = cluster.trace().span("demo/run");
+        run_workload(&cluster);
+    }
+    let snapshot = cluster.trace().snapshot();
+    let text = chrome_trace_json(&snapshot);
+    let doc = Json::parse(&text).expect("the Chrome trace must parse back");
+    let events = doc
+        .get("traceEvents")
+        .and_then(Json::as_arr)
+        .expect("traceEvents array");
+    let complete = events
+        .iter()
+        .filter(|e| e.get("ph").and_then(Json::as_str) == Some("X"))
+        .count();
+    // Every task and phase event becomes one complete event.
+    assert_eq!(
+        complete,
+        snapshot.tasks().count() + snapshot.phases().count()
+    );
+    // The driver span is on the phase track (tid 0).
+    assert!(events.iter().any(|e| {
+        e.get("name").and_then(Json::as_str) == Some("demo/run")
+            && e.get("tid").and_then(Json::as_u64) == Some(0)
+    }));
+    // Shuffle flush marks surface as instant events.
+    assert!(events.iter().any(|e| {
+        e.get("ph").and_then(Json::as_str) == Some("i")
+            && e.get("name")
+                .and_then(Json::as_str)
+                .is_some_and(|n| n.starts_with("shuffle-flush/"))
+    }));
+}
+
+#[test]
+fn forked_runs_share_one_timeline() {
+    let parent = TraceCollector::enabled();
+    for _ in 0..2 {
+        let cluster = Cluster::with_trace(ClusterConfig::local(2), parent.fork());
+        run_workload(&cluster);
+        parent.extend(cluster.trace().snapshot().events);
+    }
+    let snapshot = parent.snapshot();
+    let stages: std::collections::HashSet<usize> = snapshot.tasks().map(|t| t.stage_id).collect();
+    // Both runs restart stage ids at 0 — the merged timeline keeps both.
+    assert!(snapshot.tasks().count() > 0);
+    assert!(stages.contains(&0));
+    // All timestamps are on the parent's epoch: monotone non-negative.
+    assert!(snapshot.tasks().all(|t| t.finished_ns >= t.queued_ns));
+}
