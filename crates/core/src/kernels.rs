@@ -180,6 +180,9 @@ pub fn join_group_indexed(
     use_position_filter: bool,
     stats: &JoinStats,
 ) -> Vec<(usize, usize, u64)> {
+    // Group boundary: an interleaving point for schedule exploration (a
+    // single relaxed-load branch when no hook is installed).
+    minispark::sched::yield_point("kernel/indexed-group");
     let mut results = Vec::new();
     if entries.len() < 2 {
         return results;
@@ -238,6 +241,8 @@ pub fn join_group_nested_loop(
     use_position_filter: bool,
     stats: &JoinStats,
 ) -> Vec<(usize, usize, u64)> {
+    // Group boundary: interleaving point, see `join_group_indexed`.
+    minispark::sched::yield_point("kernel/nested-loop-group");
     let mut results = Vec::new();
     for i in 0..entries.len() {
         for j in (i + 1)..entries.len() {
@@ -270,6 +275,8 @@ pub fn join_group_rs(
     use_position_filter: bool,
     stats: &JoinStats,
 ) -> Vec<(usize, usize, u64)> {
+    // Sub-partition boundary: interleaving point, see `join_group_indexed`.
+    minispark::sched::yield_point("kernel/rs-group");
     let mut results = Vec::new();
     for (i, a) in left.iter().enumerate() {
         for (j, b) in right.iter().enumerate() {

@@ -38,23 +38,25 @@ impl JoinStats {
     /// Increments a counter by one.
     #[inline]
     pub fn bump(counter: &AtomicU64) {
-        // Relaxed: an independent monotonic counter — no other memory is
-        // published with it, and the executor's thread join orders all
-        // increments before any snapshot.
+        // relaxed(counter): an independent monotonic counter — no other
+        // memory is published with it, and the executor's thread join orders
+        // all increments before any snapshot.
         counter.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Increments a counter by `n`.
     #[inline]
     pub fn add(counter: &AtomicU64, n: u64) {
-        // Relaxed: same reasoning as `bump` — a pure counter increment.
+        // relaxed(counter): same reasoning as `bump` — a pure counter
+        // increment.
         counter.fetch_add(n, Ordering::Relaxed);
     }
 
     /// Takes an immutable snapshot.
     pub fn snapshot(&self) -> StatsSnapshot {
-        // Relaxed loads: snapshots are taken after the run's worker threads
-        // have joined, which already makes every increment visible.
+        // relaxed(read-after-join): torn-read tolerant — snapshots are taken
+        // after the run's worker threads have joined, which already makes
+        // every increment visible.
         let load = |counter: &AtomicU64| counter.load(Ordering::Relaxed);
         StatsSnapshot {
             candidates: load(&self.candidates),

@@ -1,0 +1,174 @@
+//! Schedule-independence property suite — the determinism checker's entry
+//! point for the paper's join kernels (ISSUE 3, satellite 3).
+//!
+//! For each driver — VJ, VJ-NL, CL, CL-P, the Jaccard variants and the
+//! variable-length join — the same seed and configuration is run under task
+//! slot counts `{1, 2, 4, 7}` and eight deterministic schedules (plus the
+//! real thread pool as the reference), and every run must produce the
+//! bit-identical sorted pair set and stable stage-count metrics. A parallel
+//! all-pairs similarity join is only correct if its output is partition-
+//! and interleaving-independent; this suite is the executable form of that
+//! claim.
+//!
+//! Deliberately written without `proptest`: the schedule space is explored
+//! by `minispark::check::schedule_matrix` from fixed seeds, so failures
+//! replay exactly (`Schedule::Seeded(n)` in the error names the schedule).
+
+use minispark::{check_determinism, schedule_matrix, ClusterConfig, Schedule};
+use topk_rankings::Ranking;
+use topk_simjoin::{
+    jaccard_clp_join, jaccard_vj_join, varlen_join, Algorithm, JaccardConfig, JoinConfig,
+};
+
+const SLOT_COUNTS: [usize; 4] = [1, 2, 4, 7];
+const SCHEDULE_SEED: u64 = 0x70_4B_52_4A; // "topk-rank-join"
+
+fn schedules() -> Vec<Schedule> {
+    let m = schedule_matrix(8, SCHEDULE_SEED);
+    assert_eq!(m.len(), 8, "the issue asks for 8 random schedules");
+    m
+}
+
+/// A deterministic xorshift so the corpus is identical on every run and
+/// platform (no `rand` involvement, no global state).
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x
+    }
+}
+
+/// A small corpus of length-`k` rankings over a token universe narrow
+/// enough that near-duplicates (and hence clusters and result pairs) exist.
+fn corpus(n: u64, k: usize, universe: u32, seed: u64) -> Vec<Ranking> {
+    let mut rng = Rng(seed | 1);
+    let mut data = Vec::new();
+    for id in 0..n {
+        let mut items: Vec<u32> = Vec::with_capacity(k);
+        while items.len() < k {
+            let tok = (rng.next() % u64::from(universe)) as u32;
+            if !items.contains(&tok) {
+                items.push(tok);
+            }
+        }
+        data.push(Ranking::new(id, items).expect("distinct items by construction"));
+    }
+    data
+}
+
+/// Mixed-length rankings for the variable-length driver.
+fn varlen_corpus(n: u64, universe: u32, seed: u64) -> Vec<Ranking> {
+    let mut rng = Rng(seed | 1);
+    let mut data = Vec::new();
+    for id in 0..n {
+        let k = 4 + (rng.next() % 4) as usize; // lengths 4..=7
+        let mut items: Vec<u32> = Vec::with_capacity(k);
+        while items.len() < k {
+            let tok = (rng.next() % u64::from(universe)) as u32;
+            if !items.contains(&tok) {
+                items.push(tok);
+            }
+        }
+        data.push(Ranking::new(id, items).expect("distinct items by construction"));
+    }
+    data
+}
+
+/// The base cluster configuration: partition counts are pinned so stage
+/// shapes do not vary with the probed slot count.
+fn base_config() -> ClusterConfig {
+    ClusterConfig::local(2).with_default_partitions(5)
+}
+
+/// Runs one footrule algorithm through the determinism checker.
+fn assert_footrule_deterministic(algo: Algorithm) {
+    let data = corpus(48, 7, 40, 0xD5EED);
+    let config = JoinConfig::new(0.35)
+        .with_cluster_threshold(0.05)
+        .with_partition_threshold(6);
+    let schedules = schedules();
+    let outcome = check_determinism(&base_config(), &SLOT_COUNTS, &schedules, |cluster| {
+        let out = algo
+            .run(cluster, &data, &config)
+            .expect("join must succeed");
+        out.pairs
+    })
+    .unwrap_or_else(|failure| panic!("{} is schedule-dependent: {failure}", algo.name()));
+    assert_eq!(
+        outcome.runs,
+        SLOT_COUNTS.len() * (schedules.len() + 1),
+        "each slot count runs the thread pool plus every schedule"
+    );
+    assert!(
+        !outcome.reference.is_empty(),
+        "{}: the corpus is built to produce result pairs — an empty \
+         reference would make this test vacuous",
+        algo.name()
+    );
+}
+
+#[test]
+fn vj_is_schedule_independent() {
+    assert_footrule_deterministic(Algorithm::Vj);
+}
+
+#[test]
+fn vj_nl_is_schedule_independent() {
+    assert_footrule_deterministic(Algorithm::VjNl);
+}
+
+#[test]
+fn cl_is_schedule_independent() {
+    assert_footrule_deterministic(Algorithm::Cl);
+}
+
+#[test]
+fn cl_p_is_schedule_independent() {
+    assert_footrule_deterministic(Algorithm::ClP);
+}
+
+#[test]
+fn jaccard_vj_is_schedule_independent() {
+    let data = corpus(48, 6, 32, 0x1ACCA);
+    let config = JaccardConfig::new(0.5).with_cluster_threshold(0.1);
+    let outcome = check_determinism(&base_config(), &SLOT_COUNTS, &schedules(), |cluster| {
+        jaccard_vj_join(cluster, &data, &config)
+            .expect("join must succeed")
+            .pairs
+    })
+    .unwrap_or_else(|failure| panic!("jaccard VJ is schedule-dependent: {failure}"));
+    assert!(!outcome.reference.is_empty());
+}
+
+#[test]
+fn jaccard_cl_p_is_schedule_independent() {
+    let data = corpus(48, 6, 32, 0x1ACCB);
+    let config = JaccardConfig::new(0.5)
+        .with_cluster_threshold(0.1)
+        .with_partition_threshold(6);
+    let outcome = check_determinism(&base_config(), &SLOT_COUNTS, &schedules(), |cluster| {
+        jaccard_clp_join(cluster, &data, &config)
+            .expect("join must succeed")
+            .pairs
+    })
+    .unwrap_or_else(|failure| panic!("jaccard CL-P is schedule-dependent: {failure}"));
+    assert!(!outcome.reference.is_empty());
+}
+
+#[test]
+fn varlen_is_schedule_independent() {
+    let data = varlen_corpus(48, 28, 0x7A51);
+    let outcome = check_determinism(&base_config(), &SLOT_COUNTS, &schedules(), |cluster| {
+        varlen_join(cluster, &data, 30, 5)
+            .expect("join must succeed")
+            .pairs
+    })
+    .unwrap_or_else(|failure| panic!("varlen join is schedule-dependent: {failure}"));
+    assert!(!outcome.reference.is_empty());
+}

@@ -188,13 +188,13 @@ mod tests {
             .flat_map(|r| r.items())
             .map(|&t| base_freq.count(t))
             .max()
-            .unwrap();
+            .expect("base dataset is non-empty");
         let max_copy = x2[n..]
             .iter()
             .flat_map(|r| r.items())
             .map(|&t| copy_freq.count(t))
             .max()
-            .unwrap();
+            .expect("copied half is non-empty");
         let ratio = max_copy as f64 / max_base as f64;
         assert!((0.5..=2.0).contains(&ratio), "hot-token ratio {ratio}");
     }

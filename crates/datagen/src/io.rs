@@ -113,62 +113,70 @@ mod tests {
         std::env::temp_dir().join(format!("topk-datagen-{}-{tag}.txt", std::process::id()))
     }
 
+    type TestResult = Result<(), Box<dyn std::error::Error>>;
+
     #[test]
-    fn round_trip() {
+    fn round_trip() -> TestResult {
         let ds = CorpusProfile::dblp_like(50, 10).generate();
         let path = temp_path("roundtrip");
-        write_rankings(&path, &ds).unwrap();
-        let loaded = read_rankings(&path).unwrap();
+        write_rankings(&path, &ds)?;
+        let loaded = read_rankings(&path)?;
         assert_eq!(loaded, ds);
-        std::fs::remove_file(&path).unwrap();
+        std::fs::remove_file(&path)?;
+        Ok(())
     }
 
     #[test]
-    fn skips_comments_and_blank_lines() {
+    fn skips_comments_and_blank_lines() -> TestResult {
         let path = temp_path("comments");
-        std::fs::write(&path, "# header\n\n1 10 20 30\n\n# tail\n2 40 50 60\n").unwrap();
-        let loaded = read_rankings(&path).unwrap();
+        std::fs::write(&path, "# header\n\n1 10 20 30\n\n# tail\n2 40 50 60\n")?;
+        let loaded = read_rankings(&path)?;
         assert_eq!(loaded.len(), 2);
         assert_eq!(loaded[0].items(), &[10, 20, 30]);
-        std::fs::remove_file(&path).unwrap();
+        std::fs::remove_file(&path)?;
+        Ok(())
     }
 
     #[test]
-    fn reports_parse_errors_with_line_numbers() {
+    fn reports_parse_errors_with_line_numbers() -> TestResult {
         let path = temp_path("badparse");
-        std::fs::write(&path, "1 10 20\nnot-an-id 1 2\n").unwrap();
-        let err = read_rankings(&path).unwrap_err();
+        std::fs::write(&path, "1 10 20\nnot-an-id 1 2\n")?;
+        let err = read_rankings(&path).expect_err("second line cannot parse");
         match err {
             LoadError::Parse { line, .. } => assert_eq!(line, 2),
             other => panic!("unexpected error {other}"),
         }
-        std::fs::remove_file(&path).unwrap();
+        std::fs::remove_file(&path)?;
+        Ok(())
     }
 
     #[test]
-    fn reports_invalid_rankings() {
+    fn reports_invalid_rankings() -> TestResult {
         let path = temp_path("dupitem");
-        std::fs::write(&path, "7 1 2 2\n").unwrap();
-        let err = read_rankings(&path).unwrap_err();
+        std::fs::write(&path, "7 1 2 2\n")?;
+        let err = read_rankings(&path).expect_err("duplicate item is invalid");
         match err {
             LoadError::Invalid { line, .. } => assert_eq!(line, 1),
             other => panic!("unexpected error {other}"),
         }
-        std::fs::remove_file(&path).unwrap();
+        std::fs::remove_file(&path)?;
+        Ok(())
     }
 
     #[test]
     fn missing_file_is_io_error() {
-        let err = read_rankings(Path::new("/nonexistent/nope.txt")).unwrap_err();
+        let err =
+            read_rankings(Path::new("/nonexistent/nope.txt")).expect_err("the file does not exist");
         assert!(matches!(err, LoadError::Io(_)));
         assert!(err.to_string().contains("io error"));
     }
 
     #[test]
-    fn empty_file_loads_empty_dataset() {
+    fn empty_file_loads_empty_dataset() -> TestResult {
         let path = temp_path("empty");
-        std::fs::write(&path, "").unwrap();
-        assert!(read_rankings(&path).unwrap().is_empty());
-        std::fs::remove_file(&path).unwrap();
+        std::fs::write(&path, "")?;
+        assert!(read_rankings(&path)?.is_empty());
+        std::fs::remove_file(&path)?;
+        Ok(())
     }
 }

@@ -156,21 +156,23 @@ mod tests {
     }
 
     #[test]
-    fn corpus_file_round_trip() {
+    fn corpus_file_round_trip() -> Result<(), Box<dyn std::error::Error>> {
         let path = std::env::temp_dir().join(format!("topk-preprocess-{}.txt", std::process::id()));
-        std::fs::write(&path, "# corpus\n10 20 30 40\n10 20\n\n50 60 70\n").unwrap();
-        let (rankings, stats) = load_corpus_file(&path, 3).unwrap();
+        std::fs::write(&path, "# corpus\n10 20 30 40\n10 20\n\n50 60 70\n")?;
+        let (rankings, stats) = load_corpus_file(&path, 3)?;
         assert_eq!(rankings.len(), 2);
         assert_eq!(stats.too_short_dropped, 1);
-        std::fs::remove_file(&path).unwrap();
+        std::fs::remove_file(&path)?;
+        Ok(())
     }
 
     #[test]
-    fn corpus_file_rejects_garbage() {
+    fn corpus_file_rejects_garbage() -> Result<(), Box<dyn std::error::Error>> {
         let path =
             std::env::temp_dir().join(format!("topk-preprocess-bad-{}.txt", std::process::id()));
-        std::fs::write(&path, "10 twenty 30\n").unwrap();
+        std::fs::write(&path, "10 twenty 30\n")?;
         assert!(load_corpus_file(&path, 2).is_err());
-        std::fs::remove_file(&path).unwrap();
+        std::fs::remove_file(&path)?;
+        Ok(())
     }
 }

@@ -3,6 +3,8 @@
 
 use std::path::PathBuf;
 
+use crate::sched::Schedule;
+
 /// Describes the simulated cluster.
 ///
 /// The engine executes every stage on at most
@@ -32,6 +34,11 @@ pub struct ClusterConfig {
     pub spill_record_budget: usize,
     /// Directory for spill files. `None` uses the system temp directory.
     pub spill_dir: Option<PathBuf>,
+    /// Deterministic task schedule for every stage. `None` (the default)
+    /// uses the real thread pool; `Some(schedule)` replays tasks in the
+    /// schedule's claim order on the calling thread — the executor's
+    /// concurrency-checking mode (see [`crate::sched`] and [`crate::check`]).
+    pub schedule: Option<Schedule>,
 }
 
 impl ClusterConfig {
@@ -58,6 +65,7 @@ impl ClusterConfig {
             executor_memory_bytes: 8 * 1024 * 1024 * 1024,
             spill_record_budget: usize::MAX,
             spill_dir: None,
+            schedule: None,
         }
     }
 
@@ -102,6 +110,13 @@ impl ClusterConfig {
         self.spill_record_budget = records;
         self
     }
+
+    /// Returns a copy that executes every stage under the given
+    /// deterministic [`Schedule`] instead of the thread pool.
+    pub fn with_schedule(mut self, schedule: Schedule) -> Self {
+        self.schedule = Some(schedule);
+        self
+    }
 }
 
 impl Default for ClusterConfig {
@@ -115,6 +130,7 @@ impl Default for ClusterConfig {
             executor_memory_bytes: 1024 * 1024 * 1024,
             spill_record_budget: usize::MAX,
             spill_dir: None,
+            schedule: None,
         }
     }
 }
@@ -164,5 +180,13 @@ mod tests {
                 .default_partitions,
             1
         );
+    }
+
+    #[test]
+    fn with_schedule_installs_a_deterministic_mode() {
+        let c = ClusterConfig::local(4);
+        assert_eq!(c.schedule, None, "thread pool is the default");
+        let scheduled = c.with_schedule(Schedule::Reversed);
+        assert_eq!(scheduled.schedule, Some(Schedule::Reversed));
     }
 }

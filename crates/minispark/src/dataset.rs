@@ -11,7 +11,7 @@ use std::time::Instant;
 
 use crate::broadcast::Broadcast;
 use crate::config::ClusterConfig;
-use crate::executor::{run_tasks, TaskSpan, TaskTimes};
+use crate::executor::{run_stage_tasks, TaskSpan, TaskTimes};
 use crate::metrics::{MetricsRegistry, MetricsReport, StageMetrics};
 use crate::trace::TraceCollector;
 
@@ -162,9 +162,7 @@ impl Cluster {
         let start = Instant::now();
         let inputs: Vec<Arc<Vec<T>>> = input.partitions.clone();
         let input_records: usize = inputs.iter().map(|p| p.len()).sum();
-        let (outputs, times) = run_tasks(self.config().task_slots(), inputs, |idx, part| {
-            f(idx, &part)
-        });
+        let (outputs, times) = run_stage_tasks(self.config(), inputs, |idx, part| f(idx, &part));
         let output_records: usize = outputs.iter().map(|p| p.len()).sum();
         let max_partition_records = outputs.iter().map(|p| p.len()).max().unwrap_or(0);
         let TaskTimes {

@@ -11,6 +11,9 @@ use std::time::{Duration, Instant};
 
 use parking_lot::Mutex;
 
+use crate::config::ClusterConfig;
+use crate::sched::{self, lock_order, Schedule};
+
 /// Scheduling trace of one executed task: which slot ran it and the
 /// queued → started → finished instants. `queued` is the stage submission
 /// time (all tasks of a stage become runnable together), so
@@ -62,6 +65,7 @@ where
     if num_tasks == 0 {
         return (Vec::new(), TaskTimes::default());
     }
+    sched::arm_from_env();
     // Stage submission time: every task of the stage is runnable from here,
     // so `started − queued` measures the wait for a free slot.
     let queued = Instant::now();
@@ -112,22 +116,28 @@ where
         let f = &f;
         for slot in 0..workers {
             scope.spawn(move || loop {
-                // Relaxed: the fetch_add's atomicity alone guarantees unique
-                // task indices; the per-slot mutexes order the data accesses.
+                sched::yield_point("executor/claim");
+                // relaxed(cursor): the fetch_add's atomicity alone guarantees
+                // unique task indices; the per-slot mutexes order the data
+                // accesses.
                 let idx = cursor.fetch_add(1, Ordering::Relaxed);
                 if idx >= num_tasks {
                     break;
                 }
-                let input = pending[idx]
-                    .lock()
-                    .take()
-                    .expect("task input claimed twice");
+                let input = {
+                    let _held = lock_order::acquire(lock_order::Family::Pending, idx);
+                    pending[idx]
+                        .lock()
+                        .take()
+                        .expect("task input claimed twice")
+                };
                 let start = Instant::now();
                 let output = f(idx, input);
                 let elapsed = start.elapsed();
-                // Relaxed: an independent duration counter, only read after
-                // the scope below joins every worker.
+                // relaxed(counter): an independent duration counter, only
+                // read after the scope below joins every worker.
                 busy_nanos.fetch_add(elapsed.as_nanos() as u64, Ordering::Relaxed);
+                let _held = lock_order::acquire(lock_order::Family::Results, idx);
                 *results[idx].lock() = Some((output, elapsed, start, slot));
             });
         }
@@ -161,13 +171,112 @@ where
     (
         outputs,
         TaskTimes {
-            // Relaxed: the thread scope joined all workers above, so every
-            // fetch_add to busy_nanos happens-before this load.
+            // relaxed(read-after-join): torn-read tolerant, joined-before-load
+            // — the scope joined all workers above, so every fetch_add to
+            // busy_nanos happens-before this load; no writer can tear it.
             total: Duration::from_nanos(busy_nanos.load(Ordering::Relaxed)),
             per_task,
             spans,
         },
     )
+}
+
+/// Runs `f(task_index, input)` for every input under a deterministic
+/// [`Schedule`]: tasks execute one at a time on the calling thread, in the
+/// schedule's claim order, labelled with the schedule's slot assignment.
+/// Returns outputs in **input order** (like [`run_tasks`]) plus timings
+/// whose spans reflect the scheduled order.
+///
+/// This is the executor's concurrency-checking mode — same contract as
+/// [`run_tasks`], different (replayable) interleaving. Installed engine-wide
+/// via [`ClusterConfig::with_schedule`]; driven by [`crate::check`].
+pub fn run_tasks_scheduled<I, O, F>(
+    schedule: Schedule,
+    slots: usize,
+    inputs: Vec<I>,
+    f: F,
+) -> (Vec<O>, TaskTimes)
+where
+    I: Send,
+    O: Send,
+    F: Fn(usize, I) -> O + Sync,
+{
+    let slots = slots.max(1);
+    let num_tasks = inputs.len();
+    if num_tasks == 0 {
+        return (Vec::new(), TaskTimes::default());
+    }
+    sched::arm_from_env();
+    let queued = Instant::now();
+    let order = schedule.claim_order(num_tasks);
+    debug_assert_eq!(order.len(), num_tasks, "claim order must be a permutation");
+    // Fault injection for the checker's negative test: place outputs by
+    // *claim position* instead of task index — the classic "forgot to map
+    // the dynamic claim order back to submission order" bug. Only looked at
+    // in scheduled mode; the checker proves it makes results
+    // schedule-dependent.
+    let inject_claim_order =
+        std::env::var_os("MINISPARK_SCHED_INJECT").is_some_and(|v| v == "claim-order");
+
+    let mut pending: Vec<Option<I>> = inputs.into_iter().map(Some).collect();
+    let mut outputs: Vec<Option<O>> = (0..num_tasks).map(|_| None).collect();
+    let mut per_task = vec![Duration::ZERO; num_tasks];
+    let mut spans: Vec<Option<TaskSpan>> = vec![None; num_tasks];
+    for (position, &idx) in order.iter().enumerate() {
+        sched::yield_point("executor/claim");
+        let slot = schedule.slot_of(position, num_tasks, slots);
+        let input = pending[idx].take().expect("task input claimed twice");
+        let start = Instant::now();
+        let output = f(idx, input);
+        let elapsed = start.elapsed();
+        let dest = if inject_claim_order { position } else { idx };
+        outputs[dest] = Some(output);
+        per_task[idx] = elapsed;
+        spans[idx] = Some(TaskSpan {
+            task: idx,
+            slot,
+            queued,
+            started: start,
+            finished: start + elapsed,
+        });
+    }
+    let outputs: Vec<O> = outputs
+        .into_iter()
+        .map(|o| o.expect("task produced no output"))
+        .collect();
+    let spans: Vec<TaskSpan> = spans
+        .into_iter()
+        .map(|s| s.expect("task produced no span"))
+        .collect();
+    let total = per_task.iter().sum();
+    (
+        outputs,
+        TaskTimes {
+            total,
+            per_task,
+            spans,
+        },
+    )
+}
+
+/// Stage entry point used by the engine's operators: dispatches to the
+/// deterministic scheduled path when the cluster config installs a
+/// [`Schedule`], and to the [`run_tasks`] thread pool otherwise.
+pub(crate) fn run_stage_tasks<I, O, F>(
+    config: &ClusterConfig,
+    inputs: Vec<I>,
+    f: F,
+) -> (Vec<O>, TaskTimes)
+where
+    I: Send,
+    O: Send,
+    F: Fn(usize, I) -> O + Sync,
+{
+    let slots = config.task_slots();
+    match config.schedule {
+        Some(schedule) => run_tasks_scheduled(schedule, slots, inputs, f),
+        None => run_tasks(slots, inputs, f),
+    }
 }
 
 #[cfg(test)]
@@ -246,6 +355,48 @@ mod tests {
         let (_, seq) = run_tasks(1, vec![(); 3], |_, ()| ());
         assert_eq!(seq.spans.len(), 3);
         assert!(seq.spans.iter().all(|s| s.slot == 0));
+    }
+
+    #[test]
+    fn scheduled_path_matches_thread_pool_outputs() {
+        let inputs: Vec<u64> = (0..40).collect();
+        let (reference, _) = run_tasks(4, inputs.clone(), |idx, n| (idx as u64) * 100 + n);
+        for schedule in [
+            Schedule::Natural,
+            Schedule::Reversed,
+            Schedule::Seeded(11),
+            Schedule::StragglersFirst,
+        ] {
+            let (out, times) =
+                run_tasks_scheduled(schedule, 4, inputs.clone(), |idx, n| (idx as u64) * 100 + n);
+            assert_eq!(out, reference, "{schedule:?} must preserve input order");
+            assert_eq!(times.spans.len(), 40);
+            for (idx, s) in times.spans.iter().enumerate() {
+                assert_eq!(s.task, idx);
+                assert!(s.slot < 4, "{schedule:?} produced slot {}", s.slot);
+                assert!(s.queued <= s.started && s.started <= s.finished);
+            }
+        }
+    }
+
+    #[test]
+    fn scheduled_path_executes_in_claim_order() {
+        let seen = Mutex::new(Vec::new());
+        let inputs = vec![(); 6];
+        run_tasks_scheduled(Schedule::Reversed, 2, inputs, |idx, ()| {
+            seen.lock().push(idx);
+        });
+        assert_eq!(*seen.lock(), vec![5, 4, 3, 2, 1, 0]);
+    }
+
+    #[test]
+    fn run_stage_tasks_dispatches_on_config() {
+        let inputs: Vec<u32> = (0..10).collect();
+        let pooled = ClusterConfig::local(3);
+        let (a, _) = run_stage_tasks(&pooled, inputs.clone(), |_, n| n + 1);
+        let scheduled = ClusterConfig::local(3).with_schedule(Schedule::StragglersFirst);
+        let (b, _) = run_stage_tasks(&scheduled, inputs, |_, n| n + 1);
+        assert_eq!(a, b);
     }
 
     #[test]

@@ -30,7 +30,13 @@
 //!   spill-run events) with executor-utilization analytics
 //!   ([`ExecutorAnalytics`]) and a Chrome `trace_event` exporter
 //!   (Perfetto-loadable); a hand-rolled [`json`] value type backs the
-//!   exporters without adding dependencies.
+//!   exporters without adding dependencies,
+//! * **concurrency checking** ([`sched`], [`check`]): a deterministic,
+//!   seed-driven [`Schedule`] mode for the executor (installed via
+//!   [`ClusterConfig::with_schedule`]), yield-point hooks at claim / flush /
+//!   spill boundaries, and a schedule-exploration harness that audits
+//!   traces (happens-before, slot exclusivity, flush barriers) and asserts
+//!   that results are schedule- and slot-count-independent.
 //!
 //! Everything runs in one OS process; "distribution" means bounded
 //! parallelism plus explicit shuffle boundaries with accounted data movement.
@@ -57,6 +63,7 @@
 #![warn(missing_docs)]
 
 pub mod broadcast;
+pub mod check;
 pub mod codec;
 pub mod config;
 pub mod dataset;
@@ -65,15 +72,18 @@ pub mod json;
 pub mod metrics;
 pub mod ops;
 pub mod pair;
+pub mod sched;
 pub mod shuffle;
 pub mod spill;
 pub mod trace;
 
 pub use broadcast::Broadcast;
+pub use check::{audit_snapshot, check_determinism, schedule_matrix, AuditViolation, CheckFailure};
 pub use codec::Codec;
 pub use config::ClusterConfig;
 pub use dataset::{Cluster, Dataset};
 pub use json::Json;
 pub use metrics::{MetricsReport, StageMetrics};
+pub use sched::Schedule;
 pub use shuffle::{CompositePartitioner, HashPartitioner, Partitioner};
 pub use trace::{ExecutorAnalytics, TraceCollector, TraceSnapshot};

@@ -13,7 +13,7 @@ use std::time::Instant;
 
 use crate::codec::Codec;
 use crate::dataset::{Cluster, Dataset};
-use crate::executor::{run_tasks, TaskTimes};
+use crate::executor::{run_stage_tasks, TaskTimes};
 use crate::metrics::StageMetrics;
 use crate::shuffle::{stable_hash, HashPartitioner, Partitioner};
 use crate::spill::external_group_by;
@@ -31,8 +31,7 @@ where
 {
     let targets = targets.max(1);
     let inputs: Vec<Arc<Vec<T>>> = input.partitions.clone();
-    let slots = input.cluster().config().task_slots();
-    let (bucketed, times) = run_tasks(slots, inputs, |_, part| {
+    let (bucketed, times) = run_stage_tasks(input.cluster().config(), inputs, |_, part| {
         let mut buckets: Vec<Vec<T>> = (0..targets).map(|_| Vec::new()).collect();
         for record in part.iter() {
             let t = target_of(record);
@@ -90,11 +89,19 @@ fn record_wide_stage(
         max_partition_records: out_sizes.iter().copied().max().unwrap_or(0),
         spilled_runs,
     });
+    cluster.inner.trace.record_stage_tasks(id, name, &spans);
+}
+
+/// Marks the shuffle barrier of a wide stage: called between the map-side
+/// scatter and the reduce-side tasks, once every bucket is flushed. The
+/// instant event lands *between* the two task waves, which is exactly what
+/// the flush-barrier rule of [`crate::check::audit_snapshot`] verifies; the
+/// yield point makes the barrier an interleaving point for the
+/// schedule-exploration harness.
+fn mark_shuffle_flush(cluster: &Cluster, name: &str, shuffled: usize) {
+    crate::sched::yield_point("shuffle-flush");
     let trace = &cluster.inner.trace;
-    trace.record_stage_tasks(id, name, &spans);
     if trace.is_enabled() && shuffled > 0 {
-        // The map side has flushed its buckets by the time the reduce tasks
-        // run; this instant event marks the shuffle boundary.
         trace.mark(&format!("shuffle-flush/{name}"), shuffled as u64);
     }
 }
@@ -114,8 +121,8 @@ where
         let (scattered, scatter_times) =
             shuffle_scatter(self, n, |(k, _): &(K, V)| partitioner.partition(k));
         let shuffled: usize = scattered.iter().map(|p| p.len()).sum();
-        let slots = self.cluster().config().task_slots();
-        let (grouped, times) = run_tasks(slots, scattered, |_, part| {
+        mark_shuffle_flush(self.cluster(), name, shuffled);
+        let (grouped, times) = run_stage_tasks(self.cluster().config(), scattered, |_, part| {
             let mut groups: HashMap<K, Vec<V>> = HashMap::new();
             for (k, v) in part {
                 groups.entry(k).or_default().push(v);
@@ -154,9 +161,9 @@ where
         let (scattered, scatter_times) =
             shuffle_scatter(self, n, |(k, _): &(K, V)| partitioner.partition(k));
         let shuffled: usize = scattered.iter().map(|p| p.len()).sum();
-        let slots = self.cluster().config().task_slots();
+        mark_shuffle_flush(self.cluster(), name, shuffled);
         let trace = self.cluster().trace().clone();
-        let (results, times) = run_tasks(slots, scattered, |_, part| {
+        let (results, times) = run_stage_tasks(self.cluster().config(), scattered, |_, part| {
             let result = external_group_by(part.into_iter(), budget, spill_dir.as_deref())
                 .expect("spill I/O failed");
             if trace.is_enabled() {
@@ -198,23 +205,23 @@ where
     {
         let start = Instant::now();
         let input_records = self.count();
-        let slots = self.cluster().config().task_slots();
         // Map-side combine.
         let inputs: Vec<Arc<Vec<(K, V)>>> = self.partitions.clone();
-        let (combined, combine_times) = run_tasks(slots, inputs, |_, part| {
-            let mut acc: HashMap<K, V> = HashMap::new();
-            for (k, v) in part.iter() {
-                match acc.remove(k) {
-                    Some(prev) => {
-                        acc.insert(k.clone(), f(prev, v.clone()));
-                    }
-                    None => {
-                        acc.insert(k.clone(), v.clone());
+        let (combined, combine_times) =
+            run_stage_tasks(self.cluster().config(), inputs, |_, part| {
+                let mut acc: HashMap<K, V> = HashMap::new();
+                for (k, v) in part.iter() {
+                    match acc.remove(k) {
+                        Some(prev) => {
+                            acc.insert(k.clone(), f(prev, v.clone()));
+                        }
+                        None => {
+                            acc.insert(k.clone(), v.clone());
+                        }
                     }
                 }
-            }
-            acc.into_iter().collect::<Vec<(K, V)>>()
-        });
+                acc.into_iter().collect::<Vec<(K, V)>>()
+            });
         let combined = Dataset::from_partitions(self.cluster().clone(), combined);
 
         let n = partitions.max(1);
@@ -222,20 +229,22 @@ where
         let (scattered, scatter_times) =
             shuffle_scatter(&combined, n, |(k, _): &(K, V)| partitioner.partition(k));
         let shuffled: usize = scattered.iter().map(|p| p.len()).sum();
-        let (reduced, reduce_times) = run_tasks(slots, scattered, |_, part| {
-            let mut acc: HashMap<K, V> = HashMap::new();
-            for (k, v) in part {
-                match acc.remove(&k) {
-                    Some(prev) => {
-                        acc.insert(k, f(prev, v));
-                    }
-                    None => {
-                        acc.insert(k, v);
+        mark_shuffle_flush(self.cluster(), name, shuffled);
+        let (reduced, reduce_times) =
+            run_stage_tasks(self.cluster().config(), scattered, |_, part| {
+                let mut acc: HashMap<K, V> = HashMap::new();
+                for (k, v) in part {
+                    match acc.remove(&k) {
+                        Some(prev) => {
+                            acc.insert(k, f(prev, v));
+                        }
+                        None => {
+                            acc.insert(k, v);
+                        }
                     }
                 }
-            }
-            acc.into_iter().collect::<Vec<(K, V)>>()
-        });
+                acc.into_iter().collect::<Vec<(K, V)>>()
+            });
         let out_sizes: Vec<usize> = reduced.iter().map(|p| p.len()).collect();
         record_wide_stage(
             self.cluster(),
@@ -295,19 +304,20 @@ where
         let shuffled: usize = left.iter().map(|p| p.len()).sum::<usize>()
             + right.iter().map(|p| p.len()).sum::<usize>();
         let record_size = std::mem::size_of::<(K, V)>().max(std::mem::size_of::<(K, W)>());
+        mark_shuffle_flush(self.cluster(), name, shuffled);
         #[allow(clippy::type_complexity)]
         let zipped: Vec<(Vec<(K, V)>, Vec<(K, W)>)> = left.into_iter().zip(right).collect();
-        let slots = self.cluster().config().task_slots();
-        let (cogrouped, times) = run_tasks(slots, zipped, |_, (lpart, rpart)| {
-            let mut groups: HashMap<K, (Vec<V>, Vec<W>)> = HashMap::new();
-            for (k, v) in lpart {
-                groups.entry(k).or_default().0.push(v);
-            }
-            for (k, w) in rpart {
-                groups.entry(k).or_default().1.push(w);
-            }
-            groups.into_iter().collect::<Vec<(K, (Vec<V>, Vec<W>))>>()
-        });
+        let (cogrouped, times) =
+            run_stage_tasks(self.cluster().config(), zipped, |_, (lpart, rpart)| {
+                let mut groups: HashMap<K, (Vec<V>, Vec<W>)> = HashMap::new();
+                for (k, v) in lpart {
+                    groups.entry(k).or_default().0.push(v);
+                }
+                for (k, w) in rpart {
+                    groups.entry(k).or_default().1.push(w);
+                }
+                groups.into_iter().collect::<Vec<(K, (Vec<V>, Vec<W>))>>()
+            });
         let out_sizes: Vec<usize> = cogrouped.iter().map(|p| p.len()).collect();
         record_wide_stage(
             self.cluster(),
@@ -336,6 +346,7 @@ where
                 partitioner.partition(k)
             });
         let shuffled: usize = scattered.iter().map(|p| p.len()).sum();
+        mark_shuffle_flush(self.cluster(), name, shuffled);
         let out_sizes: Vec<usize> = scattered.iter().map(|p| p.len()).collect();
         record_wide_stage(
             self.cluster(),
@@ -386,8 +397,8 @@ where
             (stable_hash(t) % targets as u64) as usize
         });
         let shuffled: usize = scattered.iter().map(|p| p.len()).sum();
-        let slots = self.cluster().config().task_slots();
-        let (deduped, times) = run_tasks(slots, scattered, |_, part| {
+        mark_shuffle_flush(self.cluster(), name, shuffled);
+        let (deduped, times) = run_stage_tasks(self.cluster().config(), scattered, |_, part| {
             // The seen-set owns each unique record once; the output is
             // rebuilt from it, so records are cloned exactly once.
             let mut seen = std::collections::HashSet::with_capacity(part.len());

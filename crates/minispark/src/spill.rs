@@ -40,8 +40,8 @@ fn spill_file_path(dir: Option<&Path>) -> PathBuf {
     let dir = dir
         .map(Path::to_path_buf)
         .unwrap_or_else(std::env::temp_dir);
-    // Relaxed: only atomicity matters — each caller must draw a distinct
-    // suffix, no ordering with other memory is implied.
+    // relaxed(unique-id): only atomicity matters — each caller must draw a
+    // distinct suffix, no ordering with other memory is implied.
     let unique = SPILL_COUNTER.fetch_add(1, Ordering::Relaxed);
     dir.join(format!(
         "minispark-spill-{}-{}.run",
@@ -151,6 +151,9 @@ where
                 writer.write_entry(&key, &values)?;
             }
             runs.push(writer.finish()?);
+            // A finished run is a durability boundary other tasks could
+            // observe — announce it to the schedule-exploration harness.
+            crate::sched::yield_point("spill-run");
             buffered = 0;
         }
     }

@@ -17,13 +17,10 @@
 
 use crate::ranking::Ranking;
 
-/// The maximum raw Footrule distance between two top-k rankings of length
-/// `k`: attained exactly when the rankings are disjoint, where every item
-/// contributes `k − rank` in its own list, summing to `k(k+1)/2` per side.
-#[inline]
-pub fn max_raw_distance(k: usize) -> u64 {
-    (k as u64) * (k as u64 + 1)
-}
+// The formula lives in `invariants` (the lower module — `distance` calls
+// into it for checks, so hosting it there keeps the module graph acyclic)
+// but is part of this module's public API.
+pub use crate::invariants::max_raw_distance;
 
 /// Converts a normalized threshold `θ ∈ [0, 1]` into a raw distance bound for
 /// rankings of length `k`, rounding down (a pair is a result iff

@@ -19,7 +19,17 @@
 //! * an early-exit verification that reports success must report a distance
 //!   within its own threshold.
 
-use crate::distance::max_raw_distance;
+/// The maximum raw Footrule distance between two top-k rankings of length
+/// `k`: attained exactly when the rankings are disjoint, where every item
+/// contributes `k − rank` in its own list, summing to `k(k+1)/2` per side.
+///
+/// Hosted here (rather than in [`crate::distance`], which re-exports it)
+/// because the invariant checks below need it and `distance` already calls
+/// into this module — keeping the intra-crate import graph acyclic.
+#[inline]
+pub fn max_raw_distance(k: usize) -> u64 {
+    (k as u64) * (k as u64 + 1)
+}
 
 /// Checks a raw Footrule distance `d` computed between rankings of lengths
 /// `ka` and `kb` against the attainable range (debug builds only).

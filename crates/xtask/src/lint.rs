@@ -61,7 +61,7 @@ enum Class {
 /// length and line structure as `src`, with bytes of the other classes
 /// blanked out. Handles line/block (nested) comments, string/char/byte
 /// literals and raw strings.
-fn mask_source(src: &str) -> (String, String) {
+pub(crate) fn mask_source(src: &str) -> (String, String) {
     let bytes = src.as_bytes();
     let mut class = vec![Class::Code; bytes.len()];
     let mut i = 0;
@@ -226,7 +226,7 @@ fn char_literal_end(bytes: &[u8], i: usize) -> Option<usize> {
 }
 
 /// Byte ranges of items gated behind `#[cfg(test)]` in the masked code view.
-fn test_regions(code: &str) -> Vec<(usize, usize)> {
+pub(crate) fn test_regions(code: &str) -> Vec<(usize, usize)> {
     const ATTR: &str = "#[cfg(test)]";
     let bytes = code.as_bytes();
     let mut regions = Vec::new();
@@ -286,11 +286,11 @@ fn test_regions(code: &str) -> Vec<(usize, usize)> {
     regions
 }
 
-fn in_regions(regions: &[(usize, usize)], pos: usize) -> bool {
+pub(crate) fn in_regions(regions: &[(usize, usize)], pos: usize) -> bool {
     regions.iter().any(|&(a, b)| pos >= a && pos < b)
 }
 
-fn line_of(line_starts: &[usize], pos: usize) -> usize {
+pub(crate) fn line_of(line_starts: &[usize], pos: usize) -> usize {
     match line_starts.binary_search(&pos) {
         Ok(n) => n + 1,
         Err(n) => n,
@@ -298,7 +298,7 @@ fn line_of(line_starts: &[usize], pos: usize) -> usize {
 }
 
 /// Occurrences of `needle` in `hay` that sit on identifier boundaries.
-fn find_tokens(hay: &str, needle: &str) -> Vec<usize> {
+pub(crate) fn find_tokens(hay: &str, needle: &str) -> Vec<usize> {
     let bytes = hay.as_bytes();
     let mut out = Vec::new();
     let mut from = 0;
@@ -323,7 +323,7 @@ fn find_tokens(hay: &str, needle: &str) -> Vec<usize> {
 /// Whether `rel` is library code for the unwrap/panic/relaxed rules: any
 /// `src/` file of a crate or the suite (binaries included — they ship).
 /// `tests/`, `benches/` and `examples/` are exempt by policy.
-fn is_library_path(rel: &str) -> bool {
+pub(crate) fn is_library_path(rel: &str) -> bool {
     let exempt = ["tests/", "benches/", "examples/"];
     if exempt
         .iter()
@@ -422,7 +422,7 @@ pub(crate) fn lint_file(rel: &str, src: &str) -> Vec<Violation> {
 }
 
 /// Recursively collects the workspace's `.rs` files, root-relative.
-fn collect_sources(root: &Path) -> std::io::Result<Vec<PathBuf>> {
+pub(crate) fn collect_sources(root: &Path) -> std::io::Result<Vec<PathBuf>> {
     const SKIP_DIRS: &[&str] = &["target", ".git", "results", ".claude"];
     let mut stack = vec![root.to_path_buf()];
     let mut files = Vec::new();

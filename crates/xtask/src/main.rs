@@ -1,13 +1,23 @@
 //! `xtask` — project-native developer tooling, run as `cargo run -p xtask -- <cmd>`.
 //!
-//! Currently one command:
+//! Three commands:
 //!
 //! * `lint [--root <path>]` — static analysis of the workspace source tree
 //!   against the project policy (no `unsafe`, no `.unwrap()`/`panic!` in
-//!   library code, justified `Ordering::Relaxed`, no `todo!`/`dbg!`). Exits
-//!   non-zero when any violation is found. The same analysis runs as a
-//!   `#[test]`, so plain `cargo test` enforces the policy too.
+//!   library code, justified `Ordering::Relaxed`, no `todo!`/`dbg!`).
+//! * `layers [--root <path>]` — architectural layering: crate dependencies
+//!   must point strictly down the `rankings → minispark → core → datagen →
+//!   bench` stack, `xtask` stays isolated, and intra-crate module imports
+//!   must be acyclic.
+//! * `atomics [--root <path>]` — atomics audit: every `Ordering::*` site in
+//!   library code is classified by operation; `Relaxed` requires a
+//!   `relaxed(<class>)` tag that actually justifies that operation.
+//!
+//! Each command exits non-zero on any violation, and each analysis also runs
+//! as a `#[test]`, so plain `cargo test` enforces all three policies too.
 
+mod atomics;
+mod layers;
 mod lint;
 
 use std::path::PathBuf;
@@ -25,10 +35,40 @@ fn workspace_root(explicit: Option<PathBuf>) -> PathBuf {
         .map_or(manifest.clone(), std::path::Path::to_path_buf)
 }
 
-fn run_lint(root: &std::path::Path) -> ExitCode {
-    match lint::lint_tree(root) {
+const USAGE: &str = "usage: cargo run -p xtask -- <lint|layers|atomics> [--root <path>]";
+
+/// Parses the `[--root <path>]` tail shared by every subcommand. A `--root`
+/// flag with no operand is an error (it used to fall back to the workspace
+/// root silently, masking typos like `--root` at the end of a command line).
+fn parse_root(cmd: &str, args: impl Iterator<Item = String>) -> Result<Option<PathBuf>, String> {
+    let mut args = args;
+    let mut root = None;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(path) => root = Some(PathBuf::from(path)),
+                None => {
+                    return Err(format!(
+                        "xtask {cmd}: `--root` needs a path operand\n{USAGE}"
+                    ))
+                }
+            },
+            other => return Err(format!("xtask {cmd}: unknown argument `{other}`\n{USAGE}")),
+        }
+    }
+    Ok(root)
+}
+
+/// Runs one analysis pass and reports its violations uniformly.
+fn run_pass(
+    name: &str,
+    root: &std::path::Path,
+    pass: impl FnOnce(&std::path::Path) -> std::io::Result<Vec<lint::Violation>>,
+    fix_hint: &str,
+) -> ExitCode {
+    match pass(root) {
         Ok(violations) if violations.is_empty() => {
-            eprintln!("xtask lint: clean ({})", root.display());
+            eprintln!("xtask {name}: clean ({})", root.display());
             ExitCode::SUCCESS
         }
         Ok(violations) => {
@@ -36,14 +76,43 @@ fn run_lint(root: &std::path::Path) -> ExitCode {
                 eprintln!("{v}");
             }
             eprintln!(
-                "xtask lint: {} violation(s). Fix them or (exceptionally, with a reviewer's \
-                 blessing) add `rule path` lines to crates/xtask/lint-allow.txt.",
+                "xtask {name}: {} violation(s). {fix_hint}",
                 violations.len()
             );
             ExitCode::FAILURE
         }
         Err(e) => {
-            eprintln!("xtask lint: failed to scan {}: {e}", root.display());
+            eprintln!("xtask {name}: failed to scan {}: {e}", root.display());
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run_atomics(root: &std::path::Path) -> ExitCode {
+    match atomics::audit_tree(root) {
+        Ok((sites, violations)) => {
+            eprintln!("xtask atomics: {} ordering site(s) audited", sites.len());
+            for site in &sites {
+                eprintln!("  {}", site.describe());
+            }
+            if violations.is_empty() {
+                eprintln!("xtask atomics: clean ({})", root.display());
+                ExitCode::SUCCESS
+            } else {
+                for v in &violations {
+                    eprintln!("{v}");
+                }
+                eprintln!(
+                    "xtask atomics: {} violation(s). Tag each Relaxed site with \
+                     `relaxed(<class>)` where the class justifies the operation \
+                     (see crates/xtask/src/atomics.rs).",
+                    violations.len()
+                );
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("xtask atomics: failed to scan {}: {e}", root.display());
             ExitCode::FAILURE
         }
     }
@@ -52,30 +121,52 @@ fn run_lint(root: &std::path::Path) -> ExitCode {
 fn main() -> ExitCode {
     let mut args = std::env::args().skip(1);
     let cmd = args.next();
-    match cmd.as_deref() {
-        Some("lint") => {
-            let mut root = None;
-            while let Some(arg) = args.next() {
-                match arg.as_str() {
-                    "--root" => root = args.next().map(PathBuf::from),
-                    other => {
-                        eprintln!("xtask lint: unknown argument `{other}`");
-                        return ExitCode::FAILURE;
-                    }
-                }
-            }
-            run_lint(&workspace_root(root))
+    let Some(cmd) = cmd else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    if !matches!(cmd.as_str(), "lint" | "layers" | "atomics") {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    }
+    let root = match parse_root(&cmd, args) {
+        Ok(root) => workspace_root(root),
+        Err(message) => {
+            eprintln!("{message}");
+            return ExitCode::FAILURE;
         }
-        _ => {
-            eprintln!("usage: cargo run -p xtask -- lint [--root <path>]");
-            ExitCode::FAILURE
-        }
+    };
+    match cmd.as_str() {
+        "lint" => run_pass(
+            "lint",
+            &root,
+            lint::lint_tree,
+            "Fix them or (exceptionally, with a reviewer's blessing) add `rule path` \
+             lines to crates/xtask/lint-allow.txt.",
+        ),
+        "layers" => run_pass(
+            "layers",
+            &root,
+            layers::layers_tree,
+            "Dependencies must point strictly down the rankings → minispark → core → \
+             datagen → bench stack, and intra-crate module imports must be acyclic.",
+        ),
+        "atomics" => run_atomics(&root),
+        _ => unreachable!("command validated above"),
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn render(violations: &[lint::Violation]) -> String {
+        violations
+            .iter()
+            .map(std::string::ToString::to_string)
+            .collect::<Vec<_>>()
+            .join("\n")
+    }
 
     /// The policy gate: `cargo test` fails on any lint violation in the
     /// workspace tree, keeping CI and local runs honest without a separate
@@ -88,11 +179,78 @@ mod tests {
             violations.is_empty(),
             "xtask lint found {} violation(s):\n{}",
             violations.len(),
-            violations
-                .iter()
-                .map(std::string::ToString::to_string)
-                .collect::<Vec<_>>()
-                .join("\n")
+            render(&violations)
         );
+    }
+
+    /// The layering gate: crate ranks and intra-crate module acyclicity.
+    #[test]
+    fn workspace_layers_are_clean() {
+        let root = workspace_root(None);
+        let violations = layers::layers_tree(&root).expect("workspace tree must be readable");
+        assert!(
+            violations.is_empty(),
+            "xtask layers found {} violation(s):\n{}",
+            violations.len(),
+            render(&violations)
+        );
+    }
+
+    /// The atomics gate: every `Ordering::Relaxed` in library code carries a
+    /// class tag that justifies its operation.
+    #[test]
+    fn workspace_atomics_are_clean() {
+        let root = workspace_root(None);
+        let (sites, violations) =
+            atomics::audit_tree(&root).expect("workspace tree must be readable");
+        assert!(
+            !sites.is_empty(),
+            "the audit should see the executor's atomics — scanning the wrong tree?"
+        );
+        assert!(
+            violations.is_empty(),
+            "xtask atomics found {} violation(s):\n{}",
+            violations.len(),
+            render(&violations)
+        );
+    }
+
+    #[test]
+    fn workspace_root_prefers_the_explicit_path() {
+        let explicit = PathBuf::from("/tmp/some-tree");
+        assert_eq!(workspace_root(Some(explicit.clone())), explicit);
+    }
+
+    #[test]
+    fn workspace_root_derives_from_the_manifest_dir() {
+        let root = workspace_root(None);
+        assert!(
+            root.join("crates/xtask/src/main.rs").is_file(),
+            "derived root {} should contain this very file",
+            root.display()
+        );
+        assert!(root.join("Cargo.toml").is_file());
+    }
+
+    #[test]
+    fn parse_root_accepts_a_path_operand() {
+        let args = ["--root".to_string(), "/tmp/tree".to_string()];
+        let root = parse_root("lint", args.into_iter()).expect("valid flags");
+        assert_eq!(root, Some(PathBuf::from("/tmp/tree")));
+    }
+
+    #[test]
+    fn parse_root_rejects_a_missing_operand() {
+        let args = ["--root".to_string()];
+        let err = parse_root("lint", args.into_iter()).expect_err("missing operand");
+        assert!(err.contains("needs a path operand"), "{err}");
+        assert!(err.contains("usage:"), "{err}");
+    }
+
+    #[test]
+    fn parse_root_rejects_unknown_flags() {
+        let args = ["--frobnicate".to_string()];
+        let err = parse_root("layers", args.into_iter()).expect_err("unknown flag");
+        assert!(err.contains("unknown argument `--frobnicate`"), "{err}");
     }
 }

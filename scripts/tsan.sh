@@ -23,6 +23,11 @@ HOST_TARGET=$(rustc +nightly -vV | sed -n 's/^host: //p')
 export TSAN_OPTIONS="halt_on_error=1"
 export RUSTFLAGS="-Zsanitizer=thread"
 
+# Arm the scheduler's yield points (executor claim, shuffle flush, spill
+# runs, kernel group boundaries) with a plain thread::yield_now so TSan
+# sees denser interleavings at exactly the boundaries that matter.
+export MINISPARK_YIELD=1
+
 exec cargo +nightly test -p minispark \
     -Zbuild-std \
     --target "$HOST_TARGET" \

@@ -28,12 +28,14 @@ static STDOUT_CLOSED: std::sync::atomic::AtomicBool = std::sync::atomic::AtomicB
 macro_rules! out {
     ($($arg:tt)*) => {{
         use std::sync::atomic::Ordering;
-        // Relaxed: a sticky best-effort flag — a lagging read only costs one
-        // extra failed write, so no cross-thread ordering is needed.
+        // relaxed(flag): a sticky best-effort flag — a lagging read only
+        // costs one extra failed write, so no cross-thread ordering is
+        // needed.
         if !STDOUT_CLOSED.load(Ordering::Relaxed) {
             let mut stdout = std::io::stdout().lock();
             if writeln!(stdout, $($arg)*).is_err() {
-                // Relaxed: same flag as above, set-once semantics.
+                // relaxed(flag): same flag as above, set-once semantics — the
+                // flag publishes nothing beyond itself.
                 STDOUT_CLOSED.store(true, Ordering::Relaxed);
             }
         }
