@@ -6,7 +6,9 @@ mod common;
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use topk_rankings::bounds::{min_overlap, ordered_prefix_len, overlap_prefix_len};
-use topk_rankings::distance::{footrule_raw, footrule_within, raw_threshold};
+use topk_rankings::distance::{
+    footrule_pairs_within, footrule_raw, footrule_sorted_within, footrule_within, raw_threshold,
+};
 use topk_rankings::{FrequencyTable, OrderedRanking};
 
 fn bench(c: &mut Criterion) {
@@ -29,6 +31,32 @@ fn bench(c: &mut Criterion) {
         let oa = OrderedRanking::by_frequency(a, &freq);
         let ob = OrderedRanking::by_frequency(b, &freq);
         bench.iter(|| oa.footrule_within(black_box(&ob), black_box(theta_raw)))
+    });
+    // The verification fast path against its retained reference: the
+    // O(k²) naive scan over unsorted pairs vs. the O(k) two-pointer merge
+    // over the item-sorted shadow view (same results, different cost —
+    // `bench_kernels` captures the same comparison across a k grid).
+    group.bench_function("verify_naive_scan_k10", |bench| {
+        let oa = OrderedRanking::by_frequency(a, &freq);
+        let ob = OrderedRanking::by_frequency(b, &freq);
+        bench.iter(|| {
+            footrule_pairs_within(
+                black_box(oa.pairs()),
+                black_box(ob.pairs()),
+                black_box(theta_raw),
+            )
+        })
+    });
+    group.bench_function("verify_sorted_merge_k10", |bench| {
+        let oa = OrderedRanking::by_frequency(a, &freq);
+        let ob = OrderedRanking::by_frequency(b, &freq);
+        bench.iter(|| {
+            footrule_sorted_within(
+                black_box(oa.pairs_by_item()),
+                black_box(ob.pairs_by_item()),
+                black_box(theta_raw),
+            )
+        })
     });
     group.bench_function("prefix_bounds_k10", |bench| {
         bench.iter(|| {

@@ -1,0 +1,345 @@
+//! Kernel and end-to-end benchmark capture for the verification hot path.
+//!
+//! ```text
+//! bench_kernels [--trials N] [--warmup N] [--quick] [--out PATH]
+//! ```
+//!
+//! Measures, with warmup rounds and median-of-`N`-trials reporting:
+//!
+//! * **verify** — per-candidate Footrule verification: the retained O(k²)
+//!   naive scan (`footrule_pairs_within`) against the O(k) item-sorted
+//!   two-pointer merge (`footrule_sorted_within`), across a grid of ranking
+//!   lengths `k`, with the join's early-exit threshold and with no
+//!   threshold (full-distance) — both paths return bit-identical results,
+//!   only the cost differs,
+//! * **group_kernels** — one token group through the indexed kernel with a
+//!   warm reusable [`GroupScratch`], with a cold scratch allocated per
+//!   group (the pre-scratch behaviour), and through the nested loop,
+//! * **end_to_end** — small VJ and CL-P self-joins on the DBLP-like
+//!   corpus.
+//!
+//! Results go to stdout and, as an ordered-JSON document
+//! (`topk-simjoin/bench-kernels/v1`), to `--out` (default
+//! `BENCH_kernels.json`). `--quick` shrinks sizes and trials for CI smoke
+//! runs.
+
+use std::hint::black_box;
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Instant;
+
+use minispark::{Cluster, ClusterConfig, Json};
+use topk_datagen::CorpusProfile;
+use topk_rankings::bounds::overlap_prefix_len;
+use topk_rankings::distance::{footrule_pairs_within, footrule_sorted_within, raw_threshold};
+use topk_rankings::{FrequencyTable, OrderedRanking, Ranking};
+use topk_simjoin::kernels::{
+    join_group_indexed, join_group_nested_loop, with_group_scratch, GroupScratch, GroupThresholds,
+    TokenEntry,
+};
+use topk_simjoin::{clp_join, vj_join, JoinConfig, JoinStats};
+
+/// The θ every measurement uses (a mid-range figure-6 point).
+const THETA: f64 = 0.3;
+
+struct Opts {
+    trials: usize,
+    warmup: usize,
+    quick: bool,
+    out: PathBuf,
+}
+
+fn parse_opts() -> Opts {
+    let mut opts = Opts {
+        trials: 9,
+        warmup: 3,
+        quick: false,
+        out: PathBuf::from("BENCH_kernels.json"),
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--trials" => {
+                let v = args.next().expect("--trials needs a value");
+                opts.trials = v.parse().expect("--trials must be a positive integer");
+            }
+            "--warmup" => {
+                let v = args.next().expect("--warmup needs a value");
+                opts.warmup = v.parse().expect("--warmup must be an integer");
+            }
+            "--quick" => opts.quick = true,
+            "--out" => {
+                opts.out = PathBuf::from(args.next().expect("--out needs a path"));
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                eprintln!("usage: bench_kernels [--trials N] [--warmup N] [--quick] [--out PATH]");
+                std::process::exit(2);
+            }
+        }
+    }
+    opts.trials = opts.trials.max(1);
+    opts
+}
+
+/// Runs `f` `warmup + trials` times and returns the median wall time of the
+/// measured trials, in seconds.
+fn median_secs(trials: usize, warmup: usize, mut f: impl FnMut() -> u64) -> f64 {
+    let mut samples = Vec::with_capacity(trials);
+    for round in 0..(warmup + trials) {
+        let start = Instant::now();
+        black_box(f());
+        let elapsed = start.elapsed().as_secs_f64();
+        if round >= warmup {
+            samples.push(elapsed);
+        }
+    }
+    samples.sort_by(|a, b| a.total_cmp(b));
+    let mid = samples.len() / 2;
+    if samples.len() % 2 == 1 {
+        samples[mid]
+    } else {
+        (samples[mid - 1] + samples[mid]) / 2.0
+    }
+}
+
+/// Deterministic candidate pairs: each ranking against its next few
+/// neighbours in corpus order (near-duplicates and strangers mixed, like a
+/// token group's collisions).
+fn candidate_pairs(ordered: &[OrderedRanking], fan: usize) -> Vec<(usize, usize)> {
+    let mut pairs = Vec::new();
+    for i in 0..ordered.len() {
+        for d in 1..=fan {
+            let j = i + d;
+            if j < ordered.len() {
+                pairs.push((i, j));
+            }
+        }
+    }
+    pairs
+}
+
+fn ordered_corpus(n: usize, k: usize) -> Vec<OrderedRanking> {
+    let data = CorpusProfile::dblp_like(n, k).generate();
+    let freq = FrequencyTable::from_rankings(&data);
+    data.iter()
+        .map(|r| OrderedRanking::by_frequency(r, &freq))
+        .collect()
+}
+
+/// Per-candidate verification: naive scan vs. item-sorted merge at one `k`.
+fn bench_verify(k: usize, opts: &Opts) -> Json {
+    let n = if opts.quick { 200 } else { 600 };
+    let ordered = ordered_corpus(n, k);
+    let pairs = candidate_pairs(&ordered, 6);
+    let theta_raw = raw_threshold(k, THETA);
+    let per_candidate = |total_secs: f64| -> f64 { total_secs / pairs.len() as f64 * 1e9 };
+
+    let run = |threshold: u64, merge: bool| -> f64 {
+        median_secs(opts.trials, opts.warmup, || {
+            let mut acc = 0u64;
+            for &(i, j) in &pairs {
+                let (a, b) = (&ordered[i], &ordered[j]);
+                let d = if merge {
+                    footrule_sorted_within(a.pairs_by_item(), b.pairs_by_item(), threshold)
+                } else {
+                    footrule_pairs_within(a.pairs(), b.pairs(), threshold)
+                };
+                acc = acc.wrapping_add(d.unwrap_or(u64::MAX));
+            }
+            acc
+        })
+    };
+
+    // Differential spot check alongside the measurement: the two paths must
+    // agree on every candidate before their timings mean anything.
+    for &(i, j) in &pairs {
+        let (a, b) = (&ordered[i], &ordered[j]);
+        assert_eq!(
+            footrule_pairs_within(a.pairs(), b.pairs(), theta_raw),
+            footrule_sorted_within(a.pairs_by_item(), b.pairs_by_item(), theta_raw),
+            "scan and merge disagree at k = {k}"
+        );
+    }
+
+    let scan_theta = per_candidate(run(theta_raw, false));
+    let merge_theta = per_candidate(run(theta_raw, true));
+    let scan_full = per_candidate(run(u64::MAX, false));
+    let merge_full = per_candidate(run(u64::MAX, true));
+    println!(
+        "verify k={k:<3} θ={THETA}: scan {scan_theta:8.1} ns/cand  merge {merge_theta:8.1} ns/cand \
+         ({:4.2}x)   full: scan {scan_full:8.1}  merge {merge_full:8.1} ({:4.2}x)",
+        scan_theta / merge_theta,
+        scan_full / merge_full,
+    );
+    Json::obj()
+        .with("k", Json::num_usize(k))
+        .with("theta", Json::num(THETA))
+        .with("threshold_raw", Json::num_u64(theta_raw))
+        .with("candidates", Json::num_usize(pairs.len()))
+        .with("scan_ns_per_candidate", Json::num(scan_theta))
+        .with("merge_ns_per_candidate", Json::num(merge_theta))
+        .with("speedup", Json::num(scan_theta / merge_theta))
+        .with("scan_full_ns_per_candidate", Json::num(scan_full))
+        .with("merge_full_ns_per_candidate", Json::num(merge_full))
+        .with("speedup_full", Json::num(scan_full / merge_full))
+}
+
+/// One token group through the three kernel configurations.
+fn bench_group_kernels(opts: &Opts) -> Json {
+    let k = 10;
+    let n = if opts.quick { 2_000 } else { 6_000 };
+    let ordered = ordered_corpus(n, k);
+    let theta_raw = raw_threshold(k, THETA);
+    let prefix_len = overlap_prefix_len(k, theta_raw);
+
+    // The group for the corpus's most frequent item — the hottest posting
+    // list, exactly the group the kernels spend their time in.
+    let mut counts: std::collections::HashMap<u32, usize> = std::collections::HashMap::new();
+    for r in &ordered {
+        for &(item, _) in r.prefix(prefix_len) {
+            *counts.entry(item).or_default() += 1;
+        }
+    }
+    let (&token, _) = counts
+        .iter()
+        .max_by_key(|&(_, c)| *c)
+        .expect("corpus is non-empty");
+    let entries: Vec<TokenEntry> = ordered
+        .iter()
+        .filter_map(|r| {
+            r.rank_of(token)
+                .map(|rank| TokenEntry::plain(rank as u16, Arc::new(r.clone())))
+        })
+        .collect();
+    let thresholds = GroupThresholds::Uniform(theta_raw);
+
+    let warm = median_secs(opts.trials, opts.warmup, || {
+        with_group_scratch(|scratch| {
+            join_group_indexed(
+                &entries,
+                |_| prefix_len,
+                &thresholds,
+                true,
+                &JoinStats::default(),
+                scratch,
+            )
+            .len() as u64
+        })
+    });
+    let cold = median_secs(opts.trials, opts.warmup, || {
+        let mut scratch = GroupScratch::new();
+        join_group_indexed(
+            &entries,
+            |_| prefix_len,
+            &thresholds,
+            true,
+            &JoinStats::default(),
+            &mut scratch,
+        )
+        .len() as u64
+    });
+    let nested = median_secs(opts.trials, opts.warmup, || {
+        join_group_nested_loop(&entries, &thresholds, true, &JoinStats::default()).len() as u64
+    });
+    println!(
+        "group  |group|={:<5} indexed warm {:9.1} µs  cold {:9.1} µs  nested-loop {:9.1} µs",
+        entries.len(),
+        warm * 1e6,
+        cold * 1e6,
+        nested * 1e6,
+    );
+    Json::obj()
+        .with("group_size", Json::num_usize(entries.len()))
+        .with("k", Json::num_usize(k))
+        .with("prefix_len", Json::num_usize(prefix_len))
+        .with("indexed_warm_scratch_us", Json::num(warm * 1e6))
+        .with("indexed_cold_scratch_us", Json::num(cold * 1e6))
+        .with("nested_loop_us", Json::num(nested * 1e6))
+}
+
+/// Small end-to-end self-joins (the kernels in their natural habitat).
+fn bench_end_to_end(opts: &Opts) -> Vec<Json> {
+    let n = if opts.quick { 400 } else { 1_500 };
+    let data: Vec<Ranking> = CorpusProfile::dblp_like(n, 10).generate();
+    let config = JoinConfig::new(THETA);
+    let trials = opts.trials.min(5);
+    let mut rows = Vec::new();
+    type Join = fn(
+        &Cluster,
+        &[Ranking],
+        &JoinConfig,
+    ) -> Result<topk_simjoin::JoinOutcome, topk_simjoin::JoinError>;
+    for (name, join) in [("vj", vj_join as Join), ("cl-p", clp_join as Join)] {
+        let mut pair_count = 0usize;
+        let secs = median_secs(trials, opts.warmup.min(1), || {
+            let cluster = Cluster::new(ClusterConfig::local(4));
+            let outcome = join(&cluster, &data, &config).expect("join runs");
+            pair_count = outcome.pairs.len();
+            outcome.pairs.len() as u64
+        });
+        println!(
+            "e2e    {name:<5} n={n:<6} {:9.1} ms  ({pair_count} pairs)",
+            secs * 1e3
+        );
+        rows.push(
+            Json::obj()
+                .with("join", Json::str(name))
+                .with("records", Json::num_usize(n))
+                .with("theta", Json::num(THETA))
+                .with("median_ms", Json::num(secs * 1e3))
+                .with("result_pairs", Json::num_usize(pair_count)),
+        );
+    }
+    rows
+}
+
+fn main() {
+    let opts = parse_opts();
+    let ks: &[usize] = if opts.quick {
+        &[10, 20]
+    } else {
+        &[5, 10, 20, 25, 50]
+    };
+
+    println!(
+        "bench_kernels: trials = {}, warmup = {}, quick = {}",
+        opts.trials, opts.warmup, opts.quick
+    );
+    let verify: Vec<Json> = ks.iter().map(|&k| bench_verify(k, &opts)).collect();
+    let groups = bench_group_kernels(&opts);
+    let end_to_end = bench_end_to_end(&opts);
+
+    let headline = verify
+        .iter()
+        .find(|row| row.get("k").and_then(Json::as_u64) == Some(20))
+        .map(|row| {
+            Json::obj()
+                .with("k", Json::num_usize(20))
+                .with("speedup", row.get("speedup").cloned().unwrap_or(Json::Null))
+                .with(
+                    "speedup_full",
+                    row.get("speedup_full").cloned().unwrap_or(Json::Null),
+                )
+        })
+        .unwrap_or(Json::Null);
+
+    let doc = Json::obj()
+        .with("schema", Json::str("topk-simjoin/bench-kernels/v1"))
+        .with(
+            "config",
+            Json::obj()
+                .with("trials", Json::num_usize(opts.trials))
+                .with("warmup", Json::num_usize(opts.warmup))
+                .with("quick", Json::Bool(opts.quick)),
+        )
+        .with("headline", headline)
+        .with("verify", Json::Arr(verify))
+        .with("group_kernels", groups)
+        .with("end_to_end", Json::Arr(end_to_end));
+
+    let mut text = doc.render();
+    text.push('\n');
+    std::fs::write(&opts.out, text).expect("write bench output file");
+    println!("wrote {}", opts.out.display());
+}

@@ -21,11 +21,12 @@
 //! Cross-group duplicates are removed later by a global `distinct`, as in
 //! the paper's final phase.
 
+use std::cell::RefCell;
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::{Arc, Weak};
 
 use topk_rankings::verify::{verify_candidate, Verification};
-use topk_rankings::OrderedRanking;
+use topk_rankings::{ItemId, OrderedRanking};
 
 use crate::stats::JoinStats;
 
@@ -54,10 +55,50 @@ impl TokenEntry {
     }
 }
 
+/// When the decode interner holds this many entries, dead `Weak`s are swept
+/// before inserting the next one (live entries are genuinely shared and
+/// stay).
+const DECODE_CACHE_SWEEP_LEN: usize = 8192;
+
+thread_local! {
+    /// Per-task-thread interner for spill-replayed rankings: ranking id →
+    /// weak handle to the decoded [`OrderedRanking`]. A ranking occurs once
+    /// per prefix token in a shuffle, so replaying a spilled partition
+    /// without interning rebuilds `avg prefix length` copies of every
+    /// ranking — the interner restores the map-side `Arc` sharing. `Weak`
+    /// entries keep the cache from pinning rankings beyond the partitions
+    /// that reference them.
+    static DECODE_INTERNER: RefCell<HashMap<u64, Weak<OrderedRanking>>> =
+        RefCell::new(HashMap::new());
+}
+
+/// Decodes an `OrderedRanking` through the thread's interner: occurrences of
+/// one ranking id within a partition replay share a single allocation. The
+/// cached copy is only reused when its pairs match the decoded bytes, so a
+/// (never expected) id collision degrades to a fresh allocation, not to
+/// wrong data.
+fn intern_decoded(id: u64, pairs: Vec<(u32, u16)>) -> Arc<OrderedRanking> {
+    DECODE_INTERNER.with(|cell| {
+        let mut cache = cell.borrow_mut();
+        if let Some(shared) = cache.get(&id).and_then(Weak::upgrade) {
+            if shared.pairs() == pairs.as_slice() {
+                return shared;
+            }
+        }
+        let fresh = Arc::new(OrderedRanking::from_pairs(id, pairs));
+        if cache.len() >= DECODE_CACHE_SWEEP_LEN {
+            cache.retain(|_, weak| weak.strong_count() > 0);
+        }
+        cache.insert(id, Arc::downgrade(&fresh));
+        fresh
+    })
+}
+
 /// Spill encoding (see `minispark::spill`): rank, singleton tag, ranking id
-/// and the `(item, original_rank)` pairs. Decoding rebuilds a fresh
-/// `OrderedRanking` (the `Arc` sharing is naturally lost across the disk
-/// boundary, exactly as it would be across Spark's serialization).
+/// and the `(item, original_rank)` pairs. Decoding rebuilds the
+/// `OrderedRanking` through a per-thread interner, so the `Arc` sharing
+/// that serialization naturally loses is restored on replay instead of
+/// multiplying resident memory by the average prefix length.
 impl minispark::Codec for TokenEntry {
     fn encode(&self, out: &mut Vec<u8>) {
         self.rank.encode(out);
@@ -74,7 +115,7 @@ impl minispark::Codec for TokenEntry {
         Some(Self {
             rank,
             singleton,
-            ranking: Arc::new(OrderedRanking::from_pairs(id, pairs)),
+            ranking: intern_decoded(id, pairs),
         })
     }
 }
@@ -168,17 +209,105 @@ fn ordered_indices(entries: &[TokenEntry], i: usize, j: usize) -> (usize, usize)
     }
 }
 
+/// Sentinel chain terminator for [`GroupScratch`] posting chains.
+const NO_POSTING: u32 = u32::MAX;
+
+/// One node of an intrusive posting chain in the flat arena: the entry it
+/// refers to, the token's original rank in that entry, and the arena index
+/// of the next posting for the same item.
+#[derive(Debug, Clone, Copy)]
+struct Posting {
+    entry: u32,
+    rank: u16,
+    next: u32,
+}
+
+/// Reusable working memory for [`join_group_indexed`].
+///
+/// The kernel used to build a fresh `HashMap<ItemId, Vec<(usize, u16)>>` per
+/// group — one map plus one `Vec` allocation per distinct prefix token, per
+/// group, for the lifetime of the join. The scratch replaces the per-token
+/// `Vec`s with intrusive chains in a single flat arena and the per-probe
+/// `seen` clear loop with a generation counter, so a warm scratch runs the
+/// kernel without allocating at all. One group's contents never leak into
+/// the next: `begin_group` resets the arena and `next_probe` invalidates
+/// every stamp by bumping the generation.
+#[derive(Debug, Default)]
+pub struct GroupScratch {
+    /// Item id → arena index of the newest posting for that item.
+    heads: HashMap<ItemId, u32>,
+    /// Flat arena of posting-chain nodes, reused across groups.
+    postings: Vec<Posting>,
+    /// Entry indices in processing order, reused across groups.
+    order: Vec<u32>,
+    /// Per-entry stamp; an entry is "seen by the current probe" iff its
+    /// stamp equals `generation`.
+    seen_stamp: Vec<u32>,
+    /// Current probe's stamp value; bumping it un-sees every entry in O(1).
+    generation: u32,
+}
+
+impl GroupScratch {
+    /// An empty scratch; buffers grow on first use and are then reused.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Resets the scratch for a group of `n` entries.
+    fn begin_group(&mut self, n: usize) {
+        self.heads.clear();
+        self.postings.clear();
+        self.order.clear();
+        if self.seen_stamp.len() < n {
+            self.seen_stamp.resize(n, 0);
+        }
+    }
+
+    /// Starts a new probe: returns the stamp that marks entries as seen by
+    /// it. On the (astronomically rare) generation wrap the stamps are
+    /// zeroed so stale stamps from 2³² probes ago can never alias.
+    fn next_probe(&mut self) -> u32 {
+        self.generation = match self.generation.checked_add(1) {
+            Some(g) => g,
+            None => {
+                self.seen_stamp.iter_mut().for_each(|s| *s = 0);
+                1
+            }
+        };
+        self.generation
+    }
+}
+
+thread_local! {
+    /// Per-executor-thread [`GroupScratch`]: every group a thread processes
+    /// reuses one arena instead of rebuilding the inverted index from
+    /// nothing. Kernel closures run as `Fn` from multiple executor threads,
+    /// so the scratch is thread-local rather than captured.
+    static GROUP_SCRATCH: RefCell<GroupScratch> = RefCell::new(GroupScratch::new());
+}
+
+/// Runs `f` with the calling thread's reusable [`GroupScratch`].
+///
+/// This is how the pipelines thread the scratch into
+/// [`join_group_indexed`]; tests that want a cold scratch can pass their own
+/// `GroupScratch::new()` instead.
+pub fn with_group_scratch<R>(f: impl FnOnce(&mut GroupScratch) -> R) -> R {
+    GROUP_SCRATCH.with(|cell| f(&mut cell.borrow_mut()))
+}
+
 /// VJ-style kernel: index the group members' prefixes in a group-local
 /// inverted index and probe it, verifying each distinct colliding pair once.
 ///
 /// `prefix_len_of(singleton)` gives the prefix length of an entry (constant
-/// for self-joins, type-dependent in the centroid join).
+/// for self-joins, type-dependent in the centroid join). `scratch` is the
+/// reusable index memory — see [`GroupScratch`] and [`with_group_scratch`].
 pub fn join_group_indexed(
     entries: &[TokenEntry],
     prefix_len_of: impl Fn(bool) -> usize,
     thresholds: &GroupThresholds,
     use_position_filter: bool,
     stats: &JoinStats,
+    scratch: &mut GroupScratch,
 ) -> Vec<(usize, usize, u64)> {
     // Group boundary: an interleaving point for schedule exploration (a
     // single relaxed-load branch when no hook is installed).
@@ -187,46 +316,67 @@ pub fn join_group_indexed(
     if entries.len() < 2 {
         return results;
     }
-    // Process in ranking-id order so the index only ever holds smaller ids.
-    let mut order: Vec<usize> = (0..entries.len()).collect();
-    order.sort_by_key(|&i| entries[i].ranking.id());
+    scratch.begin_group(entries.len());
+    // Process in ranking-id order so the index only ever holds ids no larger
+    // than the probe's. The slot index breaks id ties, making the order
+    // total — duplicate-id groups traverse identically on every run.
+    scratch.order.extend(0..entries.len() as u32);
+    scratch
+        .order
+        .sort_unstable_by_key(|&i| (entries[i as usize].ranking.id(), i));
 
-    let mut index: HashMap<u32, Vec<(usize, u16)>> = HashMap::new();
-    let mut seen: Vec<usize> = Vec::new();
-    let mut seen_flags: Vec<bool> = vec![false; entries.len()];
-    for &probe_idx in &order {
+    for oi in 0..scratch.order.len() {
+        let probe_idx = scratch.order[oi] as usize;
         let probe = &entries[probe_idx];
         let p = prefix_len_of(probe.singleton);
-        seen.clear();
+        let stamp = scratch.next_probe();
         for &(item, rank) in probe.ranking.prefix(p) {
-            if let Some(postings) = index.get(&item) {
-                for &(indexed_idx, indexed_rank) in postings {
-                    if seen_flags[indexed_idx] {
-                        continue;
-                    }
-                    seen_flags[indexed_idx] = true;
-                    seen.push(indexed_idx);
-                    let indexed = &entries[indexed_idx];
-                    if let Some(d) = verify_pair(
-                        indexed,
-                        probe,
-                        (indexed_rank, rank),
-                        thresholds,
-                        use_position_filter,
-                        stats,
-                    ) {
-                        let (a, b) = ordered_indices(entries, indexed_idx, probe_idx);
-                        results.push((a, b, d));
-                    }
+            let mut cursor = scratch.heads.get(&item).copied().unwrap_or(NO_POSTING);
+            while cursor != NO_POSTING {
+                let Posting {
+                    entry,
+                    rank: indexed_rank,
+                    next,
+                } = scratch.postings[cursor as usize];
+                cursor = next;
+                let indexed_idx = entry as usize;
+                if scratch.seen_stamp[indexed_idx] == stamp {
+                    continue;
+                }
+                scratch.seen_stamp[indexed_idx] = stamp;
+                let indexed = &entries[indexed_idx];
+                // A ranking can occur more than once in a group (duplicate
+                // ids in the input); such collisions are self-pairs, which
+                // the nested-loop and R-S kernels skip — skip them here too,
+                // before the candidate counter, so both kernels' stats
+                // agree.
+                if indexed.ranking.id() == probe.ranking.id() {
+                    continue;
+                }
+                if let Some(d) = verify_pair(
+                    indexed,
+                    probe,
+                    (indexed_rank, rank),
+                    thresholds,
+                    use_position_filter,
+                    stats,
+                ) {
+                    let (a, b) = ordered_indices(entries, indexed_idx, probe_idx);
+                    results.push((a, b, d));
                 }
             }
         }
-        for &idx in &seen {
-            seen_flags[idx] = false;
-        }
-        // Index the probe's prefix for subsequent (larger-id) members.
+        // Index the probe's prefix for subsequent (larger-id) members:
+        // head-insert each token into its intrusive chain.
         for &(item, rank) in probe.ranking.prefix(p) {
-            index.entry(item).or_default().push((probe_idx, rank));
+            let head = scratch.heads.entry(item).or_insert(NO_POSTING);
+            let node = Posting {
+                entry: probe_idx as u32,
+                rank,
+                next: *head,
+            };
+            *head = scratch.postings.len() as u32;
+            scratch.postings.push(node);
         }
     }
     results
@@ -359,10 +509,149 @@ mod tests {
                 &GroupThresholds::Uniform(8),
                 true,
                 &stats_ix,
+                &mut GroupScratch::new(),
             ),
             &entries,
         );
         assert_eq!(nl, ix);
+    }
+
+    #[test]
+    fn indexed_skips_duplicate_ranking_ids_like_nested_loop() {
+        // Regression: the indexed kernel used to verify (and emit) pairs of
+        // entries carrying the same ranking id, which the nested-loop kernel
+        // skips. Feed both kernels a group holding a duplicated ranking and
+        // assert identical pair sets and identical candidate counts.
+        let mut entries = group();
+        entries.push(entry(2, &[2, 1, 3, 4, 5], 1)); // duplicate of id 2
+        entries.push(entry(2, &[2, 1, 3, 4, 5], 1)); // and a third copy
+        let stats_nl = JoinStats::default();
+        let nl = pairs_of(
+            &join_group_nested_loop(&entries, &GroupThresholds::Uniform(8), true, &stats_nl),
+            &entries,
+        );
+        let stats_ix = JoinStats::default();
+        let ix = pairs_of(
+            &join_group_indexed(
+                &entries,
+                |_| 3,
+                &GroupThresholds::Uniform(8),
+                true,
+                &stats_ix,
+                &mut GroupScratch::new(),
+            ),
+            &entries,
+        );
+        assert_eq!(nl, ix);
+        assert_eq!(
+            stats_nl.snapshot().candidates,
+            stats_ix.snapshot().candidates
+        );
+        // No emitted pair may relate a ranking id to itself.
+        for &(i, j, _) in &join_group_indexed(
+            &entries,
+            |_| 3,
+            &GroupThresholds::Uniform(8),
+            true,
+            &JoinStats::default(),
+            &mut GroupScratch::new(),
+        ) {
+            assert_ne!(entries[i].ranking.id(), entries[j].ranking.id());
+        }
+    }
+
+    #[test]
+    fn scratch_reuse_does_not_leak_state_across_groups() {
+        // Run a big group, then a small unrelated one, through the same
+        // scratch; the small group must behave exactly as with a cold
+        // scratch.
+        let mut scratch = GroupScratch::new();
+        let big = group();
+        join_group_indexed(
+            &big,
+            |_| 3,
+            &GroupThresholds::Uniform(8),
+            true,
+            &JoinStats::default(),
+            &mut scratch,
+        );
+        let small = vec![entry(7, &[9, 8, 7, 6, 5], 9), entry(8, &[9, 8, 7, 6, 4], 9)];
+        let stats_warm = JoinStats::default();
+        let warm = pairs_of(
+            &join_group_indexed(
+                &small,
+                |_| 3,
+                &GroupThresholds::Uniform(8),
+                true,
+                &stats_warm,
+                &mut scratch,
+            ),
+            &small,
+        );
+        let stats_cold = JoinStats::default();
+        let cold = pairs_of(
+            &join_group_indexed(
+                &small,
+                |_| 3,
+                &GroupThresholds::Uniform(8),
+                true,
+                &stats_cold,
+                &mut GroupScratch::new(),
+            ),
+            &small,
+        );
+        assert_eq!(warm, cold);
+        assert_eq!(
+            stats_warm.snapshot().candidates,
+            stats_cold.snapshot().candidates
+        );
+    }
+
+    #[test]
+    fn scratch_generation_wrap_resets_stamps() {
+        let mut scratch = GroupScratch::new();
+        scratch.begin_group(3);
+        scratch.generation = u32::MAX - 1;
+        scratch.seen_stamp = vec![u32::MAX, 0, u32::MAX - 1];
+        assert_eq!(scratch.next_probe(), u32::MAX);
+        // Wrap: stamps must be zeroed so nothing aliases generation 1.
+        assert_eq!(scratch.next_probe(), 1);
+        assert!(scratch.seen_stamp.iter().all(|&s| s == 0));
+    }
+
+    #[test]
+    fn decode_interns_repeated_rankings() {
+        use minispark::Codec;
+        let e = entry(42, &[1, 2, 3, 4, 5], 1);
+        let mut bytes = Vec::new();
+        e.encode(&mut bytes);
+        e.encode(&mut bytes);
+        let mut input = bytes.as_slice();
+        let first = TokenEntry::decode(&mut input).expect("first decode");
+        let second = TokenEntry::decode(&mut input).expect("second decode");
+        assert!(input.is_empty());
+        assert_eq!(first.ranking, second.ranking);
+        // The interner must hand back the same allocation for the replayed
+        // occurrence, restoring the map-side Arc sharing.
+        assert!(Arc::ptr_eq(&first.ranking, &second.ranking));
+    }
+
+    #[test]
+    fn decode_interner_rejects_mismatched_pairs() {
+        use minispark::Codec;
+        // Two different rankings that (artificially) share an id: the
+        // interner must fall back to fresh allocations, never alias them.
+        let a = entry(77, &[1, 2, 3, 4, 5], 1);
+        let b = entry(77, &[5, 4, 3, 2, 1], 1);
+        let mut bytes = Vec::new();
+        a.encode(&mut bytes);
+        b.encode(&mut bytes);
+        let mut input = bytes.as_slice();
+        let da = TokenEntry::decode(&mut input).expect("decode a");
+        let db = TokenEntry::decode(&mut input).expect("decode b");
+        assert!(!Arc::ptr_eq(&da.ranking, &db.ranking));
+        assert_eq!(da.ranking.pairs(), a.ranking.pairs());
+        assert_eq!(db.ranking.pairs(), b.ranking.pairs());
     }
 
     #[test]
@@ -377,6 +666,7 @@ mod tests {
             &GroupThresholds::Uniform(110),
             false,
             &stats,
+            &mut GroupScratch::new(),
         );
         assert_eq!(results.len(), 1);
         assert_eq!(stats.snapshot().candidates, 1);
@@ -448,9 +738,15 @@ mod tests {
         assert!(
             join_group_nested_loop(&one, &GroupThresholds::Uniform(5), true, &stats).is_empty()
         );
-        assert!(
-            join_group_indexed(&one, |_| 2, &GroupThresholds::Uniform(5), true, &stats).is_empty()
-        );
+        assert!(join_group_indexed(
+            &one,
+            |_| 2,
+            &GroupThresholds::Uniform(5),
+            true,
+            &stats,
+            &mut GroupScratch::new()
+        )
+        .is_empty());
         assert!(join_group_rs(&one, &[], &GroupThresholds::Uniform(5), true, &stats).is_empty());
         let empty: Vec<TokenEntry> = vec![];
         assert!(

@@ -21,7 +21,8 @@ use minispark::{Cluster, CompositePartitioner, Dataset};
 use topk_rankings::{FrequencyTable, ItemId, OrderedRanking, PrefixKind, Ranking, ResultPair};
 
 use crate::kernels::{
-    join_group_indexed, join_group_nested_loop, join_group_rs, GroupThresholds, TokenEntry,
+    join_group_indexed, join_group_nested_loop, join_group_rs, with_group_scratch, GroupThresholds,
+    TokenEntry,
 };
 use crate::stats::JoinStats;
 
@@ -175,13 +176,16 @@ fn run_kernel(
     stats: &JoinStats,
 ) -> Vec<PairHit> {
     let triples = match style {
-        GroupJoinStyle::Indexed => join_group_indexed(
-            entries,
-            prefix_len_of,
-            thresholds,
-            use_position_filter,
-            stats,
-        ),
+        GroupJoinStyle::Indexed => with_group_scratch(|scratch| {
+            join_group_indexed(
+                entries,
+                prefix_len_of,
+                thresholds,
+                use_position_filter,
+                stats,
+                scratch,
+            )
+        }),
         GroupJoinStyle::NestedLoop => {
             join_group_nested_loop(entries, thresholds, use_position_filter, stats)
         }

@@ -5,7 +5,8 @@ use std::sync::Arc;
 use proptest::prelude::*;
 use topk_rankings::{FrequencyTable, OrderedRanking, Ranking};
 use topk_simjoin::kernels::{
-    join_group_indexed, join_group_nested_loop, join_group_rs, GroupThresholds, TokenEntry,
+    join_group_indexed, join_group_nested_loop, join_group_rs, GroupScratch, GroupThresholds,
+    TokenEntry,
 };
 use topk_simjoin::JoinStats;
 
@@ -78,6 +79,7 @@ proptest! {
                 &GroupThresholds::Uniform(theta_raw),
                 pos_filter,
                 &s2,
+                &mut GroupScratch::new(),
             ),
             &entries,
         );

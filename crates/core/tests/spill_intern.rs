@@ -1,0 +1,140 @@
+//! Spill-replay behaviour of the join pipelines.
+//!
+//! Two properties: (1) forcing the shuffle groups through the spilling
+//! group-by must not change any join's pair set, and (2) replaying a
+//! spilled partition must re-share `OrderedRanking` allocations through the
+//! decode interner instead of materializing one copy per prefix-token
+//! occurrence.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use minispark::{Cluster, ClusterConfig};
+use topk_rankings::{FrequencyTable, OrderedRanking, Ranking};
+use topk_simjoin::kernels::TokenEntry;
+use topk_simjoin::{clp_join, vj_join, vj_nl_join, JoinConfig, JoinError, JoinOutcome};
+
+const K: usize = 5;
+
+/// A deterministic dataset with plenty of near-duplicate rankings so every
+/// join style produces a non-trivial pair set.
+fn dataset(n: u64) -> Vec<Ranking> {
+    (0..n)
+        .map(|id| {
+            let base = (id % 7) as u32;
+            let items: Vec<u32> = (0..K as u32)
+                .map(|pos| (base + pos * (1 + (id % 3) as u32)) % 23)
+                .collect();
+            // Rotate to vary order between near-identical item sets.
+            let rot = (id % K as u64) as usize;
+            let mut rotated = items.clone();
+            rotated.rotate_left(rot);
+            Ranking::new(id, dedup_pad(rotated)).expect("valid ranking")
+        })
+        .collect()
+}
+
+/// Makes the item list distinct (rankings require distinct items) while
+/// keeping length `K`.
+fn dedup_pad(items: Vec<u32>) -> Vec<u32> {
+    let mut out: Vec<u32> = Vec::with_capacity(K);
+    let mut next_fill = 100;
+    for item in items {
+        if out.contains(&item) {
+            out.push(next_fill);
+            next_fill += 1;
+        } else {
+            out.push(item);
+        }
+    }
+    out
+}
+
+#[test]
+fn spilled_joins_match_in_memory_joins() {
+    let data = dataset(120);
+    let config = JoinConfig::new(0.35);
+    let plain = Cluster::new(ClusterConfig::local(2));
+    let spilly = Cluster::new(ClusterConfig::local(2).with_spill_budget(8));
+
+    type Join = fn(&Cluster, &[Ranking], &JoinConfig) -> Result<JoinOutcome, JoinError>;
+    let runs: [(&str, Join); 3] = [("vj", vj_join), ("vj-nl", vj_nl_join), ("cl-p", clp_join)];
+    for (name, join) in runs {
+        let baseline = join(&plain, &data, &config).expect("in-memory join");
+        let spilled = join(&spilly, &data, &config).expect("spilled join");
+        assert_eq!(
+            baseline.pairs, spilled.pairs,
+            "{name}: spilling changed the pair set"
+        );
+    }
+    assert!(
+        spilly.metrics().total_spilled_runs() > 0,
+        "the budget must actually force spills"
+    );
+    assert_eq!(plain.metrics().total_spilled_runs(), 0);
+}
+
+#[test]
+fn replayed_partitions_share_ranking_allocations() {
+    // Emit every ranking once per prefix token — the shape of the real
+    // prefix shuffle — and group with a budget small enough that most
+    // records go through encode → disk → decode. On a single-thread
+    // cluster every decode hits the same interner, so each ranking id may
+    // own at most two allocations afterwards: the map-side original (for
+    // occurrences that never spilled) and one shared replay copy.
+    let cluster = Cluster::new(ClusterConfig::local(1).with_spill_budget(4));
+    let freq = FrequencyTable::default();
+    let rankings: Vec<Arc<OrderedRanking>> = dataset(40)
+        .iter()
+        .map(|r| Arc::new(OrderedRanking::by_frequency(r, &freq)))
+        .collect();
+    let records: Vec<(u32, TokenEntry)> = rankings
+        .iter()
+        .flat_map(|r| {
+            r.pairs()
+                .iter()
+                .map(|&(item, rank)| (item, TokenEntry::plain(rank, Arc::clone(r))))
+                .collect::<Vec<_>>()
+        })
+        .collect();
+    let occurrences_per_id = K;
+
+    let grouped = cluster
+        .parallelize(records, 6)
+        .group_by_key_spilling("intern-test/group-by-token", 4)
+        .collect();
+    assert!(
+        cluster.metrics().total_spilled_runs() > 0,
+        "the budget must actually force spills"
+    );
+
+    let mut allocations: HashMap<u64, Vec<*const OrderedRanking>> = HashMap::new();
+    let mut total = 0usize;
+    for (_, entries) in &grouped {
+        for entry in entries {
+            total += 1;
+            let ptr = Arc::as_ptr(&entry.ranking);
+            let ptrs = allocations.entry(entry.ranking.id()).or_default();
+            if !ptrs.contains(&ptr) {
+                ptrs.push(ptr);
+            }
+        }
+    }
+    assert_eq!(total, rankings.len() * occurrences_per_id);
+    for (id, ptrs) in &allocations {
+        assert!(
+            ptrs.len() <= 2,
+            "ranking {id} owns {} allocations across its {occurrences_per_id} \
+             occurrences; replay must intern, not multiply",
+            ptrs.len()
+        );
+    }
+    // Globally the interner must have collapsed most replayed copies: far
+    // fewer allocations than occurrences.
+    let distinct: usize = allocations.values().map(Vec::len).sum();
+    assert!(
+        distinct <= rankings.len() * 2,
+        "{distinct} allocations for {} rankings",
+        rankings.len()
+    );
+}

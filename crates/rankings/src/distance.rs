@@ -25,10 +25,29 @@ pub use crate::invariants::max_raw_distance;
 /// Converts a normalized threshold `θ ∈ [0, 1]` into a raw distance bound for
 /// rankings of length `k`, rounding down (a pair is a result iff
 /// `raw ≤ raw_threshold`).
+///
+/// The rounding is **epsilon-robust**: when `θ` is (the f64 parse of) a
+/// decimal whose exact product with `k(k+1)` is an integer, the f64 product
+/// can land a few ulps *below* that integer — e.g. `0.3 × 110 =
+/// 32.999999999999996` — and a bare `floor` would silently drop result pairs
+/// sitting at exactly the threshold. Products within a few ulps of an
+/// integer snap to it; genuinely fractional products still floor.
 #[inline]
 pub fn raw_threshold(k: usize, theta: f64) -> u64 {
     crate::invariants::check_normalized(theta);
-    (theta * max_raw_distance(k) as f64).floor() as u64
+    let max = max_raw_distance(k) as f64;
+    let scaled = theta * max;
+    let nearest = scaled.round();
+    // Parse error of a decimal θ is ≤ ½ ulp and the product adds ≤ ½ ulp,
+    // so 4 ulps of the maximum distance comfortably covers every "really an
+    // integer" case without capturing true fractions (the nearest
+    // non-integer rational θ·k(k+1) with a small decimal denominator is
+    // orders of magnitude further away).
+    if (scaled - nearest).abs() <= max * f64::EPSILON * 4.0 {
+        nearest as u64
+    } else {
+        scaled.floor() as u64
+    }
 }
 
 /// Raw Footrule distance between two top-k rankings.
@@ -109,6 +128,13 @@ pub fn footrule_pairs(a: &[(u32, u16)], b: &[(u32, u16)]) -> u64 {
 
 /// Early-exit variant of [`footrule_pairs`]: `Some(distance)` iff the
 /// distance is `≤ threshold_raw`.
+///
+/// This is the **retained naive scan path** — O(k²) per pair via a linear
+/// `find` per item, kept as the order-insensitive reference implementation
+/// that the merge fast path ([`footrule_sorted_within`]) is differentially
+/// tested against. Hot join code goes through
+/// [`crate::ordered::OrderedRanking::footrule_within`] instead, which uses
+/// the item-sorted shadow view.
 pub fn footrule_pairs_within(
     a: &[(u32, u16)],
     b: &[(u32, u16)],
@@ -133,6 +159,64 @@ pub fn footrule_pairs_within(
             if sum > threshold_raw {
                 return None;
             }
+        }
+    }
+    crate::invariants::check_within_threshold(sum, threshold_raw);
+    crate::invariants::check_raw_distance(sum, a.len(), b.len());
+    Some(sum)
+}
+
+/// Early-exit Footrule over **item-sorted** `(item, original_rank)` slices —
+/// the two-pointer merge fast path behind
+/// [`crate::ordered::OrderedRanking::footrule_within`].
+///
+/// Both slices must be sorted by strictly ascending item id (the shadow view
+/// every [`crate::ordered::OrderedRanking`] maintains); the merge classifies
+/// every item of the union as shared / missing-from-`b` / missing-from-`a`
+/// in one O(k_a + k_b) pass instead of [`footrule_pairs_within`]'s O(k²)
+/// scan. The outcome is bit-for-bit the naive path's: partial sums are
+/// permutations of the same non-negative terms, so `Some`/`None` and the
+/// returned distance agree for every threshold (property-tested in
+/// `tests/props.rs` and in this module's differential test).
+pub fn footrule_sorted_within(
+    a: &[(u32, u16)],
+    b: &[(u32, u16)],
+    threshold_raw: u64,
+) -> Option<u64> {
+    crate::invariants::check_item_sorted(a);
+    crate::invariants::check_item_sorted(b);
+    let la = a.len() as u64;
+    let lb = b.len() as u64;
+    let mut sum = 0u64;
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < a.len() && j < b.len() {
+        let (item_a, rank_a) = a[i];
+        let (item_b, rank_b) = b[j];
+        sum += if item_a == item_b {
+            i += 1;
+            j += 1;
+            (rank_a as u64).abs_diff(rank_b as u64)
+        } else if item_a < item_b {
+            i += 1;
+            (rank_a as u64).abs_diff(lb)
+        } else {
+            j += 1;
+            (rank_b as u64).abs_diff(la)
+        };
+        if sum > threshold_raw {
+            return None;
+        }
+    }
+    for &(_, rank_a) in &a[i..] {
+        sum += (rank_a as u64).abs_diff(lb);
+        if sum > threshold_raw {
+            return None;
+        }
+    }
+    for &(_, rank_b) in &b[j..] {
+        sum += (rank_b as u64).abs_diff(la);
+        if sum > threshold_raw {
+            return None;
         }
     }
     crate::invariants::check_within_threshold(sum, threshold_raw);
@@ -253,6 +337,36 @@ mod tests {
     }
 
     #[test]
+    fn raw_threshold_snaps_floating_point_near_misses() {
+        // The motivating case: 0.3 × 110 = 32.999999999999996 in f64; a bare
+        // floor would yield 32 and silently drop pairs at raw distance 33.
+        assert_eq!(raw_threshold(10, 0.3), 33);
+        // 0.7 × 42 = 29.399999999999999 → genuinely fractional → 29.
+        assert_eq!(raw_threshold(6, 0.7), 29);
+    }
+
+    /// `raw_threshold` must agree with exact rational arithmetic for every
+    /// θ that is a decimal with ≤ 3 fractional digits (the grid every
+    /// experiment in the paper and this repo draws from), across the whole
+    /// supported k range.
+    #[test]
+    fn raw_threshold_matches_exact_rational_grid() {
+        for k in 5usize..=50 {
+            let max = max_raw_distance(k);
+            for num in 0u64..=1000 {
+                // θ = num/1000, parsed the way a CLI flag or literal would be.
+                let theta = num as f64 / 1000.0;
+                let exact = (num as u128 * max as u128 / 1000) as u64;
+                assert_eq!(
+                    raw_threshold(k, theta),
+                    exact,
+                    "θ = {num}/1000, k = {k}, max = {max}"
+                );
+            }
+        }
+    }
+
+    #[test]
     fn footrule_within_agrees_with_exact() {
         let a = r(1, &[1, 2, 3, 4, 5]);
         let b = r(2, &[2, 1, 3, 9, 5]);
@@ -260,6 +374,70 @@ mod tests {
         assert_eq!(footrule_within(&a, &b, exact), Some(exact));
         assert_eq!(footrule_within(&a, &b, exact - 1), None);
         assert_eq!(footrule_within(&a, &b, u64::MAX), Some(exact));
+    }
+
+    /// Deterministic differential sweep: the merge fast path must agree with
+    /// the retained naive scan on every pair — equal and variable lengths,
+    /// scrambled pair order, and all four interesting threshold regimes
+    /// (exact distance, exact − 1, 0, `u64::MAX`). The randomized proptest
+    /// twin lives in `tests/props.rs`; this one always runs.
+    #[test]
+    fn merge_path_matches_naive_scan() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(0x5EED);
+        for trial in 0..400 {
+            let ka = rng.gen_range(1usize..=25);
+            let kb = if trial % 3 == 0 {
+                ka
+            } else {
+                rng.gen_range(1usize..=25)
+            };
+            let universe = rng.gen_range(4u32..40);
+            let mut draw = |k: usize| -> Vec<(u32, u16)> {
+                let mut items: Vec<u32> = (0..universe + k as u32).collect();
+                use rand::seq::SliceRandom;
+                items.shuffle(&mut rng);
+                items.truncate(k);
+                items
+                    .into_iter()
+                    .enumerate()
+                    .map(|(rank, item)| (item, rank as u16))
+                    .collect()
+            };
+            let mut a = draw(ka);
+            let mut b = draw(kb);
+            // Scramble the scan inputs: the naive path is order-insensitive.
+            use rand::seq::SliceRandom;
+            a.shuffle(&mut rng);
+            b.shuffle(&mut rng);
+            let mut a_sorted = a.clone();
+            let mut b_sorted = b.clone();
+            a_sorted.sort_unstable();
+            b_sorted.sort_unstable();
+            let exact = footrule_pairs(&a, &b);
+            let thresholds = [exact, exact.saturating_sub(1), 0, u64::MAX];
+            for &t in &thresholds {
+                assert_eq!(
+                    footrule_sorted_within(&a_sorted, &b_sorted, t),
+                    footrule_pairs_within(&a, &b, t),
+                    "trial {trial}: ka = {ka}, kb = {kb}, t = {t}, exact = {exact}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn merge_path_handles_empty_and_disjoint_slices() {
+        assert_eq!(footrule_sorted_within(&[], &[], 0), Some(0));
+        // Against the empty ranking (l_b = 0) each item contributes its own
+        // rank: |0 − 0| + |1 − 0| = 1.
+        let a = [(1u32, 0u16), (2, 1)];
+        assert_eq!(footrule_sorted_within(&a, &[], u64::MAX), Some(1));
+        let b = [(8u32, 0u16), (9, 1)];
+        // Disjoint k = 2 rankings attain the maximum 2·3 = 6.
+        assert_eq!(footrule_sorted_within(&a, &b, u64::MAX), Some(6));
+        assert_eq!(footrule_sorted_within(&a, &b, 5), None);
     }
 
     #[test]

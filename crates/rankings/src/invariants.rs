@@ -80,6 +80,20 @@ pub fn check_within_threshold(d: u64, threshold_raw: u64) {
     );
 }
 
+/// Checks that a pair slice handed to the merge verification kernel is
+/// sorted by strictly ascending item id (debug builds only) — the contract
+/// of the item-sorted shadow view behind
+/// [`crate::distance::footrule_sorted_within`]. Duplicate items would make
+/// the merge under-count missing-item penalties, which is exactly the
+/// silent-result-loss class these checks exist for.
+#[inline]
+pub fn check_item_sorted(pairs: &[(u32, u16)]) {
+    debug_assert!(
+        pairs.windows(2).all(|w| w[0].0 < w[1].0),
+        "merge invariant violated: pair slice is not strictly item-sorted"
+    );
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -95,6 +109,21 @@ mod tests {
         check_prefix_len(10, 10);
         check_prefix_len(0, 0);
         check_within_threshold(6, 6);
+        check_item_sorted(&[]);
+        check_item_sorted(&[(3, 0)]);
+        check_item_sorted(&[(1, 4), (2, 0), (9, 1)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "merge invariant")]
+    fn unsorted_pairs_trip() {
+        check_item_sorted(&[(2, 0), (1, 1)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "merge invariant")]
+    fn duplicate_items_trip() {
+        check_item_sorted(&[(1, 0), (1, 1)]);
     }
 
     #[test]

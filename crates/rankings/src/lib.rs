@@ -55,7 +55,8 @@ pub use bounds::{
     position_filter_prunes, BoundSummary, PrefixKind,
 };
 pub use distance::{
-    footrule_norm, footrule_pairs, footrule_raw, footrule_within, max_raw_distance, raw_threshold,
+    footrule_norm, footrule_pairs, footrule_pairs_within, footrule_raw, footrule_sorted_within,
+    footrule_within, max_raw_distance, raw_threshold,
 };
 pub use jaccard::{jaccard_distance, jaccard_min_overlap, jaccard_prefix_len, jaccard_within};
 pub use ordered::{order_dataset, FrequencyTable, OrderedRanking};

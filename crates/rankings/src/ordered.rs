@@ -14,7 +14,7 @@ use std::collections::HashMap;
 
 use serde::{Deserialize, Serialize};
 
-use crate::distance::{footrule_pairs, footrule_pairs_within};
+use crate::distance::footrule_sorted_within;
 use crate::ranking::{ItemId, Ranking, RankingId};
 
 /// Per-item occurrence counts over a dataset, defining the canonical order.
@@ -94,13 +94,40 @@ impl FrequencyTable {
 /// This mirrors the paper's transformation of rankings into "arrays of
 /// `(i_id, τ(i))` pairs" (§4) — the prefix is a slice of the head, while the
 /// attached original ranks keep the Footrule distance computable.
+///
+/// Besides the canonical-order `pairs`, every `OrderedRanking` carries a
+/// one-time **item-sorted shadow view** of the same pairs. Verification is
+/// the dominant join cost (§7), and with both sides item-sorted the
+/// Footrule computation becomes a two-pointer merge
+/// ([`crate::distance::footrule_sorted_within`]) — O(k) per candidate
+/// instead of the naive O(k²) scan. The shadow is built once at
+/// construction (amortized over every candidate the ranking appears in) and
+/// is a pure function of `pairs`, so equality/hashing over both fields stays
+/// consistent.
 #[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct OrderedRanking {
     id: RankingId,
     pairs: Box<[(ItemId, u16)]>,
+    by_item: Box<[(ItemId, u16)]>,
+}
+
+/// Builds the item-sorted shadow of a canonical pair list.
+fn sort_by_item(pairs: &[(ItemId, u16)]) -> Box<[(ItemId, u16)]> {
+    let mut shadow: Vec<(ItemId, u16)> = pairs.to_vec();
+    shadow.sort_unstable();
+    shadow.into_boxed_slice()
 }
 
 impl OrderedRanking {
+    fn build(id: RankingId, pairs: Vec<(ItemId, u16)>) -> Self {
+        let by_item = sort_by_item(&pairs);
+        Self {
+            id,
+            pairs: pairs.into_boxed_slice(),
+            by_item,
+        }
+    }
+
     /// Canonicalizes `ranking` by ascending item frequency (the default for
     /// VJ-style joins with the overlap prefix).
     pub fn by_frequency(ranking: &Ranking, freq: &FrequencyTable) -> Self {
@@ -109,10 +136,7 @@ impl OrderedRanking {
             .map(|(item, rank)| (item, rank as u16))
             .collect();
         pairs.sort_by_key(|&(item, _)| freq.order_key(item));
-        Self {
-            id: ranking.id(),
-            pairs: pairs.into_boxed_slice(),
-        }
+        Self::build(ranking.id(), pairs)
     }
 
     /// Keeps the original rank order — the canonical form for the **ordered
@@ -122,19 +146,14 @@ impl OrderedRanking {
             .iter_with_ranks()
             .map(|(item, rank)| (item, rank as u16))
             .collect();
-        Self {
-            id: ranking.id(),
-            pairs: pairs.into_boxed_slice(),
-        }
+        Self::build(ranking.id(), pairs)
     }
 
     /// Rebuilds from raw parts (used by codecs; pairs must be a permutation
-    /// of a valid ranking's `(item, rank)` pairs).
+    /// of a valid ranking's `(item, rank)` pairs). The item-sorted shadow is
+    /// rebuilt here, so decoded rankings verify on the fast path too.
     pub fn from_pairs(id: RankingId, pairs: Vec<(ItemId, u16)>) -> Self {
-        Self {
-            id,
-            pairs: pairs.into_boxed_slice(),
-        }
+        Self::build(id, pairs)
     }
 
     /// The ranking id.
@@ -161,22 +180,35 @@ impl OrderedRanking {
         &self.pairs[..p.min(self.pairs.len())]
     }
 
-    /// The original rank of `item`, or `None` if not contained.
+    /// The item-sorted shadow view: the same `(item, original_rank)` pairs
+    /// sorted by ascending item id — the input shape of the merge
+    /// verification kernel ([`crate::distance::footrule_sorted_within`]).
+    #[inline]
+    pub fn pairs_by_item(&self) -> &[(ItemId, u16)] {
+        &self.by_item
+    }
+
+    /// The original rank of `item`, or `None` if not contained (binary
+    /// search on the item-sorted shadow).
     pub fn rank_of(&self, item: ItemId) -> Option<usize> {
-        self.pairs
-            .iter()
-            .find(|(i, _)| *i == item)
-            .map(|&(_, rank)| rank as usize)
+        self.by_item
+            .binary_search_by_key(&item, |&(i, _)| i)
+            .ok()
+            .map(|pos| self.by_item[pos].1 as usize)
     }
 
     /// Raw Footrule distance to `other` (uses the preserved original ranks).
     pub fn footrule_raw(&self, other: &OrderedRanking) -> u64 {
-        footrule_pairs(&self.pairs, &other.pairs)
+        footrule_sorted_within(&self.by_item, &other.by_item, u64::MAX)
+            .expect("u64::MAX threshold never prunes")
     }
 
     /// Early-exit verification: `Some(distance)` iff within `threshold_raw`.
+    /// Runs on the item-sorted shadow views as an O(k) two-pointer merge —
+    /// the per-candidate fast path of every join kernel.
+    #[inline]
     pub fn footrule_within(&self, other: &OrderedRanking, threshold_raw: u64) -> Option<u64> {
-        footrule_pairs_within(&self.pairs, &other.pairs, threshold_raw)
+        footrule_sorted_within(&self.by_item, &other.by_item, threshold_raw)
     }
 
     /// Converts back into a plain [`Ranking`] (restoring the original item
@@ -191,9 +223,11 @@ impl OrderedRanking {
         Ranking::new_unchecked(self.id, items.into_iter().map(|(_, item)| item).collect())
     }
 
-    /// Approximate deep size in bytes (for shuffle accounting).
+    /// Approximate deep size in bytes (for shuffle accounting). Counts both
+    /// the canonical pairs and the item-sorted shadow.
     pub fn approx_bytes(&self) -> usize {
-        std::mem::size_of::<Self>() + self.pairs.len() * std::mem::size_of::<(ItemId, u16)>()
+        std::mem::size_of::<Self>()
+            + (self.pairs.len() + self.by_item.len()) * std::mem::size_of::<(ItemId, u16)>()
     }
 }
 
@@ -312,6 +346,34 @@ mod tests {
             let ordered = OrderedRanking::by_frequency(original, &freq);
             assert_eq!(&ordered.to_ranking(), original);
         }
+    }
+
+    #[test]
+    fn shadow_view_is_an_item_sorted_permutation() {
+        let ds = sample_dataset();
+        let freq = FrequencyTable::from_rankings(&ds);
+        for r in &ds {
+            for ordered in [
+                OrderedRanking::by_frequency(r, &freq),
+                OrderedRanking::by_rank(r),
+            ] {
+                let shadow = ordered.pairs_by_item();
+                assert!(shadow.windows(2).all(|w| w[0].0 < w[1].0), "not sorted");
+                let mut canonical: Vec<(u32, u16)> = ordered.pairs().to_vec();
+                canonical.sort_unstable();
+                assert_eq!(shadow, canonical.as_slice(), "not a permutation");
+            }
+        }
+    }
+
+    #[test]
+    fn from_pairs_rebuilds_the_shadow() {
+        let ordered = OrderedRanking::from_pairs(7, vec![(9, 0), (2, 1), (5, 2)]);
+        assert_eq!(ordered.pairs(), &[(9, 0), (2, 1), (5, 2)]);
+        assert_eq!(ordered.pairs_by_item(), &[(2, 1), (5, 2), (9, 0)]);
+        assert_eq!(ordered.rank_of(9), Some(0));
+        assert_eq!(ordered.rank_of(5), Some(2));
+        assert_eq!(ordered.rank_of(4), None);
     }
 
     #[test]

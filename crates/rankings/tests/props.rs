@@ -11,7 +11,8 @@ use topk_rankings::bounds::{
     overlap_prefix_len, position_filter_prunes,
 };
 use topk_rankings::distance::{
-    footrule_norm, footrule_raw, footrule_within, kendall_tau_topk, max_raw_distance,
+    footrule_norm, footrule_pairs, footrule_pairs_within, footrule_raw, footrule_sorted_within,
+    footrule_within, kendall_tau_topk, max_raw_distance, raw_threshold,
 };
 use topk_rankings::ordered::{FrequencyTable, OrderedRanking};
 use topk_rankings::Ranking;
@@ -192,6 +193,74 @@ proptest! {
         let f = footrule_raw(&identity, &shuffled);
         let k = kendall_tau_topk(&identity, &shuffled);
         prop_assert!(k <= f && f <= 2 * k || (k == 0 && f == 0));
+    }
+}
+
+proptest! {
+    // ---- Differential suite: merge fast path vs. the retained naive scan.
+    // The merge kernel behind `OrderedRanking::footrule_within` must agree
+    // with `footrule_pairs_within` on every pair, for equal and variable
+    // lengths, any scrambling of the scan input's pair order, and the four
+    // threshold boundary regimes (exact, exact − 1, 0, u64::MAX). ----
+
+    #[test]
+    fn merge_verification_equals_naive_scan(
+        a in proptest::sample::subsequence((0u32..24).collect::<Vec<u32>>(), 1..=12).prop_shuffle(),
+        b in proptest::sample::subsequence((0u32..24).collect::<Vec<u32>>(), 1..=12).prop_shuffle(),
+        scramble in any::<bool>(),
+        extra_threshold in 0u64..=80,
+    ) {
+        let to_pairs = |items: &[u32]| -> Vec<(u32, u16)> {
+            items.iter().enumerate().map(|(rank, &item)| (item, rank as u16)).collect()
+        };
+        let mut pa = to_pairs(&a);
+        let mut pb = to_pairs(&b);
+        if scramble {
+            pa.reverse();
+            pb.rotate_left(pb.len() / 2);
+        }
+        let mut sa = pa.clone();
+        let mut sb = pb.clone();
+        sa.sort_unstable();
+        sb.sort_unstable();
+        let exact = footrule_pairs(&pa, &pb);
+        for threshold in [exact, exact.saturating_sub(1), 0, u64::MAX, extra_threshold] {
+            prop_assert_eq!(
+                footrule_sorted_within(&sa, &sb, threshold),
+                footrule_pairs_within(&pa, &pb, threshold),
+                "lengths ({}, {}), threshold {}", pa.len(), pb.len(), threshold
+            );
+        }
+    }
+
+    // ---- The shadow view is what the merge kernel assumes it is, and
+    // OrderedRanking::footrule_within equals the naive scan over the
+    // canonical pairs. ----
+
+    #[test]
+    fn ordered_ranking_fast_path_is_exact(
+        (a, b) in ranking_pair(7, 14),
+        threshold in 0u64..=56,
+    ) {
+        let a = Ranking::new_unchecked(1, a.items().to_vec());
+        let b = Ranking::new_unchecked(2, b.items().to_vec());
+        let freq = FrequencyTable::from_rankings([&a, &b]);
+        let oa = OrderedRanking::by_frequency(&a, &freq);
+        let ob = OrderedRanking::by_frequency(&b, &freq);
+        prop_assert!(oa.pairs_by_item().windows(2).all(|w| w[0].0 < w[1].0));
+        prop_assert_eq!(
+            oa.footrule_within(&ob, threshold),
+            footrule_pairs_within(oa.pairs(), ob.pairs(), threshold)
+        );
+    }
+
+    // ---- raw_threshold equals exact rational arithmetic on decimal θ. ----
+
+    #[test]
+    fn raw_threshold_is_exact_on_decimal_grid(num in 0u64..=1000, k in 5usize..=50) {
+        let theta = num as f64 / 1000.0;
+        let exact = (num as u128 * max_raw_distance(k) as u128 / 1000) as u64;
+        prop_assert_eq!(raw_threshold(k, theta), exact);
     }
 }
 
