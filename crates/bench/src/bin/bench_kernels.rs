@@ -28,16 +28,19 @@ use std::path::PathBuf;
 use std::sync::Arc;
 use std::time::Instant;
 
-use minispark::{Cluster, ClusterConfig, Json};
+use minispark::trace::{ExecutorAnalytics, StageAnalytics};
+use minispark::{Cluster, ClusterConfig, Json, TraceCollector};
 use topk_datagen::CorpusProfile;
 use topk_rankings::bounds::overlap_prefix_len;
 use topk_rankings::distance::{footrule_pairs_within, footrule_sorted_within, raw_threshold};
-use topk_rankings::{FrequencyTable, OrderedRanking, Ranking};
+use topk_rankings::{FrequencyTable, OrderedRanking, PrefixKind, Ranking};
 use topk_simjoin::kernels::{
     join_group_indexed, join_group_nested_loop, with_group_scratch, GroupScratch, GroupThresholds,
     TokenEntry,
 };
-use topk_simjoin::{clp_join, vj_join, JoinConfig, JoinStats};
+use topk_simjoin::{
+    clp_join, report, runs_to_json, vj_join, JoinConfig, JoinStats, RunReport, SkewBudget,
+};
 
 /// The θ every measurement uses (a mid-range figure-6 point).
 const THETA: f64 = 0.3;
@@ -294,6 +297,125 @@ fn bench_end_to_end(opts: &Opts) -> Vec<Json> {
     rows
 }
 
+/// Total wall of a label's join-phase stages plus the min-slot occupancy of
+/// the dominant (longest-span) one — the straggler indicator skew-aware
+/// splitting is meant to raise.
+fn join_phase(analytics: &ExecutorAnalytics, label: &str) -> (f64, f64) {
+    let prefix = format!("{label}/");
+    let mut wall_ms = 0.0;
+    let mut dominant: Option<&StageAnalytics> = None;
+    for stage in &analytics.stages {
+        if stage.stage.starts_with(&prefix) && stage.stage.contains("join") {
+            wall_ms += stage.span.as_secs_f64() * 1e3;
+            if dominant.is_none_or(|d| stage.span > d.span) {
+                dominant = Some(stage);
+            }
+        }
+    }
+    (
+        wall_ms,
+        dominant.map_or(1.0, StageAnalytics::min_slot_occupancy),
+    )
+}
+
+/// Skewed-Zipf scenario (ISSUE 5): a small, heavily skewed vocabulary under
+/// the rank-ordered prefix concentrates most of the corpus in a few hot
+/// posting lists. VJ runs with skew handling off and with
+/// [`SkewBudget::Auto`] on fresh traced clusters; the split run must return
+/// bit-identical pairs, its run report (with the split/steal counters) must
+/// validate, and — outside `--quick` — it must show strictly lower
+/// join-phase wall and higher min-slot occupancy than the unsplit run.
+fn bench_skew(opts: &Opts) -> Json {
+    let n = if opts.quick { 600 } else { 4_000 };
+    let slots = 4usize;
+    let profile = CorpusProfile {
+        name: format!("ZIPF-HOT(n={n},k=10)"),
+        num_records: n,
+        vocab_size: 256,
+        zipf_skew: 1.4,
+        k: 10,
+        near_dup_rate: 0.2,
+        seed: 0x51C3,
+    };
+    let data = profile.generate();
+
+    let run = |algorithm: &str, skew: SkewBudget| {
+        let cluster = Cluster::with_trace(ClusterConfig::local(slots), TraceCollector::enabled());
+        let config = JoinConfig::new(THETA)
+            .with_prefix(PrefixKind::Ordered)
+            .with_skew(skew);
+        let outcome = vj_join(&cluster, &data, &config).expect("join runs");
+        let pairs = outcome.pairs.clone();
+        let report = RunReport::capture(
+            algorithm,
+            &profile.name,
+            n,
+            &cluster,
+            &config,
+            &outcome,
+            slots,
+        );
+        (report, pairs)
+    };
+
+    let (off, off_pairs) = run("VJ", SkewBudget::Off);
+    let (auto, auto_pairs) = run("VJ+skew", SkewBudget::Auto);
+
+    assert_eq!(
+        off_pairs, auto_pairs,
+        "skew splitting changed the VJ result set"
+    );
+    assert_eq!(off.stats.skew_chunks, 0, "Off must never split");
+    assert!(
+        auto.stats.posting_lists_split > 0 && auto.stats.skew_chunks > 0,
+        "the Zipf corpus must trigger Auto splitting: {:?}",
+        auto.stats
+    );
+    report::validate(&runs_to_json(&[off.clone(), auto.clone()]))
+        .expect("skew run reports must validate");
+
+    let off_analytics = off.analytics.as_ref().expect("traced run has analytics");
+    let auto_analytics = auto.analytics.as_ref().expect("traced run has analytics");
+    let (off_wall, off_min_occ) = join_phase(off_analytics, "vj");
+    let (auto_wall, auto_min_occ) = join_phase(auto_analytics, "vj");
+    if !opts.quick {
+        assert!(
+            auto_wall < off_wall,
+            "split join phase must beat unsplit: {auto_wall:.1} ms vs {off_wall:.1} ms"
+        );
+        assert!(
+            auto_min_occ > off_min_occ,
+            "splitting must raise min-slot occupancy: {auto_min_occ:.3} vs {off_min_occ:.3}"
+        );
+    }
+    println!(
+        "skew   n={n:<6} join wall off {off_wall:9.1} ms → auto {auto_wall:9.1} ms  \
+         min-occ {off_min_occ:5.3} → {auto_min_occ:5.3}  \
+         ({} split, {} chunks, {} steals)",
+        auto.stats.posting_lists_split, auto.stats.skew_chunks, auto.stats.skew_steals,
+    );
+    Json::obj()
+        .with("dataset", Json::str(&profile.name))
+        .with("records", Json::num_usize(n))
+        .with("vocab_size", Json::num_u64(u64::from(profile.vocab_size)))
+        .with("zipf_skew", Json::num(profile.zipf_skew))
+        .with("theta", Json::num(THETA))
+        .with("slots", Json::num_usize(slots))
+        .with("result_pairs", Json::num_usize(off_pairs.len()))
+        .with("off_join_wall_ms", Json::num(off_wall))
+        .with("auto_join_wall_ms", Json::num(auto_wall))
+        .with("off_min_slot_occupancy", Json::num(off_min_occ))
+        .with("auto_min_slot_occupancy", Json::num(auto_min_occ))
+        .with(
+            "groups_split",
+            Json::num_u64(auto.stats.posting_lists_split),
+        )
+        .with("skew_chunks", Json::num_u64(auto.stats.skew_chunks))
+        .with("skew_steals", Json::num_u64(auto.stats.skew_steals))
+        .with("off_seconds", Json::num(off.seconds))
+        .with("auto_seconds", Json::num(auto.seconds))
+}
+
 fn main() {
     let opts = parse_opts();
     let ks: &[usize] = if opts.quick {
@@ -309,6 +431,7 @@ fn main() {
     let verify: Vec<Json> = ks.iter().map(|&k| bench_verify(k, &opts)).collect();
     let groups = bench_group_kernels(&opts);
     let end_to_end = bench_end_to_end(&opts);
+    let skew = bench_skew(&opts);
 
     let headline = verify
         .iter()
@@ -336,7 +459,8 @@ fn main() {
         .with("headline", headline)
         .with("verify", Json::Arr(verify))
         .with("group_kernels", groups)
-        .with("end_to_end", Json::Arr(end_to_end));
+        .with("end_to_end", Json::Arr(end_to_end))
+        .with("skew", skew);
 
     let mut text = doc.render();
     text.push('\n');

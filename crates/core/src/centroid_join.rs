@@ -101,6 +101,7 @@ pub fn centroid_join(
         config.use_position_filter,
         partitions,
         delta,
+        config.skew,
         stats,
         "cl/join",
     )
@@ -118,13 +119,26 @@ mod tests {
         Ranking::new(id, items.to_vec()).unwrap()
     }
 
+    /// `(a_id, b_id, distance, a_singleton, b_singleton)`.
+    type HitRow = (u64, u64, u64, bool, bool);
+
     fn split_and_join(
         cm: Vec<Ranking>,
         cs: Vec<Ranking>,
         theta: f64,
         theta_c: f64,
         delta: Option<usize>,
-    ) -> Vec<(u64, u64, u64, bool, bool)> {
+    ) -> Vec<HitRow> {
+        split_and_join_with_stats(cm, cs, theta, theta_c, delta).0
+    }
+
+    fn split_and_join_with_stats(
+        cm: Vec<Ranking>,
+        cs: Vec<Ranking>,
+        theta: f64,
+        theta_c: f64,
+        delta: Option<usize>,
+    ) -> (Vec<HitRow>, crate::stats::StatsSnapshot) {
         let cluster = Cluster::new(ClusterConfig::local(2));
         let config = JoinConfig::new(theta).with_cluster_threshold(theta_c);
         let all: Vec<Ranking> = cm.iter().chain(cs.iter()).cloned().collect();
@@ -150,13 +164,13 @@ mod tests {
             delta,
             &stats,
         );
-        let mut out: Vec<(u64, u64, u64, bool, bool)> = hits
+        let mut out: Vec<HitRow> = hits
             .collect()
             .into_iter()
             .map(|h| (h.a.id(), h.b.id(), h.distance, h.a_singleton, h.b_singleton))
             .collect();
         out.sort();
-        out
+        (out, stats.snapshot())
     }
 
     #[test]
@@ -221,6 +235,76 @@ mod tests {
         let split = split_and_join(cm, cs, 0.3, 0.03, Some(3));
         assert_eq!(plain, split);
         assert!(!plain.is_empty());
+    }
+
+    #[test]
+    fn clp_chunk_pair_join_recovers_pairs_straddling_chunk_boundaries() {
+        // Regression (ISSUE 5, satellite 3): with a tiny δ every hot token
+        // group is cut into many chunks, so most near-pairs land in
+        // *different* chunks and only the chunk-pair R-S join can recover
+        // them. The pair set is pinned to brute force (per-type Lemma 5.3
+        // thresholds), and the candidate/verified counters must match the
+        // unchunked join exactly — each unordered pair is examined once
+        // whether its group is joined whole or as chunks plus chunk pairs.
+        // One singleton ranking is duplicated verbatim (same id, same
+        // items): equal-id pairs must stay skipped across chunk boundaries.
+        let data: Vec<Ranking> = (0..40)
+            .map(|i| {
+                let base = [1, 2, 3, 4, 5, 6, 7, 8, 9, 10];
+                let mut items: Vec<u32> = base.to_vec();
+                items.rotate_left((i % 4) as usize);
+                items[9] = 20 + i;
+                r(u64::from(i), &items)
+            })
+            .collect();
+        let cm: Vec<Ranking> = data[..20].to_vec();
+        let mut cs: Vec<Ranking> = data[20..].to_vec();
+        cs.push(data[25].clone());
+
+        let (theta, theta_c) = (0.3, 0.03);
+        let k = 10;
+        let (theta_raw, theta_c_raw) = (raw_threshold(k, theta), raw_threshold(k, theta_c));
+        let mut expected: Vec<HitRow> = Vec::new();
+        for x in 0..40u64 {
+            for y in (x + 1)..40 {
+                let (a_s, b_s) = (x >= 20, y >= 20);
+                let threshold = match (a_s, b_s) {
+                    (true, true) => theta_raw,
+                    (false, false) => theta_raw + 2 * theta_c_raw,
+                    _ => theta_raw + theta_c_raw,
+                };
+                let d = footrule_raw(&data[x as usize], &data[y as usize]);
+                if d <= threshold {
+                    expected.push((x, y, d, a_s, b_s));
+                }
+            }
+        }
+        assert!(
+            expected.len() >= 8,
+            "corpus must produce a meaningful pair set, got {expected:?}"
+        );
+
+        let (plain, plain_stats) =
+            split_and_join_with_stats(cm.clone(), cs.clone(), theta, theta_c, None);
+        let (chunked, chunked_stats) = split_and_join_with_stats(cm, cs, theta, theta_c, Some(2));
+
+        assert_eq!(plain, expected, "unchunked centroid join pair set");
+        assert_eq!(chunked, expected, "chunked (δ = 2) centroid join pair set");
+
+        // Pair-examination parity across the split.
+        assert_eq!(chunked_stats.candidates, plain_stats.candidates);
+        assert_eq!(chunked_stats.position_pruned, plain_stats.position_pruned);
+        assert_eq!(chunked_stats.verified, plain_stats.verified);
+        assert_eq!(chunked_stats.result_pairs, plain_stats.result_pairs);
+
+        // The chunked run must actually have split and R-S-joined; the
+        // plain run must not have.
+        assert!(chunked_stats.posting_lists_split > 0);
+        assert!(chunked_stats.skew_chunks > 0);
+        assert!(chunked_stats.rs_joins > 0);
+        assert_eq!(plain_stats.posting_lists_split, 0);
+        assert_eq!(plain_stats.rs_joins, 0);
+        assert_eq!(plain_stats.skew_chunks, 0);
     }
 
     #[test]

@@ -61,6 +61,7 @@ pub fn clustering_phase(
         config.use_position_filter,
         partitions,
         None,
+        config.skew,
         stats,
         "cl/cluster",
     );
@@ -74,7 +75,9 @@ pub fn clustering_phase(
         })
         .group_by_key("cl/cluster/form-clusters", partitions);
 
-    // C_m: one ranking per centroid id.
+    // C_m: one ranking per centroid id. Keep-first is value-deterministic:
+    // every value under one centroid id is an `Arc` of the same canonical
+    // ranking, so the survivor is content-equal whichever duplicate wins.
     let centroids_m = rc
         .map("cl/cluster/centroid-candidates", |hit| {
             (hit.a.id(), Arc::clone(&hit.a))

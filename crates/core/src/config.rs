@@ -1,5 +1,6 @@
 //! Join configuration.
 
+use minispark::SkewBudget;
 use topk_rankings::PrefixKind;
 
 /// Parameters of a similarity-join run (all thresholds normalized to
@@ -44,6 +45,15 @@ pub struct JoinConfig {
     /// sound and still shorter than the non-singleton θ + 2·θc prefix,
     /// preserving the lemma's intent. See DESIGN.md.
     pub strict_paper_prefixes: bool,
+    /// Skew handling for the token-grouped join phases (DESIGN.md §11):
+    /// `Off` (default) joins each prefix-token group as one task, `Fixed(b)`
+    /// splits groups larger than `b` into ≤-b sub-partitions à la CL-P, and
+    /// `Auto` samples the token stream first and derives the budget from the
+    /// cluster's slot count and the estimated p95 group size. Independent of
+    /// [`partition_threshold`](Self::partition_threshold), which is CL-P's
+    /// always-on δ; `skew` is the opt-in for every *other* driver (VJ,
+    /// VJ-NL, CL's centroid join, the Jaccard joins, the varlen join).
+    pub skew: SkewBudget,
 }
 
 impl JoinConfig {
@@ -60,7 +70,14 @@ impl JoinConfig {
             use_triangle_bounds: true,
             use_lemma53: true,
             strict_paper_prefixes: false,
+            skew: SkewBudget::Off,
         }
+    }
+
+    /// Sets the skew-handling policy for the token-grouped join phases.
+    pub fn with_skew(mut self, skew: SkewBudget) -> Self {
+        self.skew = skew;
+        self
     }
 
     /// Enables/disables the expansion triangle bounds (ablation).
@@ -113,7 +130,7 @@ impl JoinConfig {
         if !(0.0..=1.0).contains(&self.cluster_threshold) || !self.cluster_threshold.is_finite() {
             return Err(crate::JoinError::InvalidThreshold(self.cluster_threshold));
         }
-        if self.partition_threshold == 0 {
+        if self.partition_threshold == 0 || self.skew == SkewBudget::Fixed(0) {
             return Err(crate::JoinError::InvalidPartitionThreshold);
         }
         Ok(())

@@ -20,7 +20,7 @@ use std::collections::HashSet;
 use std::sync::Arc;
 use std::time::Instant;
 
-use minispark::{Cluster, Dataset};
+use minispark::{Cluster, Dataset, SkewBudget};
 use topk_rankings::jaccard::{jaccard_prefix_len, jaccard_within};
 use topk_rankings::{FrequencyTable, ItemId, OrderedRanking, Ranking};
 
@@ -43,6 +43,10 @@ pub struct JaccardConfig {
     pub partition_threshold: usize,
     /// Reduce-side partitions (0 = cluster default).
     pub partitions: usize,
+    /// Opt-in skew handling for the token-grouped joins (see
+    /// [`crate::JoinConfig::skew`]); `partition_threshold` remains CL-P's
+    /// always-on δ.
+    pub skew: SkewBudget,
 }
 
 impl JaccardConfig {
@@ -55,7 +59,14 @@ impl JaccardConfig {
             cluster_threshold: 0.05,
             partition_threshold: 2_000,
             partitions: 0,
+            skew: SkewBudget::Off,
         }
+    }
+
+    /// Sets the skew-handling policy for the token-grouped joins.
+    pub fn with_skew(mut self, skew: SkewBudget) -> Self {
+        self.skew = skew;
+        self
     }
 
     /// Sets the partitioning threshold δ.
@@ -76,7 +87,7 @@ impl JaccardConfig {
                 return Err(JoinError::InvalidThreshold(t));
             }
         }
-        if self.partition_threshold == 0 {
+        if self.partition_threshold == 0 || self.skew == SkewBudget::Fixed(0) {
             return Err(JoinError::InvalidPartitionThreshold);
         }
         Ok(())
@@ -147,11 +158,11 @@ struct JaccardHit {
 /// composite partitioner and joined pairwise — Algorithm 3 transplanted to
 /// the Jaccard pipeline.
 ///
-/// Deliberate twin of `crate::pipeline::token_grouped_join`'s δ branch: the
-/// Footrule pipeline works in integer thresholds with kernel styles and
-/// `PairHit`s, this one in rational thresholds with a caller-supplied pair
-/// function. Changes to the chunk-split/spread/pair mechanics of either
-/// should be mirrored in the other.
+/// The chunk-split/spread/pair mechanics are
+/// [`minispark::skew::split_grouped_join`], shared with
+/// `crate::pipeline::token_grouped_join`; this wrapper only adapts the
+/// caller-supplied pair function (rational thresholds, `JaccardHit`s) into
+/// the splitter's self-/cross-join kernels and books the split counters.
 fn split_group_join<M>(
     grouped: &Dataset<(ItemId, Vec<M>)>,
     delta: Option<usize>,
@@ -183,103 +194,43 @@ where
         }
         Some(delta) => {
             let delta = delta.max(1);
-            let small = {
-                let pair_fn = pair_fn.clone();
-                grouped.flat_map(
-                    &format!("{label}/join-small-groups"),
-                    move |(_, members)| {
-                        if members.len() <= delta {
-                            all_pairs(members, &pair_fn)
-                        } else {
-                            Vec::new()
-                        }
-                    },
-                )
-            };
-            let chunks = {
-                let stats = Arc::clone(stats);
-                grouped.flat_map(
-                    &format!("{label}/split-large-groups"),
-                    move |(token, members)| {
-                        if members.len() <= delta {
-                            return Vec::new();
-                        }
-                        JoinStats::bump(&stats.posting_lists_split);
-                        members
-                            .chunks(delta)
-                            .enumerate()
-                            .map(|(sub, chunk)| ((*token, sub as u32), chunk.to_vec()))
-                            .collect::<Vec<_>>()
-                    },
-                )
-            };
-            let spread = chunks.partition_by(
-                &format!("{label}/spread-chunks"),
-                &minispark::CompositePartitioner::new(partitions.saturating_mul(2).max(1)),
-            );
-            let self_hits = {
-                let pair_fn = pair_fn.clone();
-                spread.flat_map(&format!("{label}/join-chunks"), move |(_, chunk)| {
-                    all_pairs(chunk, &pair_fn)
-                })
-            };
-            let chunk_pairs = chunks
-                .map(
-                    &format!("{label}/key-chunks"),
-                    |((token, sub), chunk): &((ItemId, u32), Vec<M>)| {
-                        (*token, (*sub, chunk.clone()))
-                    },
-                )
-                .group_by_key(&format!("{label}/pair-chunks"), partitions)
-                .flat_map(&format!("{label}/emit-chunk-pairs"), |(token, subs)| {
-                    let mut sorted: Vec<&(u32, Vec<M>)> = subs.iter().collect();
-                    sorted.sort_by_key(|(sub, _)| *sub);
+            let (hits, split) = minispark::skew::split_grouped_join(
+                grouped,
+                delta,
+                partitions,
+                label,
+                |_token, members: &[M]| all_pairs(members, &pair_fn),
+                |_token, left: &[M], right: &[M]| {
                     let mut out = Vec::new();
-                    for i in 0..sorted.len() {
-                        for j in (i + 1)..sorted.len() {
-                            out.push((
-                                (*token, sorted[i].0, sorted[j].0),
-                                (sorted[i].1.clone(), sorted[j].1.clone()),
-                            ));
+                    for a in left {
+                        for b in right {
+                            if let Some(hit) = pair_fn(a, b) {
+                                out.push(hit);
+                            }
                         }
                     }
                     out
-                });
-            let spread_pairs = chunk_pairs.partition_by(
-                &format!("{label}/spread-chunk-pairs"),
-                &minispark::CompositePartitioner::new(partitions.saturating_mul(2).max(1)),
+                },
             );
-            let rs_hits = {
-                let stats = Arc::clone(stats);
-                spread_pairs.flat_map(
-                    &format!("{label}/rs-join-chunks"),
-                    move |(_, (left, right))| {
-                        JoinStats::bump(&stats.rs_joins);
-                        let mut out = Vec::new();
-                        for a in left {
-                            for b in right {
-                                if let Some(hit) = pair_fn(a, b) {
-                                    out.push(hit);
-                                }
-                            }
-                        }
-                        out
-                    },
-                )
-            };
-            small.union(&self_hits).union(&rs_hits)
+            JoinStats::add(&stats.posting_lists_split, split.groups_split);
+            JoinStats::add(&stats.rs_joins, split.rs_joins);
+            JoinStats::add(&stats.skew_chunks, split.chunks);
+            JoinStats::add(&stats.skew_steals, split.stolen_tasks);
+            hits
         }
     }
 }
 
 /// Prefix self-join of `ordered` at `theta` (nested-loop groups, global
 /// dedup), the building block for both the flat join and CL's phases.
+#[allow(clippy::too_many_arguments)]
 fn jaccard_prefix_join(
     ordered: &Dataset<SetRecord>,
     k: usize,
     theta: f64,
     partitions: usize,
     delta: Option<usize>,
+    skew: SkewBudget,
     stats: &Arc<JoinStats>,
     label: &str,
 ) -> Dataset<JaccardHit> {
@@ -301,6 +252,12 @@ fn jaccard_prefix_join(
     } else {
         emitted
     };
+    // An explicit δ wins; otherwise the opt-in skew policy decides from the
+    // pre-shuffle token stream (see pipeline::token_grouped_join).
+    let delta = match delta {
+        Some(d) => Some(d.max(1)),
+        None => skew.resolve(&emitted, label),
+    };
     let grouped = emitted.group_by_key(&format!("{label}/group-by-token"), partitions);
     let hits = {
         let stats_for_pairs = Arc::clone(stats);
@@ -319,6 +276,9 @@ fn jaccard_prefix_join(
         };
         split_group_join(&grouped, delta, partitions, stats, label, pair_fn)
     };
+    // Keep-first dedup is value-deterministic: duplicates of one id pair all
+    // carry the same exact distance (and `false` singleton tags), so the
+    // survivor is content-equal regardless of hash-map iteration order.
     hits.map(&format!("{label}/key-pairs"), |h: &JaccardHit| {
         ((h.a.id(), h.b.id()), h.clone())
     })
@@ -352,6 +312,7 @@ pub fn jaccard_vj_join(
             config.theta,
             partitions,
             None,
+            config.skew,
             &stats,
             "jaccard-vj",
         )
@@ -423,6 +384,7 @@ fn jaccard_cl_flavour(
         theta_c,
         partitions,
         None,
+        config.skew,
         &stats,
         "jaccard-cl/cluster",
     );
@@ -431,6 +393,8 @@ fn jaccard_cl_flavour(
             (h.a.id(), (Arc::clone(&h.b), h.distance))
         })
         .group_by_key("jaccard-cl/form-clusters", partitions);
+    // Keep-first is value-deterministic: all values under one centroid id
+    // are `Arc`s of the same canonical record.
     let centroids_m = rc
         .map("jaccard-cl/centroid-candidates", |h| {
             (h.a.id(), Arc::clone(&h.a))
@@ -519,6 +483,12 @@ fn jaccard_cl_flavour(
     } else {
         emitted
     };
+    // Explicit δ (CL-P) wins; otherwise the skew policy may opt the centroid
+    // join into splitting.
+    let delta = match delta {
+        Some(d) => Some(d.max(1)),
+        None => config.skew.resolve(&emitted, "jaccard-cl/join"),
+    };
     let grouped = emitted.group_by_key("jaccard-cl/group-centroids", partitions);
     let cjoin = {
         let stats_for_pairs = Arc::clone(&stats);
@@ -556,6 +526,8 @@ fn jaccard_cl_flavour(
             pair_fn,
         )
     };
+    // Keep-first is value-deterministic: duplicates of one centroid pair
+    // share the exact distance and the centroids' fixed singleton tags.
     let cjoin = cjoin
         .map("jaccard-cl/key-cpairs", |h: &JaccardHit| {
             ((h.a.id(), h.b.id()), h.clone())

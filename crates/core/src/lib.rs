@@ -61,9 +61,10 @@ pub use index::RankingIndex;
 pub use jaccard_join::{
     jaccard_brute_force, jaccard_cl_join, jaccard_clp_join, jaccard_vj_join, JaccardConfig,
 };
+pub use minispark::SkewBudget;
 pub use report::{runs_to_json, RunReport, RUN_REPORT_SCHEMA};
 pub use stats::{JoinStats, StatsSnapshot};
-pub use varlen_join::{varlen_brute_force, varlen_join};
+pub use varlen_join::{varlen_brute_force, varlen_join, varlen_join_with_skew};
 pub use vj::{vj_join, vj_nl_join, vj_repartitioned_join};
 
 use minispark::Cluster;

@@ -17,7 +17,7 @@
 
 use std::sync::Arc;
 
-use minispark::{Cluster, CompositePartitioner, Dataset};
+use minispark::{Cluster, Dataset, SkewBudget};
 use topk_rankings::{FrequencyTable, ItemId, OrderedRanking, PrefixKind, Ranking, ResultPair};
 
 use crate::kernels::{
@@ -251,7 +251,10 @@ fn rs_hits(
 /// into sub-partitions of at most δ entries: each sub-partition is
 /// self-joined after being re-distributed with a composite partitioner, and
 /// every sub-partition pair is R-S-joined — spreading one hot token's work
-/// over the whole cluster.
+/// over the whole cluster. The splitting itself lives in
+/// [`minispark::skew::split_grouped_join`]; with `delta = None` the `skew`
+/// policy may still opt the join into splitting (sampling the emitted token
+/// stream first under `SkewBudget::Auto`).
 #[allow(clippy::too_many_arguments)]
 pub fn token_grouped_join(
     emitted: &Dataset<(ItemId, TokenEntry)>,
@@ -261,9 +264,18 @@ pub fn token_grouped_join(
     use_position_filter: bool,
     partitions: usize,
     delta: Option<usize>,
+    skew: SkewBudget,
     stats: &Arc<JoinStats>,
     label: &str,
 ) -> Dataset<PairHit> {
+    // An explicit δ (CL-P's always-on partitioning threshold) wins;
+    // otherwise the opt-in skew policy decides from the pre-shuffle token
+    // stream.
+    let delta = match delta {
+        Some(d) => Some(d.max(1)),
+        None => skew.resolve(emitted, label),
+    };
+
     // Spark can spill shuffle groups to disk when executor memory runs low
     // (the property §4.1 argues iterator-style processing preserves); the
     // engine reproduces that when the cluster config sets a spill budget.
@@ -289,120 +301,40 @@ pub fn token_grouped_join(
             })
         }
         Some(delta) => {
-            let delta = delta.max(1);
-            // Small groups join as usual.
-            let small = {
-                let stats = Arc::clone(stats);
-                let prefix_len_of = prefix_len_of.clone();
-                grouped.flat_map(
-                    &format!("{label}/join-small-groups"),
-                    move |(token, entries)| {
-                        if entries.len() <= delta {
-                            run_kernel(
-                                entries,
-                                style_for(*token, style),
-                                &prefix_len_of,
-                                &thresholds,
-                                use_position_filter,
-                                &stats,
-                            )
-                        } else {
-                            Vec::new()
-                        }
-                    },
-                )
-            };
-            // Large groups are split into chunks of ≤ δ entries with a
-            // secondary key.
-            let chunks = {
-                let stats = Arc::clone(stats);
-                grouped.flat_map(
-                    &format!("{label}/split-large-groups"),
-                    move |(token, entries)| {
-                        if entries.len() <= delta {
-                            return Vec::new();
-                        }
-                        JoinStats::bump(&stats.posting_lists_split);
-                        entries
-                            .chunks(delta)
-                            .enumerate()
-                            .map(|(sub, chunk)| {
-                                crate::invariants::check_subpartition(chunk.len(), delta);
-                                ((*token, sub as u32), chunk.to_vec())
-                            })
-                            .collect::<Vec<_>>()
-                    },
-                )
-            };
-            // Self-join each chunk after spreading chunks across the cluster
-            // by (token, sub-key) — the composite partitioner of §6.
-            let spread = chunks.partition_by(
-                &format!("{label}/spread-chunks"),
-                &CompositePartitioner::new(partitions.saturating_mul(2).max(1)),
+            let (hits, split) = minispark::skew::split_grouped_join(
+                &grouped,
+                delta,
+                partitions,
+                label,
+                |token, chunk: &[TokenEntry]| {
+                    crate::invariants::check_subpartition(chunk.len(), delta);
+                    run_kernel(
+                        chunk,
+                        style_for(token, style),
+                        &prefix_len_of,
+                        &thresholds,
+                        use_position_filter,
+                        stats,
+                    )
+                },
+                |_token, left: &[TokenEntry], right: &[TokenEntry]| {
+                    rs_hits(left, right, &thresholds, use_position_filter, stats)
+                },
             );
-            let self_hits = {
-                let stats = Arc::clone(stats);
-                let prefix_len_of = prefix_len_of.clone();
-                spread.flat_map(
-                    &format!("{label}/join-chunks"),
-                    move |((token, _), chunk)| {
-                        run_kernel(
-                            chunk,
-                            style_for(*token, style),
-                            &prefix_len_of,
-                            &thresholds,
-                            use_position_filter,
-                            &stats,
-                        )
-                    },
-                )
-            };
-            // Every ordered pair of chunks of one token is R-S joined. (The
-            // paper realizes this as a Spark self-join of the chunk RDD
-            // keyed by token, keeping pairs with sub₁ < sub₂ — the pairing
-            // below moves exactly the same chunk replicas.)
-            let chunk_pairs = chunks
-                .map(
-                    &format!("{label}/key-chunks"),
-                    |((token, sub), chunk): &((ItemId, u32), Vec<TokenEntry>)| {
-                        (*token, (*sub, chunk.clone()))
-                    },
-                )
-                .group_by_key(&format!("{label}/pair-chunks"), partitions)
-                .flat_map(&format!("{label}/emit-chunk-pairs"), |(token, subs)| {
-                    let mut sorted: Vec<&(u32, Vec<TokenEntry>)> = subs.iter().collect();
-                    sorted.sort_by_key(|(sub, _)| *sub);
-                    let mut out = Vec::new();
-                    for i in 0..sorted.len() {
-                        for j in (i + 1)..sorted.len() {
-                            out.push((
-                                (*token, sorted[i].0, sorted[j].0),
-                                (sorted[i].1.clone(), sorted[j].1.clone()),
-                            ));
-                        }
-                    }
-                    out
-                });
-            let spread_pairs = chunk_pairs.partition_by(
-                &format!("{label}/spread-chunk-pairs"),
-                &CompositePartitioner::new(partitions.saturating_mul(2).max(1)),
-            );
-            let rs_results = {
-                let stats = Arc::clone(stats);
-                spread_pairs.flat_map(
-                    &format!("{label}/rs-join-chunks"),
-                    move |(_, (left, right))| {
-                        JoinStats::bump(&stats.rs_joins);
-                        rs_hits(left, right, &thresholds, use_position_filter, &stats)
-                    },
-                )
-            };
-            small.union(&self_hits).union(&rs_results)
+            JoinStats::add(&stats.posting_lists_split, split.groups_split);
+            JoinStats::add(&stats.rs_joins, split.rs_joins);
+            JoinStats::add(&stats.skew_chunks, split.chunks);
+            JoinStats::add(&stats.skew_steals, split.stolen_tasks);
+            hits
         }
     };
 
     // Deduplicate pairs found via several shared tokens (or several chunk
-    // joins) — keep one PairHit per id pair.
+    // joins) — keep one PairHit per id pair. The keep-first combiner is
+    // value-deterministic even though the kept *instance* depends on hash-map
+    // iteration order: every duplicate under one id pair carries the same
+    // exact distance and the same per-ranking singleton tags, so any survivor
+    // is content-equal (pinned by the determinism suite).
     hits.map(&format!("{label}/key-pairs"), |hit: &PairHit| {
         let ids = hit.ids();
         crate::invariants::check_pair_normalized(ids.0, ids.1);
@@ -426,6 +358,7 @@ pub fn prefix_self_join(
     use_position_filter: bool,
     partitions: usize,
     delta: Option<usize>,
+    skew: SkewBudget,
     stats: &Arc<JoinStats>,
     label: &str,
 ) -> Dataset<PairHit> {
@@ -447,6 +380,7 @@ pub fn prefix_self_join(
         use_position_filter,
         partitions,
         delta,
+        skew,
         stats,
         label,
     )

@@ -161,6 +161,15 @@ fn join_config_json(c: &JoinConfig) -> Json {
         .with("use_triangle_bounds", Json::Bool(c.use_triangle_bounds))
         .with("use_lemma53", Json::Bool(c.use_lemma53))
         .with("strict_paper_prefixes", Json::Bool(c.strict_paper_prefixes))
+        .with(
+            "skew",
+            // "off" / "auto" / the fixed budget as a number.
+            match c.skew {
+                minispark::SkewBudget::Off => Json::str("off"),
+                minispark::SkewBudget::Auto => Json::str("auto"),
+                minispark::SkewBudget::Fixed(budget) => Json::num_usize(budget),
+            },
+        )
 }
 
 fn cluster_config_json(c: &minispark::ClusterConfig) -> Json {
@@ -205,6 +214,8 @@ fn stats_json(s: &StatsSnapshot) -> Json {
         .with("singletons", Json::num_u64(s.singletons))
         .with("posting_lists_split", Json::num_u64(s.posting_lists_split))
         .with("rs_joins", Json::num_u64(s.rs_joins))
+        .with("skew_chunks", Json::num_u64(s.skew_chunks))
+        .with("skew_steals", Json::num_u64(s.skew_steals))
 }
 
 fn stages_json(metrics: &MetricsReport) -> Json {
@@ -233,6 +244,7 @@ fn stages_json(metrics: &MetricsReport) -> Json {
                     )
                     .with("skew", Json::num(s.skew()))
                     .with("spilled_runs", Json::num_usize(s.spilled_runs))
+                    .with("stolen_tasks", Json::num_usize(s.stolen_tasks))
             })
             .collect(),
     )
@@ -285,6 +297,8 @@ fn analytics_json(a: &ExecutorAnalytics) -> Json {
                                 "longest_task_ms",
                                 Json::num(s.longest_task.as_secs_f64() * 1e3),
                             )
+                            .with("stolen_tasks", Json::num_usize(s.stolen_tasks))
+                            .with("min_slot_occupancy", Json::num(s.min_slot_occupancy()))
                             .with(
                                 "slot_busy_ms",
                                 Json::Arr(
@@ -386,7 +400,13 @@ fn validate_run(run: &Json, ctx: &str) -> Result<(), String> {
         &format!("{ctx}.join_config.theta"),
     )?;
     let stats = expect_key(run, "stats", ctx)?;
-    for key in ["candidates", "verified", "result_pairs"] {
+    for key in [
+        "candidates",
+        "verified",
+        "result_pairs",
+        "skew_chunks",
+        "skew_steals",
+    ] {
         expect_non_negative(expect_key(stats, key, ctx)?, &format!("{ctx}.stats.{key}"))?;
     }
     let stages = expect_key(run, "stages", ctx)?
@@ -441,6 +461,14 @@ fn validate_run(run: &Json, ctx: &str) -> Result<(), String> {
             expect_non_negative(
                 expect_key(stage, "queue_wait_ms", &sctx)?,
                 &format!("{sctx}.queue_wait_ms"),
+            )?;
+            expect_non_negative(
+                expect_key(stage, "stolen_tasks", &sctx)?,
+                &format!("{sctx}.stolen_tasks"),
+            )?;
+            expect_unit_interval(
+                expect_key(stage, "min_slot_occupancy", &sctx)?,
+                &format!("{sctx}.min_slot_occupancy"),
             )?;
         }
     }

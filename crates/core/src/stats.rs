@@ -32,6 +32,13 @@ pub struct JoinStats {
     pub posting_lists_split: AtomicU64,
     /// Sub-partition R-S joins executed by CL-P.
     pub rs_joins: AtomicU64,
+    /// Sub-partitions (chunks) created by skew-aware group splitting —
+    /// CL-P's δ and the opt-in [`minispark::SkewBudget`] path alike.
+    pub skew_chunks: AtomicU64,
+    /// Chunk self-join / chunk-pair R-S tasks that the executor's dynamic
+    /// claim placed on a non-home slot (work stealing backfilling idle
+    /// slots; see [`minispark::executor::steal_count`]).
+    pub skew_steals: AtomicU64,
 }
 
 impl JoinStats {
@@ -69,6 +76,8 @@ impl JoinStats {
             singletons: load(&self.singletons),
             posting_lists_split: load(&self.posting_lists_split),
             rs_joins: load(&self.rs_joins),
+            skew_chunks: load(&self.skew_chunks),
+            skew_steals: load(&self.skew_steals),
         }
     }
 }
@@ -97,13 +106,18 @@ pub struct StatsSnapshot {
     pub posting_lists_split: u64,
     /// Sub-partition R-S joins executed.
     pub rs_joins: u64,
+    /// Sub-partitions created by skew-aware group splitting.
+    pub skew_chunks: u64,
+    /// Split-chunk tasks the executor's dynamic claim moved off their
+    /// round-robin home slot (work stealing).
+    pub skew_steals: u64,
 }
 
 impl std::fmt::Display for StatsSnapshot {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "candidates={} pos-pruned={} verified={} results={} tri-pruned={} tri-accepted={} clusters={} singletons={} splits={} rs-joins={}",
+            "candidates={} pos-pruned={} verified={} results={} tri-pruned={} tri-accepted={} clusters={} singletons={} splits={} rs-joins={} skew-chunks={} skew-steals={}",
             self.candidates,
             self.position_pruned,
             self.verified,
@@ -114,6 +128,8 @@ impl std::fmt::Display for StatsSnapshot {
             self.singletons,
             self.posting_lists_split,
             self.rs_joins,
+            self.skew_chunks,
+            self.skew_steals,
         )
     }
 }

@@ -26,7 +26,7 @@ use std::collections::BTreeSet;
 use std::sync::Arc;
 use std::time::Instant;
 
-use minispark::Cluster;
+use minispark::{Cluster, SkewBudget};
 use topk_rankings::bounds::position_filter_prunes;
 use topk_rankings::varlen::{min_distance_given_lengths, min_overlap_var, prefix_len_var};
 use topk_rankings::{FrequencyTable, ItemId, OrderedRanking, Ranking};
@@ -35,6 +35,24 @@ use crate::stats::JoinStats;
 use crate::{JoinError, JoinOutcome};
 
 type Record = Arc<OrderedRanking>;
+type Entry = (u16, Record);
+
+/// Self-join within one group (or one chunk of a split group): every
+/// unordered member pair through the per-pair kernel.
+fn all_pairs<F>(members: &[Entry], pair_of: &F) -> Vec<(u64, u64)>
+where
+    F: Fn(&Entry, &Entry) -> Option<(u64, u64)>,
+{
+    let mut out = Vec::new();
+    for i in 0..members.len() {
+        for j in (i + 1)..members.len() {
+            if let Some(pair) = pair_of(&members[i], &members[j]) {
+                out.push(pair);
+            }
+        }
+    }
+    out
+}
 
 /// Prefix-filtered similarity join over rankings of arbitrary (mixed)
 /// lengths at a **raw** Footrule threshold.
@@ -43,6 +61,19 @@ pub fn varlen_join(
     data: &[Ranking],
     theta_raw: u64,
     partitions: usize,
+) -> Result<JoinOutcome, JoinError> {
+    varlen_join_with_skew(cluster, data, theta_raw, partitions, SkewBudget::Off)
+}
+
+/// [`varlen_join`] with opt-in skew handling: under a [`SkewBudget`] other
+/// than `Off`, oversized token groups are split into ≤-budget sub-partitions
+/// joined per chunk and per chunk pair (see [`minispark::skew`]).
+pub fn varlen_join_with_skew(
+    cluster: &Cluster,
+    data: &[Ranking],
+    theta_raw: u64,
+    partitions: usize,
+    skew: SkewBudget,
 ) -> Result<JoinOutcome, JoinError> {
     let start = Instant::now();
     if data.is_empty() {
@@ -123,45 +154,72 @@ pub fn varlen_join(
         })
     };
 
-    let grouped = emitted.group_by_key("varlen/group-by-token", partitions);
-    let pairs_ds = {
+    // The per-pair kernel: length filter, equal-length position filter,
+    // early-exit verification.
+    let pair_of = {
         let stats = Arc::clone(&stats);
-        grouped.flat_map("varlen/join-groups", move |(_, members)| {
-            let mut out = Vec::new();
-            for i in 0..members.len() {
-                for j in (i + 1)..members.len() {
-                    let (ra, a) = &members[i];
-                    let (rb, b) = &members[j];
-                    if a.id() == b.id() {
-                        continue;
-                    }
-                    JoinStats::bump(&stats.candidates);
-                    // Length filter.
-                    if min_distance_given_lengths(a.k(), b.k()) > theta_raw {
-                        JoinStats::bump(&stats.triangle_pruned);
-                        continue;
-                    }
-                    // Position filter — valid for equal lengths only.
-                    if a.k() == b.k()
-                        && position_filter_prunes(*ra as usize, *rb as usize, theta_raw)
-                    {
-                        JoinStats::bump(&stats.position_pruned);
-                        continue;
-                    }
-                    JoinStats::bump(&stats.verified);
-                    if a.footrule_within(b, theta_raw).is_some() {
-                        JoinStats::bump(&stats.result_pairs);
-                        let (x, y) = if a.id() < b.id() {
-                            (a.id(), b.id())
-                        } else {
-                            (b.id(), a.id())
-                        };
-                        out.push((x, y));
-                    }
-                }
+        move |x: &(u16, Record), y: &(u16, Record)| -> Option<(u64, u64)> {
+            let (ra, a) = x;
+            let (rb, b) = y;
+            if a.id() == b.id() {
+                return None;
             }
-            out
-        })
+            JoinStats::bump(&stats.candidates);
+            // Length filter.
+            if min_distance_given_lengths(a.k(), b.k()) > theta_raw {
+                JoinStats::bump(&stats.triangle_pruned);
+                return None;
+            }
+            // Position filter — valid for equal lengths only.
+            if a.k() == b.k() && position_filter_prunes(*ra as usize, *rb as usize, theta_raw) {
+                JoinStats::bump(&stats.position_pruned);
+                return None;
+            }
+            JoinStats::bump(&stats.verified);
+            a.footrule_within(b, theta_raw).map(|_| {
+                JoinStats::bump(&stats.result_pairs);
+                if a.id() < b.id() {
+                    (a.id(), b.id())
+                } else {
+                    (b.id(), a.id())
+                }
+            })
+        }
+    };
+    let delta = skew.resolve(&emitted, "varlen");
+    let grouped = emitted.group_by_key("varlen/group-by-token", partitions);
+    let pairs_ds = match delta {
+        None => {
+            let pair_of = pair_of.clone();
+            grouped.flat_map("varlen/join-groups", move |(_, members)| {
+                all_pairs(members, &pair_of)
+            })
+        }
+        Some(budget) => {
+            let (hits, split) = minispark::skew::split_grouped_join(
+                &grouped,
+                budget,
+                partitions,
+                "varlen",
+                |_token, members: &[(u16, Record)]| all_pairs(members, &pair_of),
+                |_token, left: &[(u16, Record)], right: &[(u16, Record)]| {
+                    let mut out = Vec::new();
+                    for a in left {
+                        for b in right {
+                            if let Some(pair) = pair_of(a, b) {
+                                out.push(pair);
+                            }
+                        }
+                    }
+                    out
+                },
+            );
+            JoinStats::add(&stats.posting_lists_split, split.groups_split);
+            JoinStats::add(&stats.rs_joins, split.rs_joins);
+            JoinStats::add(&stats.skew_chunks, split.chunks);
+            JoinStats::add(&stats.skew_steals, split.stolen_tasks);
+            hits
+        }
     };
 
     drop(phase);
@@ -327,5 +385,33 @@ mod tests {
             .expect("empty input is valid for the varlen join")
             .pairs
             .is_empty());
+    }
+
+    #[test]
+    fn skew_split_never_changes_the_result_set() {
+        // ISSUE 5, satellite 4: the generic splitter must be invisible in
+        // the varlen driver's output for any budget, and a tiny budget must
+        // actually exercise the chunk + chunk-pair path.
+        let c = cluster();
+        let data = mixed_corpus();
+        for theta_raw in [5u64, 30] {
+            let expected = varlen_join(&c, &data, theta_raw, 8)
+                .expect("mixed-length corpus is valid input")
+                .pairs;
+            for budget in [1usize, 3, 10, 100_000] {
+                let outcome =
+                    varlen_join_with_skew(&c, &data, theta_raw, 8, SkewBudget::Fixed(budget))
+                        .expect("mixed-length corpus is valid input");
+                assert_eq!(
+                    outcome.pairs, expected,
+                    "θ_raw = {theta_raw}, budget = {budget}"
+                );
+                if budget == 1 {
+                    assert!(outcome.stats.posting_lists_split > 0);
+                    assert!(outcome.stats.skew_chunks > 0);
+                    assert!(outcome.stats.rs_joins > 0);
+                }
+            }
+        }
     }
 }

@@ -52,6 +52,7 @@ fn vj_flavour(
             config.use_position_filter,
             partitions,
             delta,
+            config.skew,
             &stats,
             label,
         )
@@ -168,6 +169,71 @@ mod tests {
         let outcome = vj_repartitioned_join(&c, &data, &cfg).unwrap();
         assert!(outcome.stats.posting_lists_split > 0);
         assert!(outcome.stats.rs_joins > 0);
+    }
+
+    #[test]
+    fn fixed_skew_budget_never_changes_the_result_set() {
+        // ISSUE 5, satellite 4: splitting + stealing must be invisible in
+        // the output, for any budget, on both kernel styles.
+        use minispark::SkewBudget;
+        let c = cluster();
+        let data = corpus();
+        let expected = vj_join(&c, &data, &JoinConfig::new(0.3)).unwrap().pairs;
+        for budget in [1usize, 2, 3, 7, 64, 100_000] {
+            for nested_loop in [false, true] {
+                let cfg = JoinConfig::new(0.3).with_skew(SkewBudget::Fixed(budget));
+                let outcome = if nested_loop {
+                    vj_nl_join(&c, &data, &cfg).unwrap()
+                } else {
+                    vj_join(&c, &data, &cfg).unwrap()
+                };
+                assert_eq!(
+                    outcome.pairs, expected,
+                    "budget = {budget}, nested_loop = {nested_loop}"
+                );
+                if budget <= 3 {
+                    // Small budgets must actually split and chunk.
+                    assert!(outcome.stats.posting_lists_split > 0, "budget = {budget}");
+                    assert!(outcome.stats.skew_chunks > 0, "budget = {budget}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn auto_skew_budget_splits_hot_groups_without_changing_results() {
+        // A corpus where every ranking leads with hot item 1: under the
+        // rank-ordered prefix the token-1 posting list holds the whole
+        // corpus, while per-family tokens form hundreds of tiny groups —
+        // exactly the shape `SkewBudget::Auto`'s sampling pass must detect.
+        use minispark::SkewBudget;
+        use topk_rankings::PrefixKind;
+        let data: Vec<Ranking> = (0..240u64)
+            .map(|i| {
+                let family = (i / 2) as u32;
+                let mut items: Vec<u32> = vec![1];
+                items.extend((0..9).map(|j| 10 + family * 9 + j));
+                if i % 2 == 1 {
+                    items.swap(1, 2); // near-duplicate of its even sibling
+                }
+                Ranking::new(i, items).unwrap()
+            })
+            .collect();
+        let c = cluster();
+        let base = JoinConfig::new(0.1).with_prefix(PrefixKind::Ordered);
+        let off = vj_join(&c, &data, &base).unwrap();
+        let auto = vj_join(&c, &data, &base.clone().with_skew(SkewBudget::Auto)).unwrap();
+        assert_eq!(auto.pairs, off.pairs);
+        assert!(
+            !auto.pairs.is_empty(),
+            "sibling pairs are within θ by construction"
+        );
+        assert_eq!(off.stats.skew_chunks, 0, "Off must never split");
+        assert!(
+            auto.stats.posting_lists_split > 0 && auto.stats.skew_chunks > 0,
+            "Auto must split the hot token-1 group: {:?}",
+            auto.stats
+        );
     }
 
     #[test]

@@ -17,7 +17,8 @@
 use minispark::{check_determinism, schedule_matrix, ClusterConfig, Schedule};
 use topk_rankings::Ranking;
 use topk_simjoin::{
-    jaccard_clp_join, jaccard_vj_join, varlen_join, Algorithm, JaccardConfig, JoinConfig,
+    jaccard_clp_join, jaccard_vj_join, varlen_join, varlen_join_with_skew, Algorithm,
+    JaccardConfig, JoinConfig, SkewBudget,
 };
 
 const SLOT_COUNTS: [usize; 4] = [1, 2, 4, 7];
@@ -88,10 +89,19 @@ fn base_config() -> ClusterConfig {
 
 /// Runs one footrule algorithm through the determinism checker.
 fn assert_footrule_deterministic(algo: Algorithm) {
+    assert_footrule_deterministic_with_skew(algo, SkewBudget::Off);
+}
+
+/// Like [`assert_footrule_deterministic`] but with a skew policy. Only
+/// `SkewBudget::Off` and `Fixed` keep the stage shape slot-independent
+/// (`Auto` derives its budget from the probed slot count), so those are the
+/// policies this suite may explore.
+fn assert_footrule_deterministic_with_skew(algo: Algorithm, skew: SkewBudget) {
     let data = corpus(48, 7, 40, 0xD5EED);
     let config = JoinConfig::new(0.35)
         .with_cluster_threshold(0.05)
-        .with_partition_threshold(6);
+        .with_partition_threshold(6)
+        .with_skew(skew);
     let schedules = schedules();
     let outcome = check_determinism(&base_config(), &SLOT_COUNTS, &schedules, |cluster| {
         let out = algo
@@ -134,6 +144,28 @@ fn cl_p_is_schedule_independent() {
 }
 
 #[test]
+fn vj_with_skew_splitting_is_schedule_independent() {
+    // ISSUE 5, satellites 2 + 4: a fixed split budget routes hot groups
+    // through the chunk spread / chunk-pair R-S stages and funnels their
+    // hits into the keep-first `vj/dedup-pairs` reducer from many more
+    // producer tasks — the dedup stage must stay value-deterministic under
+    // every schedule, and the stage-metrics fingerprint must not drift.
+    assert_footrule_deterministic_with_skew(Algorithm::Vj, SkewBudget::Fixed(4));
+}
+
+#[test]
+fn vj_nl_with_skew_splitting_is_schedule_independent() {
+    assert_footrule_deterministic_with_skew(Algorithm::VjNl, SkewBudget::Fixed(3));
+}
+
+#[test]
+fn cl_with_skew_splitting_is_schedule_independent() {
+    // CL threads the budget through both the θc clustering self-join (its
+    // `cl/cluster/dedup-centroids` reducer) and the centroid join.
+    assert_footrule_deterministic_with_skew(Algorithm::Cl, SkewBudget::Fixed(4));
+}
+
+#[test]
 fn jaccard_vj_is_schedule_independent() {
     let data = corpus(48, 6, 32, 0x1ACCA);
     let config = JaccardConfig::new(0.5).with_cluster_threshold(0.1);
@@ -158,6 +190,35 @@ fn jaccard_cl_p_is_schedule_independent() {
             .pairs
     })
     .unwrap_or_else(|failure| panic!("jaccard CL-P is schedule-dependent: {failure}"));
+    assert!(!outcome.reference.is_empty());
+}
+
+#[test]
+fn jaccard_vj_with_skew_splitting_is_schedule_independent() {
+    // Covers the Jaccard dedup stages (`jaccard-vj/dedup`) with split
+    // groups feeding them.
+    let data = corpus(48, 6, 32, 0x1ACCA);
+    let config = JaccardConfig::new(0.5)
+        .with_cluster_threshold(0.1)
+        .with_skew(SkewBudget::Fixed(4));
+    let outcome = check_determinism(&base_config(), &SLOT_COUNTS, &schedules(), |cluster| {
+        jaccard_vj_join(cluster, &data, &config)
+            .expect("join must succeed")
+            .pairs
+    })
+    .unwrap_or_else(|failure| panic!("jaccard VJ with skew is schedule-dependent: {failure}"));
+    assert!(!outcome.reference.is_empty());
+}
+
+#[test]
+fn varlen_with_skew_splitting_is_schedule_independent() {
+    let data = varlen_corpus(48, 28, 0x7A51);
+    let outcome = check_determinism(&base_config(), &SLOT_COUNTS, &schedules(), |cluster| {
+        varlen_join_with_skew(cluster, &data, 30, 5, SkewBudget::Fixed(3))
+            .expect("join must succeed")
+            .pairs
+    })
+    .unwrap_or_else(|failure| panic!("varlen join with skew is schedule-dependent: {failure}"));
     assert!(!outcome.reference.is_empty());
 }
 

@@ -11,7 +11,7 @@ use std::time::Instant;
 
 use crate::broadcast::Broadcast;
 use crate::config::ClusterConfig;
-use crate::executor::{run_stage_tasks, TaskSpan, TaskTimes};
+use crate::executor::{run_stage_tasks, steal_count, TaskSpan, TaskTimes};
 use crate::metrics::{MetricsRegistry, MetricsReport, StageMetrics};
 use crate::trace::TraceCollector;
 
@@ -130,6 +130,7 @@ impl Cluster {
             shuffle_bytes: shuffled * std::mem::size_of::<usize>(),
             max_partition_records: records,
             spilled_runs: 0,
+            stolen_tasks: 0,
         });
         // Driver stages occupy no executor slot; trace them as one slot-0
         // task so the timeline stays gap-free.
@@ -183,6 +184,7 @@ impl Cluster {
             shuffle_bytes: 0,
             max_partition_records,
             spilled_runs: 0,
+            stolen_tasks: steal_count(&spans, self.config().task_slots()),
         });
         self.inner.trace.record_stage_tasks(id, name, &spans);
         Dataset::from_partitions(self.clone(), outputs)
@@ -326,6 +328,7 @@ impl<T: Send + Sync + 'static> Dataset<T> {
             shuffle_bytes: moved * std::mem::size_of::<T>(),
             max_partition_records,
             spilled_runs: 0,
+            stolen_tasks: 0,
         });
         self.cluster.inner.trace.record_stage_tasks(
             id,

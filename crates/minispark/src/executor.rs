@@ -259,6 +259,56 @@ where
     )
 }
 
+/// Number of tasks in `spans` that were **stolen**: executed on a different
+/// slot than the static round-robin assignment `task % workers` would use,
+/// where `workers = min(slots, tasks)` is the number of workers the stage
+/// could occupy.
+///
+/// The executor claims tasks dynamically (atomic cursor), so a fast slot
+/// that runs dry backfills itself with tasks a static scheduler would have
+/// queued behind a straggler on another slot — that deviation is exactly
+/// what this counts. Zero means the stage degenerated to the static plan
+/// (always true for one slot or one task); a high count on a split-join
+/// stage means the skew sub-partitions really did migrate to idle slots.
+pub fn steal_count(spans: &[TaskSpan], slots: usize) -> usize {
+    let pairs: Vec<(usize, usize)> = spans.iter().map(|s| (s.task, s.slot)).collect();
+    steal_count_indexed(&pairs, slots)
+}
+
+/// [`steal_count`] over raw `(task_index, slot)` pairs, in recording order.
+///
+/// Handles concatenated task waves (a wide stage records its map and reduce
+/// waves back to back, each restarting task indices at 0): waves are
+/// recovered at the task-index resets and counted separately, so one wave's
+/// indices never judge another wave's slots. Used by the trace analytics,
+/// whose [`crate::trace::TaskEvent`]s carry indices but not `Instant`s.
+pub fn steal_count_indexed(pairs: &[(usize, usize)], slots: usize) -> usize {
+    let mut total = 0;
+    let mut wave_start = 0;
+    for idx in 1..=pairs.len() {
+        let resets = idx == pairs.len() || pairs[idx].0 <= pairs[idx - 1].0;
+        if resets {
+            let wave = &pairs[wave_start..idx];
+            let workers = slots.max(1).min(wave.len());
+            if workers > 1 {
+                total += wave
+                    .iter()
+                    .filter(|(task, slot)| *slot != task % workers)
+                    .count();
+            }
+            wave_start = idx;
+        }
+    }
+    total
+}
+
+/// [`steal_count_indexed`] over [`TaskSpan`]s — the form the wide-stage
+/// recorder holds after merging its map- and reduce-wave timings.
+pub fn steal_count_concat(spans: &[TaskSpan], slots: usize) -> usize {
+    let pairs: Vec<(usize, usize)> = spans.iter().map(|s| (s.task, s.slot)).collect();
+    steal_count_indexed(&pairs, slots)
+}
+
 /// Stage entry point used by the engine's operators: dispatches to the
 /// deterministic scheduled path when the cluster config installs a
 /// [`Schedule`], and to the [`run_tasks`] thread pool otherwise.
@@ -397,6 +447,103 @@ mod tests {
         let scheduled = ClusterConfig::local(3).with_schedule(Schedule::StragglersFirst);
         let (b, _) = run_stage_tasks(&scheduled, inputs, |_, n| n + 1);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn steal_count_is_zero_for_static_assignments() {
+        let queued = Instant::now();
+        let span = |task: usize, slot: usize| TaskSpan {
+            task,
+            slot,
+            queued,
+            started: queued,
+            finished: queued,
+        };
+        // Perfect round-robin over 2 workers: nothing stolen.
+        let spans: Vec<TaskSpan> = (0..6).map(|t| span(t, t % 2)).collect();
+        assert_eq!(steal_count(&spans, 2), 0);
+        // Sequential path: everything on slot 0, one worker — never a steal.
+        let seq: Vec<TaskSpan> = (0..5).map(|t| span(t, 0)).collect();
+        assert_eq!(steal_count(&seq, 1), 0);
+        assert_eq!(steal_count(&[], 4), 0);
+    }
+
+    #[test]
+    fn steal_count_counts_deviations_from_round_robin() {
+        let queued = Instant::now();
+        let span = |task: usize, slot: usize| TaskSpan {
+            task,
+            slot,
+            queued,
+            started: queued,
+            finished: queued,
+        };
+        // 4 tasks, 2 workers; tasks 1 and 3 ran on slot 0 instead of 1.
+        let spans = vec![span(0, 0), span(1, 0), span(2, 0), span(3, 0)];
+        assert_eq!(steal_count(&spans, 2), 2);
+        // Workers are capped by the task count: 2 tasks on 8 slots means
+        // round-robin over 2 workers, so slot 1 running task 1 is home.
+        let spans = vec![span(0, 0), span(1, 1)];
+        assert_eq!(steal_count(&spans, 8), 0);
+        let spans = vec![span(0, 1), span(1, 0)];
+        assert_eq!(steal_count(&spans, 8), 2);
+    }
+
+    #[test]
+    fn steal_count_concat_splits_waves_at_task_resets() {
+        let queued = Instant::now();
+        let span = |task: usize, slot: usize| TaskSpan {
+            task,
+            slot,
+            queued,
+            started: queued,
+            finished: queued,
+        };
+        // Two clean round-robin waves of 4 tasks on 2 slots: no steals, and
+        // the reset at the second task-0 must not be misread as a deviation.
+        let spans = vec![
+            span(0, 0),
+            span(1, 1),
+            span(2, 0),
+            span(3, 1),
+            span(0, 0),
+            span(1, 1),
+            span(2, 0),
+            span(3, 1),
+        ];
+        assert_eq!(steal_count_concat(&spans, 2), 0);
+        // Second wave fully on slot 0 → tasks 1 and 3 are stolen there.
+        let spans = vec![
+            span(0, 0),
+            span(1, 1),
+            span(0, 0),
+            span(1, 0),
+            span(2, 0),
+            span(3, 0),
+        ];
+        assert_eq!(steal_count_concat(&spans, 2), 2);
+        assert_eq!(steal_count_concat(&[], 4), 0);
+    }
+
+    #[test]
+    fn stragglers_backfill_produces_steals() {
+        // One long task 0 plus many short ones on 2 slots: while slot 0 (or
+        // whichever slot claims task 0) grinds, the other slot must claim
+        // tasks that round-robin would have parked behind the straggler.
+        let mut inputs = vec![50u64];
+        inputs.extend(std::iter::repeat(1u64).take(15));
+        let (_, times) = run_tasks(2, inputs, |_, ms| {
+            std::thread::sleep(Duration::from_millis(ms));
+        });
+        assert!(
+            steal_count(&times.spans, 2) > 0,
+            "straggler stage showed no dynamic backfill: {:?}",
+            times
+                .spans
+                .iter()
+                .map(|s| (s.task, s.slot))
+                .collect::<Vec<_>>()
+        );
     }
 
     #[test]

@@ -25,6 +25,10 @@
 //!   overflowing groups to temporary run files and merges them, reproducing
 //!   Spark's ability to spill shuffle data that iterator-style (VJ-NL)
 //!   processing preserves and materialized indexes defeat,
+//! * **skew handling** ([`skew`]): a prefix-scan group-size estimator, split
+//!   budgets ([`SkewBudget`]) and a generic splitter that breaks oversized
+//!   key groups into balanced ≤-budget chunks joined per chunk and per chunk
+//!   pair — the paper's δ-repartitioning (§6) as a reusable subsystem,
 //! * **tracing** ([`trace`]): an opt-in per-task span/event collector
 //!   (queue-wait vs. busy split, slot ids, phase spans, shuffle-flush and
 //!   spill-run events) with executor-utilization analytics
@@ -74,6 +78,7 @@ pub mod ops;
 pub mod pair;
 pub mod sched;
 pub mod shuffle;
+pub mod skew;
 pub mod spill;
 pub mod trace;
 
@@ -86,4 +91,5 @@ pub use json::Json;
 pub use metrics::{MetricsReport, StageMetrics};
 pub use sched::Schedule;
 pub use shuffle::{CompositePartitioner, HashPartitioner, Partitioner};
+pub use skew::{SkewBudget, SkewEstimate, SplitPlan, SplitStats};
 pub use trace::{ExecutorAnalytics, TraceCollector, TraceSnapshot};

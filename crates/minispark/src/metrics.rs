@@ -38,6 +38,11 @@ pub struct StageMetrics {
     pub max_partition_records: usize,
     /// Number of run files spilled to disk by memory-aware operators.
     pub spilled_runs: usize,
+    /// Tasks that executed on a different slot than a static round-robin
+    /// assignment would use ([`crate::executor::steal_count`]): how much the
+    /// dynamic claim backfilled idle slots. 0 for driver-side stages and
+    /// single-slot runs.
+    pub stolen_tasks: usize,
 }
 
 impl StageMetrics {
@@ -109,6 +114,13 @@ impl MetricsRegistry {
         }
     }
 
+    /// Number of stages recorded so far — a cheap peek that avoids cloning a
+    /// full [`MetricsReport`] when a caller only needs a high-water mark
+    /// (e.g. [`crate::skew::split_grouped_join`]'s steal accounting).
+    pub fn stage_count(&self) -> usize {
+        self.stages.lock().len()
+    }
+
     /// Drops all recorded stages (used between benchmark iterations).
     pub fn reset(&self) {
         self.stages.lock().clear();
@@ -152,6 +164,11 @@ impl MetricsReport {
     /// Total spilled run files.
     pub fn total_spilled_runs(&self) -> usize {
         self.stages.iter().map(|s| s.spilled_runs).sum()
+    }
+
+    /// Total stolen tasks across stages (see [`StageMetrics::stolen_tasks`]).
+    pub fn total_stolen_tasks(&self) -> usize {
+        self.stages.iter().map(|s| s.stolen_tasks).sum()
     }
 
     /// The worst skew ratio observed in any stage.
@@ -201,7 +218,7 @@ impl fmt::Display for MetricsReport {
         let slots = self.slots.max(1);
         writeln!(
             f,
-            "{:>4} {:<32} {:>9} {:>9} {:>6} {:>10} {:>10} {:>10} {:>12} {:>6} {:>6}",
+            "{:>4} {:<32} {:>9} {:>9} {:>6} {:>10} {:>10} {:>10} {:>12} {:>6} {:>6} {:>6}",
             "id",
             "stage",
             "wall(ms)",
@@ -212,12 +229,13 @@ impl fmt::Display for MetricsReport {
             "shuf.rec",
             "shuf.bytes",
             "skew",
-            "spill"
+            "spill",
+            "steal"
         )?;
         for s in &self.stages {
             writeln!(
                 f,
-                "{:>4} {:<32} {:>9.1} {:>9.1} {:>6} {:>10} {:>10} {:>10} {:>12} {:>6.2} {:>6}",
+                "{:>4} {:<32} {:>9.1} {:>9.1} {:>6} {:>10} {:>10} {:>10} {:>12} {:>6.2} {:>6} {:>6}",
                 s.stage_id,
                 s.name,
                 s.wall.as_secs_f64() * 1e3,
@@ -229,6 +247,7 @@ impl fmt::Display for MetricsReport {
                 s.shuffle_bytes,
                 s.skew(),
                 s.spilled_runs,
+                s.stolen_tasks,
             )?;
         }
         writeln!(

@@ -124,6 +124,23 @@ where
         Dataset::from_partitions(self.cluster().clone(), merged)
     }
 
+    /// The first `per_partition` records of every partition, gathered on
+    /// the driver — a deterministic prefix scan, the cheap sampling pass the
+    /// skew estimator ([`crate::skew`]) runs before deciding whether to
+    /// split groups. Unlike [`Dataset::sample`] it needs no RNG and touches
+    /// at most `per_partition × partitions` records. Recorded as a driver
+    /// stage under `name`.
+    pub fn sample_prefix(&self, name: &str, per_partition: usize) -> Vec<T> {
+        let start = std::time::Instant::now();
+        let mut out = Vec::new();
+        for part in &self.partitions {
+            out.extend(part.iter().take(per_partition).cloned());
+        }
+        self.cluster()
+            .record_driver_stage(name, start, out.len(), 0);
+        out
+    }
+
     /// Bernoulli sample with the given per-record probability, seeded
     /// per-partition for determinism.
     pub fn sample(&self, name: &str, fraction: f64, seed: u64) -> Dataset<T> {
@@ -232,6 +249,17 @@ mod tests {
         assert_eq!(all, (0..100).collect::<Vec<_>>());
         // Coalescing to more partitions than exist is a no-op.
         assert_eq!(ds.coalesce("co2", 99).num_partitions(), 16);
+    }
+
+    #[test]
+    fn sample_prefix_takes_partition_heads() {
+        let c = cluster();
+        let ds = c.parallelize((0..40u32).collect(), 4); // partitions of 10
+        let got = ds.sample_prefix("peek", 3);
+        assert_eq!(got, vec![0, 1, 2, 10, 11, 12, 20, 21, 22, 30, 31, 32]);
+        // Capped by partition size; recorded as a stage.
+        assert_eq!(ds.sample_prefix("peek-all", 100).len(), 40);
+        assert_eq!(c.metrics().stages_named("peek").len(), 2);
     }
 
     #[test]

@@ -13,9 +13,9 @@ use std::time::Instant;
 
 use crate::codec::Codec;
 use crate::dataset::{Cluster, Dataset};
-use crate::executor::{run_stage_tasks, TaskTimes};
+use crate::executor::{run_stage_tasks, steal_count_concat, TaskTimes};
 use crate::metrics::StageMetrics;
-use crate::shuffle::{stable_hash, HashPartitioner, Partitioner};
+use crate::shuffle::{spread, stable_hash, HashPartitioner, Partitioner};
 use crate::spill::external_group_by;
 
 /// Scatters every record of `input` into `targets` buckets according to
@@ -88,6 +88,9 @@ fn record_wide_stage(
         shuffle_bytes: shuffled * record_size,
         max_partition_records: out_sizes.iter().copied().max().unwrap_or(0),
         spilled_runs,
+        // A wide stage's spans cover the map and reduce waves back to back,
+        // each restarting its task indices; count steals per wave.
+        stolen_tasks: steal_count_concat(&spans, cluster.config().task_slots()),
     });
     cluster.inner.trace.record_stage_tasks(id, name, &spans);
 }
@@ -393,9 +396,8 @@ where
         let start = Instant::now();
         let input_records = self.count();
         let targets = partitions.max(1);
-        let (scattered, scatter_times) = shuffle_scatter(self, targets, |t| {
-            (stable_hash(t) % targets as u64) as usize
-        });
+        let (scattered, scatter_times) =
+            shuffle_scatter(self, targets, |t| spread(stable_hash(t), targets));
         let shuffled: usize = scattered.iter().map(|p| p.len()).sum();
         mark_shuffle_flush(self.cluster(), name, shuffled);
         let (deduped, times) = run_stage_tasks(self.cluster().config(), scattered, |_, part| {

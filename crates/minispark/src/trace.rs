@@ -32,7 +32,7 @@ use std::time::{Duration, Instant};
 
 use parking_lot::Mutex;
 
-use crate::executor::TaskSpan;
+use crate::executor::{steal_count_indexed, TaskSpan};
 use crate::json::Json;
 
 /// One executed task: where it ran and the queued/started/finished split.
@@ -346,8 +346,33 @@ pub struct StageAnalytics {
     /// path under unbounded parallelism).
     pub longest_task: Duration,
     /// Busy time per slot id (index = slot), the stage's occupancy timeline
-    /// across the simulated cores.
+    /// across the simulated cores. Padded to the analysed slot count, so
+    /// slots the stage never touched show up as zero busy time.
     pub slot_busy: Vec<Duration>,
+    /// Tasks that ran on a different slot than static round-robin would
+    /// assign ([`crate::executor::steal_count`]) — how much the dynamic
+    /// claim backfilled idle slots, e.g. for skew-split sub-partitions.
+    pub stolen_tasks: usize,
+}
+
+impl StageAnalytics {
+    /// Occupancy of the stage's **least-busy** slot, in `[0, 1]`:
+    /// `min(slot_busy) / span`. The straggler indicator — a stage whose one
+    /// oversized task pins a single slot scores ~0 here even when that slot
+    /// is saturated, which is exactly what skew-aware group splitting is
+    /// meant to raise.
+    pub fn min_slot_occupancy(&self) -> f64 {
+        if self.span.is_zero() {
+            return 1.0;
+        }
+        let min = self
+            .slot_busy
+            .iter()
+            .min()
+            .copied()
+            .unwrap_or(Duration::ZERO);
+        (min.as_secs_f64() / self.span.as_secs_f64()).clamp(0.0, 1.0)
+    }
 }
 
 /// Executor utilization derived from a [`TraceSnapshot`] — the timeline view
@@ -418,10 +443,14 @@ fn stage_analytics(stage_id: usize, tasks: &[&TaskEvent], slots: usize) -> Stage
         .max()
         .unwrap_or(Duration::ZERO);
     let max_slot = tasks.iter().map(|t| t.slot).max().unwrap_or(0);
-    let mut slot_busy = vec![Duration::ZERO; max_slot + 1];
+    let mut slot_busy = vec![Duration::ZERO; (max_slot + 1).max(slots)];
     for t in tasks {
         slot_busy[t.slot] += t.busy();
     }
+    // Recording order is preserved per stage, so wide stages' concatenated
+    // map/reduce waves split correctly at their task-index resets.
+    let pairs: Vec<(usize, usize)> = tasks.iter().map(|t| (t.task, t.slot)).collect();
+    let stolen_tasks = steal_count_indexed(&pairs, slots);
     let mut waits: Vec<Duration> = tasks.iter().map(|t| t.queue_wait()).collect();
     waits.sort_unstable();
     let occupancy = if span.is_zero() {
@@ -446,6 +475,7 @@ fn stage_analytics(stage_id: usize, tasks: &[&TaskEvent], slots: usize) -> Stage
         queue_wait_max: waits.last().copied().unwrap_or(Duration::ZERO),
         longest_task,
         slot_busy,
+        stolen_tasks,
     }
 }
 
@@ -665,6 +695,31 @@ mod tests {
         assert_eq!(a.critical_path(), Duration::from_nanos(100));
         assert_eq!(a.total_busy(), Duration::from_nanos(140));
         assert!(a.overall_occupancy() > 0.0);
+        // Round-robin placement: nothing stolen; least-busy slot is slot 1
+        // with 40/100 of the span.
+        assert_eq!(s.stolen_tasks, 0);
+        assert!((s.min_slot_occupancy() - 0.4).abs() < 1e-9);
+    }
+
+    #[test]
+    fn analytics_count_steals_and_pad_idle_slots() {
+        // Three tasks, 4 analysed slots, everything on slot 0: tasks 1 and 2
+        // deviate from round-robin over min(4, 3) = 3 workers.
+        let snap = TraceSnapshot {
+            events: vec![
+                TraceEvent::Task(span(0, 0, 0, 0, 10)),
+                TraceEvent::Task(span(1, 0, 0, 10, 20)),
+                TraceEvent::Task(span(2, 0, 0, 20, 100)),
+            ],
+        };
+        let a = ExecutorAnalytics::from_snapshot(&snap, 4);
+        let s = &a.stages[0];
+        assert_eq!(s.stolen_tasks, 2);
+        // slot_busy is padded to the slot count; untouched slots are zero,
+        // so the straggler indicator bottoms out.
+        assert_eq!(s.slot_busy.len(), 4);
+        assert_eq!(s.slot_busy[3], Duration::ZERO);
+        assert_eq!(s.min_slot_occupancy(), 0.0);
     }
 
     #[test]
