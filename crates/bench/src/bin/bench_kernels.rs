@@ -136,6 +136,7 @@ fn bench_verify(k: usize, opts: &Opts) -> Json {
     let ordered = ordered_corpus(n, k);
     let pairs = candidate_pairs(&ordered, 6);
     let theta_raw = raw_threshold(k, THETA);
+    // cast(candidate counts are far below 2^53 — exact in f64)
     let per_candidate = |total_secs: f64| -> f64 { total_secs / pairs.len() as f64 * 1e9 };
 
     let run = |threshold: u64, merge: bool| -> f64 {
@@ -212,6 +213,7 @@ fn bench_group_kernels(opts: &Opts) -> Json {
         .iter()
         .filter_map(|r| {
             r.rank_of(token)
+                // cast(rank < k ≤ MAX_K = u16::MAX by Ranking's construction invariant)
                 .map(|rank| TokenEntry::plain(rank as u16, Arc::new(r.clone())))
         })
         .collect();

@@ -25,6 +25,7 @@ pub fn scale() -> f64 {
 }
 
 fn scaled(base: usize) -> usize {
+    // cast(benchmark sizes are far below 2^53 — exact in f64, and the round is ≥ 0)
     ((base as f64 * scale()).round() as usize).max(50)
 }
 

@@ -97,7 +97,8 @@ impl RankingIndex {
                 found: r.k(),
             });
         }
-        let idx = self.records.len() as u32;
+        let idx = u32::try_from(self.records.len())
+            .expect("inverted index capacity exceeded: more than u32::MAX rankings");
         let ordered = Arc::new(OrderedRanking::by_frequency(r, &self.freq));
         let p = self.stored_prefix_len();
         for &(item, rank) in ordered.prefix(p) {
@@ -155,15 +156,23 @@ impl RankingIndex {
                     continue;
                 };
                 for &(rec_idx, rec_rank) in postings {
-                    if seen[rec_idx as usize] {
+                    let rec_slot: u32 = rec_idx;
+                    let slot = rec_slot as usize;
+                    // panics(postings only store slots < records.len(); seen has records.len() entries)
+                    if seen[slot] {
                         continue;
                     }
-                    seen[rec_idx as usize] = true;
-                    let record = &self.records[rec_idx as usize];
+                    // panics(postings only store slots < records.len(); seen has records.len() entries)
+                    seen[slot] = true;
+                    let record = &self.records[slot];
                     if record.id() == query.id() {
                         continue;
                     }
-                    if position_filter_prunes(query_rank as usize, rec_rank as usize, theta_raw) {
+                    if position_filter_prunes(
+                        usize::from(query_rank),
+                        usize::from(rec_rank),
+                        theta_raw,
+                    ) {
                         continue;
                     }
                     if let Some(d) = ordered_query.footrule_within(record, theta_raw) {

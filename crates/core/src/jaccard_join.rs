@@ -116,6 +116,7 @@ fn within(a: &SetRecord, b: &SetRecord, theta: f64, stats: &JoinStats) -> Option
         .filter(|(item, _)| b.pairs().iter().any(|(other, _)| other == item))
         .count();
     let total = a.k() + b.k();
+    // cast(total ≤ 2·MAX_K ≤ 2^17 — exact in f64)
     let num = (total - 2 * o) as f64;
     let den = (total - o) as f64;
     if num <= theta * den {

@@ -202,6 +202,7 @@ fn verify_pair(
 /// Orders an entry-index pair by ranking id.
 #[inline]
 fn ordered_indices(entries: &[TokenEntry], i: usize, j: usize) -> (usize, usize) {
+    // panics(callers pass entry indices — both i and j are < entries.len())
     if entries[i].ranking.id() < entries[j].ranking.id() {
         (i, j)
     } else {
@@ -320,29 +321,36 @@ pub fn join_group_indexed(
     // Process in ranking-id order so the index only ever holds ids no larger
     // than the probe's. The slot index breaks id ties, making the order
     // total — duplicate-id groups traverse identically on every run.
+    // cast(group cardinality is far below u32::MAX — slot ids fit u32)
     scratch.order.extend(0..entries.len() as u32);
     scratch
         .order
+        // panics(order holds exactly 0..entries.len() — every slot id is in range)
         .sort_unstable_by_key(|&i| (entries[i as usize].ranking.id(), i));
 
     for oi in 0..scratch.order.len() {
+        // cast(order holds u32 slot ids — widening into usize)
+        // panics(oi < order.len() by the loop bound; order ids are < entries.len())
         let probe_idx = scratch.order[oi] as usize;
         let probe = &entries[probe_idx];
         let p = prefix_len_of(probe.singleton);
         let stamp = scratch.next_probe();
         for &(item, rank) in probe.ranking.prefix(p) {
-            let mut cursor = scratch.heads.get(&item).copied().unwrap_or(NO_POSTING);
+            let mut cursor: u32 = scratch.heads.get(&item).copied().unwrap_or(NO_POSTING);
             while cursor != NO_POSTING {
                 let Posting {
                     entry,
                     rank: indexed_rank,
                     next,
+                    // panics(cursor ≠ NO_POSTING is a valid posting id — chains only link inserted nodes)
                 } = scratch.postings[cursor as usize];
                 cursor = next;
                 let indexed_idx = entry as usize;
+                // panics(entry < entries.len(); seen_stamp is sized by begin_group)
                 if scratch.seen_stamp[indexed_idx] == stamp {
                     continue;
                 }
+                // panics(entry < entries.len(); seen_stamp is sized by begin_group)
                 scratch.seen_stamp[indexed_idx] = stamp;
                 let indexed = &entries[indexed_idx];
                 // A ranking can occur more than once in a group (duplicate
@@ -371,10 +379,12 @@ pub fn join_group_indexed(
         for &(item, rank) in probe.ranking.prefix(p) {
             let head = scratch.heads.entry(item).or_insert(NO_POSTING);
             let node = Posting {
+                // cast(probe_idx < entries.len(), which fits u32 — see the order construction)
                 entry: probe_idx as u32,
                 rank,
                 next: *head,
             };
+            // cast(posting count ≤ group size × prefix length — far below u32::MAX)
             *head = scratch.postings.len() as u32;
             scratch.postings.push(node);
         }
@@ -396,10 +406,12 @@ pub fn join_group_nested_loop(
     let mut results = Vec::new();
     for i in 0..entries.len() {
         for j in (i + 1)..entries.len() {
+            // panics(loop bounds: i < j < entries.len())
             if entries[i].ranking.id() == entries[j].ranking.id() {
                 continue;
             }
             if let Some(d) = verify_pair(
+                // panics(loop bounds: i < j < entries.len())
                 &entries[i],
                 &entries[j],
                 (entries[i].rank, entries[j].rank),

@@ -193,13 +193,15 @@ fn run_kernel(
     triples
         .into_iter()
         .map(|(i, j, d)| {
-            debug_assert!(entries[i].ranking.id() < entries[j].ranking.id());
+            // panics(kernel triples index into `entries` — both i and j are < entries.len())
+            let (ea, eb) = (&entries[i], &entries[j]);
+            debug_assert!(ea.ranking.id() < eb.ranking.id());
             PairHit {
-                a: Arc::clone(&entries[i].ranking),
-                b: Arc::clone(&entries[j].ranking),
+                a: Arc::clone(&ea.ranking),
+                b: Arc::clone(&eb.ranking),
                 distance: d,
-                a_singleton: entries[i].singleton,
-                b_singleton: entries[j].singleton,
+                a_singleton: ea.singleton,
+                b_singleton: eb.singleton,
             }
         })
         .collect()
@@ -227,10 +229,12 @@ fn rs_hits(
     join_group_rs(left, right, thresholds, use_position_filter, stats)
         .into_iter()
         .map(|(i, j, d)| {
-            let (x, y) = if left[i].ranking.id() < right[j].ranking.id() {
-                (&left[i], &right[j])
+            // panics(join_group_rs triples satisfy i < left.len() and j < right.len())
+            let (li, rj) = (&left[i], &right[j]);
+            let (x, y) = if li.ranking.id() < rj.ranking.id() {
+                (li, rj)
             } else {
-                (&right[j], &left[i])
+                (rj, li)
             };
             PairHit {
                 a: Arc::clone(&x.ranking),

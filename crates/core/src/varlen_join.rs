@@ -171,7 +171,9 @@ pub fn varlen_join_with_skew(
                 return None;
             }
             // Position filter — valid for equal lengths only.
-            if a.k() == b.k() && position_filter_prunes(*ra as usize, *rb as usize, theta_raw) {
+            if a.k() == b.k()
+                && position_filter_prunes(usize::from(*ra), usize::from(*rb), theta_raw)
+            {
                 JoinStats::bump(&stats.position_pruned);
                 return None;
             }

@@ -49,7 +49,7 @@ impl CorpusProfile {
         Self {
             name: format!("DBLP(n={num_records},k={k})"),
             num_records,
-            vocab_size: ((num_records / 2).max(1_000)) as u32,
+            vocab_size: vocab_u32((num_records / 2).max(1_000)),
             zipf_skew: 0.8,
             k,
             near_dup_rate: 0.15,
@@ -62,7 +62,7 @@ impl CorpusProfile {
         Self {
             name: format!("ORKU(n={num_records},k={k})"),
             num_records,
-            vocab_size: (num_records.max(2_000)) as u32,
+            vocab_size: vocab_u32(num_records.max(2_000)),
             zipf_skew: 1.05,
             k,
             near_dup_rate: 0.25,
@@ -90,17 +90,24 @@ impl CorpusProfile {
         let mut rng = StdRng::seed_from_u64(self.seed);
         let zipf = ZipfSampler::new(self.vocab_size, self.zipf_skew);
         let mut records: Vec<Ranking> = Vec::with_capacity(self.num_records);
-        for id in 0..self.num_records {
+        for id in 0..self.num_records as u64 {
             let items = if !records.is_empty() && rng.gen_bool(self.near_dup_rate) {
                 let source = &records[rng.gen_range(0..records.len())];
                 perturb(source.items(), &zipf, &mut rng)
             } else {
                 sample_distinct(self.k, &zipf, &mut rng)
             };
-            records.push(Ranking::new_unchecked(id as u64, items));
+            records.push(Ranking::new_unchecked(id, items));
         }
         records
     }
+}
+
+/// Saturating vocabulary-size conversion: a corpus profile asking for more
+/// than `u32::MAX` distinct tokens clamps to the largest representable
+/// vocabulary instead of silently truncating.
+fn vocab_u32(n: usize) -> u32 {
+    u32::try_from(n).unwrap_or(u32::MAX)
 }
 
 /// Draws `k` *distinct* Zipf items (rejection sampling with a uniform
@@ -237,6 +244,20 @@ mod tests {
             seed: 1,
         };
         let _ = profile.generate();
+    }
+
+    #[test]
+    fn oversized_profiles_saturate_the_vocabulary() {
+        // A profile sized beyond u32::MAX distinct tokens must clamp to the
+        // largest representable vocabulary, not wrap around to a tiny one
+        // (the old `as u32` truncated 2^32 + 6 record counts to 6 tokens).
+        let profile = CorpusProfile::orku_like((1usize << 32) + 6, 10);
+        assert_eq!(profile.vocab_size, u32::MAX);
+        let profile = CorpusProfile::dblp_like((1usize << 33) + 10, 10);
+        assert_eq!(profile.vocab_size, u32::MAX);
+        // Realistic sizes are untouched.
+        assert_eq!(CorpusProfile::orku_like(5_000, 10).vocab_size, 5_000);
+        assert_eq!(CorpusProfile::dblp_like(5_000, 10).vocab_size, 2_500);
     }
 
     #[test]

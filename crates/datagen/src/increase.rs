@@ -55,9 +55,8 @@ pub fn increase_dataset(dataset: &[Ranking], times: usize, seed: u64) -> Vec<Ran
 
     let mut out = Vec::with_capacity(dataset.len() * times);
     out.extend_from_slice(dataset);
-    for c in 1..times {
-        let mut rng =
-            StdRng::seed_from_u64(seed ^ (0x9E37_79B9_7F4A_7C15u64.wrapping_mul(c as u64)));
+    for c in 1..times as u64 {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x9E37_79B9_7F4A_7C15u64.wrapping_mul(c));
         // Build the copy's permutation: shuffle tokens inside each
         // frequency window.
         let mut permuted = tokens.clone();
@@ -71,7 +70,7 @@ pub fn increase_dataset(dataset: &[Ranking], times: usize, seed: u64) -> Vec<Ran
             .collect();
         for r in dataset {
             let items: Vec<ItemId> = r.items().iter().map(|item| mapping[item]).collect();
-            out.push(Ranking::new_unchecked(r.id() + c as u64 * id_stride, items));
+            out.push(Ranking::new_unchecked(r.id() + c * id_stride, items));
         }
     }
     out

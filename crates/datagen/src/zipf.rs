@@ -41,6 +41,7 @@ impl ZipfSampler {
 
     /// The vocabulary size.
     pub fn vocab_size(&self) -> u32 {
+        // cast(the table is built from 0..vocab_size, a u32 — len fits u32)
         self.cumulative.len() as u32
     }
 
@@ -54,6 +55,7 @@ impl ZipfSampler {
         let total = *self.cumulative.last().expect("non-empty table");
         let needle = rng.gen::<f64>() * total;
         // First index whose cumulative weight exceeds the needle.
+        // cast(partition_point ≤ len ≤ u32::MAX — see vocab_size)
         self.cumulative.partition_point(|&c| c <= needle) as u32
     }
 
@@ -72,9 +74,10 @@ impl ZipfSampler {
     /// matching the input shape of
     /// `topk_rankings::bounds::expected_posting_list_len`.
     pub fn top_frequencies(&self, top_n: usize) -> Vec<f64> {
-        (0..(top_n as u32).min(self.vocab_size()))
-            .map(|i| self.probability(i))
-            .collect()
+        let cap = u32::try_from(top_n)
+            .unwrap_or(u32::MAX)
+            .min(self.vocab_size());
+        (0..cap).map(|i| self.probability(i)).collect()
     }
 }
 
@@ -138,6 +141,15 @@ mod tests {
         let z = ZipfSampler::new(10, 1.0);
         assert_eq!(z.top_frequencies(3).len(), 3);
         assert_eq!(z.top_frequencies(99).len(), 10);
+    }
+
+    #[test]
+    fn top_frequencies_saturates_oversized_requests() {
+        // Requests beyond u32::MAX must clamp to the vocabulary, not wrap:
+        // the old `top_n as u32` turned 2^32 into 0 and returned nothing.
+        let z = ZipfSampler::new(10, 1.0);
+        assert_eq!(z.top_frequencies(1usize << 32).len(), 10);
+        assert_eq!(z.top_frequencies(usize::MAX).len(), 10);
     }
 
     #[test]

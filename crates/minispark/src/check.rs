@@ -143,10 +143,10 @@ pub fn schedule_matrix(n: usize, seed: u64) -> Vec<Schedule> {
         Schedule::StragglersFirst,
     ];
     schedules.truncate(n);
-    for i in 0..n.saturating_sub(schedules.len()) {
+    for i in 0..n.saturating_sub(schedules.len()) as u64 {
         // Spread the user seed so adjacent i never collide with small seeds.
         schedules.push(Schedule::Seeded(
-            seed.wrapping_add((i as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+            seed.wrapping_add((i + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
         ));
     }
     schedules

@@ -45,6 +45,7 @@ impl_codec_for_int!(u8, u16, u32, u64, i8, i16, i32, i64);
 
 impl Codec for usize {
     fn encode(&self, out: &mut Vec<u8>) {
+        // cast(usize → u64 is value-preserving — the workspace supports 64-bit targets only)
         (*self as u64).encode(out);
     }
 

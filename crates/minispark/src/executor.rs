@@ -126,6 +126,7 @@ where
                 }
                 let input = {
                     let _held = lock_order::acquire(lock_order::Family::Pending, idx);
+                    // panics(idx < num_tasks checked above; pending has num_tasks slots)
                     pending[idx]
                         .lock()
                         .take()
@@ -136,8 +137,10 @@ where
                 let elapsed = start.elapsed();
                 // relaxed(counter): an independent duration counter, only
                 // read after the scope below joins every worker.
+                // cast(task durations are far below u64::MAX ns ≈ 584 years)
                 busy_nanos.fetch_add(elapsed.as_nanos() as u64, Ordering::Relaxed);
                 let _held = lock_order::acquire(lock_order::Family::Results, idx);
+                // panics(idx < num_tasks checked above; results has num_tasks slots)
                 *results[idx].lock() = Some((output, elapsed, start, slot));
             });
         }
@@ -225,11 +228,13 @@ where
     for (position, &idx) in order.iter().enumerate() {
         sched::yield_point("executor/claim");
         let slot = schedule.slot_of(position, num_tasks, slots);
+        // panics(order is a permutation of 0..num_tasks — idx is in range)
         let input = pending[idx].take().expect("task input claimed twice");
         let start = Instant::now();
         let output = f(idx, input);
         let elapsed = start.elapsed();
         let dest = if inject_claim_order { position } else { idx };
+        // panics(dest and idx are both < num_tasks — all three vectors are that long)
         outputs[dest] = Some(output);
         per_task[idx] = elapsed;
         spans[idx] = Some(TaskSpan {
@@ -286,13 +291,16 @@ pub fn steal_count_indexed(pairs: &[(usize, usize)], slots: usize) -> usize {
     let mut total = 0;
     let mut wave_start = 0;
     for idx in 1..=pairs.len() {
+        // panics(short-circuit guards idx < pairs.len(); idx ≥ 1 from the range)
         let resets = idx == pairs.len() || pairs[idx].0 <= pairs[idx - 1].0;
         if resets {
+            // panics(wave_start ≤ idx ≤ pairs.len() — the wave is a valid subslice)
             let wave = &pairs[wave_start..idx];
             let workers = slots.max(1).min(wave.len());
             if workers > 1 {
                 total += wave
                     .iter()
+                    // panics(workers > 1 guarded just above — the modulus is non-zero)
                     .filter(|(task, slot)| *slot != task % workers)
                     .count();
             }

@@ -54,11 +54,13 @@ impl Json {
 
     /// A number from a `usize` counter.
     pub fn num_usize(n: usize) -> Self {
+        // cast(documented above: JSON numbers are f64, counters beyond 2^53 round)
         Json::Num(n as f64)
     }
 
     /// A number from a `u64` counter.
     pub fn num_u64(n: u64) -> Self {
+        // cast(documented above: JSON numbers are f64, counters beyond 2^53 round)
         Json::Num(n as f64)
     }
 
@@ -103,6 +105,7 @@ impl Json {
     /// The value as a non-negative integer, if it is a whole number.
     pub fn as_u64(&self) -> Option<u64> {
         match self {
+            // cast(2^53 is exactly representable; the guard makes the f64 → u64 cast exact)
             Json::Num(n) if *n >= 0.0 && n.fract() == 0.0 && *n <= (1u64 << 53) as f64 => {
                 Some(*n as u64)
             }
@@ -228,8 +231,10 @@ fn write_string(s: &str, out: &mut String) {
             '\t' => out.push_str("\\t"),
             '\u{08}' => out.push_str("\\b"),
             '\u{0c}' => out.push_str("\\f"),
+            // cast(char → u32 is the scalar value — always lossless)
             c if (c as u32) < 0x20 => {
                 use fmt::Write as _;
+                // cast(char → u32 is the scalar value — always lossless)
                 let _ = write!(out, "\\u{:04x}", c as u32);
             }
             // Non-ASCII passes through as UTF-8 (valid JSON).

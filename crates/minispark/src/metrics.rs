@@ -79,10 +79,12 @@ impl StageMetrics {
         if self.output_records == 0 || self.num_tasks == 0 {
             return 1.0;
         }
+        // cast(observability ratio — f64 rounding beyond 2^53 records is irrelevant)
         let balanced = self.output_records as f64 / self.num_tasks as f64;
         if balanced == 0.0 {
             1.0
         } else {
+            // cast(observability ratio — f64 rounding beyond 2^53 records is irrelevant)
             self.max_partition_records as f64 / balanced
         }
     }

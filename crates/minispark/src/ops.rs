@@ -149,6 +149,7 @@ where
             "sample fraction must be a probability"
         );
         self.map_partitions(name, move |idx, part| {
+            // cast(partition index — usize → u64 is value-preserving on 64-bit targets)
             let mut rng = StdRng::seed_from_u64(seed ^ (idx as u64).wrapping_mul(0x9E37_79B9));
             part.iter()
                 .filter(|_| rng.gen_bool(fraction))

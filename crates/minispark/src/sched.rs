@@ -73,6 +73,7 @@ impl Schedule {
                 // permutations (up to modulo bias, irrelevant here — we need
                 // diversity, not statistical uniformity).
                 for i in (1..num_tasks).rev() {
+                    // cast(j ≤ i < num_tasks — the modulus keeps the draw in usize range)
                     let j = (splitmix64(&mut state) % (i as u64 + 1)) as usize;
                     order.swap(i, j);
                 }

@@ -36,6 +36,7 @@ pub(crate) fn stable_hash<K: Hash + ?Sized>(key: &K) -> u64 {
 /// into partition imbalance; multiply-shift folds the high bits in and also
 /// replaces the division with a multiply.
 pub(crate) fn spread(hash: u64, n: usize) -> usize {
+    // cast((hash · n) >> 64 < n ≤ usize::MAX — the reduction is its own bound)
     ((u128::from(hash) * n as u128) >> 64) as usize
 }
 

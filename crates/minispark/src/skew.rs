@@ -145,10 +145,12 @@ where
     let scale = if sampled_records == 0 {
         1.0
     } else {
+        // cast(record counts are far below 2^53 — exact in f64)
         total_records as f64 / sampled_records as f64
     };
     let mut sizes: Vec<usize> = counts
         .values()
+        // cast(estimated group size — a non-negative float estimate, ceil fits usize)
         .map(|&c| (c as f64 * scale).ceil() as usize)
         .collect();
     sizes.sort_unstable();
@@ -156,6 +158,7 @@ where
         0
     } else {
         let rank = (95 * sizes.len()).div_ceil(100).max(1);
+        // panics(1 ≤ rank.min(len) ≤ len — sizes is non-empty in this branch)
         sizes[rank.min(sizes.len()) - 1]
     };
     SkewEstimate {
@@ -223,6 +226,7 @@ impl SplitPlan {
         if chunks == 0 {
             return Vec::new();
         }
+        // panics(chunks == 0 returned early — both divisors are non-zero)
         let base = self.len / chunks;
         let extra = self.len % chunks;
         let mut out = Vec::with_capacity(chunks);
@@ -247,6 +251,7 @@ impl SplitPlan {
         debug_assert_eq!(items.len(), self.len, "plan was made for another group");
         self.chunk_bounds()
             .into_iter()
+            // panics(chunk bounds tile 0..len exactly; items.len() == len is asserted above)
             .map(|(start, end)| &items[start..end])
             .collect()
     }
@@ -255,6 +260,7 @@ impl SplitPlan {
     /// recover the pairs a chunked self-join misses. Every cross-chunk
     /// member pair appears in exactly one of these.
     pub fn chunk_pairs(&self) -> Vec<(u32, u32)> {
+        // cast(split plans make at most a few hundred chunks — fits u32)
         let chunks = self.num_chunks() as u32;
         let mut out = Vec::with_capacity((chunks as usize * chunks.saturating_sub(1) as usize) / 2);
         for i in 0..chunks {
@@ -344,6 +350,7 @@ where
         plan.chunks(members)
             .into_iter()
             .enumerate()
+            // cast(sub < num_chunks, which fits u32 — see chunk_pairs)
             .map(|(sub, chunk)| ((*key, sub as u32), chunk.to_vec()))
             .collect::<Vec<_>>()
     });
@@ -373,6 +380,7 @@ where
             for i in 0..sorted.len() {
                 for j in (i + 1)..sorted.len() {
                     out.push((
+                        // panics(loop bounds: i < j < sorted.len())
                         (*key, sorted[i].0, sorted[j].0),
                         (sorted[i].1.clone(), sorted[j].1.clone()),
                     ));
@@ -410,8 +418,7 @@ where
         .sum();
 
     let stats = SplitStats {
-        // relaxed(read-after-join): the eager stages above finished before
-        // these loads; no concurrent writers remain.
+        // relaxed(read-after-join): the eager stages finished — no writers remain.
         groups_split: groups_split.load(Ordering::Relaxed),
         chunks: chunks_created.load(Ordering::Relaxed),
         rs_joins: rs_joins.load(Ordering::Relaxed),

@@ -187,6 +187,7 @@ where
                    memory_iter: &mut std::collections::btree_map::IntoIter<K, Vec<V>>|
      -> io::Result<Option<(K, Vec<V>)>> {
         match source {
+            // panics(Source::Run is only built with idx < memory_index ≤ runs.len())
             Source::Run(idx) => runs[*idx].next_entry::<K, V>(),
             Source::Memory => Ok(memory_iter.next()),
         }
@@ -200,6 +201,7 @@ where
             Source::Run(idx)
         };
         if let Some((k, vs)) = advance(&source, &mut runs, &mut memory_iter)? {
+            // panics(idx ≤ memory_index < pending.len())
             pending[idx] = Some(vs);
             heap.push(Reverse((k, idx)));
         }
@@ -207,6 +209,7 @@ where
 
     let mut groups: Vec<(K, Vec<V>)> = Vec::new();
     while let Some(Reverse((key, idx))) = heap.pop() {
+        // panics(the heap only holds source ids ≤ memory_index < pending.len())
         let mut values = pending[idx].take().expect("heap entry without values");
         let source = if idx == memory_index {
             Source::Memory
@@ -214,6 +217,7 @@ where
             Source::Run(idx)
         };
         if let Some((k, vs)) = advance(&source, &mut runs, &mut memory_iter)? {
+            // panics(idx ≤ memory_index < pending.len())
             pending[idx] = Some(vs);
             heap.push(Reverse((k, idx)));
         }

@@ -422,6 +422,7 @@ impl ExecutorAnalytics {
             return 1.0;
         }
         let busy: f64 = self.stages.iter().map(|s| s.busy.as_secs_f64()).sum();
+        // cast(slot counts are tiny — exact in f64)
         (busy / (self.slots as f64 * span)).clamp(0.0, 1.0)
     }
 
@@ -456,6 +457,7 @@ fn stage_analytics(stage_id: usize, tasks: &[&TaskEvent], slots: usize) -> Stage
     let occupancy = if span.is_zero() {
         1.0
     } else {
+        // cast(slot counts are tiny — exact in f64)
         (busy.as_secs_f64() / (slots as f64 * span.as_secs_f64())).clamp(0.0, 1.0)
     };
     StageAnalytics {
@@ -493,6 +495,7 @@ fn percentile(sorted: &[Duration], pct: usize) -> Duration {
 // ---------------------------------------------------------------------------
 
 fn micros(ns: u64) -> Json {
+    // cast(trace timestamps — rounding beyond 2^53 ns (~3 months) is fine in a trace)
     Json::num(ns as f64 / 1e3)
 }
 
@@ -544,6 +547,7 @@ pub fn chrome_trace(snapshot: &TraceSnapshot) -> Json {
                             Json::obj()
                                 .with("stage_id", Json::num_usize(t.stage_id))
                                 .with("task", Json::num_usize(t.task))
+                                // cast(queue waits are far below u64::MAX ns ≈ 584 years)
                                 .with("queue_wait_us", micros(t.queue_wait().as_nanos() as u64)),
                         ),
                 );

@@ -39,6 +39,7 @@ pub(crate) fn isqrt(n: u64) -> u64 {
     if n == 0 {
         return 0;
     }
+    // cast(float seed only — the loops below correct it with exact integer comparisons)
     let mut r = (n as f64).sqrt() as u64;
     // The float estimate is off by at most one in either direction for u64.
     while r.checked_mul(r).is_none_or(|sq| sq > n) {
@@ -71,8 +72,8 @@ pub fn min_distance_given_overlap(k: usize, o: usize) -> u64 {
 pub fn min_overlap(k: usize, theta_raw: u64) -> usize {
     // Largest x ≥ 0 with x(x+1) ≤ θ: x = ⌊(√(1+4θ) − 1) / 2⌋, computed
     // exactly with integer arithmetic.
-    let x = ((isqrt(1 + 4 * theta_raw) - 1) / 2) as usize;
-    k.saturating_sub(x)
+    let x: u64 = (isqrt(1 + 4 * theta_raw) - 1) / 2;
+    k.saturating_sub(x as usize)
 }
 
 /// The prefix length for the **overlap-based** prefix filter (`p = k − ω + 1`
@@ -114,7 +115,7 @@ pub fn ordered_prefix_len(k: usize, theta_raw: u64) -> Option<usize> {
     }
     // Largest x with 2x² ≤ θ, then one more item to avoid missing pairs at
     // exactly the bound.
-    let x = isqrt(theta_raw / 2);
+    let x: u64 = isqrt(theta_raw / 2);
     let p = ((x + 1) as usize).min(k);
     crate::invariants::check_prefix_len(p, k);
     Some(p)
@@ -166,6 +167,7 @@ impl PrefixKind {
 /// can appear in a prefix. Used as guidance for choosing the partitioning
 /// threshold `δ` of CL-P (§6).
 pub fn expected_posting_list_len(n: usize, rel_freqs: &[f64]) -> f64 {
+    // cast(dataset sizes are far below 2^53 — exact in f64)
     rel_freqs.iter().map(|f| n as f64 * f * f).sum()
 }
 

@@ -15,7 +15,7 @@
 //! clustering algorithm's pruning (paper §5, and property-tested in this
 //! crate).
 
-use crate::ranking::Ranking;
+use crate::ranking::{rank_u64, Ranking};
 
 // The formula lives in `invariants` (the lower module — `distance` calls
 // into it for checks, so hosting it there keeps the module graph acyclic)
@@ -35,6 +35,7 @@ pub use crate::invariants::max_raw_distance;
 #[inline]
 pub fn raw_threshold(k: usize, theta: f64) -> u64 {
     crate::invariants::check_normalized(theta);
+    // cast(max = k·(k+1) ≤ ~2^33 for k ≤ MAX_K — exact in f64)
     let max = max_raw_distance(k) as f64;
     let scaled = theta * max;
     let nearest = scaled.round();
@@ -44,8 +45,10 @@ pub fn raw_threshold(k: usize, theta: f64) -> u64 {
     // non-integer rational θ·k(k+1) with a small decimal denominator is
     // orders of magnitude further away).
     if (scaled - nearest).abs() <= max * f64::EPSILON * 4.0 {
+        // cast(θ ∈ [0,1] checked above, so this is an integer-valued f64 in [0, max] — exact in u64)
         nearest as u64
     } else {
+        // cast(see above — floor of a value in [0, max])
         scaled.floor() as u64
     }
 }
@@ -61,15 +64,15 @@ pub fn footrule_raw(a: &Ranking, b: &Ranking) -> u64 {
     let lb = b.k() as u64;
     let mut sum = 0u64;
     for (item, rank_a) in a.iter_with_ranks() {
-        let rank_a = rank_a as u64;
+        let rank_a = rank_u64(rank_a);
         match b.rank_of(item) {
-            Some(rank_b) => sum += rank_a.abs_diff(rank_b as u64),
+            Some(rank_b) => sum += rank_a.abs_diff(rank_u64(rank_b)),
             None => sum += rank_a.abs_diff(lb),
         }
     }
     for (item, rank_b) in b.iter_with_ranks() {
         if !a.contains(item) {
-            sum += (rank_b as u64).abs_diff(la);
+            sum += rank_u64(rank_b).abs_diff(la);
         }
     }
     crate::invariants::check_raw_distance(sum, a.k(), b.k());
@@ -82,6 +85,7 @@ pub fn footrule_raw(a: &Ranking, b: &Ranking) -> u64 {
 /// which keeps the value in `[0, 1]`.
 pub fn footrule_norm(a: &Ranking, b: &Ranking) -> f64 {
     let k = a.k().max(b.k());
+    // cast(raw ≤ max = k·(k+1) ≤ ~2^33 — both sides exact in f64)
     let norm = footrule_raw(a, b) as f64 / max_raw_distance(k) as f64;
     crate::invariants::check_normalized(norm);
     norm
@@ -95,9 +99,9 @@ pub fn footrule_within(a: &Ranking, b: &Ranking, threshold_raw: u64) -> Option<u
     let la = a.k() as u64;
     let mut sum = 0u64;
     for (item, rank_a) in a.iter_with_ranks() {
-        let rank_a = rank_a as u64;
+        let rank_a = rank_u64(rank_a);
         sum += match b.rank_of(item) {
-            Some(rank_b) => rank_a.abs_diff(rank_b as u64),
+            Some(rank_b) => rank_a.abs_diff(rank_u64(rank_b)),
             None => rank_a.abs_diff(lb),
         };
         if sum > threshold_raw {
@@ -106,7 +110,7 @@ pub fn footrule_within(a: &Ranking, b: &Ranking, threshold_raw: u64) -> Option<u
     }
     for (item, rank_b) in b.iter_with_ranks() {
         if !a.contains(item) {
-            sum += (rank_b as u64).abs_diff(la);
+            sum += rank_u64(rank_b).abs_diff(la);
             if sum > threshold_raw {
                 return None;
             }
@@ -144,9 +148,9 @@ pub fn footrule_pairs_within(
     let lb = b.len() as u64;
     let mut sum = 0u64;
     for &(item, rank_a) in a {
-        let rank_a = rank_a as u64;
+        let rank_a = u64::from(rank_a);
         sum += match b.iter().find(|(i, _)| *i == item) {
-            Some(&(_, rank_b)) => rank_a.abs_diff(rank_b as u64),
+            Some(&(_, rank_b)) => rank_a.abs_diff(u64::from(rank_b)),
             None => rank_a.abs_diff(lb),
         };
         if sum > threshold_raw {
@@ -155,7 +159,7 @@ pub fn footrule_pairs_within(
     }
     for &(item, rank_b) in b {
         if !a.iter().any(|(i, _)| *i == item) {
-            sum += (rank_b as u64).abs_diff(la);
+            sum += u64::from(rank_b).abs_diff(la);
             if sum > threshold_raw {
                 return None;
             }
@@ -190,31 +194,34 @@ pub fn footrule_sorted_within(
     let mut sum = 0u64;
     let (mut i, mut j) = (0usize, 0usize);
     while i < a.len() && j < b.len() {
+        // panics(loop guard: i < a.len() and j < b.len())
         let (item_a, rank_a) = a[i];
         let (item_b, rank_b) = b[j];
         sum += if item_a == item_b {
             i += 1;
             j += 1;
-            (rank_a as u64).abs_diff(rank_b as u64)
+            u64::from(rank_a).abs_diff(u64::from(rank_b))
         } else if item_a < item_b {
             i += 1;
-            (rank_a as u64).abs_diff(lb)
+            u64::from(rank_a).abs_diff(lb)
         } else {
             j += 1;
-            (rank_b as u64).abs_diff(la)
+            u64::from(rank_b).abs_diff(la)
         };
         if sum > threshold_raw {
             return None;
         }
     }
+    // panics(i only ever incremented while < a.len(), so i ≤ a.len())
     for &(_, rank_a) in &a[i..] {
-        sum += (rank_a as u64).abs_diff(lb);
+        sum += u64::from(rank_a).abs_diff(lb);
         if sum > threshold_raw {
             return None;
         }
     }
+    // panics(j only ever incremented while < b.len(), so j ≤ b.len())
     for &(_, rank_b) in &b[j..] {
-        sum += (rank_b as u64).abs_diff(la);
+        sum += u64::from(rank_b).abs_diff(la);
         if sum > threshold_raw {
             return None;
         }
@@ -248,6 +255,7 @@ pub fn kendall_tau_topk(a: &Ranking, b: &Ranking) -> u64 {
     }
     let mut discordant = 0u64;
     for (x, &i) in domain.iter().enumerate() {
+        // panics(x < domain.len() from enumerate, so x + 1 ≤ domain.len())
         for &j in &domain[x + 1..] {
             let (ra_i, ra_j) = (a.rank_of(i), a.rank_of(j));
             let (rb_i, rb_j) = (b.rank_of(i), b.rank_of(j));

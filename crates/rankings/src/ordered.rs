@@ -79,6 +79,7 @@ impl FrequencyTable {
         let mut freqs: Vec<f64> = self
             .counts
             .values()
+            // cast(occurrence counts are far below 2^53 — exact in f64)
             .map(|&c| c as f64 / total as f64)
             .collect();
         freqs.sort_by(|a, b| b.partial_cmp(a).expect("counts are finite"));
@@ -133,6 +134,7 @@ impl OrderedRanking {
     pub fn by_frequency(ranking: &Ranking, freq: &FrequencyTable) -> Self {
         let mut pairs: Vec<(ItemId, u16)> = ranking
             .iter_with_ranks()
+            // cast(rank < k ≤ MAX_K = u16::MAX by Ranking's construction invariant)
             .map(|(item, rank)| (item, rank as u16))
             .collect();
         pairs.sort_by_key(|&(item, _)| freq.order_key(item));
@@ -144,6 +146,7 @@ impl OrderedRanking {
     pub fn by_rank(ranking: &Ranking) -> Self {
         let pairs: Vec<(ItemId, u16)> = ranking
             .iter_with_ranks()
+            // cast(rank < k ≤ MAX_K = u16::MAX by Ranking's construction invariant)
             .map(|(item, rank)| (item, rank as u16))
             .collect();
         Self::build(ranking.id(), pairs)
@@ -177,6 +180,7 @@ impl OrderedRanking {
     /// The first `p` pairs — the prefix to be indexed.
     #[inline]
     pub fn prefix(&self, p: usize) -> &[(ItemId, u16)] {
+        // panics(the end index is clamped to pairs.len())
         &self.pairs[..p.min(self.pairs.len())]
     }
 
@@ -194,6 +198,7 @@ impl OrderedRanking {
         self.by_item
             .binary_search_by_key(&item, |&(i, _)| i)
             .ok()
+            // panics(binary_search returns Ok(pos) with pos < by_item.len())
             .map(|pos| self.by_item[pos].1 as usize)
     }
 

@@ -11,6 +11,19 @@ pub type ItemId = u32;
 /// Identifier of a ranking within a dataset.
 pub type RankingId = u64;
 
+/// Widens a rank (a `usize` position, `< k` by construction) into the `u64`
+/// domain of raw Footrule sums.
+///
+/// Exists so the hot distance kernels can widen without a raw `as` cast at
+/// every use site: `usize → u64` is value-preserving on every target the
+/// workspace supports, and the one cast below is verified by
+/// `cargo run -p xtask -- casts` against the annotated parameter type.
+#[inline]
+#[must_use]
+pub fn rank_u64(rank: usize) -> u64 {
+    rank as u64
+}
+
 /// Errors raised when constructing a [`Ranking`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum RankingError {

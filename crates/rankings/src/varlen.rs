@@ -32,7 +32,7 @@ pub fn min_distance_given_overlap_var(ka: usize, kb: usize, o: usize) -> u64 {
     }
     // Private items of the longer ranking at its remaining ranks o..kb.
     for r in o..kb {
-        sum += (r as u64).abs_diff(ka as u64);
+        sum += crate::ranking::rank_u64(r).abs_diff(ka as u64);
     }
     sum
 }

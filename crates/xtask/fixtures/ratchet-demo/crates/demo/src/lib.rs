@@ -1,0 +1,24 @@
+//! Ratchet-demo fixture: a mini source tree with known violations, used by
+//! the audit framework's tests in `crates/xtask/src/main.rs` to prove the
+//! baseline ratchet (recorded debt is tolerated, new debt fails, fixed debt
+//! forces the baseline down).
+//!
+//! Not a workspace member, never compiled; `collect_sources` skips
+//! `fixtures` directories, so the workspace tier-1 gates never scan it.
+
+/// Exactly one unjustified truncating cast — the recorded debt in this
+/// fixture's `crates/xtask/audit-baseline.txt`.
+pub fn narrow(x: u64) -> u32 {
+    x as u32
+}
+
+/// A justified cast: inventoried by the casts pass, never a violation.
+pub fn frac(k: usize) -> f64 {
+    // cast(fixture invariant: k ≤ 2^20, exact in f64)
+    k as f64
+}
+
+/// A value-preserving widening cast: clean without any tag.
+pub fn widen(w: u16) -> u64 {
+    w as u64
+}

@@ -1,11 +1,11 @@
-//! `cargo run -p xtask -- atomics` — the atomics audit.
+//! The `atomics` pass — `cargo run -p xtask -- atomics` (and `-- audit`).
 //!
 //! PR 1's `relaxed-comment` lint only demanded *a* comment near every
 //! `Ordering::Relaxed`. This pass makes the justification structural: every
 //! `Ordering::*` site in non-test library code is parsed, its operation is
 //! recovered (which atomic method consumes the ordering), and `Relaxed`
-//! sites must carry a machine-readable **class tag** in the lint's comment
-//! window (same line or ≤3 lines above):
+//! sites must carry a machine-readable **class tag** in the audit core's
+//! comment window (same line or ≤3 lines above):
 //!
 //! ```text
 //! // relaxed(counter): an independent duration counter, only read after …
@@ -33,9 +33,7 @@
 
 use std::path::Path;
 
-use crate::lint::{
-    collect_sources, in_regions, is_library_path, line_of, mask_source, test_regions, Violation,
-};
+use crate::audit::{PassOutcome, SourceFile, Violation};
 
 /// The `relaxed(<class>)` tags the audit accepts, with the operations each
 /// class may justify.
@@ -135,40 +133,17 @@ fn op_before(code: &str, pos: usize) -> Op {
     best.map_or(Op::Unknown, |(_, op)| op)
 }
 
-/// Extracts a `relaxed(<class>)` tag from the comment window around `line`
-/// (same line or up to three lines above — the lint's window).
-fn class_tag(comment_lines: &[&str], line: usize) -> Option<String> {
-    for n in (line.saturating_sub(4)..line).rev() {
-        let Some(comment) = comment_lines.get(n) else {
-            continue;
-        };
-        let lower = comment.to_ascii_lowercase();
-        if let Some(open) = lower.find("relaxed(") {
-            let rest = &lower[open + "relaxed(".len()..];
-            let class: String = rest.chars().take_while(|&c| c != ')').collect();
-            if rest.len() > class.len() {
-                return Some(class.trim().to_string());
-            }
-        }
-    }
-    None
-}
-
-/// Audits one file: returns the site inventory and any violations.
-pub(crate) fn audit_file(rel: &str, src: &str) -> (Vec<Site>, Vec<Violation>) {
+/// Audits one parsed file: returns the site inventory and any violations.
+pub(crate) fn audit_file(file: &SourceFile) -> (Vec<Site>, Vec<Violation>) {
     let mut sites = Vec::new();
     let mut violations = Vec::new();
-    if !is_library_path(rel) {
+    if !file.is_library() {
         return (sites, violations);
     }
-    let (code, comments) = mask_source(src);
-    let regions = test_regions(&code);
-    let mut line_starts = vec![0usize];
-    line_starts.extend(src.match_indices('\n').map(|(p, _)| p + 1));
-    let comment_lines: Vec<&str> = comments.split('\n').collect();
+    let code = &file.code;
 
     for (pos, _) in code.match_indices("Ordering::") {
-        if in_regions(&regions, pos) {
+        if file.in_test(pos) {
             continue;
         }
         let after = &code[pos + "Ordering::".len()..];
@@ -179,16 +154,11 @@ pub(crate) fn audit_file(rel: &str, src: &str) -> (Vec<Site>, Vec<Violation>) {
         if !["Relaxed", "Acquire", "Release", "AcqRel", "SeqCst"].contains(&ordering.as_str()) {
             continue;
         }
-        let line = line_of(&line_starts, pos);
-        let op = op_before(&code, pos);
-        let class = class_tag(&comment_lines, line);
+        let line = file.line_of(pos);
+        let op = op_before(code, pos);
+        let class = file.tag("relaxed", line);
         let mut push = |msg: String| {
-            violations.push(Violation {
-                rule: "atomics-audit",
-                path: rel.to_string(),
-                line,
-                msg,
-            });
+            violations.push(file.violation("atomics-audit", pos, msg));
         };
         if ordering == "Relaxed" {
             match &class {
@@ -226,7 +196,7 @@ pub(crate) fn audit_file(rel: &str, src: &str) -> (Vec<Site>, Vec<Violation>) {
             }
         }
         sites.push(Site {
-            path: rel.to_string(),
+            path: file.rel.clone(),
             line,
             ordering,
             op,
@@ -236,22 +206,20 @@ pub(crate) fn audit_file(rel: &str, src: &str) -> (Vec<Site>, Vec<Violation>) {
     (sites, violations)
 }
 
-/// Audits the whole tree under `root`.
-pub(crate) fn audit_tree(root: &Path) -> std::io::Result<(Vec<Site>, Vec<Violation>)> {
+/// Audits the whole parsed tree.
+pub(crate) fn run(_root: &Path, sources: &[SourceFile]) -> PassOutcome {
     let mut sites = Vec::new();
     let mut violations = Vec::new();
-    for path in collect_sources(root)? {
-        let rel = path
-            .strip_prefix(root)
-            .unwrap_or(&path)
-            .to_string_lossy()
-            .replace('\\', "/");
-        let src = std::fs::read_to_string(&path)?;
-        let (s, v) = audit_file(&rel, &src);
-        sites.extend(s);
+    for file in sources {
+        let (s, v) = audit_file(file);
+        sites.extend(s.iter().map(Site::describe));
         violations.extend(v);
     }
-    Ok((sites, violations))
+    PassOutcome {
+        pass: "atomics",
+        sites,
+        violations,
+    }
 }
 
 #[cfg(test)]
@@ -260,10 +228,14 @@ mod tests {
 
     const LIB: &str = "crates/demo/src/lib.rs";
 
+    fn audit(rel: &str, src: &str) -> (Vec<Site>, Vec<Violation>) {
+        audit_file(&SourceFile::parse(rel, src))
+    }
+
     #[test]
     fn tagged_counter_rmw_is_clean() {
         let src = "fn f(c: &AtomicU64) {\n // relaxed(counter): independent statistic.\n c.fetch_add(1, Ordering::Relaxed);\n}\n";
-        let (sites, violations) = audit_file(LIB, src);
+        let (sites, violations) = audit(LIB, src);
         assert!(violations.is_empty(), "{violations:?}");
         assert_eq!(sites.len(), 1);
         assert_eq!(sites[0].class.as_deref(), Some("counter"));
@@ -273,7 +245,7 @@ mod tests {
     fn untagged_relaxed_is_flagged() {
         let src =
             "fn f(c: &AtomicU64) {\n // relaxed is fine here, trust me.\n c.load(Ordering::Relaxed);\n}\n";
-        let (_, violations) = audit_file(LIB, src);
+        let (_, violations) = audit(LIB, src);
         assert_eq!(violations.len(), 1);
         assert!(
             violations[0].msg.contains("relaxed(<class>)"),
@@ -284,7 +256,7 @@ mod tests {
     #[test]
     fn relaxed_store_needs_the_flag_class() {
         let bad = "fn f(c: &AtomicU64) {\n // relaxed(counter): wat.\n c.store(1, Ordering::Relaxed);\n}\n";
-        let (_, violations) = audit_file(LIB, bad);
+        let (_, violations) = audit(LIB, bad);
         assert_eq!(violations.len(), 1);
         assert!(
             violations[0].msg.contains("cross-thread publication"),
@@ -292,13 +264,13 @@ mod tests {
         );
 
         let good = "fn f(c: &AtomicBool) {\n // relaxed(flag): sticky best-effort bit.\n c.store(true, Ordering::Relaxed);\n}\n";
-        assert!(audit_file(LIB, good).1.is_empty());
+        assert!(audit(LIB, good).1.is_empty());
     }
 
     #[test]
     fn relaxed_compare_exchange_is_always_rejected() {
         let src = "fn f(c: &AtomicU64) {\n // relaxed(cursor): racing claim.\n let _ = c.compare_exchange(0, 1, Ordering::Relaxed, Ordering::Relaxed);\n}\n";
-        let (sites, violations) = audit_file(LIB, src);
+        let (sites, violations) = audit(LIB, src);
         assert_eq!(sites.len(), 2, "both ordering args are sites");
         assert_eq!(violations.len(), 2);
         assert!(violations[0].msg.contains("swap/compare-exchange"));
@@ -307,7 +279,7 @@ mod tests {
     #[test]
     fn unknown_class_is_flagged() {
         let src = "fn f(c: &AtomicU64) {\n // relaxed(vibes): it felt right.\n c.fetch_add(1, Ordering::Relaxed);\n}\n";
-        let (_, violations) = audit_file(LIB, src);
+        let (_, violations) = audit(LIB, src);
         assert_eq!(violations.len(), 1);
         assert!(violations[0].msg.contains("unknown relaxed class `vibes`"));
     }
@@ -315,15 +287,15 @@ mod tests {
     #[test]
     fn read_after_join_justifies_loads_only() {
         let load = "fn f(c: &AtomicU64) -> u64 {\n // relaxed(read-after-join): workers joined above.\n c.load(Ordering::Relaxed)\n}\n";
-        assert!(audit_file(LIB, load).1.is_empty());
+        assert!(audit(LIB, load).1.is_empty());
         let rmw = "fn f(c: &AtomicU64) {\n // relaxed(read-after-join): nope.\n c.fetch_add(1, Ordering::Relaxed);\n}\n";
-        assert_eq!(audit_file(LIB, rmw).1.len(), 1);
+        assert_eq!(audit(LIB, rmw).1.len(), 1);
     }
 
     #[test]
     fn stronger_orderings_are_inventory_not_violations() {
         let src = "fn f(c: &AtomicBool) {\n c.store(true, Ordering::Release);\n c.load(Ordering::Acquire);\n}\n";
-        let (sites, violations) = audit_file(LIB, src);
+        let (sites, violations) = audit(LIB, src);
         assert!(violations.is_empty());
         assert_eq!(sites.len(), 2);
         assert_eq!(sites[0].ordering, "Release");
@@ -332,16 +304,16 @@ mod tests {
     #[test]
     fn test_code_and_non_library_paths_are_exempt() {
         let src = "#[cfg(test)]\nmod t {\n fn g(c: &AtomicU64) { c.load(Ordering::Relaxed); }\n}\n";
-        assert!(audit_file(LIB, src).1.is_empty());
+        assert!(audit(LIB, src).1.is_empty());
         let bare = "fn f(c: &AtomicU64) { c.load(Ordering::Relaxed); }\n";
-        assert!(audit_file("crates/demo/tests/t.rs", bare).1.is_empty());
+        assert!(audit("crates/demo/tests/t.rs", bare).1.is_empty());
     }
 
     #[test]
     fn ordering_in_strings_and_comments_is_ignored() {
         let src =
             "// Ordering::Relaxed in prose.\nfn f() -> &'static str { \"Ordering::Relaxed\" }\n";
-        let (sites, violations) = audit_file(LIB, src);
+        let (sites, violations) = audit(LIB, src);
         assert!(sites.is_empty() && violations.is_empty());
     }
 }

@@ -1,0 +1,1024 @@
+//! The `casts` pass — `cargo run -p xtask -- casts` (and `-- audit`).
+//!
+//! Every numeric `as` cast in non-test library code is classified. `as` is
+//! the one arithmetic operator in Rust that *silently* changes values:
+//! truncation, sign flips and float rounding all compile without a whisper —
+//! exactly the failure mode the paper's exactness guarantee forbids on the
+//! verification path (a truncated ranking id is a wrong join pair, not a
+//! slow one). The upcoming SIMD/columnar layout work narrows ids
+//! (`u32`→`u16`) and batches offsets, so every cast site must be either
+//! provably value-preserving or carry an explicit, reviewable invariant.
+//!
+//! Classification, per site:
+//!
+//! * **widening** — the source type is lexically inferable and every source
+//!   value is representable in the target (`u16 → u64`, `u32 → i64`,
+//!   `bool → usize`, `u16 → f32`, a literal that fits). Clean, inventoried.
+//! * **lossy** — truncation (`u64 → u32`), a same-width or narrowing sign
+//!   flip (`i64 → u64`), float → int, `f64 → f32`, or an int → float cast
+//!   whose source exceeds the mantissa (`u64 → f64` above 2⁵³). Requires a
+//!   `cast(<why>)` tag in the comment window, or a rewrite to
+//!   `From`/`try_from`.
+//! * **unknown** — the source type is not lexically inferable. Treated like
+//!   lossy: tag it or rewrite it (a `From::from` states the types and needs
+//!   no tag at all).
+//!
+//! Source types are recovered without a type checker, from lexical evidence
+//! only: literal suffixes, chained casts (`x as u32 as u64`), `T::MAX`-style
+//! constants, a small table of known method returns (`.len()` → `usize`,
+//! `.as_nanos()` → `u128`, and the project accessors `k()`/`id()`/
+//! `overlap()`), same-file `name: ty` annotations (fn params, struct
+//! fields, typed lets) and same-file `fn name(..) -> ty` signatures. The
+//! width model fixes `usize`/`isize` at 64 bits — asserted at build time
+//! below — which is the only target this workspace supports.
+
+use std::collections::BTreeMap;
+use std::path::Path;
+
+use crate::audit::{find_tokens, PassOutcome, SourceFile, Violation};
+
+// The verdict table below hard-codes 64-bit `usize`/`isize` (e.g. it calls
+// `u64 → usize` value-preserving). Refuse to build the auditor anywhere that
+// model is wrong rather than silently mis-classify.
+const _: () = assert!(usize::BITS == 64, "the casts pass models usize as 64-bit");
+
+/// A primitive numeric (or numeric-ish castable) type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum NumTy {
+    U8,
+    U16,
+    U32,
+    U64,
+    U128,
+    Usize,
+    I8,
+    I16,
+    I32,
+    I64,
+    I128,
+    Isize,
+    F32,
+    F64,
+    Bool,
+    Char,
+}
+
+impl NumTy {
+    fn parse(name: &str) -> Option<Self> {
+        Some(match name {
+            "u8" => Self::U8,
+            "u16" => Self::U16,
+            "u32" => Self::U32,
+            "u64" => Self::U64,
+            "u128" => Self::U128,
+            "usize" => Self::Usize,
+            "i8" => Self::I8,
+            "i16" => Self::I16,
+            "i32" => Self::I32,
+            "i64" => Self::I64,
+            "i128" => Self::I128,
+            "isize" => Self::Isize,
+            "f32" => Self::F32,
+            "f64" => Self::F64,
+            "bool" => Self::Bool,
+            "char" => Self::Char,
+            _ => return None,
+        })
+    }
+
+    fn name(self) -> &'static str {
+        match self {
+            Self::U8 => "u8",
+            Self::U16 => "u16",
+            Self::U32 => "u32",
+            Self::U64 => "u64",
+            Self::U128 => "u128",
+            Self::Usize => "usize",
+            Self::I8 => "i8",
+            Self::I16 => "i16",
+            Self::I32 => "i32",
+            Self::I64 => "i64",
+            Self::I128 => "i128",
+            Self::Isize => "isize",
+            Self::F32 => "f32",
+            Self::F64 => "f64",
+            Self::Bool => "bool",
+            Self::Char => "char",
+        }
+    }
+
+    fn is_float(self) -> bool {
+        matches!(self, Self::F32 | Self::F64)
+    }
+
+    fn is_int(self) -> bool {
+        !self.is_float() && !matches!(self, Self::Bool | Self::Char)
+    }
+
+    fn signed(self) -> bool {
+        matches!(
+            self,
+            Self::I8 | Self::I16 | Self::I32 | Self::I64 | Self::I128 | Self::Isize
+        )
+    }
+
+    /// Storage bits under the 64-bit `usize` model.
+    fn bits(self) -> u32 {
+        match self {
+            Self::U8 | Self::I8 => 8,
+            Self::U16 | Self::I16 => 16,
+            Self::U32 | Self::I32 | Self::F32 => 32,
+            Self::U64 | Self::I64 | Self::Usize | Self::Isize | Self::F64 => 64,
+            Self::U128 | Self::I128 => 128,
+            Self::Bool => 1,
+            Self::Char => 21,
+        }
+    }
+
+    /// Bits available for magnitude (sign bit excluded).
+    fn value_bits(self) -> u32 {
+        self.bits() - u32::from(self.signed())
+    }
+
+    /// Exactly-representable integer magnitude bits of a float target.
+    fn mantissa_bits(self) -> u32 {
+        match self {
+            Self::F32 => 24,
+            Self::F64 => 53,
+            _ => 0,
+        }
+    }
+}
+
+/// What the pass could learn about a cast's source expression.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Source {
+    /// A known primitive type.
+    Ty(NumTy),
+    /// An integer literal with a known value (`neg` for a unary minus).
+    Literal { value: u128, neg: bool },
+    /// Not lexically inferable.
+    Unknown,
+}
+
+/// Known return types of unambiguous method names: the std staples plus the
+/// project accessors documented in DESIGN.md §12 (`Ranking::k`,
+/// `Ranking::id`, `Ranking::overlap`, `SplitPlan::num_chunks` — all single,
+/// fixed signatures across the workspace).
+const METHOD_RETURNS: &[(&str, NumTy)] = &[
+    ("len", NumTy::Usize),
+    ("count", NumTy::Usize),
+    ("capacity", NumTy::Usize),
+    ("partition_point", NumTy::Usize),
+    ("as_secs", NumTy::U64),
+    ("as_nanos", NumTy::U128),
+    ("as_micros", NumTy::U128),
+    ("as_millis", NumTy::U128),
+    ("subsec_nanos", NumTy::U32),
+    ("finish", NumTy::U64),
+    ("k", NumTy::Usize),
+    ("id", NumTy::U64),
+    ("overlap", NumTy::Usize),
+    ("num_chunks", NumTy::Usize),
+];
+
+/// Methods that return the receiver's own type, so inference can recurse
+/// into the receiver expression.
+const RECEIVER_METHODS: &[&str] = &[
+    "min",
+    "max",
+    "clamp",
+    "abs",
+    "abs_diff",
+    "pow",
+    "powi",
+    "powf",
+    "floor",
+    "ceil",
+    "round",
+    "trunc",
+    "sqrt",
+    "saturating_add",
+    "saturating_sub",
+    "saturating_mul",
+    "wrapping_add",
+    "wrapping_sub",
+    "wrapping_mul",
+    "rotate_left",
+    "rotate_right",
+];
+
+fn is_ident_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// Same-file `name: ty` annotations (fn params, struct fields, typed lets,
+/// const generics). `None` marks a name annotated with conflicting numeric
+/// types — ambiguous, never used. Shared with the panics pass (float-divisor
+/// exemption).
+pub(crate) fn binding_types(code: &str) -> BTreeMap<String, Option<NumTy>> {
+    let bytes = code.as_bytes();
+    let mut map: BTreeMap<String, Option<NumTy>> = BTreeMap::new();
+    for ty_name in [
+        "u8", "u16", "u32", "u64", "u128", "usize", "i8", "i16", "i32", "i64", "i128", "isize",
+        "f32", "f64", "bool", "char",
+    ] {
+        let ty = NumTy::parse(ty_name).expect("table lists primitive names");
+        for pos in find_tokens(code, ty_name) {
+            // `<ident> : <ty>` — reject `::<ty>` paths and generics.
+            let mut i = pos;
+            while i > 0 && bytes[i - 1].is_ascii_whitespace() {
+                i -= 1;
+            }
+            if i == 0 || bytes[i - 1] != b':' || (i >= 2 && bytes[i - 2] == b':') {
+                continue;
+            }
+            let mut j = i - 1;
+            while j > 0 && bytes[j - 1].is_ascii_whitespace() {
+                j -= 1;
+            }
+            let end = j;
+            while j > 0 && is_ident_byte(bytes[j - 1]) {
+                j -= 1;
+            }
+            if j == end || bytes[j].is_ascii_digit() {
+                continue;
+            }
+            let name = code[j..end].to_string();
+            map.entry(name)
+                .and_modify(|e| {
+                    if *e != Some(ty) {
+                        *e = None;
+                    }
+                })
+                .or_insert(Some(ty));
+        }
+    }
+    map
+}
+
+/// Same-file `fn name(..) -> ty` signatures with a primitive return type.
+fn fn_return_types(code: &str) -> BTreeMap<String, Option<NumTy>> {
+    let bytes = code.as_bytes();
+    let mut map: BTreeMap<String, Option<NumTy>> = BTreeMap::new();
+    for pos in find_tokens(code, "fn") {
+        let mut j = pos + 2;
+        while j < bytes.len() && bytes[j].is_ascii_whitespace() {
+            j += 1;
+        }
+        let name_start = j;
+        while j < bytes.len() && is_ident_byte(bytes[j]) {
+            j += 1;
+        }
+        if j == name_start {
+            continue;
+        }
+        let name = code[name_start..j].to_string();
+        // Skip to the parameter list (over any generics) and balance it.
+        while j < bytes.len() && bytes[j] != b'(' && bytes[j] != b'{' && bytes[j] != b';' {
+            j += 1;
+        }
+        if bytes.get(j) != Some(&b'(') {
+            continue;
+        }
+        let mut depth = 0usize;
+        while j < bytes.len() {
+            match bytes[j] {
+                b'(' => depth += 1,
+                b')' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        j += 1;
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        while j < bytes.len() && bytes[j].is_ascii_whitespace() {
+            j += 1;
+        }
+        if !code[j..].starts_with("->") {
+            continue;
+        }
+        j += 2;
+        while j < bytes.len() && bytes[j].is_ascii_whitespace() {
+            j += 1;
+        }
+        let ty_start = j;
+        while j < bytes.len() && is_ident_byte(bytes[j]) {
+            j += 1;
+        }
+        let Some(ty) = NumTy::parse(&code[ty_start..j]) else {
+            continue;
+        };
+        map.entry(name)
+            .and_modify(|e| {
+                if *e != Some(ty) {
+                    *e = None;
+                }
+            })
+            .or_insert(Some(ty));
+    }
+    map
+}
+
+/// Per-file inference context.
+struct Inference {
+    bindings: BTreeMap<String, Option<NumTy>>,
+    fn_returns: BTreeMap<String, Option<NumTy>>,
+}
+
+impl Inference {
+    fn new(code: &str) -> Self {
+        Self {
+            bindings: binding_types(code),
+            fn_returns: fn_return_types(code),
+        }
+    }
+
+    /// Infers the type of the expression *ending* at byte offset `end`
+    /// (exclusive) in the code view.
+    fn infer(&self, code: &str, end: usize, depth: usize) -> Source {
+        if depth > 4 {
+            return Source::Unknown;
+        }
+        let bytes = code.as_bytes();
+        let mut end = end;
+        while end > 0 && bytes[end - 1].is_ascii_whitespace() {
+            end -= 1;
+        }
+        if end == 0 {
+            return Source::Unknown;
+        }
+        match bytes[end - 1] {
+            b')' => self.infer_call_or_group(code, end, depth),
+            b']' => Source::Unknown,
+            b if is_ident_byte(b) => self.infer_ident(code, end),
+            _ => Source::Unknown,
+        }
+    }
+
+    /// Expression ending in an identifier-ish token (literal, path segment,
+    /// field access, chained-cast type name, or plain variable).
+    fn infer_ident(&self, code: &str, end: usize) -> Source {
+        let bytes = code.as_bytes();
+        let mut start = end;
+        while start > 0 && is_ident_byte(bytes[start - 1]) {
+            start -= 1;
+        }
+        let token = &code[start..end];
+
+        // Chained cast: `… as u32` — the trailing token is a primitive type
+        // name preceded by the `as` keyword.
+        if let Some(ty) = NumTy::parse(token) {
+            let mut i = start;
+            while i > 0 && bytes[i - 1].is_ascii_whitespace() {
+                i -= 1;
+            }
+            if i >= 2 && &code[i - 2..i] == "as" && (i < 3 || !is_ident_byte(bytes[i - 3])) {
+                return Source::Ty(ty);
+            }
+            return Source::Unknown;
+        }
+
+        if token == "true" || token == "false" {
+            return Source::Ty(NumTy::Bool);
+        }
+
+        // Numeric literal (possibly suffixed, possibly a float's last chunk).
+        if bytes[start].is_ascii_digit() {
+            return parse_literal(code, start, end);
+        }
+
+        // `T::MAX` / `T::MIN` / `T::BITS`.
+        if matches!(token, "MAX" | "MIN" | "BITS") && start >= 2 && &code[start - 2..start] == "::"
+        {
+            let mut j = start - 2;
+            let ty_end = j;
+            while j > 0 && is_ident_byte(bytes[j - 1]) {
+                j -= 1;
+            }
+            if let Some(ty) = NumTy::parse(&code[j..ty_end]) {
+                return if token == "BITS" {
+                    Source::Ty(NumTy::U32)
+                } else {
+                    Source::Ty(ty)
+                };
+            }
+            return Source::Unknown;
+        }
+
+        // Field access `recv.field` or a plain variable: both resolve
+        // through the same-file annotation table.
+        match self.bindings.get(token) {
+            Some(&Some(ty)) => Source::Ty(ty),
+            _ => Source::Unknown,
+        }
+    }
+
+    /// Expression ending in `)`: a call (`name(..)`, `.method(..)`,
+    /// `T::from(..)`) or a parenthesized group.
+    fn infer_call_or_group(&self, code: &str, end: usize, depth: usize) -> Source {
+        let bytes = code.as_bytes();
+        // Balance back to the opening parenthesis.
+        let mut d = 0usize;
+        let mut open = end;
+        while open > 0 {
+            open -= 1;
+            match bytes[open] {
+                b')' => d += 1,
+                b'(' => {
+                    d -= 1;
+                    if d == 0 {
+                        break;
+                    }
+                }
+                _ => {}
+            }
+        }
+        if d != 0 {
+            return Source::Unknown;
+        }
+        if open > 0 && is_ident_byte(bytes[open - 1]) {
+            // A call: read the callee name.
+            let mut j = open;
+            while j > 0 && is_ident_byte(bytes[j - 1]) {
+                j -= 1;
+            }
+            let name = &code[j..open];
+            if j > 0 && bytes[j - 1] == b'.' {
+                // Method call.
+                if let Some(&(_, ty)) = METHOD_RETURNS.iter().find(|(n, _)| *n == name) {
+                    return Source::Ty(ty);
+                }
+                if RECEIVER_METHODS.contains(&name) {
+                    // Returns the receiver's type: recurse left of the dot.
+                    return self.infer(code, j - 1, depth + 1);
+                }
+                return Source::Unknown;
+            }
+            if j >= 2 && &code[j - 2..j] == "::" {
+                // `T::from(..)` names its own type.
+                let mut t = j - 2;
+                let ty_end = t;
+                while t > 0 && is_ident_byte(bytes[t - 1]) {
+                    t -= 1;
+                }
+                if name == "from" || name.starts_with("from_") {
+                    if let Some(ty) = NumTy::parse(&code[t..ty_end]) {
+                        return Source::Ty(ty);
+                    }
+                }
+                return Source::Unknown;
+            }
+            // Free function: same-file signature table.
+            return match self.fn_returns.get(name) {
+                Some(&Some(ty)) => Source::Ty(ty),
+                _ => Source::Unknown,
+            };
+        }
+        // A parenthesized group: scan its contents.
+        self.infer_group(code, open + 1, end - 1, depth)
+    }
+
+    /// Infers the type of a parenthesized expression body `code[from..to]`.
+    /// Comparison/logic operators at depth 0 make it `bool`; otherwise the
+    /// first depth-0 evidence wins (a chained `as ty`, a suffixed literal,
+    /// or a resolvable identifier) — sound because Rust's binary arithmetic
+    /// never mixes operand types implicitly (shift RHS excepted, which is
+    /// why evidence directly after `<<`/`>>` is skipped).
+    fn infer_group(&self, code: &str, from: usize, to: usize, depth: usize) -> Source {
+        let bytes = code.as_bytes();
+        // Pass 1: bool-producing operators at depth 0.
+        let mut d = 0usize;
+        let mut i = from;
+        while i < to {
+            match bytes[i] {
+                b'(' | b'[' | b'{' => d += 1,
+                b')' | b']' | b'}' => d = d.saturating_sub(1),
+                b'=' if d == 0 && i + 1 < to && bytes[i + 1] == b'=' => {
+                    return Source::Ty(NumTy::Bool)
+                }
+                b'!' if d == 0 && i + 1 < to && bytes[i + 1] == b'=' => {
+                    return Source::Ty(NumTy::Bool)
+                }
+                b'&' if d == 0 && i + 1 < to && bytes[i + 1] == b'&' => {
+                    return Source::Ty(NumTy::Bool)
+                }
+                b'|' if d == 0 && i + 1 < to && bytes[i + 1] == b'|' => {
+                    return Source::Ty(NumTy::Bool)
+                }
+                b'<' | b'>' if d == 0 => {
+                    let double = i + 1 < to && bytes[i + 1] == bytes[i];
+                    let arrow = bytes[i] == b'>' && i > from && bytes[i - 1] == b'-';
+                    let eq = i + 1 < to && bytes[i + 1] == b'=';
+                    if double {
+                        i += 1; // a shift, not a comparison
+                    } else if !arrow {
+                        let _ = eq;
+                        return Source::Ty(NumTy::Bool);
+                    }
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        // Pass 2: first depth-0 type evidence, skipping shift RHS.
+        let mut d = 0usize;
+        let mut i = from;
+        let mut after_shift = false;
+        while i < to {
+            let b = bytes[i];
+            match b {
+                b'(' | b'[' | b'{' => {
+                    d += 1;
+                    i += 1;
+                }
+                b')' | b']' | b'}' => {
+                    d = d.saturating_sub(1);
+                    i += 1;
+                }
+                b'<' | b'>' if d == 0 && i + 1 < to && bytes[i + 1] == b => {
+                    after_shift = true;
+                    i += 2;
+                }
+                _ if d == 0 && is_ident_byte(b) && (i == from || !is_ident_byte(bytes[i - 1])) => {
+                    let start = i;
+                    while i < to && is_ident_byte(bytes[i]) {
+                        i += 1;
+                    }
+                    let token = &code[start..i];
+                    if token == "as" {
+                        // `… as ty` — read the type that follows.
+                        let mut j = i;
+                        while j < to && bytes[j].is_ascii_whitespace() {
+                            j += 1;
+                        }
+                        let ty_start = j;
+                        while j < to && is_ident_byte(bytes[j]) {
+                            j += 1;
+                        }
+                        if let Some(ty) = NumTy::parse(&code[ty_start..j]) {
+                            if !after_shift {
+                                return Source::Ty(ty);
+                            }
+                        }
+                        i = j;
+                        continue;
+                    }
+                    if after_shift {
+                        after_shift = false;
+                        continue;
+                    }
+                    if bytes[start].is_ascii_digit() {
+                        if let Source::Ty(ty) = parse_literal(code, start, i) {
+                            return Source::Ty(ty); // suffixed literal only
+                        }
+                        continue;
+                    }
+                    // Skip field/method names — only leading identifiers of a
+                    // path resolve through bindings.
+                    if start > from && bytes[start - 1] == b'.' {
+                        continue;
+                    }
+                    if let Some(&Some(ty)) = self.bindings.get(token) {
+                        return Source::Ty(ty);
+                    }
+                    let _ = depth;
+                }
+                _ => i += 1,
+            }
+        }
+        Source::Unknown
+    }
+}
+
+/// Parses the numeric literal whose final identifier chunk is
+/// `code[start..end]`, looking left for a float's integer part.
+fn parse_literal(code: &str, start: usize, end: usize) -> Source {
+    let bytes = code.as_bytes();
+    let token = &code[start..end];
+    // Explicit suffix wins (1u32, 0x_FFu8, 1_000i64, 5f64, 1.5f32 ends in
+    // an ident chunk like "5f32" after the dot).
+    for ty_name in [
+        "u128", "usize", "u16", "u32", "u64", "u8", "i128", "isize", "i16", "i32", "i64", "i8",
+        "f32", "f64",
+    ] {
+        if let Some(digits) = token.strip_suffix(ty_name) {
+            if !digits.is_empty() || start >= 2 && bytes[start - 1] == b'.' {
+                return NumTy::parse(ty_name).map_or(Source::Unknown, Source::Ty);
+            }
+        }
+    }
+    // A float's fractional chunk: `1.5` scans as ident "5" after a '.'
+    // preceded by digits. Unsuffixed floats default to f64.
+    if start >= 2 && bytes[start - 1] == b'.' && bytes[start - 2].is_ascii_digit() {
+        return Source::Ty(NumTy::F64);
+    }
+    // Trailing `1.` (rare) also lands here via the digit path below.
+    let cleaned: String = token.chars().filter(|&c| c != '_').collect();
+    let value = if let Some(hex) = cleaned.strip_prefix("0x").or(cleaned.strip_prefix("0X")) {
+        u128::from_str_radix(hex, 16).ok()
+    } else if let Some(bin) = cleaned.strip_prefix("0b").or(cleaned.strip_prefix("0B")) {
+        u128::from_str_radix(bin, 2).ok()
+    } else if let Some(oct) = cleaned.strip_prefix("0o").or(cleaned.strip_prefix("0O")) {
+        u128::from_str_radix(oct, 8).ok()
+    } else {
+        cleaned.parse::<u128>().ok()
+    };
+    let Some(value) = value else {
+        return Source::Unknown;
+    };
+    // Unary minus: `-3 as i64`. Only when the `-` cannot be binary.
+    let mut i = start;
+    while i > 0 && bytes[i - 1].is_ascii_whitespace() {
+        i -= 1;
+    }
+    let neg = i > 0 && bytes[i - 1] == b'-' && {
+        let mut j = i - 1;
+        while j > 0 && bytes[j - 1].is_ascii_whitespace() {
+            j -= 1;
+        }
+        j == 0
+            || matches!(
+                bytes[j - 1],
+                b'(' | b',' | b'=' | b'[' | b'{' | b'<' | b'+' | b'*'
+            )
+    };
+    Source::Literal { value, neg }
+}
+
+/// Why a cast is not value-preserving, or `Ok(())` if it is.
+fn fit(src: NumTy, dst: NumTy) -> Result<(), String> {
+    let lossy = |why: &str| Err(format!("{why} `{} as {}`", src.name(), dst.name()));
+    match (src, dst) {
+        (s, d) if s == d => Ok(()),
+        (NumTy::Bool, d) if d.is_int() => Ok(()),
+        (NumTy::Char, d) if d.is_int() => {
+            if d.value_bits() >= 21 {
+                Ok(())
+            } else {
+                lossy("truncating char cast")
+            }
+        }
+        (s, d) if s.is_int() && d.is_int() => {
+            if s.signed() && !d.signed() {
+                lossy("sign-discarding cast")
+            } else if s.signed() == d.signed() {
+                if d.bits() >= s.bits() {
+                    Ok(())
+                } else {
+                    lossy("truncating cast")
+                }
+            } else if d.bits() > s.bits() {
+                Ok(()) // unsigned → strictly wider signed
+            } else {
+                lossy("possibly sign-flipping cast")
+            }
+        }
+        (s, d) if s.is_int() && d.is_float() => {
+            if s.value_bits() <= d.mantissa_bits() {
+                Ok(())
+            } else {
+                lossy("precision-losing int→float cast")
+            }
+        }
+        (s, d) if s.is_float() && d.is_int() => lossy("truncating/saturating float→int cast"),
+        (NumTy::F32, NumTy::F64) => Ok(()),
+        (NumTy::F64, NumTy::F32) => lossy("precision-losing cast"),
+        _ => lossy("unclassifiable cast"),
+    }
+}
+
+/// Whether a known literal value survives the cast exactly.
+fn literal_fits(value: u128, neg: bool, dst: NumTy) -> Result<(), String> {
+    let lossy = || {
+        Err(format!(
+            "literal {}{value} does not fit `{}` exactly",
+            if neg { "-" } else { "" },
+            dst.name()
+        ))
+    };
+    if dst.is_float() {
+        let limit = 1u128 << dst.mantissa_bits();
+        return if value <= limit { Ok(()) } else { lossy() };
+    }
+    if !dst.is_int() {
+        return lossy();
+    }
+    if neg {
+        if !dst.signed() {
+            return lossy();
+        }
+        let limit = 1u128 << dst.value_bits(); // |MIN| = 2^(bits-1)
+        return if value <= limit { Ok(()) } else { lossy() };
+    }
+    let limit = if dst.value_bits() >= 128 {
+        u128::MAX
+    } else {
+        (1u128 << dst.value_bits()) - 1
+    };
+    if value <= limit {
+        Ok(())
+    } else {
+        lossy()
+    }
+}
+
+/// One audited cast site.
+pub(crate) struct Site {
+    pub path: String,
+    pub line: usize,
+    /// Inferred source type name, `"?"` when unknown, the value for literals.
+    pub src: String,
+    /// Target type name.
+    pub dst: &'static str,
+    /// `None` = value-preserving; `Some(reason)` = needs a tag.
+    pub problem: Option<String>,
+    /// The `cast(<why>)` tag found, if any.
+    pub tag: Option<String>,
+}
+
+impl Site {
+    pub(crate) fn describe(&self) -> String {
+        format!(
+            "{}:{}: {} as {} — {} [{}]",
+            self.path,
+            self.line,
+            self.src,
+            self.dst,
+            self.problem.as_deref().unwrap_or("widening"),
+            self.tag.as_deref().unwrap_or("-"),
+        )
+    }
+}
+
+/// Audits one parsed file.
+pub(crate) fn audit_file(file: &SourceFile) -> (Vec<Site>, Vec<Violation>) {
+    let mut sites = Vec::new();
+    let mut violations = Vec::new();
+    if !file.is_library() {
+        return (sites, violations);
+    }
+    let code = &file.code;
+    let bytes = code.as_bytes();
+    let inference = Inference::new(code);
+
+    for pos in find_tokens(code, "as") {
+        if file.in_test(pos) {
+            continue;
+        }
+        // Target type.
+        let mut j = pos + 2;
+        while j < bytes.len() && bytes[j].is_ascii_whitespace() {
+            j += 1;
+        }
+        let ty_start = j;
+        while j < bytes.len() && is_ident_byte(bytes[j]) {
+            j += 1;
+        }
+        let Some(dst) = NumTy::parse(&code[ty_start..j]) else {
+            continue; // `as SomeType`, `use x as y`, …
+        };
+        if matches!(dst, NumTy::Bool | NumTy::Char) {
+            continue; // not numeric targets for this pass (u8→char is total)
+        }
+        let source = inference.infer(code, pos, 0);
+        let line = file.line_of(pos);
+        let tag = file.tag("cast", line);
+        let (src_desc, problem) = match source {
+            Source::Ty(ty) => (ty.name().to_string(), fit(ty, dst).err()),
+            Source::Literal { value, neg } => (
+                format!("{}{value}", if neg { "-" } else { "" }),
+                literal_fits(value, neg, dst).err(),
+            ),
+            Source::Unknown => (
+                "?".to_string(),
+                Some(format!(
+                    "cast to `{}` whose source type is not lexically inferable",
+                    dst.name()
+                )),
+            ),
+        };
+        if let Some(problem) = &problem {
+            if tag.is_none() {
+                violations.push(file.violation(
+                    "cast-audit",
+                    pos,
+                    format!(
+                        "{problem} — justify it with a `cast(<why>)` tag (same line or ≤3 \
+                         lines above) or rewrite with `From`/`try_from`"
+                    ),
+                ));
+            }
+        }
+        sites.push(Site {
+            path: file.rel.clone(),
+            line,
+            src: src_desc,
+            dst: dst.name(),
+            problem,
+            tag,
+        });
+    }
+    (sites, violations)
+}
+
+/// Audits the whole parsed tree.
+pub(crate) fn run(_root: &Path, sources: &[SourceFile]) -> PassOutcome {
+    let mut sites = Vec::new();
+    let mut violations = Vec::new();
+    for file in sources {
+        let (s, v) = audit_file(file);
+        sites.extend(s.iter().map(Site::describe));
+        violations.extend(v);
+    }
+    PassOutcome {
+        pass: "casts",
+        sites,
+        violations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const LIB: &str = "crates/demo/src/lib.rs";
+
+    fn audit(src: &str) -> (Vec<Site>, Vec<Violation>) {
+        audit_file(&SourceFile::parse(LIB, src))
+    }
+
+    fn verdicts(src: &str) -> Vec<(String, Option<String>)> {
+        audit(src)
+            .0
+            .into_iter()
+            .map(|s| (format!("{} as {}", s.src, s.dst), s.problem))
+            .collect()
+    }
+
+    #[test]
+    fn suffixed_literal_widening_is_clean() {
+        let (sites, violations) = audit("fn f() -> u64 { 3u32 as u64 }\n");
+        assert!(violations.is_empty(), "{violations:?}");
+        assert_eq!(sites.len(), 1);
+        assert_eq!(sites[0].src, "u32");
+        assert!(sites[0].problem.is_none());
+    }
+
+    #[test]
+    fn annotated_param_resolves() {
+        let src = "fn f(k: usize) -> u64 { k as u64 }\n";
+        let (sites, violations) = audit(src);
+        assert!(violations.is_empty(), "{violations:?}");
+        assert_eq!(sites[0].src, "usize");
+    }
+
+    #[test]
+    fn usize_to_f64_is_lossy_and_needs_a_tag() {
+        let bad = "fn f(k: usize) -> f64 { k as f64 }\n";
+        let (_, violations) = audit(bad);
+        assert_eq!(violations.len(), 1);
+        assert!(
+            violations[0].msg.contains("precision-losing"),
+            "{violations:?}"
+        );
+
+        let good = "fn f(k: usize) -> f64 {\n    // cast(k ≤ MAX_K ≪ 2^53 — exact in f64)\n    k as f64\n}\n";
+        assert!(audit(good).1.is_empty());
+    }
+
+    #[test]
+    fn truncation_and_sign_flip_are_flagged() {
+        let v = verdicts("fn f(n: u64, s: i64) { let _ = n as u32; let _ = s as u64; }\n");
+        assert!(v[0].1.as_deref().is_some_and(|p| p.contains("truncating")));
+        assert!(v[1]
+            .1
+            .as_deref()
+            .is_some_and(|p| p.contains("sign-discarding")));
+    }
+
+    #[test]
+    fn len_method_infers_usize() {
+        let src = "fn f(v: &[u8]) -> u64 { v.len() as u64 }\n";
+        let (sites, violations) = audit(src);
+        assert!(violations.is_empty(), "{violations:?}");
+        assert_eq!(sites[0].src, "usize");
+    }
+
+    #[test]
+    fn chained_casts_resolve_left_type() {
+        let src = "fn f(x: u8) { let _ = x as u16 as u64; }\n";
+        let (sites, violations) = audit(src);
+        assert_eq!(sites.len(), 2);
+        assert!(violations.is_empty(), "{violations:?}");
+        assert_eq!(sites[1].src, "u16");
+    }
+
+    #[test]
+    fn unknown_source_requires_a_tag() {
+        let bad = "fn f() { let _ = mystery() as u64; }\n";
+        let (_, violations) = audit(bad);
+        assert_eq!(violations.len(), 1);
+        assert!(violations[0].msg.contains("not lexically inferable"));
+
+        let tagged =
+            "fn f() {\n    // cast(mystery() is a u32 counter)\n    let _ = mystery() as u64;\n}\n";
+        assert!(audit(tagged).1.is_empty());
+    }
+
+    #[test]
+    fn same_file_fn_signature_resolves_calls() {
+        let src = "fn isqrt(n: u64) -> u64 { n }\nfn g() { let _ = isqrt(4) as usize; }\n";
+        let (sites, violations) = audit(src);
+        assert!(violations.is_empty(), "{violations:?}");
+        let call_site = sites
+            .iter()
+            .find(|s| s.src == "u64")
+            .expect("call inferred");
+        assert_eq!(call_site.dst, "usize");
+    }
+
+    #[test]
+    fn group_expressions_use_inner_evidence() {
+        let src = "fn f(ka: usize, kb: usize) -> u64 { (ka as u64 + kb as u64) * 2 as u64 }\n";
+        let (_, violations) = audit(src);
+        assert!(violations.is_empty(), "{violations:?}");
+
+        let group = "fn f(total: u64, o: u64) -> f64 {\n    // cast(ratio only — precision loss is acceptable here)\n    (total - 2 * o) as f64\n}\n";
+        let (sites, violations) = audit(group);
+        assert!(violations.is_empty(), "{violations:?}");
+        assert_eq!(sites[0].src, "u64");
+    }
+
+    #[test]
+    fn comparison_groups_are_bool() {
+        let src = "fn f(a: u64, b: u64) -> usize { (a < b) as usize }\n";
+        let (sites, violations) = audit(src);
+        assert!(violations.is_empty(), "{violations:?}");
+        assert_eq!(sites[0].src, "bool");
+    }
+
+    #[test]
+    fn shift_groups_resolve_the_shifted_value() {
+        let src = "fn f() -> f64 { (1u64 << 53) as f64 }\n";
+        let (sites, _) = audit(src);
+        assert_eq!(sites[0].src, "u64");
+        // 2^53 itself: flagged lossy (u64→f64), needs a tag.
+        assert!(sites[0].problem.is_some());
+    }
+
+    #[test]
+    fn unsuffixed_literal_checks_the_value() {
+        let (sites, violations) = audit("fn f() { let _ = 300 as u8; let _ = 250 as u8; }\n");
+        assert_eq!(violations.len(), 1);
+        assert!(violations[0].msg.contains("does not fit"));
+        assert_eq!(sites.len(), 2);
+    }
+
+    #[test]
+    fn max_constants_resolve() {
+        let src = "const M: usize = u16::MAX as usize;\n";
+        let (sites, violations) = audit(src);
+        assert!(violations.is_empty(), "{violations:?}");
+        assert_eq!(sites[0].src, "u16");
+    }
+
+    #[test]
+    fn receiver_methods_recurse() {
+        let src = "fn f(a: u32, b: u32) -> u64 { a.max(b) as u64 }\n";
+        let (sites, violations) = audit(src);
+        assert!(violations.is_empty(), "{violations:?}");
+        assert_eq!(sites[0].src, "u32");
+    }
+
+    #[test]
+    fn float_to_int_is_flagged() {
+        let src = "fn f(x: f64) -> u64 { x.floor() as u64 }\n";
+        let (_, violations) = audit(src);
+        assert_eq!(violations.len(), 1);
+        assert!(violations[0].msg.contains("float→int"));
+    }
+
+    #[test]
+    fn test_code_and_non_library_files_are_exempt() {
+        let src = "#[cfg(test)]\nmod t { fn f(n: u64) { let _ = n as u8; } }\n";
+        assert!(audit(src).1.is_empty());
+        let file = SourceFile::parse(
+            "crates/demo/tests/t.rs",
+            "fn f(n: u64) { let _ = n as u8; }\n",
+        );
+        assert!(audit_file(&file).1.is_empty());
+    }
+
+    #[test]
+    fn non_numeric_as_is_ignored() {
+        let src = "use std::fmt as f;\nfn g(x: &dyn std::any::Any) { let _ = x as *const _; }\n";
+        let file = SourceFile::parse(LIB, "use std::fmt as f;\n");
+        assert!(audit_file(&file).0.is_empty());
+        let _ = src;
+    }
+}

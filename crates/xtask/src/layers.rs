@@ -31,9 +31,7 @@
 use std::collections::BTreeMap;
 use std::path::Path;
 
-use crate::lint::{
-    collect_sources, find_tokens, in_regions, line_of, mask_source, test_regions, Violation,
-};
+use crate::audit::{find_tokens, in_regions, PassOutcome, SourceFile, Violation};
 
 /// One workspace crate: directory prefix, manifest package name, Rust
 /// identifier, and layer rank (lower = further down the stack; `None` =
@@ -157,6 +155,7 @@ fn check_manifest_ranks(root: &Path, violations: &mut Vec<Violation>) -> std::io
                     rule: "crate-rank",
                     path: rel.clone(),
                     line: 1,
+                    col: 1,
                     msg: format!(
                         "`{}` must not depend on `{dep}`: layering is \
                          rankings → minispark → core → datagen → bench → suite \
@@ -181,7 +180,7 @@ fn crate_path_refs(code: &str, ident: &str) -> Vec<usize> {
 /// Checks every source file against the crate-ref rule.
 fn check_source_refs(
     root: &Path,
-    sources: &[(String, String)],
+    sources: &[SourceFile],
     violations: &mut Vec<Violation>,
 ) -> std::io::Result<()> {
     // Manifest deps per package, resolved once.
@@ -196,15 +195,12 @@ fn check_source_refs(
         deps.insert(c.package, manifest_workspace_deps(&manifest));
     }
 
-    for (rel, src) in sources {
+    for file in sources {
+        let rel = &file.rel;
         let Some(owner) = crate_of_path(rel) else {
             continue;
         };
         let (lib_deps, dev_deps) = &deps[owner.package];
-        let (code, _) = mask_source(src);
-        let regions = test_regions(&code);
-        let mut line_starts = vec![0usize];
-        line_starts.extend(src.match_indices('\n').map(|(p, _)| p + 1));
         let test_file = ["tests/", "benches/", "examples/"]
             .iter()
             .any(|d| rel.starts_with(d) || rel.contains(&format!("/{d}")));
@@ -212,16 +208,15 @@ fn check_source_refs(
             if target.ident == owner.ident {
                 continue;
             }
-            for pos in crate_path_refs(&code, target.ident) {
-                let test_context = test_file || in_regions(&regions, pos);
+            for pos in crate_path_refs(&file.code, target.ident) {
+                let test_context = test_file || file.in_test(pos);
                 let allowed = lib_deps.contains(&target.package)
                     || (test_context && dev_deps.contains(&target.package));
                 if !allowed {
-                    violations.push(Violation {
-                        rule: "crate-ref",
-                        path: rel.clone(),
-                        line: line_of(&line_starts, pos),
-                        msg: format!(
+                    violations.push(file.violation(
+                        "crate-ref",
+                        pos,
+                        format!(
                             "`{}::` used in `{}` {} code, but `{}` is not in its manifest's {}",
                             target.ident,
                             owner.package,
@@ -233,7 +228,7 @@ fn check_source_refs(
                                 "[dependencies]"
                             },
                         ),
-                    });
+                    ));
                 }
             }
         }
@@ -326,19 +321,17 @@ fn crate_module_refs(code: &str, regions: &[(usize, usize)]) -> Vec<String> {
 }
 
 /// Checks each crate's intra-crate module graph for cycles.
-fn check_module_cycles(sources: &[(String, String)], violations: &mut Vec<Violation>) {
+fn check_module_cycles(sources: &[SourceFile], violations: &mut Vec<Violation>) {
     // crate package → module → set of referenced modules.
     let mut graphs: BTreeMap<&'static str, BTreeMap<String, Vec<String>>> = BTreeMap::new();
-    for (rel, src) in sources {
-        let Some(owner) = crate_of_path(rel) else {
+    for file in sources {
+        let Some(owner) = crate_of_path(&file.rel) else {
             continue;
         };
-        let Some(module) = module_of_path(owner, rel) else {
+        let Some(module) = module_of_path(owner, &file.rel) else {
             continue;
         };
-        let (code, _) = mask_source(src);
-        let regions = test_regions(&code);
-        let refs = crate_module_refs(&code, &regions);
+        let refs = crate_module_refs(&file.code, file.test_regions());
         graphs
             .entry(owner.package)
             .or_default()
@@ -358,6 +351,7 @@ fn check_module_cycles(sources: &[(String, String)], violations: &mut Vec<Violat
                 rule: "module-cycle",
                 path: format!("{package} (module graph)"),
                 line: 1,
+                col: 1,
                 msg: format!(
                     "intra-crate import cycle: {} — break it by moving the shared \
                      piece into the lower module",
@@ -422,22 +416,17 @@ fn find_cycle(graph: &BTreeMap<String, Vec<String>>) -> Option<Vec<String>> {
     None
 }
 
-/// Runs all three layering rules over the tree under `root`.
-pub(crate) fn layers_tree(root: &Path) -> std::io::Result<Vec<Violation>> {
+/// Runs all three layering rules over the parsed tree.
+pub(crate) fn run(root: &Path, sources: &[SourceFile]) -> std::io::Result<PassOutcome> {
     let mut violations = Vec::new();
     check_manifest_ranks(root, &mut violations)?;
-    let mut sources = Vec::new();
-    for path in collect_sources(root)? {
-        let rel = path
-            .strip_prefix(root)
-            .unwrap_or(&path)
-            .to_string_lossy()
-            .replace('\\', "/");
-        sources.push((rel, std::fs::read_to_string(&path)?));
-    }
-    check_source_refs(root, &sources, &mut violations)?;
-    check_module_cycles(&sources, &mut violations);
-    Ok(violations)
+    check_source_refs(root, sources, &mut violations)?;
+    check_module_cycles(sources, &mut violations);
+    Ok(PassOutcome {
+        pass: "layers",
+        sites: Vec::new(),
+        violations,
+    })
 }
 
 #[cfg(test)]
@@ -500,9 +489,11 @@ mod tests {
     #[test]
     fn module_refs_skip_test_regions() {
         let src = "use crate::alpha::X;\n#[cfg(test)]\nmod tests { use crate::beta::Y; }\n";
-        let (code, _) = mask_source(src);
-        let regions = test_regions(&code);
-        assert_eq!(crate_module_refs(&code, &regions), vec!["alpha"]);
+        let file = SourceFile::parse("crates/minispark/src/demo.rs", src);
+        assert_eq!(
+            crate_module_refs(&file.code, file.test_regions()),
+            vec!["alpha"]
+        );
     }
 
     #[test]

@@ -1,27 +1,45 @@
 //! `xtask` — project-native developer tooling, run as `cargo run -p xtask -- <cmd>`.
 //!
-//! Three commands:
+//! Every command is an analysis **pass** over the shared audit core
+//! (`audit.rs`: masked source model, suppression-tag grammar, ratchet
+//! baseline, JSON report — DESIGN.md §12):
 //!
-//! * `lint [--root <path>]` — static analysis of the workspace source tree
-//!   against the project policy (no `unsafe`, no `.unwrap()`/`panic!` in
-//!   library code, justified `Ordering::Relaxed`, no `todo!`/`dbg!`).
-//! * `layers [--root <path>]` — architectural layering: crate dependencies
-//!   must point strictly down the `rankings → minispark → core → datagen →
-//!   bench` stack, `xtask` stays isolated, and intra-crate module imports
-//!   must be acyclic.
-//! * `atomics [--root <path>]` — atomics audit: every `Ordering::*` site in
-//!   library code is classified by operation; `Relaxed` requires a
-//!   `relaxed(<class>)` tag that actually justifies that operation.
+//! * `lint` — workspace policy: no `unsafe`, no `.unwrap()`/`panic!` in
+//!   library code, justified `Ordering::Relaxed`, no `todo!`/`dbg!`.
+//! * `layers` — architectural layering: crate dependencies point strictly
+//!   down the `rankings → minispark → core → datagen → bench` stack, `xtask`
+//!   stays isolated, intra-crate module imports are acyclic.
+//! * `atomics` — every `Ordering::*` site classified by operation; `Relaxed`
+//!   requires a `relaxed(<class>)` tag justifying that operation.
+//! * `casts` — every numeric `as` cast classified; lossy or uninferable
+//!   casts require a `cast(<why>)` tag or a `From`/`try_from` rewrite.
+//! * `panics` — panic-capable operators (raw indexing, computed divisors)
+//!   on the hot-path file list require a `panics(<invariant>)` tag or a
+//!   checked rewrite.
+//! * `audit` — all five passes in one run, with the ratchet baseline
+//!   enforced and an optional `--json <path>` machine-readable report.
 //!
-//! Each command exits non-zero on any violation, and each analysis also runs
-//! as a `#[test]`, so plain `cargo test` enforces all three policies too.
+//! Flags (any command): `--root <path>` scans a different tree,
+//! `--json <path>` writes the `audit-report/v1` document. Each command exits
+//! non-zero on any enforced violation, and each pass also runs as a
+//! `#[test]`, so plain `cargo test` is the tier-1 gate for all of them.
 
 mod atomics;
+mod audit;
+mod casts;
 mod layers;
 mod lint;
+mod panics;
 
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
+
+use audit::{Baseline, PassOutcome, Violation};
+
+const PASSES: &[&str] = &["lint", "layers", "atomics", "casts", "panics"];
+
+const USAGE: &str =
+    "usage: cargo run -p xtask -- <lint|layers|atomics|casts|panics|audit> [--root <path>] [--json <path>]";
 
 fn workspace_root(explicit: Option<PathBuf>) -> PathBuf {
     if let Some(root) = explicit {
@@ -31,136 +49,167 @@ fn workspace_root(explicit: Option<PathBuf>) -> PathBuf {
     let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
     manifest
         .parent()
-        .and_then(std::path::Path::parent)
-        .map_or(manifest.clone(), std::path::Path::to_path_buf)
+        .and_then(Path::parent)
+        .map_or(manifest.clone(), Path::to_path_buf)
 }
 
-const USAGE: &str = "usage: cargo run -p xtask -- <lint|layers|atomics> [--root <path>]";
+/// Parsed command-line flags shared by every subcommand.
+#[derive(Debug, Default, PartialEq, Eq)]
+struct Flags {
+    root: Option<PathBuf>,
+    json: Option<PathBuf>,
+}
 
-/// Parses the `[--root <path>]` tail shared by every subcommand. A `--root`
-/// flag with no operand is an error (it used to fall back to the workspace
-/// root silently, masking typos like `--root` at the end of a command line).
-fn parse_root(cmd: &str, args: impl Iterator<Item = String>) -> Result<Option<PathBuf>, String> {
+/// Parses the `[--root <path>] [--json <path>]` tail. A flag with no operand
+/// is an error (a silent fallback used to mask typos like a trailing
+/// `--root`).
+fn parse_flags(cmd: &str, args: impl Iterator<Item = String>) -> Result<Flags, String> {
     let mut args = args;
-    let mut root = None;
+    let mut flags = Flags::default();
     while let Some(arg) = args.next() {
-        match arg.as_str() {
-            "--root" => match args.next() {
-                Some(path) => root = Some(PathBuf::from(path)),
-                None => {
-                    return Err(format!(
-                        "xtask {cmd}: `--root` needs a path operand\n{USAGE}"
-                    ))
-                }
-            },
+        let slot = match arg.as_str() {
+            "--root" => &mut flags.root,
+            "--json" => &mut flags.json,
             other => return Err(format!("xtask {cmd}: unknown argument `{other}`\n{USAGE}")),
+        };
+        match args.next() {
+            Some(path) => *slot = Some(PathBuf::from(path)),
+            None => {
+                return Err(format!(
+                    "xtask {cmd}: `{arg}` needs a path operand\n{USAGE}"
+                ))
+            }
         }
     }
-    Ok(root)
+    Ok(flags)
 }
 
-/// Runs one analysis pass and reports its violations uniformly.
-fn run_pass(
-    name: &str,
-    root: &std::path::Path,
-    pass: impl FnOnce(&std::path::Path) -> std::io::Result<Vec<lint::Violation>>,
-    fix_hint: &str,
-) -> ExitCode {
-    match pass(root) {
-        Ok(violations) if violations.is_empty() => {
-            eprintln!("xtask {name}: clean ({})", root.display());
-            ExitCode::SUCCESS
+/// Runs the named passes over one parse of the tree. Returns the outcomes in
+/// the order requested plus the loaded ratchet baseline.
+fn run_passes(root: &Path, which: &[&str]) -> Result<(Vec<PassOutcome>, Baseline), String> {
+    let sources =
+        audit::load_tree(root).map_err(|e| format!("failed to scan {}: {e}", root.display()))?;
+    let baseline = audit::load_baseline(root)?;
+    let mut outcomes = Vec::new();
+    for &name in which {
+        let outcome = match name {
+            "lint" => lint::run(root, &sources),
+            "layers" => layers::run(root, &sources)
+                .map_err(|e| format!("failed to scan {}: {e}", root.display()))?,
+            "atomics" => atomics::run(root, &sources),
+            "casts" => casts::run(root, &sources),
+            "panics" => panics::run(root, &sources),
+            other => return Err(format!("xtask: unknown pass `{other}`\n{USAGE}")),
+        };
+        outcomes.push(outcome);
+    }
+    Ok((outcomes, baseline))
+}
+
+/// Applies the ratchet baseline to raw pass outcomes: violations beyond each
+/// pass's recorded budget fail, and a count below the budget fails too until
+/// the baseline line is lowered. Returns every enforced failure.
+fn enforce(baseline: &Baseline, outcomes: &[PassOutcome]) -> Vec<Violation> {
+    let mut failures = Vec::new();
+    for outcome in outcomes {
+        let (_tolerated, excess) =
+            audit::apply_budget(baseline, outcome.pass, outcome.violations.clone());
+        failures.extend(audit::ratchet(
+            baseline,
+            outcome.pass,
+            outcome.violations.len(),
+        ));
+        failures.extend(excess);
+    }
+    failures
+}
+
+/// Runs `which` under `root`, prints the human report, writes the JSON
+/// report when asked, and returns the process exit code.
+fn run_command(cmd: &str, root: &Path, which: &[&str], json: Option<&Path>) -> ExitCode {
+    let (outcomes, baseline) = match run_passes(root, which) {
+        Ok(x) => x,
+        Err(e) => {
+            eprintln!("xtask {cmd}: {e}");
+            return ExitCode::FAILURE;
         }
-        Ok(violations) => {
-            for v in &violations {
-                eprintln!("{v}");
-            }
+    };
+    for outcome in &outcomes {
+        if which.len() == 1 && !outcome.sites.is_empty() {
             eprintln!(
-                "xtask {name}: {} violation(s). {fix_hint}",
-                violations.len()
+                "xtask {}: {} site(s) audited",
+                outcome.pass,
+                outcome.sites.len()
             );
-            ExitCode::FAILURE
-        }
-        Err(e) => {
-            eprintln!("xtask {name}: failed to scan {}: {e}", root.display());
-            ExitCode::FAILURE
+            for site in &outcome.sites {
+                eprintln!("  {site}");
+            }
+        } else {
+            eprintln!(
+                "xtask {}: {} site(s), {} violation(s), baseline {}",
+                outcome.pass,
+                outcome.sites.len(),
+                outcome.violations.len(),
+                baseline.budget(outcome.pass)
+            );
         }
     }
-}
-
-fn run_atomics(root: &std::path::Path) -> ExitCode {
-    match atomics::audit_tree(root) {
-        Ok((sites, violations)) => {
-            eprintln!("xtask atomics: {} ordering site(s) audited", sites.len());
-            for site in &sites {
-                eprintln!("  {}", site.describe());
-            }
-            if violations.is_empty() {
-                eprintln!("xtask atomics: clean ({})", root.display());
-                ExitCode::SUCCESS
-            } else {
-                for v in &violations {
-                    eprintln!("{v}");
-                }
-                eprintln!(
-                    "xtask atomics: {} violation(s). Tag each Relaxed site with \
-                     `relaxed(<class>)` where the class justifies the operation \
-                     (see crates/xtask/src/atomics.rs).",
-                    violations.len()
-                );
-                ExitCode::FAILURE
-            }
+    if let Some(path) = json {
+        let report = audit::render_report(root, &baseline, &outcomes);
+        if let Err(e) = std::fs::write(path, report) {
+            eprintln!("xtask {cmd}: failed to write {}: {e}", path.display());
+            return ExitCode::FAILURE;
         }
-        Err(e) => {
-            eprintln!("xtask atomics: failed to scan {}: {e}", root.display());
-            ExitCode::FAILURE
+        eprintln!("xtask {cmd}: wrote {}", path.display());
+    }
+    let failures = enforce(&baseline, &outcomes);
+    if failures.is_empty() {
+        eprintln!("xtask {cmd}: clean ({})", root.display());
+        ExitCode::SUCCESS
+    } else {
+        for v in &failures {
+            eprintln!("{v}");
         }
+        eprintln!(
+            "xtask {cmd}: {} violation(s). Fix each site, justify it with the pass's \
+             suppression tag, or (exceptionally) record debt in {} — which may only shrink.",
+            failures.len(),
+            audit::BASELINE_PATH
+        );
+        ExitCode::FAILURE
     }
 }
 
 fn main() -> ExitCode {
     let mut args = std::env::args().skip(1);
-    let cmd = args.next();
-    let Some(cmd) = cmd else {
+    let Some(cmd) = args.next() else {
         eprintln!("{USAGE}");
         return ExitCode::FAILURE;
     };
-    if !matches!(cmd.as_str(), "lint" | "layers" | "atomics") {
+    let which: Vec<&str> = if cmd == "audit" {
+        PASSES.to_vec()
+    } else if let Some(pass) = PASSES.iter().find(|p| **p == cmd) {
+        vec![pass]
+    } else {
         eprintln!("{USAGE}");
         return ExitCode::FAILURE;
-    }
-    let root = match parse_root(&cmd, args) {
-        Ok(root) => workspace_root(root),
+    };
+    let flags = match parse_flags(&cmd, args) {
+        Ok(flags) => flags,
         Err(message) => {
             eprintln!("{message}");
             return ExitCode::FAILURE;
         }
     };
-    match cmd.as_str() {
-        "lint" => run_pass(
-            "lint",
-            &root,
-            lint::lint_tree,
-            "Fix them or (exceptionally, with a reviewer's blessing) add `rule path` \
-             lines to crates/xtask/lint-allow.txt.",
-        ),
-        "layers" => run_pass(
-            "layers",
-            &root,
-            layers::layers_tree,
-            "Dependencies must point strictly down the rankings → minispark → core → \
-             datagen → bench stack, and intra-crate module imports must be acyclic.",
-        ),
-        "atomics" => run_atomics(&root),
-        _ => unreachable!("command validated above"),
-    }
+    let root = workspace_root(flags.root);
+    run_command(&cmd, &root, &which, flags.json.as_deref())
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
-    fn render(violations: &[lint::Violation]) -> String {
+    fn render(violations: &[Violation]) -> String {
         violations
             .iter()
             .map(std::string::ToString::to_string)
@@ -168,31 +217,39 @@ mod tests {
             .join("\n")
     }
 
+    /// Runs one pass over the real workspace and returns its outcome plus
+    /// the enforced failures — the body of every tier-1 gate below.
+    fn workspace_gate(pass: &'static str) -> (PassOutcome, Vec<Violation>) {
+        let root = workspace_root(None);
+        let (mut outcomes, baseline) =
+            run_passes(&root, &[pass]).expect("workspace tree must be readable");
+        let failures = enforce(&baseline, &outcomes);
+        (outcomes.remove(0), failures)
+    }
+
     /// The policy gate: `cargo test` fails on any lint violation in the
     /// workspace tree, keeping CI and local runs honest without a separate
     /// tool invocation.
     #[test]
     fn workspace_is_lint_clean() {
-        let root = workspace_root(None);
-        let violations = lint::lint_tree(&root).expect("workspace tree must be readable");
+        let (_, failures) = workspace_gate("lint");
         assert!(
-            violations.is_empty(),
+            failures.is_empty(),
             "xtask lint found {} violation(s):\n{}",
-            violations.len(),
-            render(&violations)
+            failures.len(),
+            render(&failures)
         );
     }
 
     /// The layering gate: crate ranks and intra-crate module acyclicity.
     #[test]
     fn workspace_layers_are_clean() {
-        let root = workspace_root(None);
-        let violations = layers::layers_tree(&root).expect("workspace tree must be readable");
+        let (_, failures) = workspace_gate("layers");
         assert!(
-            violations.is_empty(),
+            failures.is_empty(),
             "xtask layers found {} violation(s):\n{}",
-            violations.len(),
-            render(&violations)
+            failures.len(),
+            render(&failures)
         );
     }
 
@@ -200,20 +257,147 @@ mod tests {
     /// class tag that justifies its operation.
     #[test]
     fn workspace_atomics_are_clean() {
-        let root = workspace_root(None);
-        let (sites, violations) =
-            atomics::audit_tree(&root).expect("workspace tree must be readable");
+        let (outcome, failures) = workspace_gate("atomics");
         assert!(
-            !sites.is_empty(),
+            !outcome.sites.is_empty(),
             "the audit should see the executor's atomics — scanning the wrong tree?"
         );
         assert!(
-            violations.is_empty(),
+            failures.is_empty(),
             "xtask atomics found {} violation(s):\n{}",
-            violations.len(),
-            render(&violations)
+            failures.len(),
+            render(&failures)
         );
     }
+
+    /// The cast-soundness gate: every numeric `as` cast in library code is
+    /// value-preserving, justified with a `cast(<why>)` tag, or recorded
+    /// (shrinking-only) in the baseline.
+    #[test]
+    fn workspace_casts_are_clean() {
+        let (outcome, failures) = workspace_gate("casts");
+        assert!(
+            !outcome.sites.is_empty(),
+            "the audit should see the workspace's casts — scanning the wrong tree?"
+        );
+        assert!(
+            failures.is_empty(),
+            "xtask casts found {} violation(s):\n{}",
+            failures.len(),
+            render(&failures)
+        );
+    }
+
+    /// The panic-freedom gate: raw indexing and computed divisors on the
+    /// hot-path files carry `panics(<invariant>)` tags or checked rewrites.
+    #[test]
+    fn workspace_panics_are_clean() {
+        let (outcome, failures) = workspace_gate("panics");
+        assert!(
+            !outcome.sites.is_empty(),
+            "the audit should see hot-path index/div sites — scanning the wrong tree?"
+        );
+        assert!(
+            failures.is_empty(),
+            "xtask panics found {} violation(s):\n{}",
+            failures.len(),
+            render(&failures)
+        );
+    }
+
+    // -- ratchet fixture ----------------------------------------------------
+    //
+    // `fixtures/ratchet-demo` is a committed mini-tree with exactly one
+    // unjustified cast (recorded in its own audit-baseline.txt). It is not a
+    // workspace member and `collect_sources` skips `fixtures` dirs, so the
+    // workspace gates above never see it.
+
+    fn fixture_root() -> PathBuf {
+        PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("fixtures/ratchet-demo")
+    }
+
+    #[test]
+    fn fixture_debt_is_tolerated_at_its_recorded_budget() {
+        let (outcomes, baseline) =
+            run_passes(&fixture_root(), &["casts"]).expect("fixture tree must be readable");
+        assert_eq!(
+            outcomes[0].violations.len(),
+            1,
+            "the fixture carries exactly one unjustified cast:\n{}",
+            render(&outcomes[0].violations)
+        );
+        assert_eq!(
+            baseline.budget("casts"),
+            1,
+            "recorded in the fixture baseline"
+        );
+        let failures = enforce(&baseline, &outcomes);
+        assert!(failures.is_empty(), "{}", render(&failures));
+    }
+
+    #[test]
+    fn an_unjustified_new_cast_fails_the_gate() {
+        let root = fixture_root();
+        let mut sources = audit::load_tree(&root).expect("fixture tree must be readable");
+        sources.push(audit::SourceFile::parse(
+            "crates/demo/src/extra.rs",
+            "pub fn f(x: u64) -> u16 { x as u16 }\n",
+        ));
+        let outcome = casts::run(&root, &sources);
+        let baseline = audit::load_baseline(&root).expect("fixture baseline parses");
+        let failures = enforce(&baseline, &[outcome]);
+        assert_eq!(failures.len(), 1, "{}", render(&failures));
+        assert_eq!(failures[0].rule, "cast-audit");
+        assert_eq!(failures[0].path, "crates/demo/src/extra.rs");
+    }
+
+    #[test]
+    fn an_unjustified_new_index_fails_the_gate() {
+        // The panics pass scopes to HOT_PATHS, so stage the fixture source
+        // under a hot path name.
+        let hot = audit::SourceFile::parse(
+            "crates/core/src/kernels.rs",
+            "pub fn f(xs: &[u32], i: usize) -> u32 { xs[i] }\n",
+        );
+        let outcome = panics::run(Path::new("."), &[hot]);
+        let failures = enforce(&Baseline::default(), &[outcome]);
+        assert_eq!(failures.len(), 1, "{}", render(&failures));
+        assert_eq!(failures[0].rule, "panics-audit");
+    }
+
+    #[test]
+    fn fixing_recorded_debt_forces_the_baseline_down() {
+        // Simulate the fixture's one debt site being fixed: the pass now
+        // reports zero, the baseline still budgets one — ratchet-stale.
+        let root = fixture_root();
+        let baseline = audit::load_baseline(&root).expect("fixture baseline parses");
+        let clean = PassOutcome {
+            pass: "casts",
+            sites: Vec::new(),
+            violations: Vec::new(),
+        };
+        let failures = enforce(&baseline, &[clean]);
+        assert_eq!(failures.len(), 1, "{}", render(&failures));
+        assert_eq!(failures[0].rule, "ratchet-stale");
+        assert!(failures[0].msg.contains("lower the `casts` line"));
+    }
+
+    #[test]
+    fn the_workspace_baseline_is_all_zero() {
+        // The real tree carries no recorded debt: every budget in the
+        // committed baseline must be zero, so the gates above are strict.
+        let baseline =
+            audit::load_baseline(&workspace_root(None)).expect("workspace baseline parses");
+        for pass in PASSES {
+            assert_eq!(
+                baseline.budget(pass),
+                0,
+                "pass `{pass}` carries recorded debt — burn it down instead"
+            );
+        }
+    }
+
+    // -- CLI plumbing -------------------------------------------------------
 
     #[test]
     fn workspace_root_prefers_the_explicit_path() {
@@ -233,24 +417,44 @@ mod tests {
     }
 
     #[test]
-    fn parse_root_accepts_a_path_operand() {
-        let args = ["--root".to_string(), "/tmp/tree".to_string()];
-        let root = parse_root("lint", args.into_iter()).expect("valid flags");
-        assert_eq!(root, Some(PathBuf::from("/tmp/tree")));
+    fn parse_flags_accepts_root_and_json() {
+        let args = [
+            "--root".to_string(),
+            "/tmp/tree".to_string(),
+            "--json".to_string(),
+            "report.json".to_string(),
+        ];
+        let flags = parse_flags("audit", args.into_iter()).expect("valid flags");
+        assert_eq!(flags.root, Some(PathBuf::from("/tmp/tree")));
+        assert_eq!(flags.json, Some(PathBuf::from("report.json")));
     }
 
     #[test]
-    fn parse_root_rejects_a_missing_operand() {
-        let args = ["--root".to_string()];
-        let err = parse_root("lint", args.into_iter()).expect_err("missing operand");
-        assert!(err.contains("needs a path operand"), "{err}");
-        assert!(err.contains("usage:"), "{err}");
+    fn parse_flags_rejects_a_missing_operand() {
+        for flag in ["--root", "--json"] {
+            let args = [flag.to_string()];
+            let err = parse_flags("lint", args.into_iter()).expect_err("missing operand");
+            assert!(err.contains("needs a path operand"), "{err}");
+            assert!(err.contains("usage:"), "{err}");
+        }
     }
 
     #[test]
-    fn parse_root_rejects_unknown_flags() {
+    fn parse_flags_rejects_unknown_flags() {
         let args = ["--frobnicate".to_string()];
-        let err = parse_root("layers", args.into_iter()).expect_err("unknown flag");
+        let err = parse_flags("layers", args.into_iter()).expect_err("unknown flag");
         assert!(err.contains("unknown argument `--frobnicate`"), "{err}");
+    }
+
+    #[test]
+    fn the_json_report_covers_every_pass() {
+        let root = workspace_root(None);
+        let (outcomes, baseline) =
+            run_passes(&root, PASSES).expect("workspace tree must be readable");
+        let json = audit::render_report(&root, &baseline, &outcomes);
+        for pass in PASSES {
+            assert!(json.contains(&format!("\"pass\": \"{pass}\"")), "{pass}");
+        }
+        assert!(json.contains("\"schema\": \"audit-report/v1\""));
     }
 }

@@ -1,0 +1,376 @@
+//! The `panics` pass — `cargo run -p xtask -- panics` (and `-- audit`).
+//!
+//! The lint pass already bans `panic!`/`unwrap` in library code, but Rust
+//! panics through operators too: `xs[i]` and `x / y` compile silently and
+//! abort the whole join at runtime. On the verification hot path a panic is
+//! not a diagnostic — it kills a worker mid-shuffle and the driver reports a
+//! wrong (partial) join result as an I/O failure. This pass audits the
+//! **hot-path files** (the explicit `HOT_PATHS` list below: distance kernels,
+//! candidate generation, partitioning, spill/codec) for the two
+//! panic-capable operator families the team actually writes:
+//!
+//! * **raw indexing** — `xs[i]`, `map[&k]`, `slice[a..b]`. Out of bounds or
+//!   a missing key panics. Every site needs a `panics(<invariant>)` tag
+//!   naming the invariant that bounds the index, or a rewrite onto
+//!   `get`/`get_mut`/iterators/`split_at`/pattern matching.
+//! * **division/remainder by a non-literal** — `x / n`, `x % n` where `n`
+//!   is not a literal constant. Zero panics (integers) and literal divisors
+//!   are trivially non-zero, so only computed divisors need a
+//!   `panics(<invariant>)` tag or a guarded rewrite (`checked_div`,
+//!   explicit `if n == 0` handling). Lines that mention `f32`/`f64` are
+//!   skipped: float division never panics.
+//!
+//! Deliberately out of scope: overflow in `+`/`-`/`*` (wraps in release;
+//! PR 1's `debug_assert!` layer and the `casts` pass own value-range
+//! discipline) and indexing in cold paths (config parsing, report
+//! formatting), where a panic is an acceptable assertion. The list of hot
+//! paths is code, not config — extending it is a reviewed change.
+
+use std::path::Path;
+
+use crate::audit::{PassOutcome, SourceFile, Violation};
+
+/// The files whose panic-capability this pass audits. Root-relative paths;
+/// extend this list when a new file joins the per-pair / per-record path.
+pub(crate) const HOT_PATHS: &[&str] = &[
+    // rankings: per-pair distance/verification kernels.
+    "crates/rankings/src/distance.rs",
+    "crates/rankings/src/ordered.rs",
+    "crates/rankings/src/bounds.rs",
+    "crates/rankings/src/varlen.rs",
+    "crates/rankings/src/jaccard.rs",
+    "crates/rankings/src/verify.rs",
+    // core: candidate generation and the driver pipeline's inner loops.
+    "crates/core/src/kernels.rs",
+    "crates/core/src/pipeline.rs",
+    "crates/core/src/index.rs",
+    // minispark: partitioning, skew splitting, spill and codec inner loops.
+    "crates/minispark/src/shuffle.rs",
+    "crates/minispark/src/skew.rs",
+    "crates/minispark/src/spill.rs",
+    "crates/minispark/src/codec.rs",
+    "crates/minispark/src/executor.rs",
+];
+
+/// One audited panic-capable site.
+pub(crate) struct Site {
+    pub path: String,
+    pub line: usize,
+    /// `"index"` or `"div"`.
+    pub kind: &'static str,
+    /// A short excerpt of the offending code.
+    pub excerpt: String,
+    /// The `panics(<invariant>)` tag found, if any.
+    pub tag: Option<String>,
+}
+
+impl Site {
+    pub(crate) fn describe(&self) -> String {
+        format!(
+            "{}:{}: {} `{}` [{}]",
+            self.path,
+            self.line,
+            self.kind,
+            self.excerpt,
+            self.tag.as_deref().unwrap_or("-"),
+        )
+    }
+}
+
+fn is_ident_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// A short single-line excerpt of the code around `pos`.
+fn excerpt(code: &str, pos: usize) -> String {
+    let bytes = code.as_bytes();
+    let start = code[..pos].rfind('\n').map_or(0, |p| p + 1);
+    let end = code[pos..].find('\n').map_or(code.len(), |p| pos + p);
+    let line = code[start..end].trim();
+    let _ = bytes;
+    if line.len() > 60 {
+        let mut cut = 57;
+        while cut > 0 && !line.is_char_boundary(cut) {
+            cut -= 1;
+        }
+        format!("{}…", &line[..cut])
+    } else {
+        line.to_string()
+    }
+}
+
+/// Raw-index detection: a `[` directly preceded (no whitespace) by an
+/// identifier character, `)` or `]` is an `Index` operation on an
+/// expression. This shape excludes attribute brackets (`#[...]`), macro
+/// brackets (`vec![...]` ends in `!`), array types (`[u32; 4]` follows
+/// `:`/`(`/whitespace) and array literals.
+fn is_raw_index(code: &str, pos: usize) -> bool {
+    let bytes = code.as_bytes();
+    if pos == 0 {
+        return false;
+    }
+    let prev = bytes[pos - 1];
+    is_ident_byte(prev) || prev == b')' || prev == b']'
+}
+
+/// Division/remainder with a non-literal right-hand side. `/` doubling as
+/// comment syntax never appears in the masked code view, but `/=`, `%=`,
+/// closure pipes and paths still need care. Returns the divisor excerpt
+/// when the site needs auditing.
+fn nonliteral_divisor(code: &str, pos: usize) -> Option<()> {
+    let bytes = code.as_bytes();
+    let op = bytes[pos];
+    // `%` in a format string is masked already; `/` here can only be the
+    // operator or part of `/=` (also a division).
+    let mut j = pos + 1;
+    if op == b'/' && matches!(bytes.get(j), Some(b'/') | Some(b'*')) {
+        return None; // defensive: masked comments leave no `//`, but cheap
+    }
+    if bytes.get(j) == Some(&b'=') {
+        j += 1; // `/=` and `%=`
+    }
+    while j < bytes.len() && (bytes[j] == b' ' || bytes[j] == b'\t') {
+        j += 1;
+    }
+    let b = *bytes.get(j)?;
+    if b.is_ascii_digit() {
+        // Literal divisor: non-zero unless it *is* zero — `/ 0` would be a
+        // compile error (unconditional panic lint), so treat as safe.
+        return None;
+    }
+    if b == b'\n' {
+        // Operator at end of line: divisor on the next line, rare enough to
+        // just audit it.
+        return Some(());
+    }
+    Some(())
+}
+
+/// True when the statement around `pos` mentions a float type or float-ish
+/// method, in which case `/`/`%` cannot panic.
+fn floatish_context(code: &str, pos: usize) -> bool {
+    let start = code[..pos].rfind([';', '{', '}']).map_or(0, |p| p + 1);
+    let end = code[pos..]
+        .find([';', '{', '}'])
+        .map_or(code.len(), |p| pos + p);
+    let window = &code[start..end];
+    [
+        "f64", "f32", ".0e", "sqrt", "floor", "ceil", "powi", "powf", "1.0", "0.5", "2.0", "100.0",
+    ]
+    .iter()
+    .any(|needle| window.contains(needle))
+}
+
+/// The identifier ending directly before `pos` (whitespace skipped), if any.
+fn ident_ending_before(code: &str, pos: usize) -> Option<&str> {
+    let bytes = code.as_bytes();
+    let mut end = pos;
+    while end > 0 && bytes[end - 1].is_ascii_whitespace() {
+        end -= 1;
+    }
+    let mut start = end;
+    while start > 0 && is_ident_byte(bytes[start - 1]) {
+        start -= 1;
+    }
+    (start < end).then(|| &code[start..end])
+}
+
+/// The identifier starting directly after `pos` (whitespace skipped), if any.
+fn ident_starting_after(code: &str, pos: usize) -> Option<&str> {
+    let bytes = code.as_bytes();
+    let mut start = pos;
+    while start < bytes.len() && bytes[start].is_ascii_whitespace() {
+        start += 1;
+    }
+    let mut end = start;
+    while end < bytes.len() && is_ident_byte(bytes[end]) {
+        end += 1;
+    }
+    (start < end && !bytes[start].is_ascii_digit()).then(|| &code[start..end])
+}
+
+/// Whether either operand of the `/`/`%` at `pos` is an identifier the
+/// same-file annotations bind to `f32`/`f64` (Rust never mixes operand
+/// types, so one float operand makes the division float division).
+fn float_operand(code: &str, pos: usize, floats: &[String]) -> bool {
+    let mut after = pos + 1;
+    if code.as_bytes().get(after) == Some(&b'=') {
+        after += 1; // `/=` and `%=`
+    }
+    let lhs = ident_ending_before(code, pos);
+    let rhs = ident_starting_after(code, after);
+    [lhs, rhs]
+        .into_iter()
+        .flatten()
+        .any(|name| floats.iter().any(|f| f == name))
+}
+
+/// Audits one parsed file (callers filter to `HOT_PATHS`).
+pub(crate) fn audit_file(file: &SourceFile) -> (Vec<Site>, Vec<Violation>) {
+    let mut sites = Vec::new();
+    let mut violations = Vec::new();
+    let code = &file.code;
+    let bytes = code.as_bytes();
+    // Identifiers the same-file annotations bind to a float type: a division
+    // with one of these as an operand is float division and cannot panic.
+    let floats: Vec<String> = crate::casts::binding_types(code)
+        .into_iter()
+        .filter_map(|(name, ty)| {
+            use crate::casts::NumTy;
+            matches!(ty, Some(NumTy::F32 | NumTy::F64)).then_some(name)
+        })
+        .collect();
+
+    let push_site =
+        |pos: usize, kind: &'static str, sites: &mut Vec<Site>, violations: &mut Vec<Violation>| {
+            let line = file.line_of(pos);
+            let tag = file.tag("panics", line);
+            if tag.is_none() {
+                let (what, fix) = match kind {
+                "index" => (
+                    "raw index — out of bounds panics on the hot path",
+                    "use `get`/iterators/`split_at`, or state the bounding invariant in a \
+                     `panics(<invariant>)` tag (same line or ≤3 lines above)",
+                ),
+                _ => (
+                    "division/remainder by a computed value — zero panics on the hot path",
+                    "guard the divisor, use `checked_div`, or state the non-zero invariant in a \
+                     `panics(<invariant>)` tag (same line or ≤3 lines above)",
+                ),
+            };
+                violations.push(file.violation("panics-audit", pos, format!("{what}; {fix}")));
+            }
+            sites.push(Site {
+                path: file.rel.clone(),
+                line,
+                kind,
+                excerpt: excerpt(code, pos),
+                tag,
+            });
+        };
+
+    for pos in 0..bytes.len() {
+        if file.in_test(pos) {
+            continue;
+        }
+        match bytes[pos] {
+            b'[' if is_raw_index(code, pos) => {
+                push_site(pos, "index", &mut sites, &mut violations);
+            }
+            b'/' | b'%' => {
+                // Skip the left operand's absence (unary context can't
+                // produce `/` or `%`) and literal/float divisors.
+                if nonliteral_divisor(code, pos).is_some()
+                    && !floatish_context(code, pos)
+                    && !float_operand(code, pos, &floats)
+                {
+                    push_site(pos, "div", &mut sites, &mut violations);
+                }
+            }
+            _ => {}
+        }
+    }
+    (sites, violations)
+}
+
+/// Audits the hot-path files of the parsed tree.
+pub(crate) fn run(_root: &Path, sources: &[SourceFile]) -> PassOutcome {
+    let mut sites = Vec::new();
+    let mut violations = Vec::new();
+    for file in sources {
+        if !HOT_PATHS.contains(&file.rel.as_str()) {
+            continue;
+        }
+        let (s, v) = audit_file(file);
+        sites.extend(s.iter().map(Site::describe));
+        violations.extend(v);
+    }
+    PassOutcome {
+        pass: "panics",
+        sites,
+        violations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const HOT: &str = "crates/rankings/src/distance.rs";
+
+    fn audit(src: &str) -> (Vec<Site>, Vec<Violation>) {
+        audit_file(&SourceFile::parse(HOT, src))
+    }
+
+    #[test]
+    fn raw_index_needs_a_tag() {
+        let bad = "fn f(xs: &[u32], i: usize) -> u32 { xs[i] }\n";
+        let (sites, violations) = audit(bad);
+        assert_eq!(violations.len(), 1);
+        assert_eq!(sites[0].kind, "index");
+        assert!(violations[0].msg.contains("raw index"));
+
+        let good = "fn f(xs: &[u32], i: usize) -> u32 {\n    // panics(i < xs.len() — caller clamps to k)\n    xs[i]\n}\n";
+        assert!(audit(good).1.is_empty());
+    }
+
+    #[test]
+    fn attributes_macros_and_types_are_not_indexing() {
+        let src = "#[derive(Clone)]\nfn f() -> Vec<u32> { let a: [u32; 2] = [1, 2]; vec![3, 4] }\n";
+        let (sites, violations) = audit(src);
+        assert!(violations.is_empty(), "{violations:?}");
+        assert!(sites.is_empty());
+    }
+
+    #[test]
+    fn slice_of_call_result_is_indexing() {
+        let src = "fn f(v: &Vec<Vec<u32>>) -> u32 { v.last().expect(\"non-empty\")[0] }\n";
+        let (sites, _) = audit(src);
+        assert_eq!(sites.len(), 1);
+        assert_eq!(sites[0].kind, "index");
+    }
+
+    #[test]
+    fn computed_divisor_needs_a_tag_but_literal_does_not() {
+        let bad = "fn f(total: u64, n: u64) -> u64 { total / n }\n";
+        let (sites, violations) = audit(bad);
+        assert_eq!(violations.len(), 1);
+        assert_eq!(sites[0].kind, "div");
+
+        let literal = "fn f(total: u64) -> u64 { total / 2 + total % 8 }\n";
+        assert!(audit(literal).1.is_empty());
+
+        let tagged = "fn f(total: u64, n: u64) -> u64 {\n    // panics(n = num_partitions ≥ 1, validated in Config::new)\n    total / n\n}\n";
+        assert!(audit(tagged).1.is_empty());
+    }
+
+    #[test]
+    fn float_division_is_exempt() {
+        let src = "fn f(a: f64, b: f64) -> f64 { a / b }\n";
+        assert!(audit(src).1.is_empty());
+    }
+
+    #[test]
+    fn test_regions_are_exempt() {
+        let src = "#[cfg(test)]\nmod t { fn f(xs: &[u32]) -> u32 { xs[0] } }\n";
+        assert!(audit(src).1.is_empty());
+    }
+
+    #[test]
+    fn only_hot_paths_are_audited_by_run() {
+        let cold = SourceFile::parse(
+            "crates/core/src/report.rs",
+            "fn f(xs: &[u32], i: usize) -> u32 { xs[i] }\n",
+        );
+        let hot = SourceFile::parse(HOT, "fn f(xs: &[u32], i: usize) -> u32 { xs[i] }\n");
+        let outcome = run(Path::new("."), &[cold, hot]);
+        assert_eq!(outcome.violations.len(), 1);
+        assert!(outcome.violations[0].path.contains("distance.rs"));
+    }
+
+    #[test]
+    fn comments_and_strings_never_trip_the_rules() {
+        let src = "// xs[i] and a / b in prose\nfn f() -> &'static str { \"xs[i] % n\" }\n";
+        assert!(audit(src).1.is_empty());
+    }
+}
