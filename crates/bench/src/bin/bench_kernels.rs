@@ -26,7 +26,7 @@
 use std::hint::black_box;
 use std::path::PathBuf;
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use minispark::trace::{ExecutorAnalytics, StageAnalytics};
 use minispark::{Cluster, ClusterConfig, Json, TraceCollector};
@@ -97,7 +97,7 @@ fn median_secs(trials: usize, warmup: usize, mut f: impl FnMut() -> u64) -> f64 
             samples.push(elapsed);
         }
     }
-    samples.sort_by(|a, b| a.total_cmp(b));
+    samples.sort_by(f64::total_cmp);
     let mid = samples.len() / 2;
     if samples.len() % 2 == 1 {
         samples[mid]
@@ -396,6 +396,35 @@ fn bench_skew(opts: &Opts) -> Json {
          ({} split, {} chunks, {} steals)",
         auto.stats.posting_lists_split, auto.stats.skew_chunks, auto.stats.skew_steals,
     );
+
+    // Telemetry ablation: the identical Auto run with the live metrics plane
+    // off vs. on (registry + heartbeat sampler). The record path is a few
+    // relaxed atomic adds per task, so the budget is ≤2% of join wall.
+    let ablation_trials = if opts.quick { 1 } else { 3 };
+    let ablation = |telemetry: bool| -> f64 {
+        median_secs(ablation_trials, 1, || {
+            let mut cluster_config = ClusterConfig::local(slots);
+            if telemetry {
+                cluster_config = cluster_config.with_heartbeat(Duration::from_millis(250));
+            }
+            let cluster = Cluster::new(cluster_config);
+            let config = JoinConfig::new(THETA)
+                .with_prefix(PrefixKind::Ordered)
+                .with_skew(SkewBudget::Auto);
+            let outcome = vj_join(&cluster, &data, &config).expect("join runs");
+            outcome.pairs.len() as u64
+        })
+    };
+    let telemetry_off_secs = ablation(false);
+    let telemetry_on_secs = ablation(true);
+    let telemetry_overhead_pct =
+        (telemetry_on_secs - telemetry_off_secs) / telemetry_off_secs * 100.0;
+    println!(
+        "telem  n={n:<6} join wall off {:9.1} ms → telemetry+heartbeat {:9.1} ms  ({:+.2}%)",
+        telemetry_off_secs * 1e3,
+        telemetry_on_secs * 1e3,
+        telemetry_overhead_pct,
+    );
     Json::obj()
         .with("dataset", Json::str(&profile.name))
         .with("records", Json::num_usize(n))
@@ -416,6 +445,9 @@ fn bench_skew(opts: &Opts) -> Json {
         .with("skew_steals", Json::num_u64(auto.stats.skew_steals))
         .with("off_seconds", Json::num(off.seconds))
         .with("auto_seconds", Json::num(auto.seconds))
+        .with("telemetry_off_seconds", Json::num(telemetry_off_secs))
+        .with("telemetry_on_seconds", Json::num(telemetry_on_secs))
+        .with("telemetry_overhead_pct", Json::num(telemetry_overhead_pct))
 }
 
 fn main() {
@@ -438,7 +470,7 @@ fn main() {
     let headline = verify
         .iter()
         .find(|row| row.get("k").and_then(Json::as_u64) == Some(20))
-        .map(|row| {
+        .map_or(Json::Null, |row| {
             Json::obj()
                 .with("k", Json::num_usize(20))
                 .with("speedup", row.get("speedup").cloned().unwrap_or(Json::Null))
@@ -446,8 +478,7 @@ fn main() {
                     "speedup_full",
                     row.get("speedup_full").cloned().unwrap_or(Json::Null),
                 )
-        })
-        .unwrap_or(Json::Null);
+        });
 
     let doc = Json::obj()
         .with("schema", Json::str("topk-simjoin/bench-kernels/v1"))

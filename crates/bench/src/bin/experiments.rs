@@ -4,29 +4,33 @@
 //! ```text
 //! experiments [fig6|fig7|fig8|fig9|fig10|fig11|fig12|fig13|table3|all] …
 //!             [--scale <f>] [--trace-out <path>] [--report-out <path>]
+//!             [--live-port <port>] [--metrics-out <path>]
 //!
 //! TOPK_SCALE=2.0 experiments fig6     # run at twice the default size
 //! experiments fig6 --scale 0.05 --trace-out trace.json --report-out run.json
+//! experiments fig8 --live-port 9898   # curl localhost:9898/metrics mid-run
 //! ```
 //!
 //! Results are printed to stdout and also written to `results/<id>.csv`.
 //! With `--trace-out`, every run records onto one shared trace timeline and
 //! a Chrome `trace_event` document (Perfetto-loadable) is written at the
 //! end; with `--report-out`, one JSON run report per measured run (metrics,
-//! stats, configs, executor analytics) is written. `--scale` is a
+//! stats, configs, executor analytics, heartbeat) is written. `--live-port`
+//! serves live Prometheus `/metrics` and JSON `/snapshot` for the run in
+//! flight (port 0 picks an ephemeral port), and `--metrics-out` writes every
+//! run's final telemetry snapshot as one JSON batch; either flag switches
+//! measured clusters to telemetry + heartbeat mode. `--scale` is a
 //! command-line synonym for the `TOPK_SCALE` environment variable.
 
 use std::path::PathBuf;
 
 use minispark::Json;
-use topk_bench::capture::Capture;
+use topk_bench::capture::{Capture, CaptureSettings};
 use topk_bench::figures;
 use topk_bench::report::{print_csv, write_csv, Row};
 
 fn results_dir() -> PathBuf {
-    std::env::var("TOPK_RESULTS_DIR")
-        .map(PathBuf::from)
-        .unwrap_or_else(|_| PathBuf::from("results"))
+    std::env::var("TOPK_RESULTS_DIR").map_or_else(|_| PathBuf::from("results"), PathBuf::from)
 }
 
 fn run_figure(id: &str) -> bool {
@@ -95,19 +99,23 @@ struct Options {
     ids: Vec<String>,
     trace_out: Option<String>,
     report_out: Option<String>,
+    live_port: Option<u16>,
+    metrics_out: Option<String>,
 }
 
-/// Splits `--scale` / `--trace-out` / `--report-out` (each taking one value)
-/// from the experiment ids. `--scale` is applied to `TOPK_SCALE` right here,
-/// before any workload is built.
+/// Splits the value-taking flags (`--scale`, `--trace-out`, `--report-out`,
+/// `--live-port`, `--metrics-out`) from the experiment ids. `--scale` is
+/// applied to `TOPK_SCALE` right here, before any workload is built.
 fn parse_args(args: Vec<String>) -> Result<Options, String> {
     let mut ids = Vec::new();
     let mut trace_out = None;
     let mut report_out = None;
+    let mut live_port = None;
+    let mut metrics_out = None;
     let mut iter = args.into_iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
-            "--scale" | "--trace-out" | "--report-out" => {
+            "--scale" | "--trace-out" | "--report-out" | "--live-port" | "--metrics-out" => {
                 let value = iter
                     .next()
                     .ok_or_else(|| format!("{arg} requires a value"))?;
@@ -121,7 +129,15 @@ fn parse_args(args: Vec<String>) -> Result<Options, String> {
                         std::env::set_var("TOPK_SCALE", &value);
                     }
                     "--trace-out" => trace_out = Some(value),
-                    _ => report_out = Some(value),
+                    "--report-out" => report_out = Some(value),
+                    "--live-port" => {
+                        live_port = Some(
+                            value
+                                .parse::<u16>()
+                                .map_err(|_| format!("--live-port {value}: not a port number"))?,
+                        );
+                    }
+                    _ => metrics_out = Some(value),
                 }
             }
             other if other.starts_with("--") => {
@@ -134,6 +150,8 @@ fn parse_args(args: Vec<String>) -> Result<Options, String> {
         ids,
         trace_out,
         report_out,
+        live_port,
+        metrics_out,
     })
 }
 
@@ -142,6 +160,8 @@ fn main() {
         ids: args,
         trace_out,
         report_out,
+        live_port,
+        metrics_out,
     } = match parse_args(std::env::args().skip(1).collect()) {
         Ok(options) => options,
         Err(message) => {
@@ -149,8 +169,15 @@ fn main() {
             std::process::exit(2);
         }
     };
-    let capture = if trace_out.is_some() || report_out.is_some() {
-        Some(Capture::install())
+    let capture = if trace_out.is_some()
+        || report_out.is_some()
+        || live_port.is_some()
+        || metrics_out.is_some()
+    {
+        Some(Capture::install_with(CaptureSettings {
+            live_port,
+            metrics_out: metrics_out.clone().map(PathBuf::from),
+        }))
     } else {
         None
     };
@@ -169,7 +196,7 @@ fn main() {
             "phases",
         ]
         .iter()
-        .map(|s| s.to_string())
+        .map(std::string::ToString::to_string)
         .collect()
     } else {
         args
@@ -207,5 +234,9 @@ fn main() {
             std::process::exit(1);
         }
         write_output(&path, &doc.render(), "run report");
+    }
+    if let Some(path) = metrics_out {
+        let doc = capture.metrics_document();
+        write_output(&path, &doc.render(), "telemetry snapshots");
     }
 }

@@ -41,7 +41,7 @@ pub struct Workload {
 impl Workload {
     /// Ranking length of the workload.
     pub fn k(&self) -> usize {
-        self.data.first().map_or(0, |r| r.k())
+        self.data.first().map_or(0, topk_rankings::Ranking::k)
     }
 }
 

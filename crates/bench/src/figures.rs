@@ -59,12 +59,22 @@ pub fn measure_with_sim_slots(
     config: &JoinConfig,
 ) -> Row {
     let capture = crate::capture::Capture::active();
+    // An installed capture may switch on telemetry + heartbeat for every
+    // measured cluster (live endpoint, snapshot export).
+    let exec_config = match capture {
+        Some(cap) => cap.cluster_config(exec_config),
+        None => exec_config,
+    };
     let cluster = match capture {
         // Forked collector: the run records onto its own buffer (isolated
         // analytics) while sharing the capture's epoch (one timeline).
         Some(cap) => Cluster::with_trace(exec_config.clone(), cap.trace().fork()),
         None => Cluster::new(exec_config.clone()),
     };
+    if let Some(cap) = capture {
+        // Swap this run's registry into the shared live endpoint.
+        cap.attach(&cluster);
+    }
     let run_span = cluster.trace().span(format!(
         "run/{figure}/{}/{}@{}",
         workload.name,
@@ -87,6 +97,7 @@ pub fn measure_with_sim_slots(
             sim_slots,
         ));
         cap.trace().extend(cluster.trace().snapshot().events);
+        cap.finish_run(&cluster);
     }
     Row {
         figure,
@@ -108,7 +119,7 @@ pub fn measure_with_sim_slots(
 
 /// Execution config: the host's real parallelism (clean per-task timings).
 fn harness_exec() -> ClusterConfig {
-    let slots = std::thread::available_parallelism().map_or(8, |p| p.get());
+    let slots = std::thread::available_parallelism().map_or(8, std::num::NonZero::get);
     // 286 reduce partitions, like the paper's runs.
     ClusterConfig::local(slots).with_default_partitions(286)
 }

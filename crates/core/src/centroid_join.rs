@@ -143,7 +143,8 @@ mod tests {
         let config = JoinConfig::new(theta).with_cluster_threshold(theta_c);
         let all: Vec<Ranking> = cm.iter().chain(cs.iter()).cloned().collect();
         let k = all[0].k();
-        let cm_ids: std::collections::HashSet<u64> = cm.iter().map(|r| r.id()).collect();
+        let cm_ids: std::collections::HashSet<u64> =
+            cm.iter().map(topk_rankings::Ranking::id).collect();
         let ordered = order_rankings(&cluster, &all, PrefixKind::Overlap, 4, "test");
         let cm_ids2 = cm_ids.clone();
         let centroids_m = ordered.filter("cm", move |r: &Arc<OrderedRanking>| {
@@ -226,7 +227,7 @@ mod tests {
                 let mut items: Vec<u32> = base.to_vec();
                 items.rotate_left((i % 4) as usize);
                 items[9] = 20 + i;
-                r(i as u64, &items)
+                r(u64::from(i), &items)
             })
             .collect();
         let cm: Vec<Ranking> = data[..20].to_vec();
@@ -319,7 +320,11 @@ mod tests {
         let empty = ordered.filter("none", |_| false);
         let stats = Arc::new(JoinStats::default());
         let hits = centroid_join(&empty, &ordered, 5, 6, 3, &config, 2, None, &stats);
-        let pairs: Vec<(u64, u64)> = hits.collect().iter().map(|h| h.ids()).collect();
+        let pairs: Vec<(u64, u64)> = hits
+            .collect()
+            .iter()
+            .map(super::super::pipeline::PairHit::ids)
+            .collect();
         assert_eq!(pairs, vec![(1, 2)]);
     }
 }

@@ -95,7 +95,7 @@ pub fn expansion(
         .filter("cl/expand/direct", move |hit: &PairHit| {
             hit.distance <= theta_raw
         })
-        .map("cl/expand/direct-ids", |hit| hit.ids());
+        .map("cl/expand/direct-ids", super::pipeline::PairHit::ids);
 
     // R_m: pairs with at least one non-singleton side.
     let rm = cjoin.filter("cl/expand/rm", |hit: &PairHit| {

@@ -17,7 +17,7 @@
 
 use std::sync::Arc;
 
-use minispark::{Cluster, Dataset, SkewBudget};
+use minispark::{Cluster, Counter, Dataset, SkewBudget};
 use topk_rankings::{FrequencyTable, ItemId, OrderedRanking, PrefixKind, Ranking, ResultPair};
 
 use crate::kernels::{
@@ -166,6 +166,15 @@ pub fn emit_prefixes(
     })
 }
 
+/// Live per-driver kernel counters on the cluster's telemetry registry —
+/// no-op handles (one branch per record) when telemetry is off.
+struct LiveKernelCounters {
+    /// Kernel invocations: group self-joins plus sub-partition R-S joins.
+    groups: Counter,
+    /// Qualifying pairs emitted by kernels, before pair deduplication.
+    pairs: Counter,
+}
+
 /// Applies the chosen kernel to one token group.
 fn run_kernel(
     entries: &[TokenEntry],
@@ -174,7 +183,9 @@ fn run_kernel(
     thresholds: &GroupThresholds,
     use_position_filter: bool,
     stats: &JoinStats,
+    live: &LiveKernelCounters,
 ) -> Vec<PairHit> {
+    live.groups.inc();
     let triples = match style {
         GroupJoinStyle::Indexed => with_group_scratch(|scratch| {
             join_group_indexed(
@@ -190,6 +201,7 @@ fn run_kernel(
             join_group_nested_loop(entries, thresholds, use_position_filter, stats)
         }
     };
+    live.pairs.add_usize(triples.len());
     triples
         .into_iter()
         .map(|(i, j, d)| {
@@ -225,8 +237,12 @@ fn rs_hits(
     thresholds: &GroupThresholds,
     use_position_filter: bool,
     stats: &JoinStats,
+    live: &LiveKernelCounters,
 ) -> Vec<PairHit> {
-    join_group_rs(left, right, thresholds, use_position_filter, stats)
+    live.groups.inc();
+    let triples = join_group_rs(left, right, thresholds, use_position_filter, stats);
+    live.pairs.add_usize(triples.len());
+    triples
         .into_iter()
         .map(|(i, j, d)| {
             // panics(join_group_rs triples satisfy i < left.len() and j < right.len())
@@ -280,6 +296,22 @@ pub fn token_grouped_join(
         None => skew.resolve(emitted, label),
     };
 
+    // Live per-driver kernel series: the driver name is the label prefix
+    // before the first '/' ("cl-p/centroid-join" → driver="cl-p"). All
+    // handles are no-ops when the cluster's telemetry is off.
+    let telemetry = emitted.cluster().telemetry();
+    let driver = label.split('/').next().unwrap_or(label);
+    let live = Arc::new(LiveKernelCounters {
+        groups: telemetry.counter_with("simjoin_kernel_groups_total", &[("driver", driver)]),
+        pairs: telemetry.counter_with("simjoin_result_pairs_total", &[("driver", driver)]),
+    });
+    let live_candidates =
+        telemetry.counter_with("simjoin_kernel_candidates_total", &[("driver", driver)]);
+    let live_verified =
+        telemetry.counter_with("simjoin_kernel_verified_total", &[("driver", driver)]);
+    let live_pruned = telemetry.counter_with("simjoin_kernel_pruned_total", &[("driver", driver)]);
+    let before = stats.snapshot();
+
     // Spark can spill shuffle groups to disk when executor memory runs low
     // (the property §4.1 argues iterator-style processing preserves); the
     // engine reproduces that when the cluster config sets a spill budget.
@@ -293,6 +325,7 @@ pub fn token_grouped_join(
         None => {
             let stats = Arc::clone(stats);
             let prefix_len_of = prefix_len_of.clone();
+            let live = Arc::clone(&live);
             grouped.flat_map(&format!("{label}/join-groups"), move |(token, entries)| {
                 run_kernel(
                     entries,
@@ -301,6 +334,7 @@ pub fn token_grouped_join(
                     &thresholds,
                     use_position_filter,
                     &stats,
+                    &live,
                 )
             })
         }
@@ -319,10 +353,11 @@ pub fn token_grouped_join(
                         &thresholds,
                         use_position_filter,
                         stats,
+                        &live,
                     )
                 },
                 |_token, left: &[TokenEntry], right: &[TokenEntry]| {
-                    rs_hits(left, right, &thresholds, use_position_filter, stats)
+                    rs_hits(left, right, &thresholds, use_position_filter, stats, &live)
                 },
             );
             JoinStats::add(&stats.posting_lists_split, split.groups_split);
@@ -332,6 +367,13 @@ pub fn token_grouped_join(
             hits
         }
     };
+
+    // Stages are eager, so the join's filter-cascade counts are fully in
+    // `stats` here; publish the deltas on the live per-driver series.
+    let after = stats.snapshot();
+    live_candidates.add(after.candidates.saturating_sub(before.candidates));
+    live_verified.add(after.verified.saturating_sub(before.verified));
+    live_pruned.add(after.position_pruned.saturating_sub(before.position_pruned));
 
     // Deduplicate pairs found via several shared tokens (or several chunk
     // joins) — keep one PairHit per id pair. The keep-first combiner is

@@ -42,6 +42,9 @@ pub struct RunReport {
     pub metrics: MetricsReport,
     /// Executor-utilization analytics; `None` when tracing was disabled.
     pub analytics: Option<ExecutorAnalytics>,
+    /// The heartbeat sampler's time series (`"minispark/heartbeat/v1"`
+    /// document); `None` when the cluster ran without a heartbeat.
+    pub heartbeat: Option<Json>,
 }
 
 impl RunReport {
@@ -81,6 +84,7 @@ impl RunReport {
             stats: outcome.stats,
             metrics,
             analytics,
+            heartbeat: cluster.heartbeat_document(),
         }
     }
 
@@ -134,6 +138,13 @@ impl RunReport {
                 "executor",
                 match &self.analytics {
                     Some(a) => analytics_json(a),
+                    None => Json::Null,
+                },
+            )
+            .with(
+                "heartbeat",
+                match &self.heartbeat {
+                    Some(h) => h.clone(),
                     None => Json::Null,
                 },
             )
@@ -197,6 +208,21 @@ fn cluster_config_json(c: &minispark::ClusterConfig) -> Json {
             "spill_dir",
             match &c.spill_dir {
                 Some(dir) => Json::str(dir.to_string_lossy()),
+                None => Json::Null,
+            },
+        )
+        .with("telemetry", Json::Bool(c.telemetry))
+        .with(
+            "heartbeat_interval_ms",
+            match c.heartbeat_interval {
+                Some(interval) => Json::num(interval.as_secs_f64() * 1e3),
+                None => Json::Null,
+            },
+        )
+        .with(
+            "live_port",
+            match c.live_port {
+                Some(port) => Json::num(f64::from(port)),
                 None => Json::Null,
             },
         )
@@ -472,6 +498,35 @@ fn validate_run(run: &Json, ctx: &str) -> Result<(), String> {
             )?;
         }
     }
+    // The heartbeat section is optional (absent in pre-telemetry documents,
+    // null when the run had no sampler), but when present it must be a valid
+    // `minispark/heartbeat/v1` document.
+    if let Some(heartbeat) = run.get("heartbeat") {
+        if !matches!(heartbeat, Json::Null) {
+            let hctx = format!("{ctx}.heartbeat");
+            let schema = expect_key(heartbeat, "schema", &hctx)?
+                .as_str()
+                .ok_or_else(|| format!("{hctx}.schema is not a string"))?;
+            if schema != minispark::telemetry::HEARTBEAT_SCHEMA {
+                return Err(format!(
+                    "{hctx}.schema {schema:?} != {:?}",
+                    minispark::telemetry::HEARTBEAT_SCHEMA
+                ));
+            }
+            expect_non_negative(
+                expect_key(heartbeat, "interval_ms", &hctx)?,
+                &format!("{hctx}.interval_ms"),
+            )?;
+            let samples = expect_key(heartbeat, "samples", &hctx)?
+                .as_arr()
+                .ok_or_else(|| format!("{hctx}.samples is not an array"))?;
+            for (i, sample) in samples.iter().enumerate() {
+                let sctx = format!("{hctx}.samples[{i}]");
+                expect_non_negative(expect_key(sample, "t_ms", &sctx)?, &format!("{sctx}.t_ms"))?;
+                expect_key(sample, "metrics", &sctx)?;
+            }
+        }
+    }
     Ok(())
 }
 
@@ -554,6 +609,57 @@ mod tests {
             for (key, value) in fields.iter_mut() {
                 if key == "seconds" {
                     *value = Json::num(-1.0);
+                }
+            }
+        }
+        assert!(validate(&doc).is_err());
+    }
+
+    #[test]
+    fn report_with_heartbeat_embeds_the_time_series() {
+        let config = ClusterConfig::local(4).with_heartbeat(std::time::Duration::from_millis(1));
+        let cluster = Cluster::new(config);
+        let data = CorpusProfile::dblp_like(120, 10).generate();
+        let jc = JoinConfig::new(0.3);
+        let outcome = vj_join(&cluster, &data, &jc).expect("valid corpus");
+        let report = RunReport::capture(
+            Algorithm::Vj.name(),
+            "dblp-like",
+            data.len(),
+            &cluster,
+            &jc,
+            &outcome,
+            8,
+        );
+        let doc = report.to_json();
+        validate(&doc).expect("heartbeat report validates");
+        let heartbeat = doc.get("heartbeat").expect("heartbeat present");
+        assert_eq!(
+            heartbeat.get("schema").and_then(Json::as_str),
+            Some(minispark::telemetry::HEARTBEAT_SCHEMA)
+        );
+        let samples = heartbeat
+            .get("samples")
+            .and_then(Json::as_arr)
+            .expect("samples array");
+        assert!(!samples.is_empty(), "final flush sample always present");
+        // The telemetry switches are exported with the cluster config.
+        let cc = doc.get("cluster_config").expect("cluster config");
+        assert_eq!(cc.get("telemetry").and_then(Json::as_bool), Some(true));
+        assert!(cc
+            .get("heartbeat_interval_ms")
+            .and_then(Json::as_f64)
+            .is_some());
+        assert!(matches!(cc.get("live_port"), Some(Json::Null)));
+    }
+
+    #[test]
+    fn validate_rejects_a_malformed_heartbeat_section() {
+        let mut doc = run_report(false).to_json();
+        if let Json::Obj(fields) = &mut doc {
+            for (key, value) in fields.iter_mut() {
+                if key == "heartbeat" {
+                    *value = Json::obj().with("schema", Json::str("nope"));
                 }
             }
         }

@@ -59,8 +59,11 @@ fn vj_flavour(
     };
     let mut pairs = {
         let _phase = cluster.trace().span(format!("{label}/phase/projection"));
-        hits.map(&format!("{label}/project-ids"), |hit| hit.ids())
-            .collect()
+        hits.map(
+            &format!("{label}/project-ids"),
+            super::pipeline::PairHit::ids,
+        )
+        .collect()
     };
     pairs.sort_unstable();
     drop(run_span);

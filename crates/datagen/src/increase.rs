@@ -40,7 +40,12 @@ pub fn increase_dataset(dataset: &[Ranking], times: usize, seed: u64) -> Vec<Ran
     if dataset.is_empty() {
         return Vec::new();
     }
-    let id_stride = dataset.iter().map(|r| r.id()).max().unwrap_or(0) + 1;
+    let id_stride = dataset
+        .iter()
+        .map(topk_rankings::Ranking::id)
+        .max()
+        .unwrap_or(0)
+        + 1;
 
     // Tokens sorted by descending frequency: permutations shuffle within
     // windows of this order.
@@ -103,7 +108,7 @@ mod tests {
         let ds = base();
         let x5 = increase_dataset(&ds, 5, 1);
         assert_eq!(x5.len(), 5 * ds.len());
-        let ids: HashSet<u64> = x5.iter().map(|r| r.id()).collect();
+        let ids: HashSet<u64> = x5.iter().map(topk_rankings::Ranking::id).collect();
         assert_eq!(ids.len(), x5.len(), "copy ids must be unique");
         for r in &x5 {
             assert_eq!(r.k(), 10);
@@ -184,13 +189,13 @@ mod tests {
         // The hottest token of the copy must be about as hot as the base's.
         let max_base = ds
             .iter()
-            .flat_map(|r| r.items())
+            .flat_map(topk_rankings::Ranking::items)
             .map(|&t| base_freq.count(t))
             .max()
             .expect("base dataset is non-empty");
         let max_copy = x2[n..]
             .iter()
-            .flat_map(|r| r.items())
+            .flat_map(topk_rankings::Ranking::items)
             .map(|&t| copy_freq.count(t))
             .max()
             .expect("copied half is non-empty");

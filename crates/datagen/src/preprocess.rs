@@ -151,7 +151,7 @@ mod tests {
     fn ids_are_sequential() {
         let records = vec![vec![1u32, 2], vec![3, 4], vec![5, 6]];
         let (rankings, _) = records_to_rankings(records, 2);
-        let ids: Vec<u64> = rankings.iter().map(|r| r.id()).collect();
+        let ids: Vec<u64> = rankings.iter().map(topk_rankings::Ranking::id).collect();
         assert_eq!(ids, vec![0, 1, 2]);
     }
 

@@ -30,7 +30,7 @@ impl ZipfSampler {
         let mut cumulative = Vec::with_capacity(vocab_size as usize);
         let mut total = 0.0f64;
         for i in 0..vocab_size {
-            total += 1.0 / ((i + 1) as f64).powf(s);
+            total += 1.0 / f64::from(i + 1).powf(s);
             cumulative.push(total);
         }
         Self {
@@ -108,7 +108,7 @@ mod tests {
         assert!(counts[0] > counts[10]);
         assert!(counts[10] > counts[40]);
         // Rough magnitude: p(0)/p(9) = 10^1.2 ≈ 15.8.
-        let ratio = counts[0] as f64 / counts[9].max(1) as f64;
+        let ratio = f64::from(counts[0]) / f64::from(counts[9].max(1));
         assert!((8.0..32.0).contains(&ratio), "ratio = {ratio}");
     }
 

@@ -2,6 +2,7 @@
 //! (Table 3 plus the hardware description in §7).
 
 use std::path::PathBuf;
+use std::time::Duration;
 
 use crate::sched::Schedule;
 
@@ -39,6 +40,19 @@ pub struct ClusterConfig {
     /// schedule's claim order on the calling thread — the executor's
     /// concurrency-checking mode (see [`crate::sched`] and [`crate::check`]).
     pub schedule: Option<Schedule>,
+    /// Whether the cluster records live telemetry ([`crate::telemetry`]):
+    /// executor, shuffle, spill and skew counters plus driver-side kernel
+    /// counters. Off by default — every instrument is then a true no-op.
+    pub telemetry: bool,
+    /// Sampling interval of the background [`crate::telemetry::Heartbeat`]
+    /// sampler. `None` (the default) runs no sampler; `Some(interval)`
+    /// implies `telemetry` when set via [`ClusterConfig::with_heartbeat`].
+    pub heartbeat_interval: Option<Duration>,
+    /// Loopback port of the live `/metrics` endpoint
+    /// ([`crate::http::LiveServer`]). `None` (the default) serves nothing;
+    /// `Some(0)` binds an ephemeral port (see
+    /// [`crate::dataset::Cluster::live_addr`]).
+    pub live_port: Option<u16>,
 }
 
 impl ClusterConfig {
@@ -66,6 +80,9 @@ impl ClusterConfig {
             spill_record_budget: usize::MAX,
             spill_dir: None,
             schedule: None,
+            telemetry: false,
+            heartbeat_interval: None,
+            live_port: None,
         }
     }
 
@@ -117,6 +134,28 @@ impl ClusterConfig {
         self.schedule = Some(schedule);
         self
     }
+
+    /// Returns a copy with live telemetry recording enabled.
+    pub fn with_telemetry(mut self) -> Self {
+        self.telemetry = true;
+        self
+    }
+
+    /// Returns a copy with the heartbeat sampler enabled at `interval`
+    /// (implies telemetry — a sampler over a dead registry is useless).
+    pub fn with_heartbeat(mut self, interval: Duration) -> Self {
+        self.telemetry = true;
+        self.heartbeat_interval = Some(interval);
+        self
+    }
+
+    /// Returns a copy serving live `/metrics` on `127.0.0.1:port` (implies
+    /// telemetry; `port = 0` binds an ephemeral port).
+    pub fn with_live_port(mut self, port: u16) -> Self {
+        self.telemetry = true;
+        self.live_port = Some(port);
+        self
+    }
 }
 
 impl Default for ClusterConfig {
@@ -131,6 +170,9 @@ impl Default for ClusterConfig {
             spill_record_budget: usize::MAX,
             spill_dir: None,
             schedule: None,
+            telemetry: false,
+            heartbeat_interval: None,
+            live_port: None,
         }
     }
 }
@@ -180,6 +222,20 @@ mod tests {
                 .default_partitions,
             1
         );
+    }
+
+    #[test]
+    fn telemetry_builders_imply_the_flag() {
+        let c = ClusterConfig::local(2);
+        assert!(!c.telemetry, "telemetry is opt-in");
+        assert!(c.heartbeat_interval.is_none() && c.live_port.is_none());
+        assert!(ClusterConfig::local(2).with_telemetry().telemetry);
+        let hb = ClusterConfig::local(2).with_heartbeat(Duration::from_millis(50));
+        assert!(hb.telemetry, "a heartbeat needs a live registry");
+        assert_eq!(hb.heartbeat_interval, Some(Duration::from_millis(50)));
+        let live = ClusterConfig::local(2).with_live_port(0);
+        assert!(live.telemetry, "an endpoint needs a live registry");
+        assert_eq!(live.live_port, Some(0));
     }
 
     #[test]

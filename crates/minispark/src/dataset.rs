@@ -6,19 +6,27 @@
 //! narrow transformations here, key-based wide transformations in
 //! [`crate::pair`].
 
+use std::net::SocketAddr;
 use std::sync::Arc;
 use std::time::Instant;
 
 use crate::broadcast::Broadcast;
 use crate::config::ClusterConfig;
 use crate::executor::{run_stage_tasks, steal_count, TaskSpan, TaskTimes};
+use crate::http::{LiveServer, TelemetrySource};
+use crate::json::Json;
 use crate::metrics::{MetricsRegistry, MetricsReport, StageMetrics};
+use crate::telemetry::{EngineTelemetry, Heartbeat, TelemetryRegistry};
 use crate::trace::TraceCollector;
 
 pub(crate) struct ClusterInner {
     pub(crate) config: ClusterConfig,
     pub(crate) metrics: MetricsRegistry,
     pub(crate) trace: TraceCollector,
+    pub(crate) telemetry: TelemetryRegistry,
+    pub(crate) engine: EngineTelemetry,
+    pub(crate) heartbeat: Option<Heartbeat>,
+    pub(crate) server: Option<LiveServer>,
 }
 
 /// Handle to the simulated cluster: owns the configuration and the metrics
@@ -41,11 +49,34 @@ impl Cluster {
     /// [`TraceCollector::enabled`] to record per-task spans, phase spans and
     /// shuffle/spill events).
     pub fn with_trace(config: ClusterConfig, trace: TraceCollector) -> Self {
+        let telemetry = if config.telemetry {
+            TelemetryRegistry::enabled()
+        } else {
+            TelemetryRegistry::disabled()
+        };
+        let engine = EngineTelemetry::register(&telemetry);
+        let heartbeat = config
+            .heartbeat_interval
+            .map(|interval| Heartbeat::start(telemetry.clone(), interval));
+        let server = config.live_port.and_then(|port| {
+            match LiveServer::start(port, TelemetrySource::new(telemetry.clone())) {
+                Ok(server) => Some(server),
+                Err(err) => {
+                    // A dead endpoint is a lost observer, not a lost run.
+                    eprintln!("minispark: live endpoint bind on port {port} failed: {err}");
+                    None
+                }
+            }
+        });
         Self {
             inner: Arc::new(ClusterInner {
                 config,
                 metrics: MetricsRegistry::default(),
                 trace,
+                telemetry,
+                engine,
+                heartbeat,
+                server,
             }),
         }
     }
@@ -53,6 +84,26 @@ impl Cluster {
     /// The active configuration.
     pub fn config(&self) -> &ClusterConfig {
         &self.inner.config
+    }
+
+    /// The cluster's live telemetry registry (disabled — a no-op — unless
+    /// the configuration opted in via [`ClusterConfig::with_telemetry`],
+    /// [`ClusterConfig::with_heartbeat`] or [`ClusterConfig::with_live_port`]).
+    pub fn telemetry(&self) -> &TelemetryRegistry {
+        &self.inner.telemetry
+    }
+
+    /// Address of the live `/metrics` endpoint, when one is serving (set
+    /// [`ClusterConfig::with_live_port`]; port 0 binds an ephemeral port and
+    /// this reports the one chosen).
+    pub fn live_addr(&self) -> Option<SocketAddr> {
+        self.inner.server.as_ref().map(LiveServer::addr)
+    }
+
+    /// The `minispark/heartbeat/v1` time series collected so far (`None`
+    /// unless [`ClusterConfig::with_heartbeat`] started a sampler).
+    pub fn heartbeat_document(&self) -> Option<Json> {
+        self.inner.heartbeat.as_ref().map(Heartbeat::document)
     }
 
     /// The cluster's trace collector (a no-op unless the cluster was built
@@ -69,9 +120,12 @@ impl Cluster {
         report
     }
 
-    /// Clears recorded metrics (between benchmark iterations).
+    /// Clears recorded metrics, live telemetry and trace state (between
+    /// benchmark iterations) so back-to-back runs on one cluster never mix.
     pub fn reset_metrics(&self) {
         self.inner.metrics.reset();
+        self.inner.telemetry.reset();
+        self.inner.trace.clear();
     }
 
     /// Broadcasts a read-only value to all tasks.
@@ -163,9 +217,14 @@ impl Cluster {
         let start = Instant::now();
         let inputs: Vec<Arc<Vec<T>>> = input.partitions.clone();
         let input_records: usize = inputs.iter().map(|p| p.len()).sum();
-        let (outputs, times) = run_stage_tasks(self.config(), inputs, |idx, part| f(idx, &part));
-        let output_records: usize = outputs.iter().map(|p| p.len()).sum();
-        let max_partition_records = outputs.iter().map(|p| p.len()).max().unwrap_or(0);
+        let (outputs, times) = run_stage_tasks(
+            self.config(),
+            &self.inner.engine.executor,
+            inputs,
+            |idx, part| f(idx, &part),
+        );
+        let output_records: usize = outputs.iter().map(std::vec::Vec::len).sum();
+        let max_partition_records = outputs.iter().map(std::vec::Vec::len).max().unwrap_or(0);
         let TaskTimes {
             total,
             per_task,
@@ -312,9 +371,14 @@ impl<T: Send + Sync + 'static> Dataset<T> {
                 next = (next + 1) % n;
             }
         }
-        let moved: usize = targets.iter().map(|p| p.len()).sum();
-        let max_partition_records = targets.iter().map(|p| p.len()).max().unwrap_or(0);
+        let moved: usize = targets.iter().map(std::vec::Vec::len).sum();
+        let max_partition_records = targets.iter().map(std::vec::Vec::len).max().unwrap_or(0);
         let wall = start.elapsed();
+        let engine = &self.cluster.inner.engine;
+        engine.shuffle_records.add_usize(moved);
+        engine
+            .shuffle_bytes
+            .add_usize(moved * std::mem::size_of::<T>());
         let id = self.cluster.inner.metrics.record(StageMetrics {
             stage_id: 0,
             name: name.to_string(),
@@ -494,7 +558,7 @@ mod tests {
     #[test]
     fn key_by_attaches_keys() {
         let ds = cluster().parallelize(vec!["aa".to_string(), "b".to_string()], 1);
-        let keyed = ds.key_by("by-len", |s| s.len());
+        let keyed = ds.key_by("by-len", std::string::String::len);
         let mut all = keyed.collect();
         all.sort();
         assert_eq!(all, vec![(1, "b".to_string()), (2, "aa".to_string())]);

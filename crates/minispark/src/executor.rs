@@ -13,6 +13,7 @@ use parking_lot::Mutex;
 
 use crate::config::ClusterConfig;
 use crate::sched::{self, lock_order, Schedule};
+use crate::telemetry::ExecutorProbe;
 
 /// Scheduling trace of one executed task: which slot ran it and the
 /// queued → started → finished instants. `queued` is the stage submission
@@ -320,8 +321,15 @@ pub fn steal_count_concat(spans: &[TaskSpan], slots: usize) -> usize {
 /// Stage entry point used by the engine's operators: dispatches to the
 /// deterministic scheduled path when the cluster config installs a
 /// [`Schedule`], and to the [`run_tasks`] thread pool otherwise.
+///
+/// The [`ExecutorProbe`] sees every task: queue depth rises by the stage's
+/// task count on submission and falls per claim, claim/complete counters
+/// tick around the task body, and busy durations land in the probe's
+/// histogram after the stage joins. With a disabled probe each touch is a
+/// single `None` branch.
 pub(crate) fn run_stage_tasks<I, O, F>(
     config: &ClusterConfig,
+    probe: &ExecutorProbe,
     inputs: Vec<I>,
     f: F,
 ) -> (Vec<O>, TaskTimes)
@@ -331,10 +339,24 @@ where
     F: Fn(usize, I) -> O + Sync,
 {
     let slots = config.task_slots();
-    match config.schedule {
-        Some(schedule) => run_tasks_scheduled(schedule, slots, inputs, f),
-        None => run_tasks(slots, inputs, f),
+    probe.queue_depth.add_usize(inputs.len());
+    let wrapped = |idx: usize, input: I| {
+        probe.tasks_claimed.inc();
+        probe.queue_depth.dec();
+        let output = f(idx, input);
+        probe.tasks_completed.inc();
+        output
+    };
+    let (outputs, times) = match config.schedule {
+        Some(schedule) => run_tasks_scheduled(schedule, slots, inputs, wrapped),
+        None => run_tasks(slots, inputs, wrapped),
+    };
+    if probe.is_enabled() {
+        for d in &times.per_task {
+            probe.task_ns.record_duration(*d);
+        }
     }
+    (outputs, times)
 }
 
 #[cfg(test)]
@@ -449,12 +471,26 @@ mod tests {
 
     #[test]
     fn run_stage_tasks_dispatches_on_config() {
+        let probe = ExecutorProbe::disabled();
         let inputs: Vec<u32> = (0..10).collect();
         let pooled = ClusterConfig::local(3);
-        let (a, _) = run_stage_tasks(&pooled, inputs.clone(), |_, n| n + 1);
+        let (a, _) = run_stage_tasks(&pooled, &probe, inputs.clone(), |_, n| n + 1);
         let scheduled = ClusterConfig::local(3).with_schedule(Schedule::StragglersFirst);
-        let (b, _) = run_stage_tasks(&scheduled, inputs, |_, n| n + 1);
+        let (b, _) = run_stage_tasks(&scheduled, &probe, inputs, |_, n| n + 1);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn run_stage_tasks_feeds_a_live_probe() {
+        let registry = crate::telemetry::TelemetryRegistry::enabled();
+        let probe = ExecutorProbe::register(&registry);
+        let inputs: Vec<u32> = (0..12).collect();
+        let (out, _) = run_stage_tasks(&ClusterConfig::local(3), &probe, inputs, |_, n| n);
+        assert_eq!(out.len(), 12);
+        assert_eq!(probe.tasks_claimed.get(), 12);
+        assert_eq!(probe.tasks_completed.get(), 12);
+        assert_eq!(probe.queue_depth.get(), 0, "depth returns to zero");
+        assert_eq!(probe.task_ns.data().count, 12);
     }
 
     #[test]
@@ -539,7 +575,7 @@ mod tests {
         // whichever slot claims task 0) grinds, the other slot must claim
         // tasks that round-robin would have parked behind the straggler.
         let mut inputs = vec![50u64];
-        inputs.extend(std::iter::repeat(1u64).take(15));
+        inputs.extend(std::iter::repeat_n(1u64, 15));
         let (_, times) = run_tasks(2, inputs, |_, ms| {
             std::thread::sleep(Duration::from_millis(ms));
         });

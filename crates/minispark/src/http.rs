@@ -1,0 +1,285 @@
+//! Minimal zero-dependency blocking HTTP server for the live metrics plane.
+//!
+//! [`LiveServer`] binds a loopback TCP listener and serves two read-only
+//! endpoints while a job runs:
+//!
+//! * `GET /metrics` — Prometheus text exposition (format 0.0.4) of the
+//!   current [`TelemetrySnapshot`](crate::telemetry::TelemetrySnapshot);
+//! * `GET /snapshot` — the `minispark/telemetry-snapshot/v1` JSON document.
+//!
+//! One connection is handled at a time (a scrape is a few kilobytes; a
+//! metrics endpoint does not need concurrency) and every request gets a
+//! fresh snapshot, so the server holds no locks while the engine records.
+//!
+//! The registry being served is held behind a swappable [`TelemetrySource`]:
+//! a cluster-owned server serves its own registry for its whole lifetime,
+//! while a long-lived server (the bench harness's `--live-port`) re-points
+//! the source at each new run's cluster without rebinding the port — which
+//! also sidesteps `TIME_WAIT` rebind failures, since `std` exposes no
+//! `SO_REUSEADDR`.
+
+use std::io::{Read, Write};
+use std::net::{Ipv4Addr, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::Mutex;
+
+use crate::telemetry::TelemetryRegistry;
+
+/// Swappable handle to the registry a [`LiveServer`] serves. Cloning shares
+/// the slot; [`TelemetrySource::set`] re-points every clone at once.
+#[derive(Clone)]
+pub struct TelemetrySource {
+    registry: Arc<Mutex<TelemetryRegistry>>,
+}
+
+impl TelemetrySource {
+    /// A source serving `registry` until re-pointed.
+    pub fn new(registry: TelemetryRegistry) -> Self {
+        Self {
+            registry: Arc::new(Mutex::new(registry)),
+        }
+    }
+
+    /// Re-points the source (and every server holding a clone) at
+    /// `registry`.
+    pub fn set(&self, registry: TelemetryRegistry) {
+        *self.registry.lock() = registry;
+    }
+
+    fn current(&self) -> TelemetryRegistry {
+        self.registry.lock().clone()
+    }
+}
+
+impl std::fmt::Debug for TelemetrySource {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TelemetrySource")
+            .field("enabled", &self.current().is_enabled())
+            .finish()
+    }
+}
+
+/// The blocking metrics endpoint. Binds on construction, serves on a
+/// background thread, shuts down (and joins) on drop.
+pub struct LiveServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl LiveServer {
+    /// Binds `127.0.0.1:port` (`port = 0` picks an ephemeral port, exposed
+    /// via [`LiveServer::addr`]) and starts serving `source`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the bind error (port in use, permission) — callers treat a
+    /// failed endpoint as non-fatal and run without one.
+    pub fn start(port: u16, source: TelemetrySource) -> std::io::Result<Self> {
+        let listener = TcpListener::bind((Ipv4Addr::LOCALHOST, port))?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let thread_stop = Arc::clone(&stop);
+        let handle = std::thread::Builder::new()
+            .name("minispark-live".to_string())
+            .spawn(move || {
+                for stream in listener.incoming() {
+                    if thread_stop.load(Ordering::Acquire) {
+                        break;
+                    }
+                    let Ok(stream) = stream else { continue };
+                    // A failed scrape is the scraper's problem; keep serving.
+                    let _ = handle_connection(stream, &source);
+                }
+            })?;
+        Ok(Self {
+            addr,
+            stop,
+            handle: Some(handle),
+        })
+    }
+
+    /// The bound address (useful with `port = 0`).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+}
+
+impl std::fmt::Debug for LiveServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LiveServer")
+            .field("addr", &self.addr)
+            .finish()
+    }
+}
+
+impl Drop for LiveServer {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        // Unblock the accept loop with a throwaway connection to ourselves.
+        let _ = TcpStream::connect_timeout(&self.addr, Duration::from_millis(200));
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Reads one request, routes it, writes one response, closes.
+fn handle_connection(mut stream: TcpStream, source: &TelemetrySource) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(Duration::from_secs(2)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(2)))?;
+
+    // Read until the end of the request head (or the 4 KiB cap — both
+    // endpoints are body-less GETs, anything longer is not for us).
+    let mut buf = [0u8; 4096];
+    let mut len = 0usize;
+    loop {
+        if len == buf.len() {
+            break;
+        }
+        match stream.read(&mut buf[len..]) {
+            Ok(0) => break,
+            Ok(n) => {
+                len += n;
+                if buf[..len].windows(4).any(|w| w == b"\r\n\r\n") {
+                    break;
+                }
+            }
+            Err(_) => break,
+        }
+    }
+    let head = String::from_utf8_lossy(&buf[..len]);
+    let mut parts = head.split_whitespace();
+    let method = parts.next().unwrap_or("");
+    let path = parts.next().unwrap_or("");
+
+    if method != "GET" {
+        return respond(
+            &mut stream,
+            "405 Method Not Allowed",
+            "text/plain",
+            "GET only\n",
+        );
+    }
+    match path {
+        "/metrics" => {
+            let body = source.current().snapshot().prometheus();
+            respond(
+                &mut stream,
+                "200 OK",
+                "text/plain; version=0.0.4; charset=utf-8",
+                &body,
+            )
+        }
+        "/snapshot" => {
+            let body = source.current().snapshot().to_json().render();
+            respond(&mut stream, "200 OK", "application/json", &body)
+        }
+        _ => respond(
+            &mut stream,
+            "404 Not Found",
+            "text/plain",
+            "try /metrics or /snapshot\n",
+        ),
+    }
+}
+
+fn respond(
+    stream: &mut TcpStream,
+    status: &str,
+    content_type: &str,
+    body: &str,
+) -> std::io::Result<()> {
+    let head = format!(
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn get(addr: SocketAddr, path: &str) -> (String, String) {
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        stream
+            .write_all(format!("GET {path} HTTP/1.1\r\nHost: x\r\n\r\n").as_bytes())
+            .expect("write request");
+        let mut response = String::new();
+        stream.read_to_string(&mut response).expect("read response");
+        let (head, body) = response
+            .split_once("\r\n\r\n")
+            .expect("response has a head/body split");
+        (head.to_string(), body.to_string())
+    }
+
+    #[test]
+    fn serves_metrics_and_snapshot() {
+        let reg = TelemetryRegistry::enabled();
+        reg.counter("up_total").add(3);
+        let server =
+            LiveServer::start(0, TelemetrySource::new(reg.clone())).expect("ephemeral bind");
+        let addr = server.addr();
+
+        let (head, body) = get(addr, "/metrics");
+        assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+        assert!(head.contains("text/plain; version=0.0.4"), "{head}");
+        assert!(body.contains("# TYPE up_total counter"), "{body}");
+        assert!(body.contains("up_total 3"), "{body}");
+
+        reg.counter("up_total").add(2);
+        let (_, body) = get(addr, "/metrics");
+        assert!(body.contains("up_total 5"), "scrapes are live: {body}");
+
+        let (head, body) = get(addr, "/snapshot");
+        assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+        assert!(head.contains("application/json"), "{head}");
+        let doc = crate::json::Json::parse(&body).expect("valid JSON body");
+        assert_eq!(
+            doc.get("schema").and_then(crate::json::Json::as_str),
+            Some("minispark/telemetry-snapshot/v1")
+        );
+
+        let (head, _) = get(addr, "/nope");
+        assert!(head.starts_with("HTTP/1.1 404"), "{head}");
+    }
+
+    #[test]
+    fn source_can_be_repointed_between_runs() {
+        let first = TelemetryRegistry::enabled();
+        first.counter("runs_total").add(1);
+        let source = TelemetrySource::new(first);
+        let server = LiveServer::start(0, source.clone()).expect("ephemeral bind");
+
+        let (_, body) = get(server.addr(), "/metrics");
+        assert!(body.contains("runs_total 1"), "{body}");
+
+        let second = TelemetryRegistry::enabled();
+        second.counter("runs_total").add(42);
+        source.set(second);
+        let (_, body) = get(server.addr(), "/metrics");
+        assert!(body.contains("runs_total 42"), "{body}");
+    }
+
+    #[test]
+    fn drop_shuts_the_listener_down() {
+        let server = LiveServer::start(0, TelemetrySource::new(TelemetryRegistry::disabled()))
+            .expect("ephemeral bind");
+        let addr = server.addr();
+        drop(server);
+        // The port is released: either connect fails or the read sees EOF
+        // with no HTTP response.
+        if let Ok(mut stream) = TcpStream::connect_timeout(&addr, Duration::from_millis(200)) {
+            let mut out = String::new();
+            let _ = stream.set_read_timeout(Some(Duration::from_millis(200)));
+            let _ = stream.read_to_string(&mut out);
+            assert!(!out.contains("HTTP/1.1 200"), "server still answering");
+        }
+    }
+}

@@ -72,6 +72,7 @@ pub mod codec;
 pub mod config;
 pub mod dataset;
 pub mod executor;
+pub mod http;
 pub mod json;
 pub mod metrics;
 pub mod ops;
@@ -80,6 +81,7 @@ pub mod sched;
 pub mod shuffle;
 pub mod skew;
 pub mod spill;
+pub mod telemetry;
 pub mod trace;
 
 pub use broadcast::Broadcast;
@@ -87,9 +89,13 @@ pub use check::{audit_snapshot, check_determinism, schedule_matrix, AuditViolati
 pub use codec::Codec;
 pub use config::ClusterConfig;
 pub use dataset::{Cluster, Dataset};
+pub use http::{LiveServer, TelemetrySource};
 pub use json::Json;
 pub use metrics::{MetricsReport, StageMetrics};
 pub use sched::Schedule;
 pub use shuffle::{CompositePartitioner, HashPartitioner, Partitioner};
 pub use skew::{SkewBudget, SkewEstimate, SplitPlan, SplitStats};
+pub use telemetry::{
+    Counter, Gauge, Heartbeat, HistogramData, LiveHistogram, TelemetryRegistry, TelemetrySnapshot,
+};
 pub use trace::{ExecutorAnalytics, TraceCollector, TraceSnapshot};

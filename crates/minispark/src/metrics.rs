@@ -175,7 +175,10 @@ impl MetricsReport {
 
     /// The worst skew ratio observed in any stage.
     pub fn max_skew(&self) -> f64 {
-        self.stages.iter().map(|s| s.skew()).fold(1.0, f64::max)
+        self.stages
+            .iter()
+            .map(StageMetrics::skew)
+            .fold(1.0, f64::max)
     }
 
     /// Stages whose name contains `needle` (metrics for one logical phase).

@@ -288,7 +288,7 @@ mod tests {
         let ds = c.parallelize((1..=100u64).collect(), 7);
         let sum = ds.aggregate("agg", 0u64, |acc, n| acc + n, |a, b| a + b);
         assert_eq!(sum, 5050);
-        let max = ds.aggregate("max", 0u64, |acc, n| acc.max(*n), |a, b| a.max(b));
+        let max = ds.aggregate("max", 0u64, |acc, n| acc.max(*n), std::cmp::Ord::max);
         assert_eq!(max, 100);
     }
 }

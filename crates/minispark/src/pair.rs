@@ -16,7 +16,7 @@ use crate::dataset::{Cluster, Dataset};
 use crate::executor::{run_stage_tasks, steal_count_concat, TaskTimes};
 use crate::metrics::StageMetrics;
 use crate::shuffle::{spread, stable_hash, HashPartitioner, Partitioner};
-use crate::spill::external_group_by;
+use crate::spill::external_group_by_probed;
 
 /// Scatters every record of `input` into `targets` buckets according to
 /// `target_of`, in parallel on the map side. Returns the target partitions.
@@ -31,7 +31,8 @@ where
 {
     let targets = targets.max(1);
     let inputs: Vec<Arc<Vec<T>>> = input.partitions.clone();
-    let (bucketed, times) = run_stage_tasks(input.cluster().config(), inputs, |_, part| {
+    let probe = &input.cluster().inner.engine.executor;
+    let (bucketed, times) = run_stage_tasks(input.cluster().config(), probe, inputs, |_, part| {
         let mut buckets: Vec<Vec<T>> = (0..targets).map(|_| Vec::new()).collect();
         for record in part.iter() {
             let t = target_of(record);
@@ -93,6 +94,10 @@ fn record_wide_stage(
         stolen_tasks: steal_count_concat(&spans, cluster.config().task_slots()),
     });
     cluster.inner.trace.record_stage_tasks(id, name, &spans);
+    let engine = &cluster.inner.engine;
+    engine.shuffle_bytes.add_usize(shuffled * record_size);
+    // The reduce side has consumed the flushed records by now.
+    engine.shuffle_inflight.sub_usize(shuffled);
 }
 
 /// Marks the shuffle barrier of a wide stage: called between the map-side
@@ -107,6 +112,10 @@ fn mark_shuffle_flush(cluster: &Cluster, name: &str, shuffled: usize) {
     if trace.is_enabled() && shuffled > 0 {
         trace.mark(&format!("shuffle-flush/{name}"), shuffled as u64);
     }
+    let engine = &cluster.inner.engine;
+    engine.shuffle_records.add_usize(shuffled);
+    // In flight until the reduce wave consumes them (record_wide_stage).
+    engine.shuffle_inflight.add_usize(shuffled);
 }
 
 impl<K, V> Dataset<(K, V)>
@@ -123,16 +132,18 @@ where
         let partitioner = HashPartitioner::new(n);
         let (scattered, scatter_times) =
             shuffle_scatter(self, n, |(k, _): &(K, V)| partitioner.partition(k));
-        let shuffled: usize = scattered.iter().map(|p| p.len()).sum();
+        let shuffled: usize = scattered.iter().map(std::vec::Vec::len).sum();
         mark_shuffle_flush(self.cluster(), name, shuffled);
-        let (grouped, times) = run_stage_tasks(self.cluster().config(), scattered, |_, part| {
-            let mut groups: HashMap<K, Vec<V>> = HashMap::new();
-            for (k, v) in part {
-                groups.entry(k).or_default().push(v);
-            }
-            groups.into_iter().collect::<Vec<(K, Vec<V>)>>()
-        });
-        let out_sizes: Vec<usize> = grouped.iter().map(|p| p.len()).collect();
+        let probe = &self.cluster().inner.engine.executor;
+        let (grouped, times) =
+            run_stage_tasks(self.cluster().config(), probe, scattered, |_, part| {
+                let mut groups: HashMap<K, Vec<V>> = HashMap::new();
+                for (k, v) in part {
+                    groups.entry(k).or_default().push(v);
+                }
+                groups.into_iter().collect::<Vec<(K, Vec<V>)>>()
+            });
+        let out_sizes: Vec<usize> = grouped.iter().map(std::vec::Vec::len).collect();
         record_wide_stage(
             self.cluster(),
             name,
@@ -163,29 +174,37 @@ where
         let partitioner = HashPartitioner::new(n);
         let (scattered, scatter_times) =
             shuffle_scatter(self, n, |(k, _): &(K, V)| partitioner.partition(k));
-        let shuffled: usize = scattered.iter().map(|p| p.len()).sum();
+        let shuffled: usize = scattered.iter().map(std::vec::Vec::len).sum();
         mark_shuffle_flush(self.cluster(), name, shuffled);
         let trace = self.cluster().trace().clone();
-        let (results, times) = run_stage_tasks(self.cluster().config(), scattered, |_, part| {
-            let result = external_group_by(part.into_iter(), budget, spill_dir.as_deref())
+        let spill_probe = self.cluster().inner.engine.spill.clone();
+        let probe = &self.cluster().inner.engine.executor;
+        let (results, times) =
+            run_stage_tasks(self.cluster().config(), probe, scattered, |_, part| {
+                let result = external_group_by_probed(
+                    part.into_iter(),
+                    budget,
+                    spill_dir.as_deref(),
+                    &spill_probe,
+                )
                 .expect("spill I/O failed");
-            if trace.is_enabled() {
-                // One instant event per spilled run file, emitted as the
-                // reduce task merges them back — the timeline counterpart of
-                // the stage's `spilled_runs` metric.
-                for _ in 0..result.spilled_runs {
-                    trace.mark(&format!("spill-run/{name}"), 1);
+                if trace.is_enabled() {
+                    // One instant event per spilled run file, emitted as the
+                    // reduce task merges them back — the timeline counterpart of
+                    // the stage's `spilled_runs` metric.
+                    for _ in 0..result.spilled_runs {
+                        trace.mark(&format!("spill-run/{name}"), 1);
+                    }
                 }
-            }
-            result
-        });
+                result
+            });
         let mut grouped = Vec::with_capacity(results.len());
         let mut spilled_runs = 0;
         for r in results {
             spilled_runs += r.spilled_runs;
             grouped.push(r.groups);
         }
-        let out_sizes: Vec<usize> = grouped.iter().map(|p| p.len()).collect();
+        let out_sizes: Vec<usize> = grouped.iter().map(std::vec::Vec::len).collect();
         record_wide_stage(
             self.cluster(),
             name,
@@ -210,8 +229,9 @@ where
         let input_records = self.count();
         // Map-side combine.
         let inputs: Vec<Arc<Vec<(K, V)>>> = self.partitions.clone();
+        let probe = &self.cluster().inner.engine.executor;
         let (combined, combine_times) =
-            run_stage_tasks(self.cluster().config(), inputs, |_, part| {
+            run_stage_tasks(self.cluster().config(), probe, inputs, |_, part| {
                 let mut acc: HashMap<K, V> = HashMap::new();
                 for (k, v) in part.iter() {
                     match acc.remove(k) {
@@ -231,10 +251,10 @@ where
         let partitioner = HashPartitioner::new(n);
         let (scattered, scatter_times) =
             shuffle_scatter(&combined, n, |(k, _): &(K, V)| partitioner.partition(k));
-        let shuffled: usize = scattered.iter().map(|p| p.len()).sum();
+        let shuffled: usize = scattered.iter().map(std::vec::Vec::len).sum();
         mark_shuffle_flush(self.cluster(), name, shuffled);
         let (reduced, reduce_times) =
-            run_stage_tasks(self.cluster().config(), scattered, |_, part| {
+            run_stage_tasks(self.cluster().config(), probe, scattered, |_, part| {
                 let mut acc: HashMap<K, V> = HashMap::new();
                 for (k, v) in part {
                     match acc.remove(&k) {
@@ -248,7 +268,7 @@ where
                 }
                 acc.into_iter().collect::<Vec<(K, V)>>()
             });
-        let out_sizes: Vec<usize> = reduced.iter().map(|p| p.len()).collect();
+        let out_sizes: Vec<usize> = reduced.iter().map(std::vec::Vec::len).collect();
         record_wide_stage(
             self.cluster(),
             name,
@@ -304,14 +324,18 @@ where
             shuffle_scatter(self, n, |(k, _): &(K, V)| partitioner.partition(k));
         let (right, right_times) =
             shuffle_scatter(other, n, |(k, _): &(K, W)| partitioner.partition(k));
-        let shuffled: usize = left.iter().map(|p| p.len()).sum::<usize>()
-            + right.iter().map(|p| p.len()).sum::<usize>();
+        let shuffled: usize = left.iter().map(std::vec::Vec::len).sum::<usize>()
+            + right.iter().map(std::vec::Vec::len).sum::<usize>();
         let record_size = std::mem::size_of::<(K, V)>().max(std::mem::size_of::<(K, W)>());
         mark_shuffle_flush(self.cluster(), name, shuffled);
         #[allow(clippy::type_complexity)]
         let zipped: Vec<(Vec<(K, V)>, Vec<(K, W)>)> = left.into_iter().zip(right).collect();
-        let (cogrouped, times) =
-            run_stage_tasks(self.cluster().config(), zipped, |_, (lpart, rpart)| {
+        let probe = &self.cluster().inner.engine.executor;
+        let (cogrouped, times) = run_stage_tasks(
+            self.cluster().config(),
+            probe,
+            zipped,
+            |_, (lpart, rpart)| {
                 let mut groups: HashMap<K, (Vec<V>, Vec<W>)> = HashMap::new();
                 for (k, v) in lpart {
                     groups.entry(k).or_default().0.push(v);
@@ -320,8 +344,9 @@ where
                     groups.entry(k).or_default().1.push(w);
                 }
                 groups.into_iter().collect::<Vec<(K, (Vec<V>, Vec<W>))>>()
-            });
-        let out_sizes: Vec<usize> = cogrouped.iter().map(|p| p.len()).collect();
+            },
+        );
+        let out_sizes: Vec<usize> = cogrouped.iter().map(std::vec::Vec::len).collect();
         record_wide_stage(
             self.cluster(),
             name,
@@ -348,9 +373,9 @@ where
             shuffle_scatter(self, partitioner.num_partitions(), |(k, _)| {
                 partitioner.partition(k)
             });
-        let shuffled: usize = scattered.iter().map(|p| p.len()).sum();
+        let shuffled: usize = scattered.iter().map(std::vec::Vec::len).sum();
         mark_shuffle_flush(self.cluster(), name, shuffled);
-        let out_sizes: Vec<usize> = scattered.iter().map(|p| p.len()).collect();
+        let out_sizes: Vec<usize> = scattered.iter().map(std::vec::Vec::len).collect();
         record_wide_stage(
             self.cluster(),
             name,
@@ -398,22 +423,24 @@ where
         let targets = partitions.max(1);
         let (scattered, scatter_times) =
             shuffle_scatter(self, targets, |t| spread(stable_hash(t), targets));
-        let shuffled: usize = scattered.iter().map(|p| p.len()).sum();
+        let shuffled: usize = scattered.iter().map(std::vec::Vec::len).sum();
         mark_shuffle_flush(self.cluster(), name, shuffled);
-        let (deduped, times) = run_stage_tasks(self.cluster().config(), scattered, |_, part| {
-            // The seen-set owns each unique record once; the output is
-            // rebuilt from it, so records are cloned exactly once.
-            let mut seen = std::collections::HashSet::with_capacity(part.len());
-            let mut out = Vec::new();
-            for record in part {
-                if !seen.contains(&record) {
-                    out.push(record.clone());
-                    seen.insert(record);
+        let probe = &self.cluster().inner.engine.executor;
+        let (deduped, times) =
+            run_stage_tasks(self.cluster().config(), probe, scattered, |_, part| {
+                // The seen-set owns each unique record once; the output is
+                // rebuilt from it, so records are cloned exactly once.
+                let mut seen = std::collections::HashSet::with_capacity(part.len());
+                let mut out = Vec::new();
+                for record in part {
+                    if !seen.contains(&record) {
+                        out.push(record.clone());
+                        seen.insert(record);
+                    }
                 }
-            }
-            out
-        });
-        let out_sizes: Vec<usize> = deduped.iter().map(|p| p.len()).collect();
+                out
+            });
+        let out_sizes: Vec<usize> = deduped.iter().map(std::vec::Vec::len).collect();
         record_wide_stage(
             self.cluster(),
             name,
@@ -525,7 +552,7 @@ mod tests {
         use crate::shuffle::CompositePartitioner;
         let c = cluster();
         // One hot primary key with 64 sub-keys.
-        let records: Vec<((u32, u32), u64)> = (0..64).map(|s| ((7u32, s), s as u64)).collect();
+        let records: Vec<((u32, u32), u64)> = (0..64).map(|s| ((7u32, s), u64::from(s))).collect();
         let ds = c.parallelize(records, 4);
         let parted = ds.partition_by("spread", &CompositePartitioner::new(16));
         let sizes = parted.partition_sizes();

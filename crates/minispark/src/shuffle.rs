@@ -280,7 +280,7 @@ mod tests {
         for sub in 0..subs {
             counts[p.partition(&(42u64, sub))] += 1.0;
         }
-        let expected = subs as f64 / n as f64;
+        let expected = f64::from(subs) / n as f64;
         let chi2: f64 = counts
             .iter()
             .map(|c| (c - expected) * (c - expected) / expected)

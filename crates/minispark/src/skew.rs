@@ -424,6 +424,11 @@ where
         rs_joins: rs_joins.load(Ordering::Relaxed),
         stolen_tasks,
     };
+    let engine = &cluster.inner.engine;
+    engine.skew_groups_split.add(stats.groups_split);
+    engine.skew_chunks.add(stats.chunks);
+    engine.skew_rs_joins.add(stats.rs_joins);
+    engine.skew_steals.add(stats.stolen_tasks);
     (hits, stats)
 }
 
@@ -518,7 +523,7 @@ mod tests {
         // 40 records of key 7, 5 each of keys 0..4.
         let mut records: Vec<(u32, u8)> = (0..40).map(|_| (7u32, 0u8)).collect();
         for key in 0..4 {
-            records.extend(std::iter::repeat((key, 0u8)).take(5));
+            records.extend(std::iter::repeat_n((key, 0u8), 5));
         }
         let keyed = c.parallelize(records, 4);
         let est = estimate_group_sizes(&keyed, usize::MAX, "test");

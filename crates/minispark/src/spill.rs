@@ -23,6 +23,7 @@ use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use crate::codec::Codec;
+use crate::telemetry::SpillProbe;
 
 /// Result of an external group-by: the grouped records plus how many run
 /// files had to be spilled (0 = everything fit in memory).
@@ -37,9 +38,7 @@ pub struct ExternalGroupByResult<K, V> {
 static SPILL_COUNTER: AtomicU64 = AtomicU64::new(0);
 
 fn spill_file_path(dir: Option<&Path>) -> PathBuf {
-    let dir = dir
-        .map(Path::to_path_buf)
-        .unwrap_or_else(std::env::temp_dir);
+    let dir = dir.map_or_else(std::env::temp_dir, Path::to_path_buf);
     // relaxed(unique-id): only atomicity matters — each caller must draw a
     // distinct suffix, no ordering with other memory is implied.
     let unique = SPILL_COUNTER.fetch_add(1, Ordering::Relaxed);
@@ -67,7 +66,9 @@ impl RunWriter {
         })
     }
 
-    fn write_entry<K: Codec, V: Codec>(&mut self, key: &K, values: &Vec<V>) -> io::Result<()> {
+    /// Writes one entry; returns the bytes it occupies on disk (payload plus
+    /// length prefix), feeding the spill-bytes telemetry.
+    fn write_entry<K: Codec, V: Codec>(&mut self, key: &K, values: &Vec<V>) -> io::Result<usize> {
         let mut buf = Vec::new();
         key.encode(&mut buf);
         values.encode(&mut buf);
@@ -75,7 +76,7 @@ impl RunWriter {
             .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "entry exceeds 4 GiB"))?;
         self.writer.write_all(&len.to_le_bytes())?;
         self.writer.write_all(&buf)?;
-        Ok(())
+        Ok(buf.len() + len.to_le_bytes().len())
     }
 
     fn finish(mut self) -> io::Result<RunReader> {
@@ -137,6 +138,23 @@ where
     V: Codec,
     I: Iterator<Item = (K, V)>,
 {
+    external_group_by_probed(records, record_budget, spill_dir, &SpillProbe::disabled())
+}
+
+/// [`external_group_by`] with live telemetry: every finished run ticks the
+/// probe's run counter and adds the run's on-disk bytes. A disabled probe
+/// makes this identical to the plain version.
+pub fn external_group_by_probed<K, V, I>(
+    records: I,
+    record_budget: usize,
+    spill_dir: Option<&Path>,
+    probe: &SpillProbe,
+) -> io::Result<ExternalGroupByResult<K, V>>
+where
+    K: Codec + Ord + Clone,
+    V: Codec,
+    I: Iterator<Item = (K, V)>,
+{
     let record_budget = record_budget.max(1);
     let mut in_memory: BTreeMap<K, Vec<V>> = BTreeMap::new();
     let mut buffered = 0usize;
@@ -147,10 +165,13 @@ where
         buffered += 1;
         if buffered >= record_budget {
             let mut writer = RunWriter::create(spill_dir)?;
+            let mut run_bytes = 0usize;
             for (key, values) in std::mem::take(&mut in_memory) {
-                writer.write_entry(&key, &values)?;
+                run_bytes += writer.write_entry(&key, &values)?;
             }
             runs.push(writer.finish()?);
+            probe.runs.inc();
+            probe.bytes.add_usize(run_bytes);
             // A finished run is a durability boundary other tasks could
             // observe — announce it to the schedule-exploration harness.
             crate::sched::yield_point("spill-run");
@@ -260,14 +281,14 @@ mod tests {
 
     #[test]
     fn in_memory_when_budget_is_large() {
-        let records: Vec<(u32, u64)> = (0..100).map(|n| (n % 10, n as u64)).collect();
+        let records: Vec<(u32, u64)> = (0..100).map(|n| (n % 10, u64::from(n))).collect();
         let spilled = check_grouping(records, usize::MAX);
         assert_eq!(spilled, 0);
     }
 
     #[test]
     fn spills_and_merges_correctly() {
-        let records: Vec<(u32, u64)> = (0..1000).map(|n| (n % 37, n as u64)).collect();
+        let records: Vec<(u32, u64)> = (0..1000).map(|n| (n % 37, u64::from(n))).collect();
         let spilled = check_grouping(records, 100);
         assert!(spilled >= 9, "expected ~10 runs, got {spilled}");
     }
@@ -310,12 +331,23 @@ mod tests {
     fn spill_files_are_deleted() {
         let dir = std::env::temp_dir().join(format!("minispark-test-{}", std::process::id()));
         std::fs::create_dir_all(&dir).unwrap();
-        let records: Vec<(u32, u64)> = (0..500).map(|n| (n % 13, n as u64)).collect();
+        let records: Vec<(u32, u64)> = (0..500).map(|n| (n % 13, u64::from(n))).collect();
         let result = external_group_by(records.into_iter(), 50, Some(&dir)).unwrap();
         assert!(result.spilled_runs > 0);
         let leftovers = std::fs::read_dir(&dir).unwrap().count();
         assert_eq!(leftovers, 0, "spill files were not cleaned up");
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn probe_counts_runs_and_bytes() {
+        let registry = crate::telemetry::TelemetryRegistry::enabled();
+        let probe = SpillProbe::register(&registry);
+        let records: Vec<(u32, u64)> = (0..200).map(|n| (n % 11, u64::from(n))).collect();
+        let result = external_group_by_probed(records.into_iter(), 50, None, &probe).unwrap();
+        assert!(result.spilled_runs > 0);
+        assert_eq!(probe.runs.get(), result.spilled_runs as u64);
+        assert!(probe.bytes.get() > 0, "runs carry bytes");
     }
 
     #[test]

@@ -54,7 +54,7 @@ fn spilled_runs_metric_marks_and_replay_agree() {
     // count is Σ over partitions of ⌊len / budget⌋ under the same hash
     // partitioner the shuffle used.
     let partitioner = HashPartitioner::new(PARTITIONS);
-    let mut lens = vec![0usize; PARTITIONS];
+    let mut lens = [0usize; PARTITIONS];
     for (key, _) in &data {
         lens[partitioner.partition(key)] += 1;
     }

@@ -216,7 +216,7 @@ mod tests {
             let r = isqrt(n);
             assert!(r * r <= n && (r + 1) * (r + 1) > n, "isqrt({n}) = {r}");
         }
-        assert_eq!(isqrt(u64::MAX), u32::MAX as u64);
+        assert_eq!(isqrt(u64::MAX), u64::from(u32::MAX));
         let just_below_square = (1u64 << 32).wrapping_mul(1u64 << 32).wrapping_sub(1);
         assert_eq!(isqrt(just_below_square), (1u64 << 32) - 1);
     }

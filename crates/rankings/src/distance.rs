@@ -364,7 +364,7 @@ mod tests {
             for num in 0u64..=1000 {
                 // θ = num/1000, parsed the way a CLI flag or literal would be.
                 let theta = num as f64 / 1000.0;
-                let exact = (num as u128 * max as u128 / 1000) as u64;
+                let exact = (u128::from(num) * u128::from(max) / 1000) as u64;
                 assert_eq!(
                     raw_threshold(k, theta),
                     exact,

@@ -1,0 +1,652 @@
+//! `xtask bench-diff` — the bench regression guard.
+//!
+//! Compares two benchmark documents (`BENCH_*.json` or run-report JSON) and
+//! fails when the candidate regresses past configurable thresholds:
+//!
+//! * **wall-clock** series (`*_ms`, `*_us`, `*seconds`) may grow by at most
+//!   `--max-wall-pct` percent (default 10),
+//! * **per-candidate cost** series (`*_ns`, `*_ns_per_candidate`) by at most
+//!   `--max-ns-pct` percent (default 10),
+//! * **occupancy** series (`*occupancy*`, higher is better) may drop by at
+//!   most `--max-occupancy-drop` absolute (default 0.05).
+//!
+//! Matching is structural: both documents are flattened to
+//! `path → number` leaves (`skew.auto_join_wall_ms`,
+//! `verify[2].merge_ns_per_candidate`, …) and every *guarded* series present
+//! in the baseline must exist in the candidate — a disappearing series is a
+//! regression too (it would otherwise mask one). Unguarded leaves (counts,
+//! thresholds, speedup ratios) and series new in the candidate are ignored,
+//! so adding metrics never breaks the guard.
+//!
+//! `xtask` is dependency-isolated, so this module carries its own minimal
+//! JSON reader (objects, arrays, strings, numbers, booleans, null — the
+//! subset our reports emit).
+
+use std::path::Path;
+use std::process::ExitCode;
+
+const USAGE: &str = "usage: cargo run -p xtask -- bench-diff <baseline.json> <candidate.json> \
+                     [--max-wall-pct <pct>] [--max-ns-pct <pct>] [--max-occupancy-drop <abs>]";
+
+// ---------------------------------------------------------------------------
+// Minimal JSON reader
+// ---------------------------------------------------------------------------
+
+/// A parsed JSON value — just enough structure to flatten numeric leaves.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum Value {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any JSON number, read as `f64`.
+    Num(f64),
+    /// A string (escapes decoded).
+    Str(String),
+    /// An array.
+    Arr(Vec<Value>),
+    /// An object, in document order.
+    Obj(Vec<(String, Value)>),
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(text: &'a str) -> Self {
+        Self {
+            bytes: text.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn error(&self, msg: &str) -> String {
+        format!("json parse error at byte {}: {msg}", self.pos)
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek();
+        if b.is_some() {
+            self.pos += 1;
+        }
+        b
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<(), String> {
+        if self.bump() == Some(byte) {
+            Ok(())
+        } else {
+            Err(self.error(&format!("expected {:?}", char::from(byte))))
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Value) -> Result<Value, String> {
+        let end = self.pos + word.len();
+        if self.bytes.get(self.pos..end) == Some(word.as_bytes()) {
+            self.pos = end;
+            Ok(value)
+        } else {
+            Err(self.error(&format!("expected `{word}`")))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, String> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => self.string().map(Value::Str),
+            Some(b't') => self.literal("true", Value::Bool(true)),
+            Some(b'f') => self.literal("false", Value::Bool(false)),
+            Some(b'n') => self.literal("null", Value::Null),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(other) => Err(self.error(&format!("unexpected byte {:?}", char::from(other)))),
+            None => Err(self.error("unexpected end of input")),
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, String> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            let value = self.value()?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.bump() {
+                Some(b',') => {}
+                Some(b'}') => return Ok(Value::Obj(fields)),
+                _ => return Err(self.error("expected ',' or '}' in object")),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Value, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.bump() {
+                Some(b',') => {}
+                Some(b']') => return Ok(Value::Arr(items)),
+                _ => return Err(self.error("expected ',' or ']' in array")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.bump() {
+                Some(b'"') => return Ok(out),
+                Some(b'\\') => match self.bump() {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'u') => {
+                        let end = self.pos + 4;
+                        let hex = self
+                            .bytes
+                            .get(self.pos..end)
+                            .and_then(|h| std::str::from_utf8(h).ok())
+                            .ok_or_else(|| self.error("truncated \\u escape"))?;
+                        let code = u32::from_str_radix(hex, 16)
+                            .map_err(|_| self.error("invalid \\u escape"))?;
+                        self.pos = end;
+                        // Surrogate pairs don't occur in our ASCII reports;
+                        // map unpaired surrogates to the replacement char.
+                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                    }
+                    _ => return Err(self.error("invalid escape")),
+                },
+                Some(byte) if byte < 0x80 => out.push(char::from(byte)),
+                Some(byte) => {
+                    // Multi-byte UTF-8: copy the remaining continuation bytes
+                    // verbatim (the input is a valid &str).
+                    let len = match byte {
+                        0xc0..=0xdf => 2,
+                        0xe0..=0xef => 3,
+                        _ => 4,
+                    };
+                    let start = self.pos - 1;
+                    let end = start + len;
+                    let chunk = self
+                        .bytes
+                        .get(start..end)
+                        .and_then(|c| std::str::from_utf8(c).ok())
+                        .ok_or_else(|| self.error("invalid utf-8 in string"))?;
+                    out.push_str(chunk);
+                    self.pos = end;
+                }
+                None => return Err(self.error("unterminated string")),
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Value, String> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(
+            self.peek(),
+            Some(b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')
+        ) {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.error("invalid number"))?;
+        text.parse::<f64>()
+            .map(Value::Num)
+            .map_err(|_| self.error(&format!("invalid number `{text}`")))
+    }
+}
+
+/// Parses a JSON document (trailing whitespace allowed, nothing else).
+pub(crate) fn parse(text: &str) -> Result<Value, String> {
+    let mut parser = Parser::new(text);
+    let value = parser.value()?;
+    parser.skip_ws();
+    if parser.pos != parser.bytes.len() {
+        return Err(parser.error("trailing garbage after document"));
+    }
+    Ok(value)
+}
+
+// ---------------------------------------------------------------------------
+// Flattening and classification
+// ---------------------------------------------------------------------------
+
+/// Flattens every numeric leaf to `(dotted.path[index], value)`.
+pub(crate) fn flatten(value: &Value) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    walk(value, String::new(), &mut out);
+    out
+}
+
+fn walk(value: &Value, path: String, out: &mut Vec<(String, f64)>) {
+    match value {
+        Value::Num(n) => out.push((path, *n)),
+        Value::Arr(items) => {
+            for (i, item) in items.iter().enumerate() {
+                walk(item, format!("{path}[{i}]"), out);
+            }
+        }
+        Value::Obj(fields) => {
+            for (key, item) in fields {
+                let child = if path.is_empty() {
+                    key.clone()
+                } else {
+                    format!("{path}.{key}")
+                };
+                walk(item, child, out);
+            }
+        }
+        Value::Null | Value::Bool(_) | Value::Str(_) => {}
+    }
+}
+
+/// Which regression rule guards a series, decided from the leaf key name.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Guard {
+    /// Wall-clock durations — larger is worse, bounded by `--max-wall-pct`.
+    Wall,
+    /// Per-candidate verification cost — bounded by `--max-ns-pct`.
+    Ns,
+    /// Slot occupancy in `[0, 1]` — *smaller* is worse, bounded by
+    /// `--max-occupancy-drop`.
+    Occupancy,
+}
+
+/// Classifies one flattened path; `None` means the leaf is not guarded
+/// (counts, ratios, configuration echoes).
+pub(crate) fn classify(path: &str) -> Option<Guard> {
+    let key = path
+        .rsplit('.')
+        .next()
+        .unwrap_or(path)
+        .trim_end_matches(|c: char| c == ']' || c.is_ascii_digit())
+        .trim_end_matches('[');
+    if key.contains("occupancy") {
+        return Some(Guard::Occupancy);
+    }
+    if key.ends_with("_ns") || key.contains("ns_per_candidate") {
+        return Some(Guard::Ns);
+    }
+    if key.ends_with("_ms") || key.ends_with("_us") || key.ends_with("seconds") {
+        return Some(Guard::Wall);
+    }
+    None
+}
+
+// ---------------------------------------------------------------------------
+// Comparison
+// ---------------------------------------------------------------------------
+
+/// The thresholds one `bench-diff` run enforces.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) struct Thresholds {
+    /// Max percentage growth for wall-clock series.
+    pub max_wall_pct: f64,
+    /// Max percentage growth for per-candidate cost series.
+    pub max_ns_pct: f64,
+    /// Max absolute drop for occupancy series.
+    pub max_occupancy_drop: f64,
+}
+
+impl Default for Thresholds {
+    fn default() -> Self {
+        Self {
+            max_wall_pct: 10.0,
+            max_ns_pct: 10.0,
+            max_occupancy_drop: 0.05,
+        }
+    }
+}
+
+/// One detected regression.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct Regression {
+    /// Flattened series path.
+    pub path: String,
+    /// Human-readable description of the violation.
+    pub detail: String,
+}
+
+impl std::fmt::Display for Regression {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}: {}", self.path, self.detail)
+    }
+}
+
+/// Compares `candidate` against `baseline`; returns `(compared, regressions)`
+/// where `compared` counts the guarded series present in both documents.
+pub(crate) fn compare(
+    baseline: &Value,
+    candidate: &Value,
+    thresholds: &Thresholds,
+) -> (usize, Vec<Regression>) {
+    let base = flatten(baseline);
+    let cand = flatten(candidate);
+    let lookup: std::collections::HashMap<&str, f64> =
+        cand.iter().map(|(p, v)| (p.as_str(), *v)).collect();
+    let mut compared = 0;
+    let mut regressions = Vec::new();
+    for (path, base_value) in &base {
+        let Some(guard) = classify(path) else {
+            continue;
+        };
+        let Some(&cand_value) = lookup.get(path.as_str()) else {
+            regressions.push(Regression {
+                path: path.clone(),
+                detail: "guarded series missing from candidate".to_string(),
+            });
+            continue;
+        };
+        compared += 1;
+        match guard {
+            Guard::Wall | Guard::Ns => {
+                // Sub-epsilon baselines carry no signal (a 0 → 0.01 ms jump
+                // is noise, not a regression) — skip them.
+                if *base_value <= 1e-12 {
+                    continue;
+                }
+                let pct = (cand_value - base_value) / base_value * 100.0;
+                let limit = if guard == Guard::Wall {
+                    thresholds.max_wall_pct
+                } else {
+                    thresholds.max_ns_pct
+                };
+                if pct > limit {
+                    regressions.push(Regression {
+                        path: path.clone(),
+                        detail: format!(
+                            "{base_value:.6} -> {cand_value:.6} (+{pct:.2}%, limit +{limit}%)"
+                        ),
+                    });
+                }
+            }
+            Guard::Occupancy => {
+                let drop = base_value - cand_value;
+                if drop > thresholds.max_occupancy_drop {
+                    regressions.push(Regression {
+                        path: path.clone(),
+                        detail: format!(
+                            "{base_value:.4} -> {cand_value:.4} (drop {drop:.4}, limit {})",
+                            thresholds.max_occupancy_drop
+                        ),
+                    });
+                }
+            }
+        }
+    }
+    (compared, regressions)
+}
+
+/// Reads + parses one document, with the file path in any error.
+fn load(path: &Path) -> Result<Value, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("failed to read {}: {e}", path.display()))?;
+    parse(&text).map_err(|e| format!("{}: {e}", path.display()))
+}
+
+/// The `bench-diff` entry point: parses its own argument tail (it takes two
+/// positional paths plus numeric flags, unlike the audit passes).
+pub(crate) fn run_cli(args: impl Iterator<Item = String>) -> ExitCode {
+    let mut args = args;
+    let mut positional = Vec::new();
+    let mut thresholds = Thresholds::default();
+    while let Some(arg) = args.next() {
+        let slot = match arg.as_str() {
+            "--max-wall-pct" => &mut thresholds.max_wall_pct,
+            "--max-ns-pct" => &mut thresholds.max_ns_pct,
+            "--max-occupancy-drop" => &mut thresholds.max_occupancy_drop,
+            other => {
+                if other.starts_with('-') {
+                    eprintln!("xtask bench-diff: unknown flag `{other}`\n{USAGE}");
+                    return ExitCode::FAILURE;
+                }
+                positional.push(other.to_string());
+                continue;
+            }
+        };
+        match args.next().map(|v| v.parse::<f64>()) {
+            Some(Ok(value)) if value >= 0.0 => *slot = value,
+            _ => {
+                eprintln!("xtask bench-diff: `{arg}` needs a non-negative number\n{USAGE}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let [baseline_path, candidate_path] = positional.as_slice() else {
+        eprintln!("xtask bench-diff: expected exactly two input files\n{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let baseline = match load(Path::new(baseline_path)) {
+        Ok(doc) => doc,
+        Err(e) => {
+            eprintln!("xtask bench-diff: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let candidate = match load(Path::new(candidate_path)) {
+        Ok(doc) => doc,
+        Err(e) => {
+            eprintln!("xtask bench-diff: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let (compared, regressions) = compare(&baseline, &candidate, &thresholds);
+    if regressions.is_empty() {
+        eprintln!(
+            "xtask bench-diff: clean — {compared} guarded series within thresholds \
+             (wall +{}%, ns +{}%, occupancy -{})",
+            thresholds.max_wall_pct, thresholds.max_ns_pct, thresholds.max_occupancy_drop
+        );
+        ExitCode::SUCCESS
+    } else {
+        for r in &regressions {
+            eprintln!("regression: {r}");
+        }
+        eprintln!(
+            "xtask bench-diff: {} regression(s) across {compared} compared series",
+            regressions.len()
+        );
+        ExitCode::FAILURE
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn num(path: &str, doc: &Value) -> f64 {
+        flatten(doc)
+            .into_iter()
+            .find(|(p, _)| p == path)
+            .map(|(_, v)| v)
+            .expect("path present")
+    }
+
+    #[test]
+    fn parses_scalars_and_structures() {
+        let doc = parse(r#"{"a": [1, 2.5, -3e2], "b": {"c": true, "d": null, "e": "x\ny"}}"#)
+            .expect("valid json");
+        assert_eq!(num("a[1]", &doc), 2.5);
+        assert_eq!(num("a[2]", &doc), -300.0);
+        let Value::Obj(fields) = &doc else {
+            panic!("object root")
+        };
+        let Value::Obj(inner) = &fields[1].1 else {
+            panic!("nested object")
+        };
+        assert_eq!(inner[0].1, Value::Bool(true));
+        assert_eq!(inner[1].1, Value::Null);
+        assert_eq!(inner[2].1, Value::Str("x\ny".to_string()));
+    }
+
+    #[test]
+    fn parse_rejects_malformed_documents() {
+        for bad in ["", "{", "[1,]", "{\"a\" 1}", "1 2", "\"unterminated"] {
+            assert!(parse(bad).is_err(), "{bad:?} should not parse");
+        }
+    }
+
+    #[test]
+    fn parses_the_committed_bench_document() {
+        let root = crate::workspace_root(None);
+        let text = std::fs::read_to_string(root.join("BENCH_kernels.json"))
+            .expect("committed bench baseline exists");
+        let doc = parse(&text).expect("committed baseline parses");
+        assert!(num("skew.auto_join_wall_ms", &doc) > 0.0);
+        assert!(num("verify[0].merge_ns_per_candidate", &doc) > 0.0);
+    }
+
+    #[test]
+    fn classification_covers_the_report_key_families() {
+        assert_eq!(classify("skew.off_join_wall_ms"), Some(Guard::Wall));
+        assert_eq!(classify("end_to_end[0].median_ms"), Some(Guard::Wall));
+        assert_eq!(classify("group_kernels.nested_loop_us"), Some(Guard::Wall));
+        assert_eq!(classify("skew.auto_seconds"), Some(Guard::Wall));
+        assert_eq!(classify("verify[3].scan_ns_per_candidate"), Some(Guard::Ns));
+        assert_eq!(
+            classify("skew.off_min_slot_occupancy"),
+            Some(Guard::Occupancy)
+        );
+        // Counts, ratios and config echoes are unguarded.
+        assert_eq!(classify("verify[0].candidates"), None);
+        assert_eq!(classify("headline.speedup"), None);
+        assert_eq!(classify("config.trials"), None);
+    }
+
+    #[test]
+    fn a_document_matches_itself() {
+        let root = crate::workspace_root(None);
+        let text = std::fs::read_to_string(root.join("BENCH_kernels.json"))
+            .expect("committed bench baseline exists");
+        let doc = parse(&text).expect("committed baseline parses");
+        let (compared, regressions) = compare(&doc, &doc, &Thresholds::default());
+        assert!(compared > 10, "the baseline has many guarded series");
+        assert!(regressions.is_empty(), "{regressions:?}");
+    }
+
+    /// Injects a 20% wall regression into the committed baseline — the guard
+    /// must flag exactly that series at the default 10% threshold.
+    #[test]
+    fn an_injected_wall_regression_fails() {
+        let root = crate::workspace_root(None);
+        let text = std::fs::read_to_string(root.join("BENCH_kernels.json"))
+            .expect("committed bench baseline exists");
+        let baseline = parse(&text).expect("committed baseline parses");
+        let mut candidate = baseline.clone();
+        scale_key(&mut candidate, "auto_join_wall_ms", 1.2);
+        let (_, regressions) = compare(&baseline, &candidate, &Thresholds::default());
+        assert_eq!(regressions.len(), 1, "{regressions:?}");
+        assert_eq!(regressions[0].path, "skew.auto_join_wall_ms");
+        assert!(regressions[0].detail.contains("+20.00%"), "{regressions:?}");
+    }
+
+    #[test]
+    fn an_occupancy_drop_fails() {
+        let baseline = parse(r#"{"skew": {"auto_min_slot_occupancy": 0.92}}"#).expect("valid json");
+        let candidate =
+            parse(r#"{"skew": {"auto_min_slot_occupancy": 0.70}}"#).expect("valid json");
+        let (compared, regressions) = compare(&baseline, &candidate, &Thresholds::default());
+        assert_eq!(compared, 1);
+        assert_eq!(regressions.len(), 1, "{regressions:?}");
+        // The reverse direction (occupancy improved) is not a regression.
+        let (_, none) = compare(&candidate, &baseline, &Thresholds::default());
+        assert!(none.is_empty(), "{none:?}");
+    }
+
+    #[test]
+    fn a_missing_guarded_series_fails() {
+        let baseline = parse(r#"{"a_ms": 5.0, "count": 7}"#).expect("valid json");
+        let candidate = parse(r#"{"count": 7}"#).expect("valid json");
+        let (_, regressions) = compare(&baseline, &candidate, &Thresholds::default());
+        assert_eq!(regressions.len(), 1, "{regressions:?}");
+        assert!(regressions[0].detail.contains("missing"), "{regressions:?}");
+        // New series in the candidate are fine.
+        let (_, none) = compare(&candidate, &baseline, &Thresholds::default());
+        assert!(none.is_empty(), "{none:?}");
+    }
+
+    #[test]
+    fn thresholds_bound_the_allowed_growth() {
+        let baseline = parse(r#"{"wall_ms": 100.0}"#).expect("valid json");
+        let candidate = parse(r#"{"wall_ms": 125.0}"#).expect("valid json");
+        let strict = Thresholds {
+            max_wall_pct: 20.0,
+            ..Thresholds::default()
+        };
+        let lax = Thresholds {
+            max_wall_pct: 30.0,
+            ..Thresholds::default()
+        };
+        assert_eq!(compare(&baseline, &candidate, &strict).1.len(), 1);
+        assert!(compare(&baseline, &candidate, &lax).1.is_empty());
+    }
+
+    #[test]
+    fn zero_baselines_are_noise_not_regressions() {
+        let baseline = parse(r#"{"wall_ms": 0.0}"#).expect("valid json");
+        let candidate = parse(r#"{"wall_ms": 0.02}"#).expect("valid json");
+        let (_, regressions) = compare(&baseline, &candidate, &Thresholds::default());
+        assert!(regressions.is_empty(), "{regressions:?}");
+    }
+
+    /// Multiplies every `Value::Num` under any object key == `key` by
+    /// `factor` (recursively).
+    fn scale_key(value: &mut Value, key: &str, factor: f64) {
+        match value {
+            Value::Obj(fields) => {
+                for (k, v) in fields {
+                    if k == key {
+                        if let Value::Num(n) = v {
+                            *n *= factor;
+                        }
+                    }
+                    scale_key(v, key, factor);
+                }
+            }
+            Value::Arr(items) => {
+                for item in items {
+                    scale_key(item, key, factor);
+                }
+            }
+            _ => {}
+        }
+    }
+}

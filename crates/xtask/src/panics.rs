@@ -50,6 +50,8 @@ pub(crate) const HOT_PATHS: &[&str] = &[
     "crates/minispark/src/spill.rs",
     "crates/minispark/src/codec.rs",
     "crates/minispark/src/executor.rs",
+    // telemetry: the record path runs inside every task's inner loop.
+    "crates/minispark/src/telemetry.rs",
 ];
 
 /// One audited panic-capable site.
@@ -249,24 +251,23 @@ pub(crate) fn audit_file(file: &SourceFile) -> (Vec<Site>, Vec<Violation>) {
             });
         };
 
-    for pos in 0..bytes.len() {
+    for (pos, &byte) in bytes.iter().enumerate() {
         if file.in_test(pos) {
             continue;
         }
-        match bytes[pos] {
+        match byte {
             b'[' if is_raw_index(code, pos) => {
                 push_site(pos, "index", &mut sites, &mut violations);
             }
-            b'/' | b'%' => {
+            b'/' | b'%'
                 // Skip the left operand's absence (unary context can't
                 // produce `/` or `%`) and literal/float divisors.
                 if nonliteral_divisor(code, pos).is_some()
                     && !floatish_context(code, pos)
                     && !float_operand(code, pos, &floats)
-                {
+                => {
                     push_site(pos, "div", &mut sites, &mut violations);
                 }
-            }
             _ => {}
         }
     }
