@@ -145,10 +145,14 @@ impl Capture {
     /// telemetry snapshot (when telemetry is on) for [`Self::metrics_document`].
     pub fn finish_run(&self, cluster: &Cluster) {
         if cluster.telemetry().is_enabled() {
+            // Snapshot first: it takes the registry lock internally, and a
+            // concurrent scrape must never wait on the snapshots lock (and
+            // vice versa) just because a run happened to finish.
+            let doc = cluster.telemetry().snapshot().to_json();
             self.snapshots
                 .lock()
                 .expect("capture snapshot lock poisoned")
-                .push(cluster.telemetry().snapshot().to_json());
+                .push(doc);
         }
     }
 

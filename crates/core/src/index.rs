@@ -52,6 +52,7 @@ impl RankingIndex {
             k,
             theta_max,
             freq,
+            // alloc(one-time index construction, sized up front)
             records: Vec::with_capacity(data.len()),
             postings: HashMap::new(),
         };
@@ -126,6 +127,7 @@ impl RankingIndex {
             return Err(JoinError::InvalidThreshold(theta));
         }
         if self.records.is_empty() {
+            // alloc(empty Vec never allocates)
             return Ok(Vec::new());
         }
         if query.k() != self.k {
@@ -137,6 +139,7 @@ impl RankingIndex {
         let theta_raw = raw_threshold(self.k, theta);
         let ordered_query = OrderedRanking::by_frequency(query, &self.freq);
 
+        // alloc(per-query result buffer — one per range_query call, not per candidate)
         let mut results = Vec::new();
         if theta_raw >= max_raw_distance(self.k) {
             // Disjoint pairs qualify: prefix probing is incomplete, scan.
@@ -150,6 +153,7 @@ impl RankingIndex {
             }
         } else {
             let p = PrefixKind::Overlap.prefix_len(self.k, theta_raw);
+            // alloc(per-query dedup bitmap — one per range_query call)
             let mut seen: Vec<bool> = vec![false; self.records.len()];
             for &(item, query_rank) in ordered_query.prefix(p) {
                 let Some(postings) = self.postings.get(&item) else {

@@ -68,6 +68,7 @@ thread_local! {
     /// ranking — the interner restores the map-side `Arc` sharing. `Weak`
     /// entries keep the cache from pinning rankings beyond the partitions
     /// that reference them.
+    // alloc(empty HashMap never allocates; filled only on spill replay)
     static DECODE_INTERNER: RefCell<HashMap<u64, Weak<OrderedRanking>>> =
         RefCell::new(HashMap::new());
 }
@@ -104,6 +105,7 @@ impl minispark::Codec for TokenEntry {
         self.rank.encode(out);
         self.singleton.encode(out);
         self.ranking.id().encode(out);
+        // alloc(spill encode only runs under memory pressure, never on the fast path)
         self.ranking.pairs().to_vec().encode(out);
     }
 
@@ -313,6 +315,7 @@ pub fn join_group_indexed(
     // Group boundary: an interleaving point for schedule exploration (a
     // single relaxed-load branch when no hook is installed).
     minispark::sched::yield_point("kernel/indexed-group");
+    // alloc(the output buffer — the kernel's only allocation; index memory is GroupScratch)
     let mut results = Vec::new();
     if entries.len() < 2 {
         return results;
@@ -403,6 +406,7 @@ pub fn join_group_nested_loop(
 ) -> Vec<(usize, usize, u64)> {
     // Group boundary: interleaving point, see `join_group_indexed`.
     minispark::sched::yield_point("kernel/nested-loop-group");
+    // alloc(the output buffer — the kernel's only allocation)
     let mut results = Vec::new();
     for i in 0..entries.len() {
         for j in (i + 1)..entries.len() {
@@ -439,6 +443,7 @@ pub fn join_group_rs(
 ) -> Vec<(usize, usize, u64)> {
     // Sub-partition boundary: interleaving point, see `join_group_indexed`.
     minispark::sched::yield_point("kernel/rs-group");
+    // alloc(the output buffer — the kernel's only allocation)
     let mut results = Vec::new();
     for (i, a) in left.iter().enumerate() {
         for (j, b) in right.iter().enumerate() {

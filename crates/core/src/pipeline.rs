@@ -118,23 +118,29 @@ pub fn order_rankings(
     partitions: usize,
     label: &str,
 ) -> Dataset<Arc<OrderedRanking>> {
+    // alloc(driver-side stage construction — one dataset copy, not per record)
     let ds = cluster.parallelize(data.to_vec(), partitions);
     match prefix_kind {
         PrefixKind::Overlap => {
             let counts = ds
+                // alloc(stage label String, once per stage)
                 .flat_map(&format!("{label}/freq-emit"), |r: &Ranking| {
                     r.items()
                         .iter()
                         .map(|&item| (item, 1u64))
+                        // alloc(one count-pair Vec per ranking; the shuffle takes ownership)
                         .collect::<Vec<_>>()
                 })
+                // alloc(stage label + driver-side count collection, once per ordering phase)
                 .reduce_by_key(&format!("{label}/freq-count"), partitions, |a, b| a + b)
                 .collect();
             let freq = cluster.broadcast(FrequencyTable::from_counts(counts));
+            // alloc(stage label String, once per stage)
             ds.map(&format!("{label}/order-by-frequency"), move |r| {
                 Arc::new(OrderedRanking::by_frequency(r, freq.value()))
             })
         }
+        // alloc(stage label String, once per stage)
         PrefixKind::Ordered => ds.map(&format!("{label}/order-by-rank"), |r| {
             Arc::new(OrderedRanking::by_rank(r))
         }),
@@ -162,6 +168,7 @@ pub fn emit_prefixes(
                     },
                 )
             })
+            // alloc(one prefix-token Vec per ranking; the shuffle takes ownership)
             .collect::<Vec<_>>()
     })
 }
@@ -216,6 +223,7 @@ fn run_kernel(
                 b_singleton: eb.singleton,
             }
         })
+        // alloc(one hit buffer per token group, not per candidate pair)
         .collect()
 }
 
@@ -260,6 +268,7 @@ fn rs_hits(
                 b_singleton: y.singleton,
             }
         })
+        // alloc(one hit buffer per sub-partition pair, not per candidate)
         .collect()
 }
 
@@ -316,8 +325,10 @@ pub fn token_grouped_join(
     // (the property §4.1 argues iterator-style processing preserves); the
     // engine reproduces that when the cluster config sets a spill budget.
     let grouped = if emitted.cluster().config().spill_record_budget != usize::MAX {
+        // alloc(stage label String, once per join stage)
         emitted.group_by_key_spilling(&format!("{label}/group-by-token"), partitions)
     } else {
+        // alloc(stage label String, once per join stage)
         emitted.group_by_key(&format!("{label}/group-by-token"), partitions)
     };
 
@@ -326,6 +337,7 @@ pub fn token_grouped_join(
             let stats = Arc::clone(stats);
             let prefix_len_of = prefix_len_of.clone();
             let live = Arc::clone(&live);
+            // alloc(stage label String, once per join stage)
             grouped.flat_map(&format!("{label}/join-groups"), move |(token, entries)| {
                 run_kernel(
                     entries,
@@ -381,11 +393,13 @@ pub fn token_grouped_join(
     // iteration order: every duplicate under one id pair carries the same
     // exact distance and the same per-ranking singleton tags, so any survivor
     // is content-equal (pinned by the determinism suite).
+    // alloc(stage label Strings, once per join stage)
     hits.map(&format!("{label}/key-pairs"), |hit: &PairHit| {
         let ids = hit.ids();
         crate::invariants::check_pair_normalized(ids.0, ids.1);
         (ids, hit.clone())
     })
+    // alloc(stage label Strings, once per join stage)
     .reduce_by_key(&format!("{label}/dedup-pairs"), partitions, |a, _b| a)
     .values(&format!("{label}/drop-keys"))
 }
@@ -409,6 +423,7 @@ pub fn prefix_self_join(
     label: &str,
 ) -> Dataset<PairHit> {
     let p = prefix_kind.prefix_len(k, theta_raw);
+    // alloc(stage label String, once per join stage)
     let emitted = emit_prefixes(ordered, p, false, &format!("{label}/emit-prefixes"));
     let emitted = with_disjoint_sentinels(
         emitted,
@@ -416,6 +431,7 @@ pub fn prefix_self_join(
         k,
         theta_raw,
         false,
+        // alloc(stage label String, once per join stage)
         &format!("{label}/emit-sentinels"),
     );
     token_grouped_join(
@@ -436,6 +452,7 @@ pub fn prefix_self_join(
 /// returns the length (`None` for an empty dataset).
 pub fn uniform_k(data: &[Ranking]) -> Result<Option<usize>, crate::JoinError> {
     let mut k = None;
+    // alloc(one-time input validation per join call, sized up front)
     let mut ids = std::collections::HashSet::with_capacity(data.len());
     for r in data {
         match k {

@@ -64,6 +64,7 @@ where
     let slots = slots.max(1);
     let num_tasks = inputs.len();
     if num_tasks == 0 {
+        // alloc(empty Vec never allocates)
         return (Vec::new(), TaskTimes::default());
     }
     sched::arm_from_env();
@@ -74,6 +75,7 @@ where
     if slots == 1 || num_tasks == 1 {
         // Fast sequential path (also keeps single-slot runs deterministic in
         // their scheduling for tests).
+        // alloc(per-stage output/timing buffers, sized once — not per task)
         let mut outputs = Vec::with_capacity(num_tasks);
         let mut per_task = Vec::with_capacity(num_tasks);
         let mut spans = Vec::with_capacity(num_tasks);
@@ -101,9 +103,11 @@ where
         );
     }
 
+    // alloc(per-stage task-slot tables, built once before the workers start)
     let pending: Vec<Mutex<Option<I>>> = inputs.into_iter().map(|i| Mutex::new(Some(i))).collect();
     // Per-task result slot: output, busy duration, start instant, worker slot.
     type TaskResult<O> = Mutex<Option<(O, Duration, Instant, usize)>>;
+    // alloc(per-stage task-slot tables, built once before the workers start)
     let results: Vec<TaskResult<O>> = (0..num_tasks).map(|_| Mutex::new(None)).collect();
     let cursor = AtomicUsize::new(0);
     let busy_nanos = AtomicU64::new(0);
@@ -147,6 +151,7 @@ where
         }
     });
 
+    // alloc(per-stage output/timing buffers, sized once — not per task)
     let mut outputs = Vec::with_capacity(num_tasks);
     let mut per_task = Vec::with_capacity(num_tasks);
     let mut spans = Vec::with_capacity(num_tasks);
@@ -208,6 +213,7 @@ where
     let slots = slots.max(1);
     let num_tasks = inputs.len();
     if num_tasks == 0 {
+        // alloc(empty Vec never allocates)
         return (Vec::new(), TaskTimes::default());
     }
     sched::arm_from_env();
@@ -222,9 +228,11 @@ where
     let inject_claim_order =
         std::env::var_os("MINISPARK_SCHED_INJECT").is_some_and(|v| v == "claim-order");
 
+    // alloc(per-stage task state, built once before the replay loop)
     let mut pending: Vec<Option<I>> = inputs.into_iter().map(Some).collect();
     let mut outputs: Vec<Option<O>> = (0..num_tasks).map(|_| None).collect();
     let mut per_task = vec![Duration::ZERO; num_tasks];
+    // alloc(per-stage task state, built once before the replay loop)
     let mut spans: Vec<Option<TaskSpan>> = vec![None; num_tasks];
     for (position, &idx) in order.iter().enumerate() {
         sched::yield_point("executor/claim");
@@ -249,10 +257,12 @@ where
     let outputs: Vec<O> = outputs
         .into_iter()
         .map(|o| o.expect("task produced no output"))
+        // alloc(per-stage unwrap of the option table into the output Vec)
         .collect();
     let spans: Vec<TaskSpan> = spans
         .into_iter()
         .map(|s| s.expect("task produced no span"))
+        // alloc(per-stage unwrap of the option table into the span Vec)
         .collect();
     let total = per_task.iter().sum();
     (
@@ -277,6 +287,7 @@ where
 /// (always true for one slot or one task); a high count on a split-join
 /// stage means the skew sub-partitions really did migrate to idle slots.
 pub fn steal_count(spans: &[TaskSpan], slots: usize) -> usize {
+    // alloc(post-stage diagnostics, one pair Vec per analyzed stage)
     let pairs: Vec<(usize, usize)> = spans.iter().map(|s| (s.task, s.slot)).collect();
     steal_count_indexed(&pairs, slots)
 }
@@ -314,6 +325,7 @@ pub fn steal_count_indexed(pairs: &[(usize, usize)], slots: usize) -> usize {
 /// [`steal_count_indexed`] over [`TaskSpan`]s — the form the wide-stage
 /// recorder holds after merging its map- and reduce-wave timings.
 pub fn steal_count_concat(spans: &[TaskSpan], slots: usize) -> usize {
+    // alloc(post-stage diagnostics, one pair Vec per analyzed stage)
     let pairs: Vec<(usize, usize)> = spans.iter().map(|s| (s.task, s.slot)).collect();
     steal_count_indexed(&pairs, slots)
 }

@@ -91,7 +91,7 @@ impl LiveServer {
                         break;
                     }
                     let Ok(stream) = stream else { continue };
-                    // A failed scrape is the scraper's problem; keep serving.
+                    // errors(a failed scrape is the scraper's problem; keep serving)
                     let _ = handle_connection(stream, &source);
                 }
             })?;
@@ -119,9 +119,10 @@ impl std::fmt::Debug for LiveServer {
 impl Drop for LiveServer {
     fn drop(&mut self) {
         self.stop.store(true, Ordering::Release);
-        // Unblock the accept loop with a throwaway connection to ourselves.
+        // errors(self-connection only unblocks the accept loop; on failure the timeout covers us)
         let _ = TcpStream::connect_timeout(&self.addr, Duration::from_millis(200));
         if let Some(handle) = self.handle.take() {
+            // errors(Err means the server thread panicked; Drop must not double-panic)
             let _ = handle.join();
         }
     }

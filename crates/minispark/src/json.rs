@@ -213,6 +213,7 @@ fn write_number(n: f64, out: &mut String) {
         // Rust's `{}` for f64 is the shortest representation that parses
         // back to the same bits — exactly what a round-tripping emitter
         // needs — and it never produces exponent syntax JSON would reject.
+        // errors(fmt::Write into a String is infallible)
         let _ = write!(out, "{n}");
     } else {
         // JSON has no NaN/Infinity; degrade like `JSON.stringify`.
@@ -235,6 +236,7 @@ fn write_string(s: &str, out: &mut String) {
             c if (c as u32) < 0x20 => {
                 use fmt::Write as _;
                 // cast(char → u32 is the scalar value — always lossless)
+                // errors(fmt::Write into a String is infallible)
                 let _ = write!(out, "\\u{:04x}", c as u32);
             }
             // Non-ASCII passes through as UTF-8 (valid JSON).

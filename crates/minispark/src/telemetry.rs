@@ -1047,6 +1047,7 @@ impl Drop for Heartbeat {
     fn drop(&mut self) {
         self.shared.stop.store(true, Ordering::Release);
         if let Some(handle) = self.handle.take() {
+            // errors(Err means the sampler thread panicked; Drop must not double-panic)
             let _ = handle.join();
         }
     }

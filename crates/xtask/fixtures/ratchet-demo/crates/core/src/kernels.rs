@@ -1,0 +1,15 @@
+//! Ratchet-demo fixture: exactly one unjustified hot-path allocation. The
+//! `hotalloc` pass scopes by relative path, so this file is staged under a
+//! hot name (`crates/core/src/kernels.rs`) inside the fixture tree.
+//! Recorded at `hotalloc 1` in this fixture's audit-baseline.txt.
+
+/// The recorded debt: an untagged constructor on a hot path.
+pub fn scratch() -> Vec<u64> {
+    Vec::new()
+}
+
+/// A justified allocation for contrast: inventoried, never a violation.
+pub fn labels(n: usize) -> Vec<String> {
+    // alloc(fixture: one-time setup buffer, not per-record)
+    Vec::with_capacity(n)
+}

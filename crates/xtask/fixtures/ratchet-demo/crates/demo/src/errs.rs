@@ -1,0 +1,13 @@
+//! Ratchet-demo fixture: exactly one unjustified discarded `Result`.
+//! Recorded at `errors 1` in this fixture's audit-baseline.txt.
+
+/// The recorded debt: the removal may fail and nobody will ever know.
+pub fn cleanup(path: &std::path::Path) {
+    let _ = std::fs::remove_file(path);
+}
+
+/// A justified discard for contrast: inventoried, never a violation.
+pub fn best_effort(path: &std::path::Path) {
+    // errors(fixture: best-effort cleanup, nowhere to report)
+    let _ = std::fs::remove_file(path);
+}

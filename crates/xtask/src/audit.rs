@@ -331,6 +331,78 @@ pub(crate) fn find_tokens(hay: &str, needle: &str) -> Vec<usize> {
     out
 }
 
+/// Start of the statement containing `pos`: scans backward over balanced
+/// `()`/`[]`/`{}` groups (so a `;` inside a closure body or struct literal
+/// does not end the walk early) until an unmatched opener or a top-level
+/// `;`/`,` is found. Returns the byte offset just past that boundary.
+pub(crate) fn stmt_start(code: &str, pos: usize) -> usize {
+    let bytes = code.as_bytes();
+    let mut depth = 0usize;
+    let mut i = pos;
+    while i > 0 {
+        i -= 1;
+        match bytes[i] {
+            b')' | b']' | b'}' => depth += 1,
+            b'(' | b'[' | b'{' => {
+                if depth == 0 {
+                    return i + 1;
+                }
+                depth -= 1;
+            }
+            b';' | b',' if depth == 0 => return i + 1,
+            _ => {}
+        }
+    }
+    0
+}
+
+/// End of the statement containing `pos`: scans forward over balanced
+/// groups until a top-level `;` (returned inclusive) or the closer of the
+/// enclosing block (returned exclusive — tail expressions end there).
+pub(crate) fn stmt_end(code: &str, pos: usize) -> usize {
+    let bytes = code.as_bytes();
+    let mut depth = 0usize;
+    let mut i = pos;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'(' | b'[' | b'{' => depth += 1,
+            b')' | b']' | b'}' => {
+                if depth == 0 {
+                    return i;
+                }
+                depth -= 1;
+            }
+            b';' | b',' if depth == 0 => return i + 1,
+            _ => {}
+        }
+        i += 1;
+    }
+    bytes.len()
+}
+
+/// End of the block enclosing `pos`: scans forward over balanced groups to
+/// the first unmatched `}`. Used for the lexical scope of a `let`-bound
+/// guard (it lives to the end of its block unless dropped earlier).
+pub(crate) fn block_end(code: &str, pos: usize) -> usize {
+    let bytes = code.as_bytes();
+    let mut depth = 0usize;
+    let mut i = pos;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'(' | b'[' | b'{' => depth += 1,
+            b')' | b']' | b'}' => {
+                if depth == 0 {
+                    return i;
+                }
+                depth -= 1;
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    bytes.len()
+}
+
 /// Whether `rel` is library code for the unwrap/panic/relaxed/cast rules: any
 /// `src/` file of a crate or the suite (binaries included — they ship).
 /// `tests/`, `benches/` and `examples/` are exempt by policy.
@@ -343,6 +415,17 @@ pub(crate) fn is_library_path(rel: &str) -> bool {
         return false;
     }
     rel.starts_with("src/") || rel.contains("/src/")
+}
+
+/// Whether `rel` is demo code: `examples/` and `src/bin/` binaries. The
+/// `lint` pass applies a relaxed rule set here — `.unwrap()` is acceptable
+/// in a binary that aborts on bad input, but `todo!`/`dbg!` stay banned and
+/// atomics still need a justifying comment. Other passes keep their own
+/// scoping (`src/bin/` remains library code for casts/panics/errors).
+pub(crate) fn is_demo_path(rel: &str) -> bool {
+    let demo = ["examples/", "src/bin/"];
+    demo.iter()
+        .any(|d| rel.starts_with(d) || rel.contains(&format!("/{d}")))
 }
 
 /// How many lines above a site the tag/justification comment window extends
@@ -404,6 +487,11 @@ impl SourceFile {
     /// Whether this file is library code (ships; strictest rules apply).
     pub(crate) fn is_library(&self) -> bool {
         is_library_path(&self.rel)
+    }
+
+    /// Whether this file is demo code (examples and `src/bin/` binaries).
+    pub(crate) fn is_demo(&self) -> bool {
+        is_demo_path(&self.rel)
     }
 
     /// A [`Violation`] at byte offset `pos` in this file.

@@ -1,0 +1,376 @@
+//! The `errors` pass — `cargo run -p xtask -- errors` (and `-- audit`).
+//!
+//! A distributed join that loses an IO error reports a *wrong answer*, not
+//! a failure: a spill file that silently fails to write, a scrape socket
+//! that dies mid-response, a join handle whose panic is discarded — each
+//! turns into missing pairs or stale metrics downstream. Rust makes
+//! swallowing a `Result` easy in exactly three shapes, and this pass audits
+//! all of them in non-test library code:
+//!
+//! * **errors-discard** — `let _ = f(..);` where `f` is known to return a
+//!   `Result`: same-file `fn .. -> Result<..>` signatures plus a table of
+//!   std calls (`write!`/`writeln!`, `join()`, filesystem and socket ops).
+//!   Discarding is sometimes right (best-effort cleanup in `Drop`), but it
+//!   must say why.
+//! * **errors-swallow** — a statement ending in `.ok();`: the error is
+//!   converted to an `Option` and immediately thrown away without even a
+//!   `let _ =` to signal intent. (`let x = f().ok();` binds the option and
+//!   is fine.)
+//! * **errors-default** — `.unwrap_or_default()` on a statement that
+//!   performs IO: an unreadable file and an empty file become the same
+//!   value, which is how corrupt spill runs turn into empty partitions.
+//!
+//! Every flagged site needs an `errors(<why>)` tag naming the reason the
+//! error is genuinely ignorable (same line or ≤3 lines above), or a rewrite
+//! that propagates/logs the error. The ratchet baseline is zero.
+
+use std::collections::BTreeSet;
+use std::path::Path;
+
+use crate::audit::{find_tokens, stmt_end, stmt_start, PassOutcome, SourceFile, Violation};
+
+/// Std calls that return `Result` (needles over the masked code view).
+const STD_RESULT_CALLS: &[&str] = &[
+    "write!",
+    "writeln!",
+    ".join()",
+    "remove_file(",
+    "remove_dir",
+    "create_dir",
+    "fs::write(",
+    "fs::rename(",
+    "fs::copy(",
+    "File::create(",
+    "File::open(",
+    "set_read_timeout(",
+    "set_write_timeout(",
+    "connect(",
+    "connect_timeout(",
+    ".flush()",
+    ".write_all(",
+    ".read_to_string(",
+    ".read_to_end(",
+    ".send(",
+    ".recv()",
+    ".spawn(",
+    ".set_len(",
+    ".sync_all()",
+];
+
+/// Needles that mark a statement as performing IO (for `errors-default`).
+const IO_NEEDLES: &[&str] = &[
+    "fs::",
+    "File::",
+    ".read_to_string(",
+    ".read_to_end(",
+    "env::var",
+    ".read(",
+    ".recv()",
+];
+
+/// One audited swallowed-error site.
+pub(crate) struct Site {
+    pub path: String,
+    pub line: usize,
+    /// `"discard"`, `"swallow"` or `"default"`.
+    pub kind: &'static str,
+    pub excerpt: String,
+    /// The `errors(<why>)` tag found, if any.
+    pub tag: Option<String>,
+}
+
+impl Site {
+    pub(crate) fn describe(&self) -> String {
+        format!(
+            "{}:{}: {} `{}` [{}]",
+            self.path,
+            self.line,
+            self.kind,
+            self.excerpt,
+            self.tag.as_deref().unwrap_or("-"),
+        )
+    }
+}
+
+fn is_ident_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// A short single-line excerpt of the code around `pos`.
+fn excerpt(code: &str, pos: usize) -> String {
+    let start = code[..pos].rfind('\n').map_or(0, |p| p + 1);
+    let end = code[pos..].find('\n').map_or(code.len(), |p| pos + p);
+    let line = code[start..end].trim();
+    if line.len() > 60 {
+        let mut cut = 57;
+        while cut > 0 && !line.is_char_boundary(cut) {
+            cut -= 1;
+        }
+        format!("{}…", &line[..cut])
+    } else {
+        line.to_string()
+    }
+}
+
+/// Names of same-file functions whose return type mentions `Result`.
+pub(crate) fn result_fns(code: &str) -> BTreeSet<String> {
+    let bytes = code.as_bytes();
+    let mut out = BTreeSet::new();
+    for pos in find_tokens(code, "fn") {
+        let mut i = pos + 2;
+        while i < bytes.len() && bytes[i].is_ascii_whitespace() {
+            i += 1;
+        }
+        let start = i;
+        while i < bytes.len() && is_ident_byte(bytes[i]) {
+            i += 1;
+        }
+        if start == i {
+            continue;
+        }
+        let name = &code[start..i];
+        // The signature runs to the body `{` (or `;` for a decl); a return
+        // type mentioning `Result` marks the fn.
+        let mut depth = 0usize;
+        let mut arrow = None;
+        let mut j = i;
+        while j < bytes.len() {
+            match bytes[j] {
+                b'(' | b'[' => depth += 1,
+                b')' | b']' => depth = depth.saturating_sub(1),
+                b'{' | b';' if depth == 0 => break,
+                b'-' if depth == 0 && bytes.get(j + 1) == Some(&b'>') => arrow = Some(j + 2),
+                _ => {}
+            }
+            j += 1;
+        }
+        if let Some(a) = arrow {
+            if code[a..j].contains("Result") {
+                out.insert(name.to_string());
+            }
+        }
+    }
+    out
+}
+
+/// Whether `expr` contains a call to any known-Result function.
+fn calls_result(expr: &str, fns: &BTreeSet<String>) -> bool {
+    if STD_RESULT_CALLS.iter().any(|n| expr.contains(n)) {
+        return true;
+    }
+    fns.iter().any(|name| {
+        find_tokens(expr, name)
+            .iter()
+            .any(|&p| expr[p + name.len()..].trim_start().starts_with('('))
+    })
+}
+
+/// Audits one parsed file (callers filter to library files).
+pub(crate) fn audit_file(file: &SourceFile) -> (Vec<Site>, Vec<Violation>) {
+    let code = &file.code;
+    let bytes = code.as_bytes();
+    let fns = result_fns(code);
+    let mut found: Vec<(usize, &'static str, String)> = Vec::new();
+
+    // `let _ = <call returning Result>;`
+    for pos in find_tokens(code, "let") {
+        let rest = &code[pos + 3..];
+        let trimmed = rest.trim_start();
+        if !trimmed.starts_with('_') {
+            continue;
+        }
+        let after_underscore = &trimmed[1..];
+        if after_underscore.bytes().next().is_some_and(is_ident_byte) {
+            continue; // `let _x = ..` holds the value
+        }
+        if !after_underscore.trim_start().starts_with('=') {
+            continue;
+        }
+        let eq = pos + 3 + (rest.len() - after_underscore.trim_start().len()) + 1;
+        let end = stmt_end(code, eq);
+        let expr = &code[eq..end];
+        if calls_result(expr, &fns) {
+            found.push((
+                pos,
+                "discard",
+                "discarded `Result` — handle it, log it, or say why it is ignorable".to_string(),
+            ));
+        }
+    }
+
+    // Statement-position `.ok();` — error silently converted and dropped.
+    for (pos, _) in code.match_indices(".ok()") {
+        let after = code[pos + ".ok()".len()..].trim_start();
+        if !after.starts_with(';') {
+            continue;
+        }
+        let start = stmt_start(code, pos);
+        let stmt = code[start..pos].trim_start();
+        if stmt.starts_with("let ") || stmt.starts_with("return") || stmt.contains('=') {
+            continue; // the Option is used
+        }
+        found.push((
+            pos,
+            "swallow",
+            "statement ends in `.ok();` — the error vanishes without a trace".to_string(),
+        ));
+    }
+
+    // `.unwrap_or_default()` on an IO statement.
+    for (pos, _) in code.match_indices(".unwrap_or_default()") {
+        let start = stmt_start(code, pos);
+        let stmt = &code[start..pos];
+        if IO_NEEDLES.iter().any(|n| stmt.contains(n)) {
+            found.push((
+                pos,
+                "default",
+                "IO failure collapsed into the default value — an unreadable input and an \
+                 empty one become indistinguishable"
+                    .to_string(),
+            ));
+        }
+    }
+    found.sort_by_key(|&(pos, _, _)| pos);
+
+    let mut sites = Vec::new();
+    let mut violations = Vec::new();
+    let _ = bytes;
+    for (pos, kind, what) in found {
+        if file.in_test(pos) {
+            continue;
+        }
+        let line = file.line_of(pos);
+        let tag = file.tag("errors", line);
+        if tag.is_none() {
+            violations.push(file.violation(
+                match kind {
+                    "discard" => "errors-discard",
+                    "swallow" => "errors-swallow",
+                    _ => "errors-default",
+                },
+                pos,
+                format!(
+                    "{what}; justify with an `errors(<why>)` tag (same line or ≤3 lines above)"
+                ),
+            ));
+        }
+        sites.push(Site {
+            path: file.rel.clone(),
+            line,
+            kind,
+            excerpt: excerpt(code, pos),
+            tag,
+        });
+    }
+    (sites, violations)
+}
+
+/// Audits the library files of the parsed tree.
+pub(crate) fn run(_root: &Path, sources: &[SourceFile]) -> PassOutcome {
+    let mut sites = Vec::new();
+    let mut violations = Vec::new();
+    for file in sources {
+        if !file.is_library() {
+            continue;
+        }
+        let (s, v) = audit_file(file);
+        sites.extend(s.iter().map(Site::describe));
+        violations.extend(v);
+    }
+    PassOutcome {
+        pass: "errors",
+        sites,
+        violations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const LIB: &str = "crates/demo/src/lib.rs";
+
+    fn audit(src: &str) -> (Vec<Site>, Vec<Violation>) {
+        audit_file(&SourceFile::parse(LIB, src))
+    }
+
+    #[test]
+    fn discarded_std_result_is_flagged_and_taggable() {
+        let bad = "impl Drop for Spill {\n    fn drop(&mut self) {\n        let _ = std::fs::remove_file(&self.path);\n    }\n}\n";
+        let (sites, violations) = audit(bad);
+        assert_eq!(violations.len(), 1, "{violations:?}");
+        assert_eq!(violations[0].rule, "errors-discard");
+        assert_eq!(sites[0].kind, "discard");
+
+        let tagged = "impl Drop for Spill {\n    fn drop(&mut self) {\n        // errors(best-effort temp cleanup in Drop — nowhere to report)\n        let _ = std::fs::remove_file(&self.path);\n    }\n}\n";
+        assert!(audit(tagged).1.is_empty());
+    }
+
+    #[test]
+    fn discarded_same_file_result_fn_is_flagged() {
+        let src = "fn serve(s: TcpStream) -> std::io::Result<()> { Ok(()) }\nfn accept_loop(s: TcpStream) {\n    let _ = serve(s);\n}\n";
+        let (_, violations) = audit(src);
+        assert_eq!(violations.len(), 1, "{violations:?}");
+        assert_eq!(violations[0].rule, "errors-discard");
+    }
+
+    #[test]
+    fn discarding_a_non_result_value_is_fine() {
+        let src = "fn f(family: u32, index: u32) {\n    let _ = (family, index);\n    let _ = make_widget();\n}\nfn make_widget() -> u32 { 1 }\n";
+        assert!(audit(src).1.is_empty());
+    }
+
+    #[test]
+    fn named_underscore_bindings_hold_the_value() {
+        let src = "fn f(m: &M) {\n    let _guard = m.acquire();\n    let _ = std::fs::remove_file(\"x\");\n}\n";
+        let (_, violations) = audit(src);
+        assert_eq!(violations.len(), 1, "only the true `_` discard flags");
+    }
+
+    #[test]
+    fn statement_ok_is_swallowing_but_bound_ok_is_not() {
+        let bad = "fn f(s: &mut TcpStream) {\n    s.flush().ok();\n}\n";
+        let (sites, violations) = audit(bad);
+        assert_eq!(violations.len(), 1, "{violations:?}");
+        assert_eq!(violations[0].rule, "errors-swallow");
+        assert_eq!(sites[0].kind, "swallow");
+
+        let bound = "fn f() {\n    let handle = std::thread::Builder::new()\n        .spawn(move || {\n            let x = 1;\n            work(x);\n        })\n        .ok();\n    if handle.is_none() {}\n}\n";
+        assert!(
+            audit(bound).1.is_empty(),
+            "a bound `.ok()` is a used Option"
+        );
+    }
+
+    #[test]
+    fn unwrap_or_default_on_io_is_flagged() {
+        let bad =
+            "fn f(p: &Path) -> String {\n    std::fs::read_to_string(p).unwrap_or_default()\n}\n";
+        let (_, violations) = audit(bad);
+        assert_eq!(violations.len(), 1, "{violations:?}");
+        assert_eq!(violations[0].rule, "errors-default");
+
+        let fine = "fn f(xs: &[Task]) -> String {\n    xs.first().map(|t| t.stage.to_string()).unwrap_or_default()\n}\n";
+        assert!(audit(fine).1.is_empty(), "non-IO defaults are fine");
+    }
+
+    #[test]
+    fn result_fn_table_is_lexical_but_accurate() {
+        let src = "fn a() -> std::io::Result<()> { Ok(()) }\nfn b(x: u32) -> u32 { x }\npub(crate) fn c() -> Result<Vec<u32>, String> { Ok(Vec::new()) }\n";
+        let fns = result_fns(src);
+        assert!(fns.contains("a") && fns.contains("c"));
+        assert!(!fns.contains("b"));
+    }
+
+    #[test]
+    fn test_regions_and_non_library_files_are_exempt() {
+        let src = "#[cfg(test)]\nmod t {\n    fn f() { let _ = std::fs::remove_file(\"x\"); }\n}\n";
+        assert!(audit(src).1.is_empty());
+        let bench = SourceFile::parse(
+            "crates/demo/benches/b.rs",
+            "fn f() { let _ = std::fs::remove_file(\"x\"); }\n",
+        );
+        let outcome = run(Path::new("."), &[bench]);
+        assert!(outcome.violations.is_empty());
+    }
+}

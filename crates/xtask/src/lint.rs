@@ -19,6 +19,12 @@
 //! * **stale-allow** — an allowlist entry that no longer matches a violation
 //!   must be deleted (the list shrinks, it never idles).
 //!
+//! Demo code — `examples/` and `src/bin/` binaries — gets a relaxed set:
+//! `.unwrap()` and `panic!` are acceptable in a binary that aborts on bad
+//! input, but `todo!`/`dbg!`/`unsafe` stay banned and `Ordering::Relaxed`
+//! still needs its justifying comment. This keeps demo code from drifting
+//! without forcing library-grade error plumbing onto walkthroughs.
+//!
 //! The analyzer is deliberately lexical: it rides the audit core's masked
 //! source model (`crate::audit`), pattern-matching the code view with
 //! comments and string literals blanked out. That is robust against false
@@ -33,7 +39,8 @@ use crate::audit::{find_tokens, PassOutcome, SourceFile, Violation};
 pub(crate) fn lint_file(file: &SourceFile) -> Vec<Violation> {
     let code = &file.code;
     let comment_lines: Vec<&str> = file.comments.split('\n').collect();
-    let library = file.is_library();
+    let demo = file.is_demo();
+    let library = file.is_library() && !demo;
 
     let mut out = Vec::new();
 
@@ -81,6 +88,9 @@ pub(crate) fn lint_file(file: &SourceFile) -> Vec<Violation> {
                 ));
             }
         }
+    }
+
+    if library || demo {
         for (pos, _) in code.match_indices("Ordering::Relaxed") {
             if file.in_test(pos) {
                 continue;
@@ -248,6 +258,46 @@ mod tests {
         let v = lint("crates/demo/src/lib.rs", src);
         assert_eq!(v.len(), 1, "{v:?}");
         assert_eq!(v[0].rule, "no-unwrap");
+    }
+
+    #[test]
+    fn demo_binaries_may_unwrap_but_not_todo() {
+        for rel in [
+            "crates/bench/src/bin/bench_kernels.rs",
+            "examples/quickstart.rs",
+        ] {
+            let ok = "fn main() { Some(1).unwrap(); panic!(\"bad input\"); }\n";
+            assert!(lint(rel, ok).is_empty(), "{rel}");
+
+            let v = lint(rel, "fn main() { todo!() }\n");
+            assert_eq!(v.len(), 1, "{rel}");
+            assert_eq!(v[0].rule, "no-todo");
+
+            let v = lint(rel, "fn main() { dbg!(1); }\n");
+            assert_eq!(v.len(), 1, "{rel}");
+            assert_eq!(v[0].rule, "no-dbg");
+        }
+    }
+
+    #[test]
+    fn demo_code_still_justifies_relaxed_atomics() {
+        let bad = "fn main() { C.load(Ordering::Relaxed); }\n";
+        let v = lint("examples/live_metrics.rs", bad);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, "relaxed-comment");
+
+        let good = "fn main() { C.load(Ordering::Relaxed); /* relaxed: display counter */ }\n";
+        assert!(lint("examples/live_metrics.rs", good).is_empty());
+    }
+
+    #[test]
+    fn demo_paths_are_classified_correctly() {
+        use crate::audit::is_demo_path;
+        assert!(is_demo_path("examples/quickstart.rs"));
+        assert!(is_demo_path("crates/bench/src/bin/experiments.rs"));
+        assert!(!is_demo_path("crates/bench/src/lib.rs"));
+        assert!(!is_demo_path("crates/rankings/src/distance.rs"));
+        assert!(!is_demo_path("src/suite.rs"));
     }
 
     #[test]

@@ -16,7 +16,15 @@
 //! * `panics` — panic-capable operators (raw indexing, computed divisors)
 //!   on the hot-path file list require a `panics(<invariant>)` tag or a
 //!   checked rewrite.
-//! * `audit` — all five passes in one run, with the ratchet baseline
+//! * `locks` — every `.lock()`/`.read()`/`.write()` guard inventoried with
+//!   its lexical scope; wildcard guards, guards held across blocking calls,
+//!   and inconsistent per-crate acquisition orders (deadlock cycles) fail.
+//! * `hotalloc` — allocation expressions (`Vec::new`, `vec![`, `collect`,
+//!   `format!`, collection `clone()`, …) on the hot-path file list require
+//!   an `alloc(<why>)` tag, pinning the zero-steady-state-alloc property.
+//! * `errors` — discarded `Result`s (`let _ =` on Result calls, bare
+//!   `.ok();`, `unwrap_or_default()` on IO) require an `errors(<why>)` tag.
+//! * `audit` — all eight passes in one run, with the ratchet baseline
 //!   enforced and an optional `--json <path>` machine-readable report.
 //!
 //! Flags (any command): `--root <path>` scans a different tree,
@@ -28,8 +36,11 @@ mod atomics;
 mod audit;
 mod bench_diff;
 mod casts;
+mod errors;
+mod hotalloc;
 mod layers;
 mod lint;
+mod locks;
 mod panics;
 
 use std::path::{Path, PathBuf};
@@ -37,9 +48,12 @@ use std::process::ExitCode;
 
 use audit::{Baseline, PassOutcome, Violation};
 
-const PASSES: &[&str] = &["lint", "layers", "atomics", "casts", "panics"];
+const PASSES: &[&str] = &[
+    "lint", "layers", "atomics", "casts", "panics", "locks", "hotalloc", "errors",
+];
 
-const USAGE: &str = "usage: cargo run -p xtask -- <lint|layers|atomics|casts|panics|audit> \
+const USAGE: &str = "usage: cargo run -p xtask -- \
+     <lint|layers|atomics|casts|panics|locks|hotalloc|errors|audit> \
      [--root <path>] [--json <path>]\n\
      or:    cargo run -p xtask -- bench-diff <baseline.json> <candidate.json> \
      [--max-wall-pct <pct>] [--max-ns-pct <pct>] [--max-occupancy-drop <abs>]";
@@ -102,6 +116,9 @@ fn run_passes(root: &Path, which: &[&str]) -> Result<(Vec<PassOutcome>, Baseline
             "atomics" => atomics::run(root, &sources),
             "casts" => casts::run(root, &sources),
             "panics" => panics::run(root, &sources),
+            "locks" => locks::run(root, &sources),
+            "hotalloc" => hotalloc::run(root, &sources),
+            "errors" => errors::run(root, &sources),
             other => return Err(format!("xtask: unknown pass `{other}`\n{USAGE}")),
         };
         outcomes.push(outcome);
@@ -313,6 +330,59 @@ mod tests {
         );
     }
 
+    /// The lock-discipline gate: every guard in library code has a clean
+    /// lexical scope — no wildcard bindings, no blocking calls under a held
+    /// guard, consistent per-crate acquisition order.
+    #[test]
+    fn workspace_locks_are_clean() {
+        let (outcome, failures) = workspace_gate("locks");
+        assert!(
+            !outcome.sites.is_empty(),
+            "the audit should see the runtime's lock sites — scanning the wrong tree?"
+        );
+        assert!(
+            failures.is_empty(),
+            "xtask locks found {} violation(s):\n{}",
+            failures.len(),
+            render(&failures)
+        );
+    }
+
+    /// The allocation gate: hot-path allocation expressions carry an
+    /// `alloc(<why>)` tag, so the kernels' zero-steady-state-allocation
+    /// property can only improve.
+    #[test]
+    fn workspace_hotalloc_is_clean() {
+        let (outcome, failures) = workspace_gate("hotalloc");
+        assert!(
+            !outcome.sites.is_empty(),
+            "the audit should see hot-path allocation sites — scanning the wrong tree?"
+        );
+        assert!(
+            failures.is_empty(),
+            "xtask hotalloc found {} violation(s):\n{}",
+            failures.len(),
+            render(&failures)
+        );
+    }
+
+    /// The error-handling gate: no `Result` is silently discarded in library
+    /// code without an `errors(<why>)` tag naming the reason.
+    #[test]
+    fn workspace_errors_are_clean() {
+        let (outcome, failures) = workspace_gate("errors");
+        assert!(
+            !outcome.sites.is_empty(),
+            "the audit should see the tagged best-effort sites — scanning the wrong tree?"
+        );
+        assert!(
+            failures.is_empty(),
+            "xtask errors found {} violation(s):\n{}",
+            failures.len(),
+            render(&failures)
+        );
+    }
+
     // -- ratchet fixture ----------------------------------------------------
     //
     // `fixtures/ratchet-demo` is a committed mini-tree with exactly one
@@ -371,6 +441,81 @@ mod tests {
         let failures = enforce(&Baseline::default(), &[outcome]);
         assert_eq!(failures.len(), 1, "{}", render(&failures));
         assert_eq!(failures[0].rule, "panics-audit");
+    }
+
+    #[test]
+    fn fixture_debt_covers_the_semantic_passes_too() {
+        // The fixture also carries exactly one unjustified site per semantic
+        // pass (a wildcard guard, a hot-path `Vec::new`, a discarded
+        // `Result`), each recorded at budget 1 in its baseline.
+        let (outcomes, baseline) = run_passes(&fixture_root(), &["locks", "hotalloc", "errors"])
+            .expect("fixture tree must be readable");
+        for outcome in &outcomes {
+            assert_eq!(
+                outcome.violations.len(),
+                1,
+                "pass `{}` should see exactly one debt site:\n{}",
+                outcome.pass,
+                render(&outcome.violations)
+            );
+            assert_eq!(baseline.budget(outcome.pass), 1, "{}", outcome.pass);
+        }
+        let failures = enforce(&baseline, &outcomes);
+        assert!(failures.is_empty(), "{}", render(&failures));
+    }
+
+    #[test]
+    fn an_unjustified_new_lock_site_fails_the_gate() {
+        let wild = audit::SourceFile::parse(
+            "crates/demo/src/extra.rs",
+            "pub fn f(m: &std::sync::Mutex<u32>) {\n    let _ = m.lock().expect(\"poisoned\");\n}\n",
+        );
+        let outcome = locks::run(Path::new("."), &[wild]);
+        let failures = enforce(&Baseline::default(), &[outcome]);
+        assert_eq!(failures.len(), 1, "{}", render(&failures));
+        assert_eq!(failures[0].rule, "lock-wildcard");
+    }
+
+    #[test]
+    fn an_unjustified_new_hot_allocation_fails_the_gate() {
+        // hotalloc scopes to HOT_PATHS, so stage the source under a hot name.
+        let hot = audit::SourceFile::parse(
+            "crates/minispark/src/shuffle.rs",
+            "pub fn f() -> Vec<u32> { Vec::new() }\n",
+        );
+        let outcome = hotalloc::run(Path::new("."), &[hot]);
+        let failures = enforce(&Baseline::default(), &[outcome]);
+        assert_eq!(failures.len(), 1, "{}", render(&failures));
+        assert_eq!(failures[0].rule, "alloc-audit");
+    }
+
+    #[test]
+    fn an_unjustified_discarded_result_fails_the_gate() {
+        let sloppy = audit::SourceFile::parse(
+            "crates/demo/src/extra.rs",
+            "pub fn f(p: &std::path::Path) {\n    let _ = std::fs::remove_file(p);\n}\n",
+        );
+        let outcome = errors::run(Path::new("."), &[sloppy]);
+        let failures = enforce(&Baseline::default(), &[outcome]);
+        assert_eq!(failures.len(), 1, "{}", render(&failures));
+        assert_eq!(failures[0].rule, "errors-discard");
+    }
+
+    #[test]
+    fn fixing_semantic_debt_forces_the_baseline_down() {
+        // Each semantic pass's fixture debt, once fixed, must be struck from
+        // the fixture baseline — a clean outcome against budget 1 is stale.
+        let baseline = audit::load_baseline(&fixture_root()).expect("fixture baseline parses");
+        for pass in ["locks", "hotalloc", "errors"] {
+            let clean = PassOutcome {
+                pass,
+                sites: Vec::new(),
+                violations: Vec::new(),
+            };
+            let failures = enforce(&baseline, &[clean]);
+            assert_eq!(failures.len(), 1, "{pass}: {}", render(&failures));
+            assert_eq!(failures[0].rule, "ratchet-stale", "{pass}");
+        }
     }
 
     #[test]
