@@ -36,10 +36,11 @@ use topk_rankings::distance::{footrule_pairs_within, footrule_sorted_within, raw
 use topk_rankings::{FrequencyTable, OrderedRanking, PrefixKind, Ranking};
 use topk_simjoin::kernels::{
     join_group_indexed, join_group_nested_loop, with_group_scratch, GroupScratch, GroupThresholds,
-    TokenEntry,
+    JoinMode, TokenEntry,
 };
 use topk_simjoin::{
-    clp_join, report, runs_to_json, vj_join, JoinConfig, JoinStats, RunReport, SkewBudget,
+    cl_join_rs, clp_join, report, runs_to_json, vj_join, vj_join_rs, vj_nl_join_rs, JoinConfig,
+    JoinStats, RunReport, SkewBudget,
 };
 
 /// The θ every measurement uses (a mid-range figure-6 point).
@@ -226,6 +227,7 @@ fn bench_group_kernels(opts: &Opts) -> Json {
                 |_| prefix_len,
                 &thresholds,
                 true,
+                JoinMode::SelfJoin,
                 &JoinStats::default(),
                 scratch,
             )
@@ -239,13 +241,21 @@ fn bench_group_kernels(opts: &Opts) -> Json {
             |_| prefix_len,
             &thresholds,
             true,
+            JoinMode::SelfJoin,
             &JoinStats::default(),
             &mut scratch,
         )
         .len() as u64
     });
     let nested = median_secs(opts.trials, opts.warmup, || {
-        join_group_nested_loop(&entries, &thresholds, true, &JoinStats::default()).len() as u64
+        join_group_nested_loop(
+            &entries,
+            &thresholds,
+            true,
+            JoinMode::SelfJoin,
+            &JoinStats::default(),
+        )
+        .len() as u64
     });
     println!(
         "group  |group|={:<5} indexed warm {:9.1} µs  cold {:9.1} µs  nested-loop {:9.1} µs",
@@ -450,6 +460,146 @@ fn bench_skew(opts: &Opts) -> Json {
         .with("telemetry_overhead_pct", Json::num(telemetry_overhead_pct))
 }
 
+/// The R-S scenario (ISSUE 9): a standing corpus joined against a smaller
+/// arrival relation, once as a batch R-S join with every footrule R-S
+/// driver (bit-identical pair sets asserted) and once as mini-batch
+/// arrival streaming (`ArrivalJoin`), whose cross-relation pairs must
+/// reproduce the batch result exactly.
+fn bench_rs(opts: &Opts) -> Json {
+    let (corpus_n, arrival_n) = if opts.quick { (600, 150) } else { (4_000, 1_000) };
+    let batch_size = 64usize;
+    let slots = 4usize;
+    let corpus_profile = CorpusProfile::orku_like(corpus_n, 10);
+    let corpus = corpus_profile.generate();
+    // Arrivals perturb a sample of the corpus (one adjacent swap each), so
+    // cross-relation near-duplicates exist at θ. Ids are shifted past the
+    // corpus's 0-based ids: ArrivalJoin requires global uniqueness, and the
+    // offset makes "is this a cross pair" decidable from the id alone.
+    // cast(corpus_n is a small record count, far below u64::MAX)
+    let id_offset = corpus_n as u64;
+    let arrivals: Vec<Ranking> = corpus
+        .iter()
+        .take(arrival_n)
+        .map(|r| {
+            let mut items = r.items().to_vec();
+            let i = r.id() as usize % (items.len() - 1);
+            items.swap(i, i + 1);
+            Ranking::new_unchecked(r.id() + id_offset, items)
+        })
+        .collect();
+
+    type RsDriver = fn(
+        &Cluster,
+        &[Ranking],
+        &[Ranking],
+        &JoinConfig,
+    ) -> Result<topk_simjoin::JoinOutcome, topk_simjoin::JoinError>;
+    let drivers: [(&str, RsDriver); 3] = [
+        ("VJ-RS", vj_join_rs),
+        ("VJ-NL-RS", vj_nl_join_rs),
+        ("CL-RS", cl_join_rs),
+    ];
+    let config = JoinConfig::new(THETA)
+        .with_prefix(PrefixKind::Ordered)
+        .with_skew(SkewBudget::Auto);
+
+    let mut reports = Vec::new();
+    let mut driver_rows = Vec::new();
+    let mut reference: Option<Vec<(u64, u64)>> = None;
+    for (name, driver) in drivers {
+        let cluster = Cluster::with_trace(ClusterConfig::local(slots), TraceCollector::enabled());
+        let outcome = driver(&cluster, &corpus, &arrivals, &config).expect("R-S join runs");
+        match &reference {
+            None => reference = Some(outcome.pairs.clone()),
+            Some(expected) => assert_eq!(
+                &outcome.pairs, expected,
+                "{name} disagrees with the first R-S driver"
+            ),
+        }
+        let report = RunReport::capture(
+            name,
+            &format!("{}⋈arrivals", corpus_profile.name),
+            corpus_n + arrival_n,
+            &cluster,
+            &config,
+            &outcome,
+            slots,
+        );
+        println!(
+            "rs     {name:<9} corpus {corpus_n} × arrivals {arrival_n}  \
+             {:9.1} ms  {} pairs",
+            report.seconds * 1e3,
+            outcome.pairs.len(),
+        );
+        driver_rows.push(
+            Json::obj()
+                .with("algorithm", Json::str(name))
+                .with("seconds", Json::num(report.seconds))
+                .with("result_pairs", Json::num_usize(outcome.pairs.len())),
+        );
+        reports.push(report);
+    }
+    report::validate(&runs_to_json(&reports)).expect("R-S run reports must validate");
+    let rs_pairs = reference.expect("at least one driver ran");
+    assert!(
+        !rs_pairs.is_empty(),
+        "perturbed arrivals must produce cross pairs — an empty result \
+         would make the parity checks vacuous"
+    );
+
+    // Stream the same arrivals in mini-batches; the cross-relation subset
+    // of the union must equal the batch R-S result.
+    let stream_start = std::time::Instant::now();
+    let mut joiner =
+        topk_simjoin::ArrivalJoin::new(&corpus, THETA).expect("corpus is a valid standing index");
+    let mut streamed: Vec<(u64, u64)> = Vec::new();
+    for batch in arrivals.chunks(batch_size) {
+        streamed.extend(joiner.join_arrivals(batch).expect("valid batch").pairs);
+    }
+    let stream_secs = stream_start.elapsed().as_secs_f64();
+    let mut cross: Vec<(u64, u64)> = streamed
+        .iter()
+        .copied()
+        // Cross pairs have exactly one member below the id offset; the
+        // normalized (min, max) orientation puts the corpus id first.
+        .filter(|&(a, b)| a < id_offset && b >= id_offset)
+        .collect();
+    cross.sort_unstable();
+    let mut expected: Vec<(u64, u64)> = rs_pairs.iter().copied().collect();
+    expected.sort_unstable();
+    assert_eq!(
+        cross, expected,
+        "arrival streaming must reproduce the batch R-S cross pairs"
+    );
+    println!(
+        "rs     arrivals  {} batches of ≤{batch_size}  {:9.1} ms  \
+         {} pairs ({} cross + {} arrival-internal)",
+        joiner.batches(),
+        stream_secs * 1e3,
+        streamed.len(),
+        cross.len(),
+        streamed.len() - cross.len(),
+    );
+
+    Json::obj()
+        .with("dataset", Json::str(&corpus_profile.name))
+        .with("corpus_records", Json::num_usize(corpus_n))
+        .with("arrival_records", Json::num_usize(arrival_n))
+        .with("k", Json::num_usize(10))
+        .with("theta", Json::num(THETA))
+        .with("slots", Json::num_usize(slots))
+        .with("batch_size", Json::num_usize(batch_size))
+        .with("batches", Json::num_u64(joiner.batches()))
+        .with("result_pairs", Json::num_usize(rs_pairs.len()))
+        .with("streamed_pairs", Json::num_usize(streamed.len()))
+        .with(
+            "arrival_internal_pairs",
+            Json::num_usize(streamed.len() - cross.len()),
+        )
+        .with("arrivals_seconds", Json::num(stream_secs))
+        .with("drivers", Json::Arr(driver_rows))
+}
+
 fn main() {
     let opts = parse_opts();
     let ks: &[usize] = if opts.quick {
@@ -466,6 +616,7 @@ fn main() {
     let groups = bench_group_kernels(&opts);
     let end_to_end = bench_end_to_end(&opts);
     let skew = bench_skew(&opts);
+    let rs = bench_rs(&opts);
 
     let headline = verify
         .iter()
@@ -493,7 +644,8 @@ fn main() {
         .with("verify", Json::Arr(verify))
         .with("group_kernels", groups)
         .with("end_to_end", Json::Arr(end_to_end))
-        .with("skew", skew);
+        .with("skew", skew)
+        .with("rs", rs);
 
     let mut text = doc.render();
     text.push('\n');

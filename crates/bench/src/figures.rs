@@ -6,6 +6,7 @@
 //! `EXPERIMENTS.md` records one full run next to the paper's findings.
 
 use minispark::{Cluster, ClusterConfig};
+use topk_rankings::Ranking;
 use topk_simjoin::{Algorithm, JoinConfig};
 
 use crate::datasets::{self, Workload};
@@ -417,9 +418,211 @@ pub fn fig13() -> Vec<Row> {
     rows
 }
 
+/// The R-S experiment: the scaled ORKU-like corpus (left relation) joined
+/// against an external `right` relation with every Footrule R-S driver, at
+/// θ ∈ {0.1, 0.3}. All drivers are asserted pairwise identical, and — while
+/// the cross product stays below a brute-force budget — checked against the
+/// exact bipartite reference.
+pub fn rs_join_rows(right: &[Ranking], right_name: &str) -> Vec<Row> {
+    let left = datasets::orku();
+    let dataset = format!("{}⋈{right_name}", left.name);
+    let capture = crate::capture::Capture::active();
+    let exec_config = {
+        let base = harness_exec();
+        match capture {
+            Some(cap) => cap.cluster_config(base),
+            None => base,
+        }
+    };
+    type RsDriver = fn(
+        &Cluster,
+        &[Ranking],
+        &[Ranking],
+        &JoinConfig,
+    ) -> Result<topk_simjoin::JoinOutcome, topk_simjoin::JoinError>;
+    let drivers: [(&'static str, RsDriver); 3] = [
+        ("VJ-RS", topk_simjoin::vj_join_rs),
+        ("VJ-NL-RS", topk_simjoin::vj_nl_join_rs),
+        ("CL-RS", topk_simjoin::cl_join_rs),
+    ];
+    let mut rows = Vec::new();
+    for &theta in &[0.1, 0.3] {
+        let config = JoinConfig::new(theta).with_cluster_threshold(THETA_C);
+        let mut reference: Option<Vec<(u64, u64)>> = None;
+        if left.data.len().saturating_mul(right.len()) <= 4_000_000 {
+            let cluster = Cluster::new(exec_config.clone());
+            reference = Some(
+                topk_simjoin::brute_force_join_rs(&cluster, &left.data, right, theta)
+                    .expect("R-S reference join failed")
+                    .pairs,
+            );
+        } else {
+            eprintln!(
+                "# rs: skipping brute-force check at θ = {theta} ({} × {} cross pairs)",
+                left.data.len(),
+                right.len()
+            );
+        }
+        for (name, driver) in drivers {
+            let cluster = match capture {
+                Some(cap) => Cluster::with_trace(exec_config.clone(), cap.trace().fork()),
+                None => Cluster::new(exec_config.clone()),
+            };
+            if let Some(cap) = capture {
+                cap.attach(&cluster);
+            }
+            let run_span = cluster
+                .trace()
+                .span(format!("run/rs/{dataset}/{name}@{theta}"));
+            let outcome = driver(&cluster, &left.data, right, &config).expect("R-S join failed");
+            drop(run_span);
+            if let Some(expected) = &reference {
+                assert_eq!(
+                    &outcome.pairs, expected,
+                    "{name} disagrees with the brute-force R-S reference at θ = {theta}"
+                );
+            }
+            if let Some(first) = rows.last() {
+                let prior: &Row = first;
+                if prior.theta == theta {
+                    // All drivers of one θ must agree pairwise.
+                    assert_eq!(
+                        prior.pairs,
+                        outcome.pairs.len(),
+                        "{name} disagrees with {} at θ = {theta}",
+                        prior.algorithm
+                    );
+                }
+            }
+            let sim = cluster.metrics().simulated_total(paper_sim_slots());
+            if let Some(cap) = capture {
+                cap.push(topk_simjoin::RunReport::capture(
+                    name,
+                    &dataset,
+                    left.data.len() + right.len(),
+                    &cluster,
+                    &config,
+                    &outcome,
+                    paper_sim_slots(),
+                ));
+                cap.trace().extend(cluster.trace().snapshot().events);
+                cap.finish_run(&cluster);
+            }
+            rows.push(Row {
+                figure: "rs",
+                dataset: dataset.clone(),
+                algorithm: name,
+                theta,
+                theta_c: config.cluster_threshold,
+                delta: config.partition_threshold,
+                partitions: config.effective_partitions(exec_config.default_partitions),
+                nodes: 1,
+                k: left.k(),
+                n: left.data.len() + right.len(),
+                seconds: outcome.elapsed.as_secs_f64(),
+                sim_seconds: sim.as_secs_f64(),
+                pairs: outcome.pairs.len(),
+                stats: outcome.stats,
+            });
+        }
+    }
+    rows
+}
+
+/// The arrival-stream experiment: the scaled ORKU-like corpus as the
+/// standing index, the external `arrivals` relation consumed in mini-batches
+/// of `batch_size` at θ = 0.2. While the cross product stays below a
+/// brute-force budget, the union of batch outputs is checked against the
+/// one-shot reference (corpus × arrivals ∪ arrivals × arrivals).
+pub fn arrivals_rows(arrivals: &[Ranking], arrivals_name: &str, batch_size: usize) -> Vec<Row> {
+    const THETA: f64 = 0.2;
+    let corpus = datasets::orku();
+    let dataset = format!("{}←{arrivals_name}", corpus.name);
+    let start = std::time::Instant::now();
+    let mut joiner = topk_simjoin::ArrivalJoin::new(&corpus.data, THETA)
+        .expect("arrival corpus must be a valid relation");
+    let mut pairs = Vec::new();
+    for batch in arrivals.chunks(batch_size.max(1)) {
+        pairs.extend(
+            joiner
+                .join_arrivals(batch)
+                .expect("arrival batch join failed")
+                .pairs,
+        );
+    }
+    let elapsed = start.elapsed();
+    pairs.sort_unstable();
+    if corpus.data.len().saturating_mul(arrivals.len()) <= 4_000_000 {
+        let cluster = Cluster::new(harness_exec());
+        let mut expected: Vec<(u64, u64)> =
+            topk_simjoin::brute_force_join_rs(&cluster, &corpus.data, arrivals, THETA)
+                .expect("arrival reference join failed")
+                .pairs
+                .into_iter()
+                .map(|(a, b)| if a < b { (a, b) } else { (b, a) })
+                .collect();
+        expected.extend(
+            topk_simjoin::brute_force_join(&cluster, arrivals, THETA)
+                .expect("arrival reference join failed")
+                .pairs,
+        );
+        expected.sort_unstable();
+        expected.dedup();
+        assert_eq!(
+            pairs, expected,
+            "batched arrival join disagrees with the one-shot reference"
+        );
+    } else {
+        eprintln!(
+            "# arrivals: skipping one-shot check ({} × {} cross pairs)",
+            corpus.data.len(),
+            arrivals.len()
+        );
+    }
+    vec![Row {
+        figure: "arrivals",
+        dataset,
+        algorithm: "ARRIVALS",
+        theta: THETA,
+        theta_c: 0.0,
+        delta: batch_size,
+        partitions: 0,
+        nodes: 1,
+        k: corpus.k(),
+        n: corpus.data.len() + arrivals.len(),
+        seconds: elapsed.as_secs_f64(),
+        // The arrival joiner is a single in-memory index probe per record —
+        // one slot, so simulated equals measured.
+        sim_seconds: elapsed.as_secs_f64(),
+        pairs: pairs.len(),
+        stats: joiner.stats(),
+    }]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn rs_and_arrival_runners_verify_against_references() {
+        std::env::set_var("TOPK_SCALE", "0.02");
+        let other = topk_datagen::CorpusProfile::orku_like(80, 10)
+            .with_seed(41)
+            .generate();
+        let rows = rs_join_rows(&other, "other");
+        // 3 drivers × 2 thresholds, internally cross-checked + brute-forced.
+        assert_eq!(rows.len(), 6);
+        assert!(rows.iter().all(|r| r.figure == "rs"));
+        // Arrival ids must be disjoint from the corpus ids.
+        let shifted: Vec<Ranking> = other
+            .iter()
+            .map(|r| Ranking::new_unchecked(r.id() + 1_000_000, r.items().to_vec()))
+            .collect();
+        let arrival_rows = arrivals_rows(&shifted, "other", 13);
+        assert_eq!(arrival_rows.len(), 1);
+        assert_eq!(arrival_rows[0].delta, 13);
+        std::env::remove_var("TOPK_SCALE");
+    }
 
     #[test]
     fn measure_produces_consistent_rows() {

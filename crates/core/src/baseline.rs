@@ -61,6 +61,54 @@ pub fn brute_force_join(
     })
 }
 
+/// Computes the exact bipartite (R-S) join result by comparing every
+/// cross-relation pair, parallelized over stripes of the left relation.
+/// Output pairs are `(left id, right id)`, sorted — no `a < b` ordering is
+/// implied because the two id spaces may overlap.
+///
+/// This is the ground truth the R-S drivers and the arrival-stream joiner
+/// are tested against.
+pub fn brute_force_join_rs(
+    cluster: &Cluster,
+    left: &[Ranking],
+    right: &[Ranking],
+    theta: f64,
+) -> Result<JoinOutcome, JoinError> {
+    if !(0.0..=1.0).contains(&theta) || !theta.is_finite() {
+        return Err(JoinError::InvalidThreshold(theta));
+    }
+    let start = Instant::now();
+    let Some(k) = crate::pipeline::rs_uniform_k(left, right)? else {
+        return Ok(JoinOutcome::empty(start.elapsed()));
+    };
+    let theta_raw = raw_threshold(k, theta);
+
+    let shared_right = cluster.broadcast(Arc::new(right.to_vec()));
+    let partitions = cluster.config().default_partitions;
+    let left_ds = cluster.parallelize(left.to_vec(), partitions);
+    let pairs_ds = left_ds.flat_map("brute-force-rs/compare", move |a: &Ranking| {
+        let right = shared_right.value();
+        let mut out = Vec::new();
+        for b in right.iter() {
+            if topk_rankings::footrule_within(a, b, theta_raw).is_some() {
+                out.push((a.id(), b.id()));
+            }
+        }
+        out
+    });
+    // Ids are unique within each relation, so cross pairs are already
+    // distinct; be defensive anyway, mirroring the self-join baseline.
+    let mut pairs = pairs_ds
+        .distinct("brute-force-rs/distinct", partitions)
+        .collect();
+    pairs.sort_unstable();
+    Ok(JoinOutcome {
+        pairs,
+        stats: crate::stats::StatsSnapshot::default(),
+        elapsed: start.elapsed(),
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -134,5 +182,40 @@ mod tests {
             brute_force_join(&cluster, &data, 0.3),
             Err(JoinError::MixedRankingLengths { .. })
         ));
+    }
+
+    #[test]
+    fn rs_reference_joins_across_relations_with_overlapping_ids() {
+        let cluster = Cluster::new(ClusterConfig::local(2));
+        // Ids 1 and 2 exist in BOTH relations — legal for an R-S join.
+        let left = vec![r(1, &[1, 2, 3, 4, 5]), r(2, &[9, 8, 7, 6, 5])];
+        let right = vec![
+            r(1, &[1, 2, 3, 4, 5]), // identical to left 1 → distance 0
+            r(2, &[2, 1, 3, 4, 5]), // distance 2 from left 1
+            r(7, &[9, 8, 7, 6, 5]), // identical to left 2
+        ];
+        let outcome = brute_force_join_rs(&cluster, &left, &right, 0.1).unwrap();
+        assert_eq!(outcome.pairs, vec![(1, 1), (1, 2), (2, 7)]);
+    }
+
+    #[test]
+    fn rs_reference_validates_each_relation_separately() {
+        let cluster = Cluster::new(ClusterConfig::local(2));
+        let dup = vec![r(1, &[1, 2, 3]), r(1, &[4, 5, 6])];
+        let ok = vec![r(9, &[1, 2, 3])];
+        assert!(matches!(
+            brute_force_join_rs(&cluster, &dup, &ok, 0.3),
+            Err(JoinError::DuplicateRankingId(1))
+        ));
+        let short = vec![r(5, &[1, 2])];
+        assert!(matches!(
+            brute_force_join_rs(&cluster, &ok, &short, 0.3),
+            Err(JoinError::MixedRankingLengths { .. })
+        ));
+        // Either side empty → empty result, no error.
+        assert!(brute_force_join_rs(&cluster, &ok, &[], 0.3)
+            .unwrap()
+            .pairs
+            .is_empty());
     }
 }

@@ -19,53 +19,74 @@
 use std::sync::Arc;
 
 use minispark::Dataset;
-use topk_rankings::OrderedRanking;
+use topk_rankings::distance::raw_threshold;
+use topk_rankings::{OrderedRanking, Relation};
 
-use crate::kernels::GroupThresholds;
+use crate::kernels::{GroupThresholds, JoinMode};
 use crate::pipeline::{
     emit_prefixes, token_grouped_join, with_disjoint_sentinels, GroupJoinStyle, PairHit,
 };
 use crate::stats::JoinStats;
 use crate::JoinConfig;
 
-/// Joins the centroid set `C = C_m ∪ C_s` per Algorithm 1, returning every
-/// centroid pair within its type-specific threshold (with exact distances
-/// and type tags for the expansion phase).
-#[allow(clippy::too_many_arguments)]
-pub fn centroid_join(
-    centroids_m: &Dataset<Arc<OrderedRanking>>,
-    singletons: &Dataset<Arc<OrderedRanking>>,
-    k: usize,
-    theta_raw: u64,
-    theta_c_raw: u64,
-    config: &JoinConfig,
-    partitions: usize,
-    delta: Option<usize>,
-    stats: &Arc<JoinStats>,
-) -> Dataset<PairHit> {
-    let theta_o = theta_raw + 2 * theta_c_raw;
+/// The three per-type raw thresholds of Lemma 5.3: `(θ_o, θ_ms, θ_ss)`.
+///
+/// Each composed threshold is converted from the *normalized* domain in one
+/// step — `raw_threshold(k, θ + 2θc)` — never by summing per-term raw
+/// floors: `⌊a⌋ + ⌊b⌋ ≤ ⌊a + b⌋`, so a sum of floors can come out one raw
+/// unit **tighter** than the exact composed threshold and silently drop
+/// boundary pairs (pinned by `composed_thresholds_match_exact_rationals`).
+fn composed_thresholds(k: usize, config: &JoinConfig) -> (u64, u64, u64) {
+    // Normalized distances live in [0, 1], so a composed threshold past 1
+    // (θ near 1 plus a positive θc) accepts everything — clamp before
+    // converting, `raw_threshold(k, 1.0)` is the exact maximum.
+    let theta_o = raw_threshold(k, (config.theta + 2.0 * config.cluster_threshold).min(1.0));
     let theta_ms = if config.use_lemma53 {
-        theta_raw + theta_c_raw
+        raw_threshold(k, (config.theta + config.cluster_threshold).min(1.0))
     } else {
         // Ablation: no per-type relaxation — every pair joins at θ + 2θc.
         theta_o
     };
     let theta_ss = if config.use_lemma53 {
-        theta_raw
+        raw_threshold(k, config.theta)
     } else {
         theta_o
     };
+    (theta_o, theta_ms, theta_ss)
+}
+
+/// Joins the centroid set `C = C_m ∪ C_s` per Algorithm 1, returning every
+/// centroid pair within its type-specific threshold (with exact distances
+/// and type tags for the expansion phase). The per-type thresholds are
+/// composed from `config.theta` / `config.cluster_threshold` in the
+/// normalized domain (see [`composed_thresholds`]).
+pub fn centroid_join(
+    centroids_m: &Dataset<Arc<OrderedRanking>>,
+    singletons: &Dataset<Arc<OrderedRanking>>,
+    k: usize,
+    config: &JoinConfig,
+    partitions: usize,
+    delta: Option<usize>,
+    stats: &Arc<JoinStats>,
+) -> Dataset<PairHit> {
+    let (theta_o, theta_ms, theta_ss) = composed_thresholds(k, config);
     crate::invariants::check_centroid_thresholds(theta_ss, theta_ms, theta_o);
     let p_m = config.prefix.prefix_len(k, theta_o);
     let p_s = if !config.use_lemma53 {
         p_m
     } else if config.strict_paper_prefixes {
-        config.prefix.prefix_len(k, theta_raw)
+        config.prefix.prefix_len(k, theta_ss)
     } else {
         config.prefix.prefix_len(k, theta_ms)
     };
 
-    let emitted_m = emit_prefixes(centroids_m, p_m, false, "cl/join/emit-cm-prefixes");
+    let emitted_m = emit_prefixes(
+        centroids_m,
+        p_m,
+        false,
+        Relation::Left,
+        "cl/join/emit-cm-prefixes",
+    );
     // A pair involving a non-singleton centroid is retrieved up to θ + 2θc
     // (mm) at most; a singleton's most permissive pair threshold is θ + θc
     // (ms). Where those admit disjoint pairs, the sentinel routing kicks in
@@ -76,15 +97,23 @@ pub fn centroid_join(
         k,
         theta_o,
         false,
+        Relation::Left,
         "cl/join/emit-cm-sentinels",
     );
-    let emitted_s = emit_prefixes(singletons, p_s, true, "cl/join/emit-cs-prefixes");
+    let emitted_s = emit_prefixes(
+        singletons,
+        p_s,
+        true,
+        Relation::Left,
+        "cl/join/emit-cs-prefixes",
+    );
     let emitted_s = with_disjoint_sentinels(
         emitted_s,
         singletons,
         k,
         theta_ms,
         true,
+        Relation::Left,
         "cl/join/emit-cs-sentinels",
     );
     let emitted = emitted_m.union(&emitted_s);
@@ -99,6 +128,7 @@ pub fn centroid_join(
             ss: theta_ss,
         },
         config.use_position_filter,
+        JoinMode::SelfJoin,
         partitions,
         delta,
         config.skew,
@@ -154,17 +184,7 @@ mod tests {
             !cm_ids.contains(&r.id())
         });
         let stats = Arc::new(JoinStats::default());
-        let hits = centroid_join(
-            &centroids_m,
-            &singletons,
-            k,
-            raw_threshold(k, theta),
-            raw_threshold(k, theta_c),
-            &config,
-            4,
-            delta,
-            &stats,
-        );
+        let hits = centroid_join(&centroids_m, &singletons, k, &config, 4, delta, &stats);
         let mut out: Vec<HitRow> = hits
             .collect()
             .into_iter()
@@ -309,6 +329,61 @@ mod tests {
     }
 
     #[test]
+    fn composed_thresholds_match_exact_rationals() {
+        // Regression (ISSUE 9, satellite 1): θ_o used to be composed as
+        // `raw_threshold(k, θ) + 2·raw_threshold(k, θc)` — a sum of floors,
+        // which `⌊a⌋ + ⌊b⌋ ≤ ⌊a + b⌋` makes up to two raw units tighter
+        // than the exact composed threshold. Sweep a θ×θc×k grid of exact
+        // thousandths, compare both compositions against the exact u128
+        // rational, and require (a) the fixed composition is always exact
+        // and (b) the grid actually contains combinations where the old
+        // sum-of-floors composition was strictly tighter.
+        let ks = [5usize, 10, 20, 25, 50];
+        let mut old_was_tighter = 0usize;
+        for &k in &ks {
+            let max = u128::from(topk_rankings::max_raw_distance(k));
+            for a in (25u32..=400).step_by(25) {
+                for b in (5u32..=150).step_by(5) {
+                    let theta = f64::from(a) / 1000.0;
+                    let theta_c = f64::from(b) / 1000.0;
+                    let config = JoinConfig::new(theta).with_cluster_threshold(theta_c);
+                    let (theta_o, theta_ms, theta_ss) = super::composed_thresholds(k, &config);
+
+                    let exact =
+                        |num: u32| -> u64 { (u128::from(num) * max / 1000).try_into().unwrap() };
+                    assert_eq!(theta_o, exact(a + 2 * b), "θ_o at k={k} θ={a}‰ θc={b}‰");
+                    assert_eq!(theta_ms, exact(a + b), "θ_ms at k={k} θ={a}‰ θc={b}‰");
+                    assert_eq!(theta_ss, exact(a), "θ_ss at k={k} θ={a}‰ θc={b}‰");
+
+                    let old_theta_o = raw_threshold(k, theta) + 2 * raw_threshold(k, theta_c);
+                    assert!(old_theta_o <= theta_o);
+                    if old_theta_o < theta_o {
+                        old_was_tighter += 1;
+                    }
+                }
+            }
+        }
+        assert!(
+            old_was_tighter > 0,
+            "grid must exhibit the sum-of-floors off-by-one the fix removes"
+        );
+    }
+
+    #[test]
+    fn boundary_pair_at_exact_composed_threshold_is_kept() {
+        // Concrete off-by-one: k = 5 (max raw = 30), θ = 0.25, θc = 0.15.
+        // Exact θ_o = ⌊30 · 0.55⌋ = 16, but the old sum-of-floors gave
+        // ⌊7.5⌋ + 2·⌊4.5⌋ = 15 — silently dropping any non-singleton
+        // centroid pair at distance exactly 16. The paper's own §1.1
+        // example pair (Table 2) sits at raw distance 16.
+        let t1 = r(1, &[2, 5, 4, 3, 1]);
+        let t2 = r(2, &[1, 4, 5, 9, 0]);
+        assert_eq!(footrule_raw(&t1, &t2), 16);
+        let hits = split_and_join(vec![t1, t2], vec![], 0.25, 0.15, None);
+        assert_eq!(hits, vec![(1, 2, 16, false, false)]);
+    }
+
+    #[test]
     fn strict_paper_prefixes_flag_is_honoured() {
         // Smoke test: the flag changes the singleton prefix length but on
         // this small input the result set is the same.
@@ -319,7 +394,7 @@ mod tests {
         let ordered = order_rankings(&cluster, &data, PrefixKind::Overlap, 2, "test");
         let empty = ordered.filter("none", |_| false);
         let stats = Arc::new(JoinStats::default());
-        let hits = centroid_join(&empty, &ordered, 5, 6, 3, &config, 2, None, &stats);
+        let hits = centroid_join(&empty, &ordered, 5, &config, 2, None, &stats);
         let pairs: Vec<(u64, u64)> = hits
             .collect()
             .iter()

@@ -12,7 +12,7 @@ use topk_rankings::Ranking;
 use crate::centroid_join::centroid_join;
 use crate::clustering::clustering_phase;
 use crate::expansion::expansion;
-use crate::pipeline::{order_rankings, uniform_k};
+use crate::pipeline::{order_rankings, rs_uniform_k, uniform_k};
 use crate::stats::JoinStats;
 use crate::{JoinConfig, JoinError, JoinOutcome};
 
@@ -67,8 +67,6 @@ fn cl_flavour(
             &clustering.centroids_m,
             &clustering.singletons,
             k,
-            theta_raw,
-            theta_c_raw,
             config,
             partitions,
             delta,
@@ -112,6 +110,63 @@ pub fn cl_join(
     config: &JoinConfig,
 ) -> Result<JoinOutcome, JoinError> {
     cl_flavour(cluster, data, config, None, "cl")
+}
+
+/// CL over two relations (R-S join).
+///
+/// CL's clustering is inherently a self-structure — a cluster may mix
+/// records of both relations, and that is exactly what makes it effective —
+/// so the R-S variant runs the full CL pipeline over the **disjoint union**
+/// of the two relations (records re-keyed into one id space, left block
+/// first) and keeps only the cross-relation pairs of the result. Output
+/// pairs are `(left id, right id)`, sorted; stats, trace spans and the live
+/// telemetry series thread through under the `cl-rs` label.
+pub fn cl_join_rs(
+    cluster: &Cluster,
+    left: &[Ranking],
+    right: &[Ranking],
+    config: &JoinConfig,
+) -> Result<JoinOutcome, JoinError> {
+    config.validate()?;
+    let start = Instant::now();
+    if rs_uniform_k(left, right)?.is_none() {
+        return Ok(JoinOutcome::empty(start.elapsed()));
+    }
+    // Re-key into one disjoint internal id space: left records take ids
+    // 0..|R| (their position), right records |R|..|R|+|S|. The internal
+    // pair order (a < b) then guarantees a cross pair leads with the left
+    // record, and mapping back to original ids is a slice lookup.
+    // alloc(one driver-side union copy of both inputs, once per join call)
+    let mut union = Vec::with_capacity(left.len() + right.len());
+    let mut next: u64 = 0;
+    for r in left {
+        union.push(Ranking::new_unchecked(next, r.items().to_vec()));
+        next += 1;
+    }
+    let boundary = next;
+    for r in right {
+        union.push(Ranking::new_unchecked(next, r.items().to_vec()));
+        next += 1;
+    }
+    let inner = cl_flavour(cluster, &union, config, None, "cl-rs")?;
+    let mut pairs = Vec::new();
+    for &(a, b) in &inner.pairs {
+        // Internal pairs satisfy a < b, so a cross-relation pair always has
+        // a in the left block and b in the right block.
+        if a < boundary && b >= boundary {
+            let left_idx = usize::try_from(a).expect("internal id a < |R| fits usize");
+            let right_idx =
+                usize::try_from(b - boundary).expect("internal id b − |R| < |S| fits usize");
+            // panics(left_idx < |R| and right_idx < |S| by construction of the internal id space)
+            pairs.push((left[left_idx].id(), right[right_idx].id()));
+        }
+    }
+    pairs.sort_unstable();
+    Ok(JoinOutcome {
+        pairs,
+        stats: inner.stats,
+        elapsed: start.elapsed(),
+    })
 }
 
 /// CL-P: CL with repartitioning of posting lists longer than

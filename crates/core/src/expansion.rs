@@ -194,7 +194,7 @@ pub fn expansion(
 mod tests {
     use super::*;
     use minispark::{Cluster, ClusterConfig};
-    use topk_rankings::{FrequencyTable, Ranking};
+    use topk_rankings::{FrequencyTable, Ranking, Relation};
 
     fn ranking(id: u64, items: &[u32]) -> Arc<OrderedRanking> {
         let r = Ranking::new(id, items.to_vec()).unwrap();
@@ -219,6 +219,8 @@ mod tests {
             distance: d,
             a_singleton,
             b_singleton,
+            a_relation: Relation::Left,
+            b_relation: Relation::Left,
         }
     }
 

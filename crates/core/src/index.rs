@@ -23,6 +23,7 @@ use topk_rankings::bounds::position_filter_prunes;
 use topk_rankings::distance::{max_raw_distance, raw_threshold};
 use topk_rankings::{FrequencyTable, ItemId, OrderedRanking, PrefixKind, Ranking};
 
+use crate::stats::JoinStats;
 use crate::JoinError;
 
 /// Inverted prefix index supporting exact Footrule range queries up to a
@@ -123,6 +124,30 @@ impl RankingIndex {
     /// cannot guarantee completeness beyond the build threshold) or not a
     /// probability; `MixedRankingLengths` when the query length differs.
     pub fn range_query(&self, query: &Ranking, theta: f64) -> Result<Vec<(u64, u64)>, JoinError> {
+        self.range_query_impl(query, theta, None)
+    }
+
+    /// [`RankingIndex::range_query`] with filter-effectiveness accounting:
+    /// bumps `candidates` per probed (deduplicated) posting entry,
+    /// `position_pruned` per position-filter rejection, `verified` per
+    /// Footrule evaluation and `result_pairs` per emitted neighbour — the
+    /// same counter semantics as the batch join kernels, so index-backed and
+    /// batch runs are comparable in reports and telemetry.
+    pub fn range_query_with_stats(
+        &self,
+        query: &Ranking,
+        theta: f64,
+        stats: &JoinStats,
+    ) -> Result<Vec<(u64, u64)>, JoinError> {
+        self.range_query_impl(query, theta, Some(stats))
+    }
+
+    fn range_query_impl(
+        &self,
+        query: &Ranking,
+        theta: f64,
+        stats: Option<&JoinStats>,
+    ) -> Result<Vec<(u64, u64)>, JoinError> {
         if !(0.0..=1.0).contains(&theta) || !theta.is_finite() || theta > self.theta_max + 1e-12 {
             return Err(JoinError::InvalidThreshold(theta));
         }
@@ -147,7 +172,14 @@ impl RankingIndex {
                 if record.id() == query.id() {
                     continue;
                 }
+                if let Some(stats) = stats {
+                    JoinStats::bump(&stats.candidates);
+                    JoinStats::bump(&stats.verified);
+                }
                 if let Some(d) = ordered_query.footrule_within(record, theta_raw) {
+                    if let Some(stats) = stats {
+                        JoinStats::bump(&stats.result_pairs);
+                    }
                     results.push((record.id(), d));
                 }
             }
@@ -172,14 +204,26 @@ impl RankingIndex {
                     if record.id() == query.id() {
                         continue;
                     }
+                    if let Some(stats) = stats {
+                        JoinStats::bump(&stats.candidates);
+                    }
                     if position_filter_prunes(
                         usize::from(query_rank),
                         usize::from(rec_rank),
                         theta_raw,
                     ) {
+                        if let Some(stats) = stats {
+                            JoinStats::bump(&stats.position_pruned);
+                        }
                         continue;
                     }
+                    if let Some(stats) = stats {
+                        JoinStats::bump(&stats.verified);
+                    }
                     if let Some(d) = ordered_query.footrule_within(record, theta_raw) {
+                        if let Some(stats) = stats {
+                            JoinStats::bump(&stats.result_pairs);
+                        }
                         results.push((record.id(), d));
                     }
                 }
@@ -316,6 +360,26 @@ mod tests {
             .expect("nearest uses the build maximum θ");
         assert!(near.len() <= 3);
         assert!(near.windows(2).all(|w| w[0].1 <= w[1].1));
+    }
+
+    #[test]
+    fn stats_threaded_query_matches_and_accounts() {
+        let data = corpus();
+        let index = RankingIndex::build(&data, 0.3).expect("uniform-length corpus builds");
+        let stats = JoinStats::default();
+        let plain = index
+            .range_query(&data[5], 0.2)
+            .expect("θ is within the build maximum");
+        let counted = index
+            .range_query_with_stats(&data[5], 0.2, &stats)
+            .expect("θ is within the build maximum");
+        assert_eq!(plain, counted);
+        let snap = stats.snapshot();
+        // Every candidate is either position-pruned or verified; every
+        // result came out of a verification.
+        assert_eq!(snap.candidates, snap.position_pruned + snap.verified);
+        assert_eq!(snap.result_pairs, counted.len() as u64);
+        assert!(snap.candidates > 0);
     }
 
     #[test]

@@ -39,6 +39,18 @@ pub fn check_pair_normalized(a: u64, b: u64) {
     );
 }
 
+/// Checks that a result pair is normalized under the `(relation, id)` order
+/// the relation-tagged pipeline promises: strictly increasing record keys,
+/// so a self-join pair is id-ordered and an R-S pair always leads with the
+/// left relation — even when the two id spaces overlap (debug builds only).
+#[inline]
+pub fn check_tagged_pair_normalized(a: (u8, u64), b: (u8, u64)) {
+    debug_assert!(
+        a < b,
+        "pair invariant violated: result pair {a:?}, {b:?} is not ordered by (relation, id)"
+    );
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -50,6 +62,11 @@ mod tests {
         check_centroid_thresholds(6, 9, 12);
         check_centroid_thresholds(6, 6, 6);
         check_pair_normalized(1, 2);
+        check_tagged_pair_normalized((0, 1), (0, 2));
+        // An R-S pair with overlapping (even equal) ids is normalized as
+        // long as the left relation leads.
+        check_tagged_pair_normalized((0, 4), (1, 4));
+        check_tagged_pair_normalized((0, 9), (1, 2));
     }
 
     #[test]
@@ -74,5 +91,11 @@ mod tests {
     #[should_panic(expected = "pair invariant")]
     fn self_pair_trips() {
         check_pair_normalized(4, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "pair invariant")]
+    fn right_leading_tagged_pair_trips() {
+        check_tagged_pair_normalized((1, 2), (0, 9));
     }
 }

@@ -22,7 +22,7 @@ use std::time::Instant;
 
 use minispark::{Cluster, Dataset, SkewBudget};
 use topk_rankings::jaccard::{jaccard_prefix_len, jaccard_within};
-use topk_rankings::{FrequencyTable, ItemId, OrderedRanking, Ranking};
+use topk_rankings::{FrequencyTable, ItemId, OrderedRanking, Ranking, Relation};
 
 use crate::stats::JoinStats;
 use crate::{JoinError, JoinOutcome};
@@ -329,6 +329,183 @@ pub fn jaccard_vj_join(
     Ok(JoinOutcome {
         pairs,
         stats: stats.snapshot(),
+        elapsed: start.elapsed(),
+    })
+}
+
+/// Canonicalizes both relations of an R-S join under **one** frequency
+/// order counted over R ∪ S, so a shared token means the same canonical
+/// position in either relation (prefix-filter completeness needs one order).
+fn order_sets_rs(
+    cluster: &Cluster,
+    left: &[Ranking],
+    right: &[Ranking],
+    partitions: usize,
+) -> (Dataset<SetRecord>, Dataset<SetRecord>) {
+    let left_ds = cluster.parallelize(left.to_vec(), partitions);
+    let right_ds = cluster.parallelize(right.to_vec(), partitions);
+    let counts = left_ds
+        .union(&right_ds)
+        .flat_map("jaccard-rs/freq-emit", |r: &Ranking| {
+            r.items()
+                .iter()
+                .map(|&item| (item, 1u64))
+                .collect::<Vec<_>>()
+        })
+        .reduce_by_key("jaccard-rs/freq-count", partitions, |a, b| a + b)
+        .collect();
+    let freq = cluster.broadcast(FrequencyTable::from_counts(counts));
+    let freq_r = freq.clone();
+    (
+        left_ds.map("jaccard-rs/order-left", move |r| {
+            Arc::new(OrderedRanking::by_frequency(r, freq.value()))
+        }),
+        right_ds.map("jaccard-rs/order-right", move |r| {
+            Arc::new(OrderedRanking::by_frequency(r, freq_r.value()))
+        }),
+    )
+}
+
+/// The flat prefix-filtered Jaccard join over **two relations** (R-S join).
+///
+/// Records are tagged with their source [`Relation`] at prefix emission;
+/// the per-token pair function joins **cross-relation** pairs only and
+/// always leads with the left record, so the output pairs are
+/// `(left id, right id)`, sorted — the id spaces of R and S may overlap.
+pub fn jaccard_vj_join_rs(
+    cluster: &Cluster,
+    left: &[Ranking],
+    right: &[Ranking],
+    config: &JaccardConfig,
+) -> Result<JoinOutcome, JoinError> {
+    config.validate()?;
+    let start = Instant::now();
+    let Some(k) = crate::pipeline::rs_uniform_k(left, right)? else {
+        return Ok(JoinOutcome::empty(start.elapsed()));
+    };
+    let theta = config.theta;
+    let partitions = config.effective_partitions(cluster.config().default_partitions);
+    let stats = Arc::new(JoinStats::default());
+    let run_span = cluster.trace().span("jaccard-vj-rs/run");
+    let (ordered_left, ordered_right) = {
+        let _phase = cluster.trace().span("jaccard-vj-rs/phase/ordering");
+        order_sets_rs(cluster, left, right, partitions)
+    };
+    let p = jaccard_prefix_len(k, theta);
+    let tag = |ds: &Dataset<SetRecord>, relation: Relation, label: &str| {
+        ds.flat_map(label, move |r: &SetRecord| {
+            r.prefix(p)
+                .iter()
+                .map(|&(item, _)| (item, (Arc::clone(r), relation)))
+                .collect::<Vec<_>>()
+        })
+    };
+    let hits = {
+        let _phase = cluster.trace().span("jaccard-vj-rs/phase/joining");
+        let emitted = tag(&ordered_left, Relation::Left, "jaccard-vj-rs/emit-left").union(&tag(
+            &ordered_right,
+            Relation::Right,
+            "jaccard-vj-rs/emit-right",
+        ));
+        // θ = 1 admits disjoint pairs; route both relations into one
+        // sentinel group, as the self-join pipeline does.
+        let emitted = if theta >= 1.0 - EPS {
+            let sentinel = |ds: &Dataset<SetRecord>, relation: Relation, label: &str| {
+                ds.map(label, move |r: &SetRecord| {
+                    (ItemId::MAX, (Arc::clone(r), relation))
+                })
+            };
+            emitted
+                .union(&sentinel(
+                    &ordered_left,
+                    Relation::Left,
+                    "jaccard-vj-rs/left-sentinels",
+                ))
+                .union(&sentinel(
+                    &ordered_right,
+                    Relation::Right,
+                    "jaccard-vj-rs/right-sentinels",
+                ))
+        } else {
+            emitted
+        };
+        let delta = config.skew.resolve(&emitted, "jaccard-vj-rs");
+        let grouped = emitted.group_by_key("jaccard-vj-rs/group-by-token", partitions);
+        let stats_for_pairs = Arc::clone(&stats);
+        let pair_fn = move |x: &(SetRecord, Relation), y: &(SetRecord, Relation)| {
+            // Same-relation pairs are not part of an R-S join; skipping them
+            // here (before `within` counts a candidate) keeps kernel stats
+            // identical whether or not a hot group was skew-split.
+            if x.1 == y.1 {
+                return None;
+            }
+            let (l, r) = if x.1 == Relation::Left {
+                (&x.0, &y.0)
+            } else {
+                (&y.0, &x.0)
+            };
+            within(l, r, theta, &stats_for_pairs).map(|d| JaccardHit {
+                a: Arc::clone(l),
+                b: Arc::clone(r),
+                distance: d,
+                a_singleton: false,
+                b_singleton: false,
+            })
+        };
+        split_group_join(&grouped, delta, partitions, &stats, "jaccard-vj-rs", pair_fn)
+    };
+    let mut pairs = {
+        let _phase = cluster.trace().span("jaccard-vj-rs/phase/projection");
+        // `a` is always the left record, so the (left id, right id) key is
+        // unambiguous even when the two id spaces overlap.
+        hits.map("jaccard-vj-rs/ids", |h| (h.a.id(), h.b.id()))
+            .distinct("jaccard-vj-rs/distinct", partitions)
+            .collect()
+    };
+    pairs.sort_unstable();
+    drop(run_span);
+    Ok(JoinOutcome {
+        pairs,
+        stats: stats.snapshot(),
+        elapsed: start.elapsed(),
+    })
+}
+
+/// Exact quadratic Jaccard R-S baseline: every cross-relation pair, output
+/// `(left id, right id)`, sorted.
+pub fn jaccard_brute_force_rs(
+    cluster: &Cluster,
+    left: &[Ranking],
+    right: &[Ranking],
+    theta: f64,
+) -> Result<JoinOutcome, JoinError> {
+    if !(0.0..=1.0).contains(&theta) || !theta.is_finite() {
+        return Err(JoinError::InvalidThreshold(theta));
+    }
+    let start = Instant::now();
+    if crate::pipeline::rs_uniform_k(left, right)?.is_none() {
+        return Ok(JoinOutcome::empty(start.elapsed()));
+    }
+    let shared_right = cluster.broadcast(Arc::new(right.to_vec()));
+    let partitions = cluster.config().default_partitions;
+    let left_ds = cluster.parallelize(left.to_vec(), partitions);
+    let pairs_ds = left_ds.flat_map("jaccard-bf-rs/compare", move |a: &Ranking| {
+        let right = shared_right.value();
+        let mut out = Vec::new();
+        for b in right.iter() {
+            if jaccard_within(a, b, theta).is_some() {
+                out.push((a.id(), b.id()));
+            }
+        }
+        out
+    });
+    let mut pairs = pairs_ds
+        .distinct("jaccard-bf-rs/distinct", partitions)
+        .collect();
+    pairs.sort_unstable();
+    Ok(JoinOutcome {
+        pairs,
+        stats: crate::stats::StatsSnapshot::default(),
         elapsed: start.elapsed(),
     })
 }
@@ -791,6 +968,49 @@ mod tests {
         let outcome = jaccard_cl_join(&c, &data, &JaccardConfig::new(0.4)).unwrap();
         assert!(outcome.stats.clusters > 0);
         assert!(outcome.stats.triangle_accepted + outcome.stats.triangle_pruned > 0);
+    }
+
+    #[test]
+    fn rs_matches_brute_force_with_overlapping_ids() {
+        let c = cluster();
+        // Same profile, different seeds → overlapping id spaces with
+        // genuinely different records, plus real near-matches.
+        let left = CorpusProfile::orku_like(160, 10).generate();
+        let right = CorpusProfile::orku_like(120, 10).with_seed(7).generate();
+        for theta in [0.2, 0.5, 1.0] {
+            let expected = jaccard_brute_force_rs(&c, &left, &right, theta)
+                .unwrap()
+                .pairs;
+            let got = jaccard_vj_join_rs(&c, &left, &right, &JaccardConfig::new(theta))
+                .unwrap()
+                .pairs;
+            assert_eq!(got, expected, "θ = {theta}");
+            if theta >= 1.0 {
+                // θ = 1 admits every cross pair, including disjoint ones.
+                assert_eq!(expected.len(), 160 * 120, "θ = 1 matches everything");
+            }
+        }
+    }
+
+    #[test]
+    fn rs_empty_sides_and_skew_invariance() {
+        let c = cluster();
+        let left = CorpusProfile::orku_like(140, 10).generate();
+        let right = CorpusProfile::orku_like(90, 10).with_seed(3).generate();
+        assert!(jaccard_vj_join_rs(&c, &left, &[], &JaccardConfig::new(0.4))
+            .unwrap()
+            .pairs
+            .is_empty());
+        assert!(jaccard_vj_join_rs(&c, &[], &right, &JaccardConfig::new(0.4))
+            .unwrap()
+            .pairs
+            .is_empty());
+        let expected = jaccard_brute_force_rs(&c, &left, &right, 0.5).unwrap().pairs;
+        for skew in [SkewBudget::Off, SkewBudget::Auto, SkewBudget::Fixed(4)] {
+            let cfg = JaccardConfig::new(0.5).with_skew(skew);
+            let got = jaccard_vj_join_rs(&c, &left, &right, &cfg).unwrap().pairs;
+            assert_eq!(got, expected, "skew = {skew:?}");
+        }
     }
 
     #[test]

@@ -26,13 +26,14 @@ use std::collections::HashMap;
 use std::sync::{Arc, Weak};
 
 use topk_rankings::verify::{verify_candidate, Verification};
-use topk_rankings::{ItemId, OrderedRanking};
+use topk_rankings::{ItemId, OrderedRanking, Relation};
 
 use crate::stats::JoinStats;
 
 /// One ranking's occurrence in a token group: the token's original rank in
 /// the ranking, the centroid-type tag (only meaningful in the centroid
-/// join), and the ranking itself.
+/// join), the source relation (only meaningful in R-S joins), and the
+/// ranking itself.
 #[derive(Debug, Clone)]
 pub struct TokenEntry {
     /// Original rank of the group token within `ranking`.
@@ -40,17 +41,66 @@ pub struct TokenEntry {
     /// Whether this entry is a singleton centroid (Algorithm 1); `false` in
     /// plain self-joins.
     pub singleton: bool,
+    /// Which input relation the ranking came from; [`Relation::Left`] in
+    /// self-joins.
+    pub relation: Relation,
     /// The ranking, shared across groups.
     pub ranking: Arc<OrderedRanking>,
 }
 
 impl TokenEntry {
-    /// A plain (non-centroid-tagged) entry.
+    /// A plain (non-centroid-tagged, left-relation) entry.
     pub fn plain(rank: u16, ranking: Arc<OrderedRanking>) -> Self {
         Self {
             rank,
             singleton: false,
+            relation: Relation::Left,
             ranking,
+        }
+    }
+
+    /// A relation-tagged entry for bipartite (R-S) joins.
+    pub fn tagged(rank: u16, relation: Relation, ranking: Arc<OrderedRanking>) -> Self {
+        Self {
+            rank,
+            singleton: false,
+            relation,
+            ranking,
+        }
+    }
+
+    /// The entry's record identity: `(relation, ranking id)`. In an R-S join
+    /// the two id spaces may overlap, so the relation is part of the key.
+    #[inline]
+    pub fn record_key(&self) -> (Relation, u64) {
+        (self.relation, self.ranking.id())
+    }
+}
+
+/// Whether a token group joins one relation against itself or pairs the two
+/// sides of an R-S join.
+///
+/// The mode decides which pairs a kernel skips *before* the candidate
+/// counter: a self-join never relates a ranking id to itself, while a
+/// bipartite join only emits cross-relation pairs — equal ids *across*
+/// relations are legitimate results there (the id spaces are independent).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JoinMode {
+    /// Join a single relation against itself (every driver's classic path).
+    SelfJoin,
+    /// Join the `Left` relation against the `Right` relation; same-relation
+    /// pairs are skipped entirely.
+    Bipartite,
+}
+
+impl JoinMode {
+    /// Whether the pair `(a, b)` is skipped under this mode (checked before
+    /// the candidate counter, so skipped pairs never appear in stats).
+    #[inline]
+    pub fn skips(self, a: &TokenEntry, b: &TokenEntry) -> bool {
+        match self {
+            JoinMode::SelfJoin => a.ranking.id() == b.ranking.id(),
+            JoinMode::Bipartite => a.relation == b.relation,
         }
     }
 }
@@ -95,15 +145,16 @@ fn intern_decoded(id: u64, pairs: Vec<(u32, u16)>) -> Arc<OrderedRanking> {
     })
 }
 
-/// Spill encoding (see `minispark::spill`): rank, singleton tag, ranking id
-/// and the `(item, original_rank)` pairs. Decoding rebuilds the
-/// `OrderedRanking` through a per-thread interner, so the `Arc` sharing
+/// Spill encoding (see `minispark::spill`): rank, singleton tag, relation
+/// tag, ranking id and the `(item, original_rank)` pairs. Decoding rebuilds
+/// the `OrderedRanking` through a per-thread interner, so the `Arc` sharing
 /// that serialization naturally loses is restored on replay instead of
 /// multiplying resident memory by the average prefix length.
 impl minispark::Codec for TokenEntry {
     fn encode(&self, out: &mut Vec<u8>) {
         self.rank.encode(out);
         self.singleton.encode(out);
+        self.relation.as_u8().encode(out);
         self.ranking.id().encode(out);
         // alloc(spill encode only runs under memory pressure, never on the fast path)
         self.ranking.pairs().to_vec().encode(out);
@@ -112,11 +163,13 @@ impl minispark::Codec for TokenEntry {
     fn decode(input: &mut &[u8]) -> Option<Self> {
         let rank = u16::decode(input)?;
         let singleton = bool::decode(input)?;
+        let relation = Relation::from_u8(u8::decode(input)?);
         let id = u64::decode(input)?;
         let pairs = Vec::<(u32, u16)>::decode(input)?;
         Some(Self {
             rank,
             singleton,
+            relation,
             ranking: intern_decoded(id, pairs),
         })
     }
@@ -201,11 +254,14 @@ fn verify_pair(
     }
 }
 
-/// Orders an entry-index pair by ranking id.
+/// Orders an entry-index pair by `(relation, ranking id)`. Within one
+/// relation this is the classic id order; across relations the `Left` record
+/// always comes first, so overlapping R/S id spaces cannot flip which
+/// relation the first slot came from.
 #[inline]
 fn ordered_indices(entries: &[TokenEntry], i: usize, j: usize) -> (usize, usize) {
     // panics(callers pass entry indices — both i and j are < entries.len())
-    if entries[i].ranking.id() < entries[j].ranking.id() {
+    if entries[i].record_key() < entries[j].record_key() {
         (i, j)
     } else {
         (j, i)
@@ -302,13 +358,16 @@ pub fn with_group_scratch<R>(f: impl FnOnce(&mut GroupScratch) -> R) -> R {
 /// inverted index and probe it, verifying each distinct colliding pair once.
 ///
 /// `prefix_len_of(singleton)` gives the prefix length of an entry (constant
-/// for self-joins, type-dependent in the centroid join). `scratch` is the
-/// reusable index memory — see [`GroupScratch`] and [`with_group_scratch`].
+/// for self-joins, type-dependent in the centroid join). `mode` selects the
+/// skip rule: a self-join skips duplicate ranking ids, a bipartite join
+/// skips same-relation pairs (see [`JoinMode`]). `scratch` is the reusable
+/// index memory — see [`GroupScratch`] and [`with_group_scratch`].
 pub fn join_group_indexed(
     entries: &[TokenEntry],
     prefix_len_of: impl Fn(bool) -> usize,
     thresholds: &GroupThresholds,
     use_position_filter: bool,
+    mode: JoinMode,
     stats: &JoinStats,
     scratch: &mut GroupScratch,
 ) -> Vec<(usize, usize, u64)> {
@@ -357,11 +416,11 @@ pub fn join_group_indexed(
                 scratch.seen_stamp[indexed_idx] = stamp;
                 let indexed = &entries[indexed_idx];
                 // A ranking can occur more than once in a group (duplicate
-                // ids in the input); such collisions are self-pairs, which
-                // the nested-loop and R-S kernels skip — skip them here too,
-                // before the candidate counter, so both kernels' stats
+                // ids in the input) and a bipartite group never pairs
+                // records of one relation; the mode's skip rule is applied
+                // before the candidate counter so every kernel's stats
                 // agree.
-                if indexed.ranking.id() == probe.ranking.id() {
+                if mode.skips(indexed, probe) {
                     continue;
                 }
                 if let Some(d) = verify_pair(
@@ -402,6 +461,7 @@ pub fn join_group_nested_loop(
     entries: &[TokenEntry],
     thresholds: &GroupThresholds,
     use_position_filter: bool,
+    mode: JoinMode,
     stats: &JoinStats,
 ) -> Vec<(usize, usize, u64)> {
     // Group boundary: interleaving point, see `join_group_indexed`.
@@ -411,7 +471,7 @@ pub fn join_group_nested_loop(
     for i in 0..entries.len() {
         for j in (i + 1)..entries.len() {
             // panics(loop bounds: i < j < entries.len())
-            if entries[i].ranking.id() == entries[j].ranking.id() {
+            if mode.skips(&entries[i], &entries[j]) {
                 continue;
             }
             if let Some(d) = verify_pair(
@@ -431,14 +491,18 @@ pub fn join_group_nested_loop(
     results
 }
 
-/// R-S kernel for CL-P (§6): pairs one sub-partition of a split posting list
-/// against another. Returns `(left_idx, right_idx, distance)` triples;
-/// callers normalize pair order by ranking id.
+/// R-S kernel (§6): pairs one sub-partition of a split posting list against
+/// another. Used by CL-P's chunk-pair plans (`mode = SelfJoin`: the chunks
+/// partition one relation, duplicate ids are skipped) and by the bipartite
+/// pipelines' split hot groups (`mode = Bipartite`: only cross-relation
+/// pairs are verified). Returns `(left_idx, right_idx, distance)` triples;
+/// callers normalize pair order by `(relation, ranking id)`.
 pub fn join_group_rs(
     left: &[TokenEntry],
     right: &[TokenEntry],
     thresholds: &GroupThresholds,
     use_position_filter: bool,
+    mode: JoinMode,
     stats: &JoinStats,
 ) -> Vec<(usize, usize, u64)> {
     // Sub-partition boundary: interleaving point, see `join_group_indexed`.
@@ -447,7 +511,7 @@ pub fn join_group_rs(
     let mut results = Vec::new();
     for (i, a) in left.iter().enumerate() {
         for (j, b) in right.iter().enumerate() {
-            if a.ranking.id() == b.ranking.id() {
+            if mode.skips(a, b) {
                 continue;
             }
             if let Some(d) = verify_pair(
@@ -477,6 +541,12 @@ mod tests {
         TokenEntry::plain(rank, Arc::new(ordered))
     }
 
+    fn tagged_entry(relation: Relation, id: u64, items: &[u32], token: u32) -> TokenEntry {
+        let mut e = entry(id, items, token);
+        e.relation = relation;
+        e
+    }
+
     fn group() -> Vec<TokenEntry> {
         // All contain token 1. Pairs within raw distance 8 (k = 5):
         // (1,2): one swap → 2; (1,3): item 5↔9 at last position → 2;
@@ -502,7 +572,7 @@ mod tests {
     fn nested_loop_finds_expected_pairs() {
         let stats = JoinStats::default();
         let entries = group();
-        let results = join_group_nested_loop(&entries, &GroupThresholds::Uniform(8), true, &stats);
+        let results = join_group_nested_loop(&entries, &GroupThresholds::Uniform(8), true, JoinMode::SelfJoin, &stats);
         let pairs = pairs_of(&results, &entries);
         assert_eq!(pairs, vec![(1, 2, 2), (1, 3, 2), (2, 3, 4)]);
         let snap = stats.snapshot();
@@ -515,7 +585,7 @@ mod tests {
         let entries = group();
         let stats_nl = JoinStats::default();
         let nl = pairs_of(
-            &join_group_nested_loop(&entries, &GroupThresholds::Uniform(8), true, &stats_nl),
+            &join_group_nested_loop(&entries, &GroupThresholds::Uniform(8), true, JoinMode::SelfJoin, &stats_nl),
             &entries,
         );
         let stats_ix = JoinStats::default();
@@ -525,6 +595,7 @@ mod tests {
                 |_| 3,
                 &GroupThresholds::Uniform(8),
                 true,
+                JoinMode::SelfJoin,
                 &stats_ix,
                 &mut GroupScratch::new(),
             ),
@@ -544,7 +615,7 @@ mod tests {
         entries.push(entry(2, &[2, 1, 3, 4, 5], 1)); // and a third copy
         let stats_nl = JoinStats::default();
         let nl = pairs_of(
-            &join_group_nested_loop(&entries, &GroupThresholds::Uniform(8), true, &stats_nl),
+            &join_group_nested_loop(&entries, &GroupThresholds::Uniform(8), true, JoinMode::SelfJoin, &stats_nl),
             &entries,
         );
         let stats_ix = JoinStats::default();
@@ -554,6 +625,7 @@ mod tests {
                 |_| 3,
                 &GroupThresholds::Uniform(8),
                 true,
+                JoinMode::SelfJoin,
                 &stats_ix,
                 &mut GroupScratch::new(),
             ),
@@ -570,6 +642,7 @@ mod tests {
             |_| 3,
             &GroupThresholds::Uniform(8),
             true,
+            JoinMode::SelfJoin,
             &JoinStats::default(),
             &mut GroupScratch::new(),
         ) {
@@ -589,6 +662,7 @@ mod tests {
             |_| 3,
             &GroupThresholds::Uniform(8),
             true,
+            JoinMode::SelfJoin,
             &JoinStats::default(),
             &mut scratch,
         );
@@ -600,6 +674,7 @@ mod tests {
                 |_| 3,
                 &GroupThresholds::Uniform(8),
                 true,
+                JoinMode::SelfJoin,
                 &stats_warm,
                 &mut scratch,
             ),
@@ -612,6 +687,7 @@ mod tests {
                 |_| 3,
                 &GroupThresholds::Uniform(8),
                 true,
+                JoinMode::SelfJoin,
                 &stats_cold,
                 &mut GroupScratch::new(),
             ),
@@ -682,6 +758,7 @@ mod tests {
             |_| 5, // full prefix → 5 shared tokens
             &GroupThresholds::Uniform(110),
             false,
+            JoinMode::SelfJoin,
             &stats,
             &mut GroupScratch::new(),
         );
@@ -693,9 +770,21 @@ mod tests {
     fn position_filter_reduces_verifications() {
         let entries = group();
         let with = JoinStats::default();
-        join_group_nested_loop(&entries, &GroupThresholds::Uniform(2), true, &with);
+        join_group_nested_loop(
+            &entries,
+            &GroupThresholds::Uniform(2),
+            true,
+            JoinMode::SelfJoin,
+            &with,
+        );
         let without = JoinStats::default();
-        join_group_nested_loop(&entries, &GroupThresholds::Uniform(2), false, &without);
+        join_group_nested_loop(
+            &entries,
+            &GroupThresholds::Uniform(2),
+            false,
+            JoinMode::SelfJoin,
+            &without,
+        );
         assert!(with.snapshot().verified < without.snapshot().verified);
         assert_eq!(
             with.snapshot().result_pairs,
@@ -729,11 +818,18 @@ mod tests {
             ms: 3,
             ss: 2,
         };
-        let both_m = join_group_nested_loop(&[a.clone(), b.clone()], &thresholds, false, &stats);
+        let both_m = join_group_nested_loop(
+            &[a.clone(), b.clone()],
+            &thresholds,
+            false,
+            JoinMode::SelfJoin,
+            &stats,
+        );
         assert_eq!(both_m.len(), 1);
         a.singleton = true;
         b.singleton = true;
-        let both_s = join_group_nested_loop(&[a, b], &thresholds, false, &stats);
+        let both_s =
+            join_group_nested_loop(&[a, b], &thresholds, false, JoinMode::SelfJoin, &stats);
         assert!(both_s.is_empty());
     }
 
@@ -742,7 +838,7 @@ mod tests {
         let left = vec![entry(1, &[1, 2, 3, 4, 5], 1)];
         let right = vec![entry(2, &[2, 1, 3, 4, 5], 1), entry(9, &[9, 8, 7, 6, 1], 1)];
         let stats = JoinStats::default();
-        let results = join_group_rs(&left, &right, &GroupThresholds::Uniform(8), true, &stats);
+        let results = join_group_rs(&left, &right, &GroupThresholds::Uniform(8), true, JoinMode::SelfJoin, &stats);
         assert_eq!(results.len(), 1);
         let (i, j, d) = results[0];
         assert_eq!((left[i].ranking.id(), right[j].ranking.id(), d), (1, 2, 2));
@@ -752,22 +848,172 @@ mod tests {
     fn kernels_handle_tiny_groups() {
         let stats = JoinStats::default();
         let one = vec![entry(1, &[1, 2, 3], 1)];
-        assert!(
-            join_group_nested_loop(&one, &GroupThresholds::Uniform(5), true, &stats).is_empty()
-        );
+        assert!(join_group_nested_loop(
+            &one,
+            &GroupThresholds::Uniform(5),
+            true,
+            JoinMode::SelfJoin,
+            &stats
+        )
+        .is_empty());
         assert!(join_group_indexed(
             &one,
             |_| 2,
             &GroupThresholds::Uniform(5),
             true,
+            JoinMode::SelfJoin,
             &stats,
             &mut GroupScratch::new()
         )
         .is_empty());
-        assert!(join_group_rs(&one, &[], &GroupThresholds::Uniform(5), true, &stats).is_empty());
+        assert!(join_group_rs(
+            &one,
+            &[],
+            &GroupThresholds::Uniform(5),
+            true,
+            JoinMode::SelfJoin,
+            &stats
+        )
+        .is_empty());
         let empty: Vec<TokenEntry> = vec![];
-        assert!(
-            join_group_nested_loop(&empty, &GroupThresholds::Uniform(5), true, &stats).is_empty()
+        assert!(join_group_nested_loop(
+            &empty,
+            &GroupThresholds::Uniform(5),
+            true,
+            JoinMode::SelfJoin,
+            &stats
+        )
+        .is_empty());
+    }
+
+    /// A mixed-relation group: the bipartite kernels must pair only across
+    /// relations, and the left record must always land in the first slot —
+    /// even when the right record's id is smaller or equal.
+    fn bipartite_group() -> Vec<TokenEntry> {
+        vec![
+            tagged_entry(Relation::Left, 5, &[1, 2, 3, 4, 5], 1),
+            tagged_entry(Relation::Left, 9, &[9, 8, 7, 6, 1], 1),
+            tagged_entry(Relation::Right, 2, &[2, 1, 3, 4, 5], 1),
+            // Shares id 5 with a left record — a legitimate pair in R-S mode.
+            tagged_entry(Relation::Right, 5, &[1, 2, 3, 4, 9], 1),
+        ]
+    }
+
+    fn relation_pairs_of(
+        results: &[(usize, usize, u64)],
+        entries: &[TokenEntry],
+    ) -> Vec<((Relation, u64), (Relation, u64), u64)> {
+        let mut out: Vec<_> = results
+            .iter()
+            .map(|&(i, j, d)| (entries[i].record_key(), entries[j].record_key(), d))
+            .collect();
+        out.sort();
+        out
+    }
+
+    #[test]
+    fn bipartite_nested_loop_pairs_across_relations_only() {
+        let entries = bipartite_group();
+        let stats = JoinStats::default();
+        let results = join_group_nested_loop(
+            &entries,
+            &GroupThresholds::Uniform(8),
+            true,
+            JoinMode::Bipartite,
+            &stats,
         );
+        let pairs = relation_pairs_of(&results, &entries);
+        // Left 5 ↔ Right 2 at distance 2, Left 5 ↔ Right 5 at distance 2;
+        // left 9 is far from both right records; left-left and right-right
+        // pairs are never considered.
+        assert_eq!(
+            pairs,
+            vec![
+                ((Relation::Left, 5), (Relation::Right, 2), 2),
+                ((Relation::Left, 5), (Relation::Right, 5), 2),
+            ]
+        );
+        // 2 left × 2 right cross pairs, nothing else, counted as candidates.
+        assert_eq!(stats.snapshot().candidates, 4);
+        for &(i, j, _) in &results {
+            assert_eq!(entries[i].relation, Relation::Left);
+            assert_eq!(entries[j].relation, Relation::Right);
+        }
+    }
+
+    #[test]
+    fn bipartite_indexed_matches_nested_loop() {
+        let entries = bipartite_group();
+        let stats_nl = JoinStats::default();
+        let nl = relation_pairs_of(
+            &join_group_nested_loop(
+                &entries,
+                &GroupThresholds::Uniform(8),
+                true,
+                JoinMode::Bipartite,
+                &stats_nl,
+            ),
+            &entries,
+        );
+        let stats_ix = JoinStats::default();
+        let ix = relation_pairs_of(
+            &join_group_indexed(
+                &entries,
+                |_| 3,
+                &GroupThresholds::Uniform(8),
+                true,
+                JoinMode::Bipartite,
+                &stats_ix,
+                &mut GroupScratch::new(),
+            ),
+            &entries,
+        );
+        assert_eq!(nl, ix);
+    }
+
+    #[test]
+    fn bipartite_rs_kernel_skips_same_relation_chunk_pairs() {
+        // Chunks of a split bipartite group are mixed-relation; the cross
+        // kernel must still only verify cross-relation pairs, including the
+        // equal-id cross pair.
+        let left_chunk = vec![
+            tagged_entry(Relation::Left, 5, &[1, 2, 3, 4, 5], 1),
+            tagged_entry(Relation::Right, 2, &[2, 1, 3, 4, 5], 1),
+        ];
+        let right_chunk = vec![
+            tagged_entry(Relation::Left, 9, &[9, 8, 7, 6, 1], 1),
+            tagged_entry(Relation::Right, 5, &[1, 2, 3, 4, 9], 1),
+        ];
+        let stats = JoinStats::default();
+        let results = join_group_rs(
+            &left_chunk,
+            &right_chunk,
+            &GroupThresholds::Uniform(8),
+            true,
+            JoinMode::Bipartite,
+            &stats,
+        );
+        // Cross-relation pairs across the chunks: (L5, R5) hit at 2,
+        // (R2, L9) far, and the same-relation pairs (L5, L9) / (R2, R5)
+        // are skipped before the candidate counter.
+        assert_eq!(stats.snapshot().candidates, 2);
+        assert_eq!(results.len(), 1);
+        let (i, j, d) = results[0];
+        assert_eq!(left_chunk[i].record_key(), (Relation::Left, 5));
+        assert_eq!(right_chunk[j].record_key(), (Relation::Right, 5));
+        assert_eq!(d, 2);
+    }
+
+    #[test]
+    fn codec_round_trips_relation_tag() {
+        use minispark::Codec;
+        let e = tagged_entry(Relation::Right, 11, &[1, 2, 3, 4, 5], 1);
+        let mut bytes = Vec::new();
+        e.encode(&mut bytes);
+        let mut input = bytes.as_slice();
+        let decoded = TokenEntry::decode(&mut input).expect("decode");
+        assert!(input.is_empty());
+        assert_eq!(decoded.relation, Relation::Right);
+        assert_eq!(decoded.ranking, e.ranking);
     }
 }

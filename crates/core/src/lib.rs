@@ -17,6 +17,14 @@
 //! All of them return the identical pair set — an invariant enforced by this
 //! repository's test suite against the brute-force baseline.
 //!
+//! # Two-relation (R-S) joins and arrivals
+//!
+//! Every driver also has an R-S entry point joining two relations whose id
+//! spaces may overlap: [`vj_join_rs`], [`vj_nl_join_rs`], [`cl_join_rs`],
+//! [`jaccard_vj_join_rs`], [`varlen_join_rs`], with
+//! [`brute_force_join_rs`] as ground truth. For arrival streams against a
+//! standing corpus, see [`ArrivalJoin`].
+//!
 //! # Example
 //!
 //! ```
@@ -36,6 +44,7 @@
 
 #![warn(missing_docs)]
 
+pub mod arrivals;
 pub mod baseline;
 pub mod centroid_join;
 pub mod cl;
@@ -54,18 +63,23 @@ pub mod vj;
 
 use std::time::Duration;
 
-pub use baseline::brute_force_join;
-pub use cl::{cl_join, clp_join};
+pub use arrivals::ArrivalJoin;
+pub use baseline::{brute_force_join, brute_force_join_rs};
+pub use cl::{cl_join, cl_join_rs, clp_join};
 pub use config::JoinConfig;
 pub use index::RankingIndex;
 pub use jaccard_join::{
-    jaccard_brute_force, jaccard_cl_join, jaccard_clp_join, jaccard_vj_join, JaccardConfig,
+    jaccard_brute_force, jaccard_brute_force_rs, jaccard_cl_join, jaccard_clp_join,
+    jaccard_vj_join, jaccard_vj_join_rs, JaccardConfig,
 };
 pub use minispark::SkewBudget;
 pub use report::{runs_to_json, RunReport, RUN_REPORT_SCHEMA};
 pub use stats::{JoinStats, StatsSnapshot};
-pub use varlen_join::{varlen_brute_force, varlen_join, varlen_join_with_skew};
-pub use vj::{vj_join, vj_nl_join, vj_repartitioned_join};
+pub use varlen_join::{
+    varlen_brute_force, varlen_brute_force_rs, varlen_join, varlen_join_rs,
+    varlen_join_rs_with_skew, varlen_join_with_skew,
+};
+pub use vj::{vj_join, vj_join_rs, vj_nl_join, vj_nl_join_rs, vj_repartitioned_join};
 
 use minispark::Cluster;
 use topk_rankings::{Ranking, RankingId};
@@ -117,7 +131,10 @@ impl std::error::Error for JoinError {}
 /// counters, and the wall-clock time.
 #[derive(Debug, Clone, PartialEq)]
 pub struct JoinOutcome {
-    /// All result pairs `(a, b)` with `a < b`, sorted.
+    /// All result pairs, sorted. Self-joins normalize to `(a, b)` with
+    /// `a < b`; R-S joins (`*_rs` entry points) emit `(left id, right id)`
+    /// — no `a < b` ordering is implied there, because the two relations'
+    /// id spaces may overlap.
     pub pairs: Vec<(RankingId, RankingId)>,
     /// Filter/verification counters.
     pub stats: StatsSnapshot,

@@ -18,11 +18,13 @@
 use std::sync::Arc;
 
 use minispark::{Cluster, Counter, Dataset, SkewBudget};
-use topk_rankings::{FrequencyTable, ItemId, OrderedRanking, PrefixKind, Ranking, ResultPair};
+use topk_rankings::{
+    FrequencyTable, ItemId, OrderedRanking, PrefixKind, Ranking, Relation, ResultPair,
+};
 
 use crate::kernels::{
     join_group_indexed, join_group_nested_loop, join_group_rs, with_group_scratch, GroupThresholds,
-    TokenEntry,
+    JoinMode, TokenEntry,
 };
 use crate::stats::JoinStats;
 
@@ -36,13 +38,18 @@ pub enum GroupJoinStyle {
 }
 
 /// A qualifying pair with everything downstream phases need: both rankings
-/// (shared `Arc`s), the exact distance and the centroid-type tags.
-/// `a.id() < b.id()` always holds.
+/// (shared `Arc`s), the exact distance, the centroid-type tags and the
+/// source relations.
+///
+/// The pair is normalized by `(relation, id)`: in a self-join (both records
+/// [`Relation::Left`]) `a.id() < b.id()` holds as before, and in a bipartite
+/// R-S join `a` is always the left-relation record — id ordering alone
+/// cannot identify the relation there because the two id spaces may overlap.
 #[derive(Debug, Clone)]
 pub struct PairHit {
-    /// The ranking with the smaller id.
+    /// The record with the smaller `(relation, id)` key.
     pub a: Arc<OrderedRanking>,
-    /// The ranking with the larger id.
+    /// The record with the larger `(relation, id)` key.
     pub b: Arc<OrderedRanking>,
     /// Raw Footrule distance.
     pub distance: u64,
@@ -50,12 +57,26 @@ pub struct PairHit {
     pub a_singleton: bool,
     /// Singleton tag of `b`.
     pub b_singleton: bool,
+    /// Source relation of `a` ([`Relation::Left`] in self-joins).
+    pub a_relation: Relation,
+    /// Source relation of `b` ([`Relation::Left`] in self-joins).
+    pub b_relation: Relation,
 }
 
 impl PairHit {
-    /// The id pair `(a, b)` with `a < b`.
+    /// The id pair `(a, b)`; `a < b` in self-joins, while in an R-S join
+    /// this is `(left id, right id)` with no ordering guarantee.
     pub fn ids(&self) -> (u64, u64) {
         (self.a.id(), self.b.id())
+    }
+
+    /// The full record-identity pair — the deduplication key. Relations are
+    /// part of the key because R and S id spaces may overlap.
+    pub fn record_keys(&self) -> ((u8, u64), (u8, u64)) {
+        (
+            (self.a_relation.as_u8(), self.a.id()),
+            (self.b_relation.as_u8(), self.b.id()),
+        )
     }
 
     /// Conversion to the id-level result representation.
@@ -76,6 +97,7 @@ pub const DISJOINT_SENTINEL: ItemId = ItemId::MAX;
 fn emit_sentinels(
     ds: &Dataset<Arc<OrderedRanking>>,
     singleton: bool,
+    relation: Relation,
     label: &str,
 ) -> Dataset<(ItemId, TokenEntry)> {
     ds.map(label, move |r: &Arc<OrderedRanking>| {
@@ -84,6 +106,7 @@ fn emit_sentinels(
             TokenEntry {
                 rank: 0,
                 singleton,
+                relation,
                 ranking: Arc::clone(r),
             },
         )
@@ -98,10 +121,11 @@ pub fn with_disjoint_sentinels(
     k: usize,
     threshold_raw: u64,
     singleton: bool,
+    relation: Relation,
     label: &str,
 ) -> Dataset<(ItemId, TokenEntry)> {
     if threshold_raw >= topk_rankings::max_raw_distance(k) {
-        emitted.union(&emit_sentinels(source, singleton, label))
+        emitted.union(&emit_sentinels(source, singleton, relation, label))
     } else {
         emitted
     }
@@ -147,12 +171,71 @@ pub fn order_rankings(
     }
 }
 
+/// The *Ordering* phase for a bipartite join: counts item frequencies over
+/// the **union** of both relations (one shared canonical order is what makes
+/// cross-relation prefix filtering complete), broadcasts it once, and
+/// canonicalizes each relation separately.
+pub fn order_rankings_rs(
+    cluster: &Cluster,
+    left: &[Ranking],
+    right: &[Ranking],
+    prefix_kind: PrefixKind,
+    partitions: usize,
+    label: &str,
+) -> (Dataset<Arc<OrderedRanking>>, Dataset<Arc<OrderedRanking>>) {
+    // alloc(driver-side stage construction — one dataset copy per relation, not per record)
+    let left_ds = cluster.parallelize(left.to_vec(), partitions);
+    // alloc(driver-side stage construction — one dataset copy per relation, not per record)
+    let right_ds = cluster.parallelize(right.to_vec(), partitions);
+    match prefix_kind {
+        PrefixKind::Overlap => {
+            let counts = left_ds
+                .union(&right_ds)
+                // alloc(stage label String, once per stage)
+                .flat_map(&format!("{label}/freq-emit"), |r: &Ranking| {
+                    r.items()
+                        .iter()
+                        .map(|&item| (item, 1u64))
+                        // alloc(one count-pair Vec per ranking; the shuffle takes ownership)
+                        .collect::<Vec<_>>()
+                })
+                // alloc(stage label + driver-side count collection, once per ordering phase)
+                .reduce_by_key(&format!("{label}/freq-count"), partitions, |a, b| a + b)
+                .collect();
+            let freq = cluster.broadcast(FrequencyTable::from_counts(counts));
+            let freq_right = freq.clone();
+            (
+                // alloc(stage label String, once per stage)
+                left_ds.map(&format!("{label}/order-left-by-frequency"), move |r| {
+                    Arc::new(OrderedRanking::by_frequency(r, freq.value()))
+                }),
+                // alloc(stage label String, once per stage)
+                right_ds.map(&format!("{label}/order-right-by-frequency"), move |r| {
+                    Arc::new(OrderedRanking::by_frequency(r, freq_right.value()))
+                }),
+            )
+        }
+        PrefixKind::Ordered => (
+            // alloc(stage label String, once per stage)
+            left_ds.map(&format!("{label}/order-left-by-rank"), |r| {
+                Arc::new(OrderedRanking::by_rank(r))
+            }),
+            // alloc(stage label String, once per stage)
+            right_ds.map(&format!("{label}/order-right-by-rank"), |r| {
+                Arc::new(OrderedRanking::by_rank(r))
+            }),
+        ),
+    }
+}
+
 /// Emits `(token, entry)` pairs for the first `prefix_len` tokens of every
-/// ranking — the map side of the prefix-filtering shuffle.
+/// ranking — the map side of the prefix-filtering shuffle. `relation` tags
+/// every entry with its source relation ([`Relation::Left`] in self-joins).
 pub fn emit_prefixes(
     ds: &Dataset<Arc<OrderedRanking>>,
     prefix_len: usize,
     singleton: bool,
+    relation: Relation,
     label: &str,
 ) -> Dataset<(ItemId, TokenEntry)> {
     ds.flat_map(label, move |r: &Arc<OrderedRanking>| {
@@ -164,6 +247,7 @@ pub fn emit_prefixes(
                     TokenEntry {
                         rank,
                         singleton,
+                        relation,
                         ranking: Arc::clone(r),
                     },
                 )
@@ -189,6 +273,7 @@ fn run_kernel(
     prefix_len_of: &(impl Fn(bool) -> usize + Sync),
     thresholds: &GroupThresholds,
     use_position_filter: bool,
+    mode: JoinMode,
     stats: &JoinStats,
     live: &LiveKernelCounters,
 ) -> Vec<PairHit> {
@@ -200,12 +285,13 @@ fn run_kernel(
                 prefix_len_of,
                 thresholds,
                 use_position_filter,
+                mode,
                 stats,
                 scratch,
             )
         }),
         GroupJoinStyle::NestedLoop => {
-            join_group_nested_loop(entries, thresholds, use_position_filter, stats)
+            join_group_nested_loop(entries, thresholds, use_position_filter, mode, stats)
         }
     };
     live.pairs.add_usize(triples.len());
@@ -214,13 +300,15 @@ fn run_kernel(
         .map(|(i, j, d)| {
             // panics(kernel triples index into `entries` — both i and j are < entries.len())
             let (ea, eb) = (&entries[i], &entries[j]);
-            debug_assert!(ea.ranking.id() < eb.ranking.id());
+            debug_assert!(ea.record_key() < eb.record_key());
             PairHit {
                 a: Arc::clone(&ea.ranking),
                 b: Arc::clone(&eb.ranking),
                 distance: d,
                 a_singleton: ea.singleton,
                 b_singleton: eb.singleton,
+                a_relation: ea.relation,
+                b_relation: eb.relation,
             }
         })
         // alloc(one hit buffer per token group, not per candidate pair)
@@ -244,18 +332,23 @@ fn rs_hits(
     right: &[TokenEntry],
     thresholds: &GroupThresholds,
     use_position_filter: bool,
+    mode: JoinMode,
     stats: &JoinStats,
     live: &LiveKernelCounters,
 ) -> Vec<PairHit> {
     live.groups.inc();
-    let triples = join_group_rs(left, right, thresholds, use_position_filter, stats);
+    let triples = join_group_rs(left, right, thresholds, use_position_filter, mode, stats);
     live.pairs.add_usize(triples.len());
     triples
         .into_iter()
         .map(|(i, j, d)| {
             // panics(join_group_rs triples satisfy i < left.len() and j < right.len())
             let (li, rj) = (&left[i], &right[j]);
-            let (x, y) = if li.ranking.id() < rj.ranking.id() {
+            // Normalize by (relation, id), not id alone: in a bipartite join
+            // the chunks hold mixed relations with possibly overlapping id
+            // spaces, and id ordering could flip which relation lands in
+            // slot `a`.
+            let (x, y) = if li.record_key() < rj.record_key() {
                 (li, rj)
             } else {
                 (rj, li)
@@ -266,6 +359,8 @@ fn rs_hits(
                 distance: d,
                 a_singleton: x.singleton,
                 b_singleton: y.singleton,
+                a_relation: x.relation,
+                b_relation: y.relation,
             }
         })
         // alloc(one hit buffer per sub-partition pair, not per candidate)
@@ -291,6 +386,7 @@ pub fn token_grouped_join(
     prefix_len_of: impl Fn(bool) -> usize + Sync + Send + Clone + 'static,
     thresholds: GroupThresholds,
     use_position_filter: bool,
+    mode: JoinMode,
     partitions: usize,
     delta: Option<usize>,
     skew: SkewBudget,
@@ -345,6 +441,7 @@ pub fn token_grouped_join(
                     &prefix_len_of,
                     &thresholds,
                     use_position_filter,
+                    mode,
                     &stats,
                     &live,
                 )
@@ -364,12 +461,21 @@ pub fn token_grouped_join(
                         &prefix_len_of,
                         &thresholds,
                         use_position_filter,
+                        mode,
                         stats,
                         &live,
                     )
                 },
                 |_token, left: &[TokenEntry], right: &[TokenEntry]| {
-                    rs_hits(left, right, &thresholds, use_position_filter, stats, &live)
+                    rs_hits(
+                        left,
+                        right,
+                        &thresholds,
+                        use_position_filter,
+                        mode,
+                        stats,
+                        &live,
+                    )
                 },
             );
             JoinStats::add(&stats.posting_lists_split, split.groups_split);
@@ -388,16 +494,18 @@ pub fn token_grouped_join(
     live_pruned.add(after.position_pruned.saturating_sub(before.position_pruned));
 
     // Deduplicate pairs found via several shared tokens (or several chunk
-    // joins) — keep one PairHit per id pair. The keep-first combiner is
-    // value-deterministic even though the kept *instance* depends on hash-map
-    // iteration order: every duplicate under one id pair carries the same
-    // exact distance and the same per-ranking singleton tags, so any survivor
-    // is content-equal (pinned by the determinism suite).
+    // joins) — keep one PairHit per `(relation, id)` record-key pair; the
+    // relations are part of the key because an R-S join's id spaces may
+    // overlap. The keep-first combiner is value-deterministic even though
+    // the kept *instance* depends on hash-map iteration order: every
+    // duplicate under one key pair carries the same exact distance and the
+    // same per-record tags, so any survivor is content-equal (pinned by the
+    // determinism suite).
     // alloc(stage label Strings, once per join stage)
     hits.map(&format!("{label}/key-pairs"), |hit: &PairHit| {
-        let ids = hit.ids();
-        crate::invariants::check_pair_normalized(ids.0, ids.1);
-        (ids, hit.clone())
+        let keys = hit.record_keys();
+        crate::invariants::check_tagged_pair_normalized(keys.0, keys.1);
+        (keys, hit.clone())
     })
     // alloc(stage label Strings, once per join stage)
     .reduce_by_key(&format!("{label}/dedup-pairs"), partitions, |a, _b| a)
@@ -423,14 +531,21 @@ pub fn prefix_self_join(
     label: &str,
 ) -> Dataset<PairHit> {
     let p = prefix_kind.prefix_len(k, theta_raw);
-    // alloc(stage label String, once per join stage)
-    let emitted = emit_prefixes(ordered, p, false, &format!("{label}/emit-prefixes"));
+    let emitted = emit_prefixes(
+        ordered,
+        p,
+        false,
+        Relation::Left,
+        // alloc(stage label String, once per join stage)
+        &format!("{label}/emit-prefixes"),
+    );
     let emitted = with_disjoint_sentinels(
         emitted,
         ordered,
         k,
         theta_raw,
         false,
+        Relation::Left,
         // alloc(stage label String, once per join stage)
         &format!("{label}/emit-sentinels"),
     );
@@ -440,6 +555,84 @@ pub fn prefix_self_join(
         move |_| p,
         GroupThresholds::Uniform(theta_raw),
         use_position_filter,
+        JoinMode::SelfJoin,
+        partitions,
+        delta,
+        skew,
+        stats,
+        label,
+    )
+}
+
+/// A complete prefix-filtered **bipartite** join at `theta_raw` over two
+/// canonicalized relations: both sides emit relation-tagged prefixes into one
+/// shuffle, every token group is joined in [`JoinMode::Bipartite`] (only
+/// cross-relation pairs are candidates), and hot groups reuse the skew
+/// subsystem's chunk-pair plans unchanged. Emitted hits always lead with the
+/// left-relation record.
+///
+/// Both relations must be canonicalized under **one** item-frequency order —
+/// use [`order_rankings_rs`] — or prefix filtering would lose completeness.
+#[allow(clippy::too_many_arguments)]
+pub fn prefix_rs_join(
+    left: &Dataset<Arc<OrderedRanking>>,
+    right: &Dataset<Arc<OrderedRanking>>,
+    k: usize,
+    theta_raw: u64,
+    prefix_kind: PrefixKind,
+    style: GroupJoinStyle,
+    use_position_filter: bool,
+    partitions: usize,
+    delta: Option<usize>,
+    skew: SkewBudget,
+    stats: &Arc<JoinStats>,
+    label: &str,
+) -> Dataset<PairHit> {
+    let p = prefix_kind.prefix_len(k, theta_raw);
+    let emitted_left = emit_prefixes(
+        left,
+        p,
+        false,
+        Relation::Left,
+        // alloc(stage label String, once per join stage)
+        &format!("{label}/emit-left-prefixes"),
+    );
+    let emitted_right = emit_prefixes(
+        right,
+        p,
+        false,
+        Relation::Right,
+        // alloc(stage label String, once per join stage)
+        &format!("{label}/emit-right-prefixes"),
+    );
+    let emitted = emitted_left.union(&emitted_right);
+    let emitted = with_disjoint_sentinels(
+        emitted,
+        left,
+        k,
+        theta_raw,
+        false,
+        Relation::Left,
+        // alloc(stage label String, once per join stage)
+        &format!("{label}/emit-left-sentinels"),
+    );
+    let emitted = with_disjoint_sentinels(
+        emitted,
+        right,
+        k,
+        theta_raw,
+        false,
+        Relation::Right,
+        // alloc(stage label String, once per join stage)
+        &format!("{label}/emit-right-sentinels"),
+    );
+    token_grouped_join(
+        &emitted,
+        style,
+        move |_| p,
+        GroupThresholds::Uniform(theta_raw),
+        use_position_filter,
+        JoinMode::Bipartite,
         partitions,
         delta,
         skew,
@@ -470,4 +663,25 @@ pub fn uniform_k(data: &[Ranking]) -> Result<Option<usize>, crate::JoinError> {
         }
     }
     Ok(k)
+}
+
+/// Validates both relations of an R-S join: uniform length and unique ids
+/// **within** each relation (the id spaces may overlap across relations),
+/// and one shared length `k` across the two. Returns that length, or `None`
+/// when either relation is empty — a bipartite join with an empty side has
+/// no results, so callers short-circuit to an empty outcome.
+pub fn rs_uniform_k(
+    left: &[Ranking],
+    right: &[Ranking],
+) -> Result<Option<usize>, crate::JoinError> {
+    let left_k = uniform_k(left)?;
+    let right_k = uniform_k(right)?;
+    match (left_k, right_k) {
+        (Some(lk), Some(rk)) if lk != rk => Err(crate::JoinError::MixedRankingLengths {
+            expected: lk,
+            found: rk,
+        }),
+        (Some(lk), Some(_)) => Ok(Some(lk)),
+        _ => Ok(None),
+    }
 }

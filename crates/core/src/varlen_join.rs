@@ -29,7 +29,7 @@ use std::time::Instant;
 use minispark::{Cluster, SkewBudget};
 use topk_rankings::bounds::position_filter_prunes;
 use topk_rankings::varlen::{min_distance_given_lengths, min_overlap_var, prefix_len_var};
-use topk_rankings::{FrequencyTable, ItemId, OrderedRanking, Ranking};
+use topk_rankings::{FrequencyTable, ItemId, OrderedRanking, Ranking, Relation};
 
 use crate::stats::JoinStats;
 use crate::{JoinError, JoinOutcome};
@@ -238,6 +238,258 @@ pub fn varlen_join_with_skew(
     })
 }
 
+/// A prefix-emitted member of the bipartite varlen join: the token's rank in
+/// the owning ranking, the ranking itself, and its source relation.
+type RsEntry = (u16, Record, Relation);
+
+/// [`varlen_join`] over **two relations** (R-S join) at a raw threshold.
+///
+/// Records keep their source [`Relation`] through prefix emission; the
+/// per-token kernel joins cross-relation pairs only (length filter,
+/// equal-length position filter, early-exit verification) and always leads
+/// with the left record, so pairs are `(left id, right id)`, sorted — id
+/// spaces may overlap. Lengths, per-length prefixes and the frequency order
+/// are computed over R ∪ S so both relations share one canonical order.
+pub fn varlen_join_rs(
+    cluster: &Cluster,
+    left: &[Ranking],
+    right: &[Ranking],
+    theta_raw: u64,
+    partitions: usize,
+) -> Result<JoinOutcome, JoinError> {
+    varlen_join_rs_with_skew(cluster, left, right, theta_raw, partitions, SkewBudget::Off)
+}
+
+/// [`varlen_join_rs`] with opt-in skew handling for hot token groups.
+pub fn varlen_join_rs_with_skew(
+    cluster: &Cluster,
+    left: &[Ranking],
+    right: &[Ranking],
+    theta_raw: u64,
+    partitions: usize,
+    skew: SkewBudget,
+) -> Result<JoinOutcome, JoinError> {
+    let start = Instant::now();
+    if left.is_empty() || right.is_empty() {
+        return Ok(JoinOutcome::empty(start.elapsed()));
+    }
+    // Ids must be unique within each relation; across relations they may
+    // collide (that is the point of carrying the relation tag).
+    for relation in [left, right] {
+        let mut ids = std::collections::HashSet::with_capacity(relation.len());
+        for r in relation {
+            if !ids.insert(r.id()) {
+                return Err(JoinError::DuplicateRankingId(r.id()));
+            }
+        }
+    }
+    let partitions = if partitions == 0 {
+        cluster.config().default_partitions.max(1)
+    } else {
+        partitions
+    };
+    let stats = Arc::new(JoinStats::default());
+
+    let run_span = cluster.trace().span("varlen-rs/run");
+    let phase = cluster.trace().span("varlen-rs/phase/ordering");
+
+    // Union-wide length metadata: a left ranking's loosest partner length
+    // may only exist in the right relation, so prefixes must be computed
+    // against the lengths of both.
+    let lengths: Vec<usize> = left
+        .iter()
+        .chain(right.iter())
+        .map(Ranking::k)
+        .collect::<BTreeSet<_>>()
+        .into_iter()
+        .collect();
+    let disjoint_possible = lengths.iter().any(|&ka| {
+        lengths
+            .iter()
+            .any(|&kb| min_overlap_var(ka, kb, theta_raw) == Some(0))
+    });
+    let prefix_of: std::collections::HashMap<usize, usize> = lengths
+        .iter()
+        .map(|&k| (k, prefix_len_var(k, &lengths, theta_raw)))
+        .collect();
+    let prefix_of = cluster.broadcast(prefix_of);
+
+    // One frequency order counted over R ∪ S (shared canonical order is a
+    // prerequisite of prefix-filter completeness across relations).
+    let left_ds = cluster.parallelize(left.to_vec(), partitions);
+    let right_ds = cluster.parallelize(right.to_vec(), partitions);
+    let counts = left_ds
+        .union(&right_ds)
+        .flat_map("varlen-rs/freq-emit", |r: &Ranking| {
+            r.items()
+                .iter()
+                .map(|&item| (item, 1u64))
+                .collect::<Vec<_>>()
+        })
+        .reduce_by_key("varlen-rs/freq-count", partitions, |a, b| a + b)
+        .collect();
+    let freq = cluster.broadcast(FrequencyTable::from_counts(counts));
+    let freq_r = freq.clone();
+    let ordered_left = left_ds.map("varlen-rs/order-left", move |r| {
+        Arc::new(OrderedRanking::by_frequency(r, freq.value()))
+    });
+    let ordered_right = right_ds.map("varlen-rs/order-right", move |r| {
+        Arc::new(OrderedRanking::by_frequency(r, freq_r.value()))
+    });
+
+    drop(phase);
+
+    let phase = cluster.trace().span("varlen-rs/phase/joining");
+    let emit = |ds: &minispark::Dataset<Record>, relation: Relation, label: &str| {
+        let prefix_of = prefix_of.clone();
+        ds.flat_map(label, move |r: &Record| {
+            let p = prefix_of.value()[&r.k()];
+            let mut out: Vec<(ItemId, RsEntry)> = r
+                .prefix(p)
+                .iter()
+                .map(|&(item, rank)| (item, (rank, Arc::clone(r), relation)))
+                .collect();
+            if disjoint_possible {
+                out.push((ItemId::MAX, (0, Arc::clone(r), relation)));
+            }
+            out
+        })
+    };
+    let emitted = emit(&ordered_left, Relation::Left, "varlen-rs/emit-left").union(&emit(
+        &ordered_right,
+        Relation::Right,
+        "varlen-rs/emit-right",
+    ));
+
+    let pair_of = {
+        let stats = Arc::clone(&stats);
+        move |x: &RsEntry, y: &RsEntry| -> Option<(u64, u64)> {
+            // Same-relation pairs are skipped before the candidates counter
+            // so kernel stats agree between split and unsplit runs.
+            if x.2 == y.2 {
+                return None;
+            }
+            let ((ra, a, _), (rb, b, _)) = if x.2 == Relation::Left {
+                (x, y)
+            } else {
+                (y, x)
+            };
+            JoinStats::bump(&stats.candidates);
+            if min_distance_given_lengths(a.k(), b.k()) > theta_raw {
+                JoinStats::bump(&stats.triangle_pruned);
+                return None;
+            }
+            if a.k() == b.k()
+                && position_filter_prunes(usize::from(*ra), usize::from(*rb), theta_raw)
+            {
+                JoinStats::bump(&stats.position_pruned);
+                return None;
+            }
+            JoinStats::bump(&stats.verified);
+            a.footrule_within(b, theta_raw).map(|_| {
+                JoinStats::bump(&stats.result_pairs);
+                (a.id(), b.id())
+            })
+        }
+    };
+    let rs_all_pairs = |members: &[RsEntry], pair_of: &dyn Fn(&RsEntry, &RsEntry) -> Option<(u64, u64)>| {
+        let mut out = Vec::new();
+        for i in 0..members.len() {
+            for j in (i + 1)..members.len() {
+                if let Some(pair) = pair_of(&members[i], &members[j]) {
+                    out.push(pair);
+                }
+            }
+        }
+        out
+    };
+    let delta = skew.resolve(&emitted, "varlen-rs");
+    let grouped = emitted.group_by_key("varlen-rs/group-by-token", partitions);
+    let pairs_ds = match delta {
+        None => {
+            let pair_of = pair_of.clone();
+            grouped.flat_map("varlen-rs/join-groups", move |(_, members)| {
+                rs_all_pairs(members, &pair_of)
+            })
+        }
+        Some(budget) => {
+            let (hits, split) = minispark::skew::split_grouped_join(
+                &grouped,
+                budget,
+                partitions,
+                "varlen-rs",
+                |_token, members: &[RsEntry]| rs_all_pairs(members, &pair_of),
+                |_token, chunk_a: &[RsEntry], chunk_b: &[RsEntry]| {
+                    // Chunks of a split group mix both relations; the
+                    // relation-aware kernel keeps only cross pairs.
+                    let mut out = Vec::new();
+                    for a in chunk_a {
+                        for b in chunk_b {
+                            if let Some(pair) = pair_of(a, b) {
+                                out.push(pair);
+                            }
+                        }
+                    }
+                    out
+                },
+            );
+            JoinStats::add(&stats.posting_lists_split, split.groups_split);
+            JoinStats::add(&stats.rs_joins, split.rs_joins);
+            JoinStats::add(&stats.skew_chunks, split.chunks);
+            JoinStats::add(&stats.skew_steals, split.stolen_tasks);
+            hits
+        }
+    };
+
+    drop(phase);
+
+    let phase = cluster.trace().span("varlen-rs/phase/dedup");
+    let mut pairs = pairs_ds
+        .distinct("varlen-rs/distinct", partitions)
+        .collect();
+    pairs.sort_unstable();
+    drop(phase);
+    drop(run_span);
+    Ok(JoinOutcome {
+        pairs,
+        stats: stats.snapshot(),
+        elapsed: start.elapsed(),
+    })
+}
+
+/// Exact quadratic R-S baseline at a raw threshold, for mixed-length
+/// relations. Pairs are `(left id, right id)`, sorted.
+pub fn varlen_brute_force_rs(
+    cluster: &Cluster,
+    left: &[Ranking],
+    right: &[Ranking],
+    theta_raw: u64,
+) -> Result<JoinOutcome, JoinError> {
+    let start = Instant::now();
+    let shared_right = cluster.broadcast(Arc::new(right.to_vec()));
+    let partitions = cluster.config().default_partitions;
+    let left_ds = cluster.parallelize(left.to_vec(), partitions);
+    let pairs_ds = left_ds.flat_map("varlen-bf-rs/compare", move |a: &Ranking| {
+        let right = shared_right.value();
+        let mut out = Vec::new();
+        for b in right.iter() {
+            if topk_rankings::footrule_within(a, b, theta_raw).is_some() {
+                out.push((a.id(), b.id()));
+            }
+        }
+        out
+    });
+    let mut pairs = pairs_ds
+        .distinct("varlen-bf-rs/distinct", partitions)
+        .collect();
+    pairs.sort_unstable();
+    Ok(JoinOutcome {
+        pairs,
+        stats: crate::stats::StatsSnapshot::default(),
+        elapsed: start.elapsed(),
+    })
+}
+
 /// Exact quadratic baseline at a raw threshold, for mixed-length datasets.
 pub fn varlen_brute_force(
     cluster: &Cluster,
@@ -385,6 +637,80 @@ mod tests {
         let c = cluster();
         assert!(varlen_join(&c, &[], 10, 4)
             .expect("empty input is valid for the varlen join")
+            .pairs
+            .is_empty());
+    }
+
+    /// Splits the mixed corpus into two relations with overlapping id
+    /// spaces (both renumbered from 0).
+    fn mixed_relations() -> (Vec<Ranking>, Vec<Ranking>) {
+        let all = mixed_corpus();
+        let split = all.len() / 2;
+        let renumber = |rs: &[Ranking]| {
+            rs.iter()
+                .enumerate()
+                .map(|(i, r)| Ranking::new_unchecked(i as u64, r.items().to_vec()))
+                .collect::<Vec<_>>()
+        };
+        (renumber(&all[..split]), renumber(&all[split..]))
+    }
+
+    #[test]
+    fn rs_matches_brute_force_on_mixed_lengths() {
+        let c = cluster();
+        let (left, right) = mixed_relations();
+        for theta_raw in [0u64, 5, 15, 30, 60] {
+            let expected = varlen_brute_force_rs(&c, &left, &right, theta_raw)
+                .expect("mixed-length relations are valid input")
+                .pairs;
+            let got = varlen_join_rs(&c, &left, &right, theta_raw, 8)
+                .expect("mixed-length relations are valid input")
+                .pairs;
+            assert_eq!(got, expected, "θ_raw = {theta_raw}");
+        }
+    }
+
+    #[test]
+    fn rs_skew_split_never_changes_the_result_set() {
+        let c = cluster();
+        let (left, right) = mixed_relations();
+        let expected = varlen_join_rs(&c, &left, &right, 30, 8)
+            .expect("mixed-length relations are valid input")
+            .pairs;
+        for budget in [1usize, 3, 100_000] {
+            let outcome =
+                varlen_join_rs_with_skew(&c, &left, &right, 30, 8, SkewBudget::Fixed(budget))
+                    .expect("mixed-length relations are valid input");
+            assert_eq!(outcome.pairs, expected, "budget = {budget}");
+            if budget == 1 {
+                assert!(outcome.stats.posting_lists_split > 0);
+            }
+        }
+    }
+
+    #[test]
+    fn rs_validates_relations_separately_and_handles_empty_sides() {
+        let c = cluster();
+        let dup = vec![
+            Ranking::new(1, vec![1, 2, 3]).expect("distinct items form a valid ranking"),
+            Ranking::new(1, vec![4, 5, 6]).expect("distinct items form a valid ranking"),
+        ];
+        let ok = vec![Ranking::new(9, vec![1, 2, 3]).expect("distinct items form a valid ranking")];
+        assert!(matches!(
+            varlen_join_rs(&c, &dup, &ok, 10, 4),
+            Err(JoinError::DuplicateRankingId(1))
+        ));
+        // An id shared ACROSS relations is legal.
+        let other = vec![
+            Ranking::new(9, vec![1, 2, 3]).expect("distinct items form a valid ranking"),
+            Ranking::new(1, vec![1, 2, 3, 4]).expect("distinct items form a valid ranking"),
+        ];
+        let got = varlen_join_rs(&c, &ok, &other, 10, 4)
+            .expect("overlapping id spaces are valid for R-S")
+            .pairs;
+        assert_eq!(got, vec![(9, 1), (9, 9)]);
+        assert!(varlen_join_rs(&c, &ok, &[], 10, 4)
+            .expect("an empty side is valid")
             .pairs
             .is_empty());
     }

@@ -13,7 +13,10 @@ use minispark::Cluster;
 use topk_rankings::distance::raw_threshold;
 use topk_rankings::Ranking;
 
-use crate::pipeline::{order_rankings, prefix_self_join, uniform_k, GroupJoinStyle};
+use crate::pipeline::{
+    order_rankings, order_rankings_rs, prefix_rs_join, prefix_self_join, rs_uniform_k, uniform_k,
+    GroupJoinStyle,
+};
 use crate::stats::JoinStats;
 use crate::{JoinConfig, JoinError, JoinOutcome};
 
@@ -74,6 +77,66 @@ fn vj_flavour(
     })
 }
 
+fn vj_rs_flavour(
+    cluster: &Cluster,
+    left: &[Ranking],
+    right: &[Ranking],
+    config: &JoinConfig,
+    style: GroupJoinStyle,
+    label: &str,
+) -> Result<JoinOutcome, JoinError> {
+    config.validate()?;
+    let start = Instant::now();
+    let Some(k) = rs_uniform_k(left, right)? else {
+        return Ok(JoinOutcome::empty(start.elapsed()));
+    };
+    let theta_raw = raw_threshold(k, config.theta);
+    let partitions = config.effective_partitions(cluster.config().default_partitions);
+    let stats = Arc::new(JoinStats::default());
+
+    let run_span = cluster.trace().span(format!("{label}/run"));
+    // One frequency order over R ∪ S canonicalizes both relations — the
+    // shared order is what makes cross-relation prefix filtering complete.
+    let (ordered_left, ordered_right) = {
+        let _phase = cluster.trace().span(format!("{label}/phase/ordering"));
+        order_rankings_rs(cluster, left, right, config.prefix, partitions, label)
+    };
+    let hits = {
+        let _phase = cluster.trace().span(format!("{label}/phase/joining"));
+        prefix_rs_join(
+            &ordered_left,
+            &ordered_right,
+            k,
+            theta_raw,
+            config.prefix,
+            style,
+            config.use_position_filter,
+            partitions,
+            None,
+            config.skew,
+            &stats,
+            label,
+        )
+    };
+    // Hits lead with the left-relation record, so projecting ids yields
+    // `(left id, right id)` pairs directly.
+    let mut pairs = {
+        let _phase = cluster.trace().span(format!("{label}/phase/projection"));
+        hits.map(
+            &format!("{label}/project-ids"),
+            super::pipeline::PairHit::ids,
+        )
+        .collect()
+    };
+    pairs.sort_unstable();
+    drop(run_span);
+    Ok(JoinOutcome {
+        pairs,
+        stats: stats.snapshot(),
+        elapsed: start.elapsed(),
+    })
+}
+
 /// VJ: prefix filtering with per-group inverted indexes (§4).
 pub fn vj_join(
     cluster: &Cluster,
@@ -96,6 +159,37 @@ pub fn vj_nl_join(
         GroupJoinStyle::NestedLoop,
         None,
         "vj-nl",
+    )
+}
+
+/// VJ over two relations (R-S join): both relations' prefixes shuffle into
+/// one token-grouped bipartite join; only cross-relation pairs are verified.
+/// Output pairs are `(left id, right id)`, sorted — the two id spaces may
+/// overlap, so no `a < b` ordering is implied.
+pub fn vj_join_rs(
+    cluster: &Cluster,
+    left: &[Ranking],
+    right: &[Ranking],
+    config: &JoinConfig,
+) -> Result<JoinOutcome, JoinError> {
+    vj_rs_flavour(cluster, left, right, config, GroupJoinStyle::Indexed, "vj-rs")
+}
+
+/// VJ-NL over two relations (R-S join), nested-loop verification per group.
+/// Output pairs are `(left id, right id)`, sorted.
+pub fn vj_nl_join_rs(
+    cluster: &Cluster,
+    left: &[Ranking],
+    right: &[Ranking],
+    config: &JoinConfig,
+) -> Result<JoinOutcome, JoinError> {
+    vj_rs_flavour(
+        cluster,
+        left,
+        right,
+        config,
+        GroupJoinStyle::NestedLoop,
+        "vj-nl-rs",
     )
 }
 

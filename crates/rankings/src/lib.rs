@@ -60,5 +60,5 @@ pub use distance::{
 };
 pub use jaccard::{jaccard_distance, jaccard_min_overlap, jaccard_prefix_len, jaccard_within};
 pub use ordered::{order_dataset, FrequencyTable, OrderedRanking};
-pub use ranking::{rank_u64, ItemId, Ranking, RankingError, RankingId};
+pub use ranking::{rank_u64, ItemId, Ranking, RankingError, RankingId, Relation};
 pub use verify::{verify_candidate, ResultPair, Verification};

@@ -24,6 +24,43 @@ pub fn rank_u64(rank: usize) -> u64 {
     rank as u64
 }
 
+/// Which input relation a record belongs to in a two-relation (R-S) join.
+///
+/// Self-joins tag every record [`Relation::Left`]. In an R-S join the two id
+/// spaces may overlap, so a record is identified by the pair
+/// `(relation, id)`; the derived `Ord` puts `Left` before `Right`, which is
+/// the canonical orientation of an emitted R-S pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Relation {
+    /// The left (R) relation — in arrival mode, the standing corpus.
+    Left,
+    /// The right (S) relation — in arrival mode, the new batch.
+    Right,
+}
+
+impl Relation {
+    /// Stable single-byte encoding for spill codecs.
+    #[inline]
+    #[must_use]
+    pub fn as_u8(self) -> u8 {
+        match self {
+            Relation::Left => 0,
+            Relation::Right => 1,
+        }
+    }
+
+    /// Inverse of [`Relation::as_u8`]; any non-zero byte decodes as `Right`.
+    #[inline]
+    #[must_use]
+    pub fn from_u8(byte: u8) -> Self {
+        if byte == 0 {
+            Relation::Left
+        } else {
+            Relation::Right
+        }
+    }
+}
+
 /// Errors raised when constructing a [`Ranking`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum RankingError {

@@ -45,6 +45,7 @@ pub(crate) const HOT_PATHS: &[&str] = &[
     "crates/core/src/kernels.rs",
     "crates/core/src/pipeline.rs",
     "crates/core/src/index.rs",
+    "crates/core/src/arrivals.rs",
     "crates/minispark/src/shuffle.rs",
     "crates/minispark/src/skew.rs",
     "crates/minispark/src/spill.rs",

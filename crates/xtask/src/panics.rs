@@ -44,6 +44,8 @@ pub(crate) const HOT_PATHS: &[&str] = &[
     "crates/core/src/kernels.rs",
     "crates/core/src/pipeline.rs",
     "crates/core/src/index.rs",
+    // core: the arrival joiner's query-then-insert loop runs per arrival.
+    "crates/core/src/arrivals.rs",
     // minispark: partitioning, skew splitting, spill and codec inner loops.
     "crates/minispark/src/shuffle.rs",
     "crates/minispark/src/skew.rs",
