@@ -466,7 +466,11 @@ fn bench_skew(opts: &Opts) -> Json {
 /// arrival streaming (`ArrivalJoin`), whose cross-relation pairs must
 /// reproduce the batch result exactly.
 fn bench_rs(opts: &Opts) -> Json {
-    let (corpus_n, arrival_n) = if opts.quick { (600, 150) } else { (4_000, 1_000) };
+    let (corpus_n, arrival_n) = if opts.quick {
+        (600, 150)
+    } else {
+        (4_000, 1_000)
+    };
     let batch_size = 64usize;
     let slots = 4usize;
     let corpus_profile = CorpusProfile::orku_like(corpus_n, 10);

@@ -178,15 +178,10 @@ fn parse_args(args: Vec<String>) -> Result<Options, String> {
                     "--right" => right = Some(value),
                     "--arrivals" => arrivals = Some(value),
                     "--batch-size" => {
-                        batch_size = Some(
-                            value
-                                .parse::<usize>()
-                                .ok()
-                                .filter(|&n| n > 0)
-                                .ok_or_else(|| {
-                                    format!("--batch-size {value}: not a positive integer")
-                                })?,
-                        );
+                        batch_size =
+                            Some(value.parse::<usize>().ok().filter(|&n| n > 0).ok_or_else(
+                                || format!("--batch-size {value}: not a positive integer"),
+                            )?);
                     }
                     _ => metrics_out = Some(value),
                 }
@@ -384,17 +379,29 @@ mod tests {
         assert_eq!(o.ids, ["rs"]);
         assert_eq!(o.right.as_deref(), Some("other.txt"));
 
-        let o = parse_args(args(&["arrivals", "--arrivals", "s.txt", "--batch-size", "100"]))
-            .expect("valid arrivals invocation");
+        let o = parse_args(args(&[
+            "arrivals",
+            "--arrivals",
+            "s.txt",
+            "--batch-size",
+            "100",
+        ]))
+        .expect("valid arrivals invocation");
         assert_eq!(o.arrivals.as_deref(), Some("s.txt"));
         assert_eq!(o.batch_size, Some(100));
 
-        let o = parse_args(args(&["arrivals", "--arrivals", "s.txt"]))
-            .expect("batch size is optional");
+        let o =
+            parse_args(args(&["arrivals", "--arrivals", "s.txt"])).expect("batch size is optional");
         assert_eq!(o.batch_size, None);
 
-        let o = parse_args(args(&["fig6", "--live-port", "0", "--metrics-out", "m.json"]))
-            .expect("metrics-out with live-port is valid");
+        let o = parse_args(args(&[
+            "fig6",
+            "--live-port",
+            "0",
+            "--metrics-out",
+            "m.json",
+        ]))
+        .expect("metrics-out with live-port is valid");
         assert_eq!(o.live_port, Some(0));
     }
 
@@ -425,7 +432,10 @@ mod tests {
         assert!(e.contains("only consumed by the rs experiment"), "{e}");
 
         let e = parse_args(args(&["fig6", "--arrivals", "a"])).expect_err("unconsumed --arrivals");
-        assert!(e.contains("only consumed by the arrivals experiment"), "{e}");
+        assert!(
+            e.contains("only consumed by the arrivals experiment"),
+            "{e}"
+        );
     }
 
     #[test]

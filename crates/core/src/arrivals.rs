@@ -178,11 +178,7 @@ mod tests {
 
     /// One-shot reference: all pairs of `corpus ∪ arrivals` with at least
     /// one arrival member, normalized to `(smaller id, larger id)`.
-    fn one_shot_reference(
-        corpus: &[Ranking],
-        arrivals: &[Ranking],
-        theta: f64,
-    ) -> Vec<(u64, u64)> {
+    fn one_shot_reference(corpus: &[Ranking], arrivals: &[Ranking], theta: f64) -> Vec<(u64, u64)> {
         let c = cluster();
         let mut expected: Vec<(u64, u64)> = brute_force_join_rs(&c, corpus, arrivals, theta)
             .expect("valid relations")

@@ -21,20 +21,37 @@ use std::sync::Arc;
 
 use topk_rankings::bounds::position_filter_prunes;
 use topk_rankings::distance::{max_raw_distance, raw_threshold};
-use topk_rankings::{FrequencyTable, ItemId, OrderedRanking, PrefixKind, Ranking};
+use topk_rankings::{FrequencyTable, ItemId, OrderedRanking, PrefixKind, Ranking, RankingId};
 
 use crate::stats::JoinStats;
 use crate::JoinError;
 
 /// Inverted prefix index supporting exact Footrule range queries up to a
 /// build-time maximum threshold.
+///
+/// The index is **mutable**: [`RankingIndex::insert_ranking`] upserts (an
+/// existing id is *replaced*, never shadowed) and
+/// [`RankingIndex::remove_ranking`] deletes. Both tombstone the victim's
+/// slot and drop its posting entries, so a stale version can never match a
+/// query; the invariant "every live id occupies exactly one slot" is what
+/// makes the query-time slot dedup an id dedup too. Tombstoned slots keep
+/// their storage until [`RankingIndex::compacted`] rebuilds — long-lived
+/// mutable deployments (see [`crate::serving`]) compact past a tombstone
+/// ratio.
 pub struct RankingIndex {
     k: usize,
     theta_max: f64,
     freq: FrequencyTable,
     records: Vec<Arc<OrderedRanking>>,
+    /// `live[slot]` — cleared when an upsert or delete tombstones the slot.
+    live: Vec<bool>,
+    /// id → the one live slot holding its current version.
+    id_to_slot: HashMap<RankingId, u32>,
+    /// Count of tombstoned (dead but not yet compacted) slots.
+    tombstones: usize,
     /// item → [(record index, original rank of item in that record)] over
-    /// the records' `p(theta_max)` prefixes.
+    /// the records' `p(theta_max)` prefixes. Only live slots appear:
+    /// tombstoning removes the dead slot's entries.
     postings: HashMap<ItemId, Vec<(u32, u16)>>,
 }
 
@@ -55,6 +72,11 @@ impl RankingIndex {
             freq,
             // alloc(one-time index construction, sized up front)
             records: Vec::with_capacity(data.len()),
+            // alloc(one-time index construction, sized up front)
+            live: Vec::with_capacity(data.len()),
+            id_to_slot: HashMap::with_capacity(data.len()),
+            tombstones: 0,
+            // alloc(one-time index construction; postings fill on insert)
             postings: HashMap::new(),
         };
         for r in data {
@@ -63,14 +85,67 @@ impl RankingIndex {
         Ok(index)
     }
 
-    /// Number of indexed rankings.
+    /// Number of **live** indexed rankings (tombstoned slots do not count).
     pub fn len(&self) -> usize {
+        self.records.len() - self.tombstones
+    }
+
+    /// Whether the index holds no live rankings.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total slots, live and tombstoned — the storage footprint.
+    pub fn slot_count(&self) -> usize {
         self.records.len()
     }
 
-    /// Whether the index is empty.
-    pub fn is_empty(&self) -> bool {
-        self.records.is_empty()
+    /// Number of tombstoned (dead, not yet compacted) slots.
+    pub fn tombstone_count(&self) -> usize {
+        self.tombstones
+    }
+
+    /// Fraction of slots that are tombstones, `0.0` while empty. Long-lived
+    /// mutable deployments compact past a ratio threshold.
+    pub fn tombstone_ratio(&self) -> f64 {
+        if self.records.is_empty() {
+            0.0
+        } else {
+            // cast(documented precision loss only beyond 2^53 slots — capacity is u32)
+            self.tombstones as f64 / self.records.len() as f64
+        }
+    }
+
+    /// Whether `id` currently has a live version in the index.
+    pub fn contains_id(&self, id: RankingId) -> bool {
+        self.id_to_slot.contains_key(&id)
+    }
+
+    /// The current (live) version of `id`, if indexed.
+    pub fn get(&self, id: RankingId) -> Option<Ranking> {
+        let slot = *self.id_to_slot.get(&id)?;
+        // panics(id_to_slot only maps to slots pushed into records)
+        Some(self.records[slot as usize].to_ranking())
+    }
+
+    /// All live rankings in slot (insertion) order — the state a snapshot
+    /// persists and a compaction rebuilds from.
+    pub fn live_rankings(&self) -> Vec<Ranking> {
+        self.records
+            .iter()
+            .zip(&self.live)
+            .filter(|&(_, live)| *live)
+            .map(|(record, _)| record.to_ranking())
+            // alloc(snapshot/compaction export — one Vec per rebuild, not per record)
+            .collect()
+    }
+
+    /// A compacted copy: same `theta_max`, only the live rankings, no
+    /// tombstones. The frequency order is recomputed from the surviving
+    /// records (any consistent total order preserves prefix-filter
+    /// correctness, so query answers are unchanged).
+    pub fn compacted(&self) -> Result<Self, JoinError> {
+        Self::build(&self.live_rankings(), self.theta_max)
     }
 
     /// The (fixed) ranking length, 0 while empty.
@@ -83,7 +158,10 @@ impl RankingIndex {
         self.theta_max
     }
 
-    /// Inserts one ranking.
+    /// Inserts one ranking, **replacing** any existing version of its id
+    /// (upsert): the old version's slot is tombstoned and its postings are
+    /// dropped, so the stale ranking can never match — and no id ever
+    /// appears twice in a query result.
     ///
     /// Note: the canonical item order is frozen at build time; rankings
     /// inserted later are ordered by the original frequency table (their
@@ -99,6 +177,9 @@ impl RankingIndex {
                 found: r.k(),
             });
         }
+        if let Some(&old) = self.id_to_slot.get(&r.id()) {
+            self.tombstone_slot(old);
+        }
         let idx = u32::try_from(self.records.len())
             .expect("inverted index capacity exceeded: more than u32::MAX rankings");
         let ordered = Arc::new(OrderedRanking::by_frequency(r, &self.freq));
@@ -107,7 +188,43 @@ impl RankingIndex {
             self.postings.entry(item).or_default().push((idx, rank));
         }
         self.records.push(ordered);
+        self.live.push(true);
+        self.id_to_slot.insert(r.id(), idx);
         Ok(())
+    }
+
+    /// Deletes `id`'s live version, tombstoning its slot and dropping its
+    /// postings. Returns whether the id was present.
+    pub fn remove_ranking(&mut self, id: RankingId) -> bool {
+        match self.id_to_slot.remove(&id) {
+            Some(slot) => {
+                self.tombstone_slot(slot);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Marks `slot` dead and removes its posting entries. The caller keeps
+    /// `id_to_slot` consistent (remove the id, or re-point it at the
+    /// replacement slot).
+    fn tombstone_slot(&mut self, slot: u32) {
+        let p = self.stored_prefix_len();
+        // panics(id_to_slot only maps to slots pushed into records)
+        let record = Arc::clone(&self.records[slot as usize]);
+        for &(item, _) in record.prefix(p) {
+            if let Some(list) = self.postings.get_mut(&item) {
+                list.retain(|&(s, _)| s != slot);
+                if list.is_empty() {
+                    self.postings.remove(&item);
+                }
+            }
+        }
+        // panics(id_to_slot only maps to slots pushed into records)
+        debug_assert!(self.live[slot as usize], "slot tombstoned twice");
+        // panics(id_to_slot only maps to slots pushed into records)
+        self.live[slot as usize] = false;
+        self.tombstones += 1;
     }
 
     fn stored_prefix_len(&self) -> usize {
@@ -151,7 +268,7 @@ impl RankingIndex {
         if !(0.0..=1.0).contains(&theta) || !theta.is_finite() || theta > self.theta_max + 1e-12 {
             return Err(JoinError::InvalidThreshold(theta));
         }
-        if self.records.is_empty() {
+        if self.is_empty() {
             // alloc(empty Vec never allocates)
             return Ok(Vec::new());
         }
@@ -168,8 +285,11 @@ impl RankingIndex {
         let mut results = Vec::new();
         if theta_raw >= max_raw_distance(self.k) {
             // Disjoint pairs qualify: prefix probing is incomplete, scan.
-            for record in &self.records {
-                if record.id() == query.id() {
+            // Tombstoned slots are skipped — only live versions may match,
+            // and since every live id owns exactly one slot, no id can
+            // appear twice in the output.
+            for (record, live) in self.records.iter().zip(&self.live) {
+                if !live || record.id() == query.id() {
                     continue;
                 }
                 if let Some(stats) = stats {
@@ -185,6 +305,10 @@ impl RankingIndex {
             }
         } else {
             let p = PrefixKind::Overlap.prefix_len(self.k, theta_raw);
+            // Per-query dedup, keyed by slot. Slot dedup *is* id dedup
+            // here: tombstoning removes a dead slot's postings eagerly, so
+            // the lists only name live slots, and every live id owns
+            // exactly one slot (the upsert invariant).
             // alloc(per-query dedup bitmap — one per range_query call)
             let mut seen: Vec<bool> = vec![false; self.records.len()];
             for &(item, query_rank) in ordered_query.prefix(p) {
@@ -200,6 +324,11 @@ impl RankingIndex {
                     }
                     // panics(postings only store slots < records.len(); seen has records.len() entries)
                     seen[slot] = true;
+                    debug_assert!(
+                        self.live[slot],
+                        "postings must never name a tombstoned slot"
+                    );
+                    // panics(postings hold slots < records.len() by construction)
                     let record = &self.records[slot];
                     if record.id() == query.id() {
                         continue;
@@ -235,6 +364,13 @@ impl RankingIndex {
 
     /// The `n` nearest indexed rankings to `query` among those within
     /// `theta_max` (ties by id). Convenience on top of [`RankingIndex::range_query`].
+    ///
+    /// **Bounded by `theta_max`:** the stored prefixes only guarantee
+    /// completeness up to the build threshold, so this returns *fewer than
+    /// `n` neighbours* when fewer than `n` rankings lie within `theta_max`
+    /// of the query — it is "the n nearest within θ_max", not a global
+    /// k-NN. Build with a larger `theta_max` (up to `1.0`, which degrades
+    /// to a full scan) if distant neighbours must be reachable.
     pub fn nearest(&self, query: &Ranking, n: usize) -> Result<Vec<(u64, u64)>, JoinError> {
         let mut all = self.range_query(query, self.theta_max)?;
         all.truncate(n);
@@ -380,6 +516,152 @@ mod tests {
         assert_eq!(snap.candidates, snap.position_pruned + snap.verified);
         assert_eq!(snap.result_pairs, counted.len() as u64);
         assert!(snap.candidates > 0);
+    }
+
+    #[test]
+    fn upsert_replaces_not_shadows() {
+        // Regression: a re-inserted id used to leave the old version's slot
+        // and postings live, so range_query returned the id twice and
+        // matched the stale ranking.
+        let data = corpus();
+        let mut index = RankingIndex::build(&data, 0.4).expect("uniform-length corpus builds");
+        let victim = data[7].clone();
+        // New version: the items of a far-away ranking under the victim's id.
+        let replacement = Ranking::new_unchecked(victim.id(), data[399].items().to_vec());
+        index
+            .insert_ranking(&replacement)
+            .expect("same-length upsert succeeds");
+        assert_eq!(index.len(), data.len(), "upsert must not grow the index");
+        assert_eq!(index.tombstone_count(), 1);
+        assert_eq!(index.get(victim.id()), Some(replacement.clone()));
+
+        // The updated corpus as a plain dataset for the oracle.
+        let updated: Vec<Ranking> = data
+            .iter()
+            .map(|r| {
+                if r.id() == victim.id() {
+                    replacement.clone()
+                } else {
+                    r.clone()
+                }
+            })
+            .collect();
+        for theta in [0.1, 0.3, 0.4] {
+            for query in updated.iter().step_by(29) {
+                let got = index
+                    .range_query(query, theta)
+                    .expect("θ is within the build maximum");
+                let mut ids: Vec<u64> = got.iter().map(|&(id, _)| id).collect();
+                ids.dedup();
+                assert_eq!(ids.len(), got.len(), "duplicate id in results, θ = {theta}");
+                assert_eq!(got, linear_scan(&updated, query, theta), "θ = {theta}");
+            }
+        }
+        // The pre-update version must never match: a probe identical to the
+        // old victim ranking only sees the new version's distance.
+        let probe = Ranking::new_unchecked(888_888, victim.items().to_vec());
+        let got = index
+            .range_query(&probe, 0.4)
+            .expect("θ is within the build maximum");
+        let stale_hit = got.iter().any(|&(id, d)| id == victim.id() && d == 0)
+            && replacement.items() != victim.items();
+        assert!(
+            !stale_hit,
+            "query matched the tombstoned pre-update ranking"
+        );
+        assert_eq!(got, linear_scan(&updated, &probe, 0.4));
+    }
+
+    #[test]
+    fn upsert_dedup_covers_the_full_scan_branch() {
+        // θ = 1 ⇒ theta_raw = max_raw_distance ⇒ the disjoint-pairs full
+        // scan runs instead of prefix probing; a re-inserted id must still
+        // appear exactly once, with its *current* items' distance.
+        let data = vec![
+            Ranking::new(1, vec![1, 2, 3]).expect("distinct items form a valid ranking"),
+            Ranking::new(2, vec![7, 8, 9]).expect("distinct items form a valid ranking"),
+            Ranking::new(3, vec![4, 5, 6]).expect("distinct items form a valid ranking"),
+        ];
+        let mut index = RankingIndex::build(&data, 1.0).expect("uniform-length corpus builds");
+        let replacement = Ranking::new_unchecked(2, vec![1, 2, 3]);
+        index
+            .insert_ranking(&replacement)
+            .expect("same-length upsert succeeds");
+        let query = Ranking::new_unchecked(99, vec![1, 2, 3]);
+        let got = index
+            .range_query(&query, 1.0)
+            .expect("θ = 1 equals the build maximum");
+        let twos: Vec<_> = got.iter().filter(|&&(id, _)| id == 2).collect();
+        assert_eq!(twos.len(), 1, "id 2 must appear exactly once: {got:?}");
+        assert_eq!(*twos[0], (2, 0), "id 2 must match via its new items");
+        // And the prefix branch agrees on the same index state.
+        let narrow = index
+            .range_query(&query, 0.1)
+            .expect("θ is within the build maximum");
+        assert_eq!(narrow.iter().filter(|&&(id, _)| id == 2).count(), 1);
+    }
+
+    #[test]
+    fn remove_ranking_deletes_and_reinsert_revives() {
+        let data = corpus();
+        let mut index = RankingIndex::build(&data, 0.3).expect("uniform-length corpus builds");
+        let gone = data[11].clone();
+        assert!(index.remove_ranking(gone.id()));
+        assert!(!index.remove_ranking(gone.id()), "double delete is a no-op");
+        assert!(!index.contains_id(gone.id()));
+        assert_eq!(index.len(), data.len() - 1);
+
+        let remaining: Vec<Ranking> = data
+            .iter()
+            .filter(|r| r.id() != gone.id())
+            .cloned()
+            .collect();
+        let probe = Ranking::new_unchecked(777_777, gone.items().to_vec());
+        let got = index
+            .range_query(&probe, 0.3)
+            .expect("θ is within the build maximum");
+        assert_eq!(got, linear_scan(&remaining, &probe, 0.3));
+        assert!(!got.iter().any(|&(id, _)| id == gone.id()));
+
+        index
+            .insert_ranking(&gone)
+            .expect("re-insert after delete succeeds");
+        assert!(index.contains_id(gone.id()));
+        let got = index
+            .range_query(&probe, 0.3)
+            .expect("θ is within the build maximum");
+        assert_eq!(got, linear_scan(&data, &probe, 0.3));
+    }
+
+    #[test]
+    fn compaction_preserves_answers_and_drops_tombstones() {
+        let data = corpus();
+        let mut index = RankingIndex::build(&data, 0.3).expect("uniform-length corpus builds");
+        for r in data.iter().take(120) {
+            // Churn: upsert every third, delete every fifth.
+            if r.id() % 3 == 0 {
+                let spun = Ranking::new_unchecked(r.id(), data[350].items().to_vec());
+                index.insert_ranking(&spun).expect("upsert succeeds");
+            }
+            if r.id() % 5 == 0 {
+                index.remove_ranking(r.id());
+            }
+        }
+        assert!(index.tombstone_count() > 0);
+        assert!(index.tombstone_ratio() > 0.0);
+        let compact = index.compacted().expect("live rankings rebuild cleanly");
+        assert_eq!(compact.tombstone_count(), 0);
+        assert_eq!(compact.len(), index.len());
+        assert_eq!(compact.slot_count(), compact.len());
+        for query in data.iter().step_by(43) {
+            let a = index
+                .range_query(query, 0.3)
+                .expect("θ is within the build maximum");
+            let b = compact
+                .range_query(query, 0.3)
+                .expect("θ is within the build maximum");
+            assert_eq!(a, b, "compaction changed answers for query {}", query.id());
+        }
     }
 
     #[test]

@@ -400,60 +400,66 @@ pub fn jaccard_vj_join_rs(
                 .collect::<Vec<_>>()
         })
     };
-    let hits = {
-        let _phase = cluster.trace().span("jaccard-vj-rs/phase/joining");
-        let emitted = tag(&ordered_left, Relation::Left, "jaccard-vj-rs/emit-left").union(&tag(
-            &ordered_right,
-            Relation::Right,
-            "jaccard-vj-rs/emit-right",
-        ));
-        // θ = 1 admits disjoint pairs; route both relations into one
-        // sentinel group, as the self-join pipeline does.
-        let emitted = if theta >= 1.0 - EPS {
-            let sentinel = |ds: &Dataset<SetRecord>, relation: Relation, label: &str| {
-                ds.map(label, move |r: &SetRecord| {
-                    (ItemId::MAX, (Arc::clone(r), relation))
+    let hits =
+        {
+            let _phase = cluster.trace().span("jaccard-vj-rs/phase/joining");
+            let emitted = tag(&ordered_left, Relation::Left, "jaccard-vj-rs/emit-left").union(
+                &tag(&ordered_right, Relation::Right, "jaccard-vj-rs/emit-right"),
+            );
+            // θ = 1 admits disjoint pairs; route both relations into one
+            // sentinel group, as the self-join pipeline does.
+            let emitted = if theta >= 1.0 - EPS {
+                let sentinel = |ds: &Dataset<SetRecord>, relation: Relation, label: &str| {
+                    ds.map(label, move |r: &SetRecord| {
+                        (ItemId::MAX, (Arc::clone(r), relation))
+                    })
+                };
+                emitted
+                    .union(&sentinel(
+                        &ordered_left,
+                        Relation::Left,
+                        "jaccard-vj-rs/left-sentinels",
+                    ))
+                    .union(&sentinel(
+                        &ordered_right,
+                        Relation::Right,
+                        "jaccard-vj-rs/right-sentinels",
+                    ))
+            } else {
+                emitted
+            };
+            let delta = config.skew.resolve(&emitted, "jaccard-vj-rs");
+            let grouped = emitted.group_by_key("jaccard-vj-rs/group-by-token", partitions);
+            let stats_for_pairs = Arc::clone(&stats);
+            let pair_fn = move |x: &(SetRecord, Relation), y: &(SetRecord, Relation)| {
+                // Same-relation pairs are not part of an R-S join; skipping them
+                // here (before `within` counts a candidate) keeps kernel stats
+                // identical whether or not a hot group was skew-split.
+                if x.1 == y.1 {
+                    return None;
+                }
+                let (l, r) = if x.1 == Relation::Left {
+                    (&x.0, &y.0)
+                } else {
+                    (&y.0, &x.0)
+                };
+                within(l, r, theta, &stats_for_pairs).map(|d| JaccardHit {
+                    a: Arc::clone(l),
+                    b: Arc::clone(r),
+                    distance: d,
+                    a_singleton: false,
+                    b_singleton: false,
                 })
             };
-            emitted
-                .union(&sentinel(
-                    &ordered_left,
-                    Relation::Left,
-                    "jaccard-vj-rs/left-sentinels",
-                ))
-                .union(&sentinel(
-                    &ordered_right,
-                    Relation::Right,
-                    "jaccard-vj-rs/right-sentinels",
-                ))
-        } else {
-            emitted
+            split_group_join(
+                &grouped,
+                delta,
+                partitions,
+                &stats,
+                "jaccard-vj-rs",
+                pair_fn,
+            )
         };
-        let delta = config.skew.resolve(&emitted, "jaccard-vj-rs");
-        let grouped = emitted.group_by_key("jaccard-vj-rs/group-by-token", partitions);
-        let stats_for_pairs = Arc::clone(&stats);
-        let pair_fn = move |x: &(SetRecord, Relation), y: &(SetRecord, Relation)| {
-            // Same-relation pairs are not part of an R-S join; skipping them
-            // here (before `within` counts a candidate) keeps kernel stats
-            // identical whether or not a hot group was skew-split.
-            if x.1 == y.1 {
-                return None;
-            }
-            let (l, r) = if x.1 == Relation::Left {
-                (&x.0, &y.0)
-            } else {
-                (&y.0, &x.0)
-            };
-            within(l, r, theta, &stats_for_pairs).map(|d| JaccardHit {
-                a: Arc::clone(l),
-                b: Arc::clone(r),
-                distance: d,
-                a_singleton: false,
-                b_singleton: false,
-            })
-        };
-        split_group_join(&grouped, delta, partitions, &stats, "jaccard-vj-rs", pair_fn)
-    };
     let mut pairs = {
         let _phase = cluster.trace().span("jaccard-vj-rs/phase/projection");
         // `a` is always the left record, so the (left id, right id) key is
@@ -1001,11 +1007,15 @@ mod tests {
             .unwrap()
             .pairs
             .is_empty());
-        assert!(jaccard_vj_join_rs(&c, &[], &right, &JaccardConfig::new(0.4))
+        assert!(
+            jaccard_vj_join_rs(&c, &[], &right, &JaccardConfig::new(0.4))
+                .unwrap()
+                .pairs
+                .is_empty()
+        );
+        let expected = jaccard_brute_force_rs(&c, &left, &right, 0.5)
             .unwrap()
-            .pairs
-            .is_empty());
-        let expected = jaccard_brute_force_rs(&c, &left, &right, 0.5).unwrap().pairs;
+            .pairs;
         for skew in [SkewBudget::Off, SkewBudget::Auto, SkewBudget::Fixed(4)] {
             let cfg = JaccardConfig::new(0.5).with_skew(skew);
             let got = jaccard_vj_join_rs(&c, &left, &right, &cfg).unwrap().pairs;

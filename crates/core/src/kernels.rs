@@ -572,7 +572,13 @@ mod tests {
     fn nested_loop_finds_expected_pairs() {
         let stats = JoinStats::default();
         let entries = group();
-        let results = join_group_nested_loop(&entries, &GroupThresholds::Uniform(8), true, JoinMode::SelfJoin, &stats);
+        let results = join_group_nested_loop(
+            &entries,
+            &GroupThresholds::Uniform(8),
+            true,
+            JoinMode::SelfJoin,
+            &stats,
+        );
         let pairs = pairs_of(&results, &entries);
         assert_eq!(pairs, vec![(1, 2, 2), (1, 3, 2), (2, 3, 4)]);
         let snap = stats.snapshot();
@@ -585,7 +591,13 @@ mod tests {
         let entries = group();
         let stats_nl = JoinStats::default();
         let nl = pairs_of(
-            &join_group_nested_loop(&entries, &GroupThresholds::Uniform(8), true, JoinMode::SelfJoin, &stats_nl),
+            &join_group_nested_loop(
+                &entries,
+                &GroupThresholds::Uniform(8),
+                true,
+                JoinMode::SelfJoin,
+                &stats_nl,
+            ),
             &entries,
         );
         let stats_ix = JoinStats::default();
@@ -615,7 +627,13 @@ mod tests {
         entries.push(entry(2, &[2, 1, 3, 4, 5], 1)); // and a third copy
         let stats_nl = JoinStats::default();
         let nl = pairs_of(
-            &join_group_nested_loop(&entries, &GroupThresholds::Uniform(8), true, JoinMode::SelfJoin, &stats_nl),
+            &join_group_nested_loop(
+                &entries,
+                &GroupThresholds::Uniform(8),
+                true,
+                JoinMode::SelfJoin,
+                &stats_nl,
+            ),
             &entries,
         );
         let stats_ix = JoinStats::default();
@@ -838,7 +856,14 @@ mod tests {
         let left = vec![entry(1, &[1, 2, 3, 4, 5], 1)];
         let right = vec![entry(2, &[2, 1, 3, 4, 5], 1), entry(9, &[9, 8, 7, 6, 1], 1)];
         let stats = JoinStats::default();
-        let results = join_group_rs(&left, &right, &GroupThresholds::Uniform(8), true, JoinMode::SelfJoin, &stats);
+        let results = join_group_rs(
+            &left,
+            &right,
+            &GroupThresholds::Uniform(8),
+            true,
+            JoinMode::SelfJoin,
+            &stats,
+        );
         assert_eq!(results.len(), 1);
         let (i, j, d) = results[0];
         assert_eq!((left[i].ranking.id(), right[j].ranking.id(), d), (1, 2, 2));

@@ -57,9 +57,11 @@ pub mod jaccard_join;
 pub mod kernels;
 pub mod pipeline;
 pub mod report;
+pub mod serving;
 pub mod stats;
 pub mod varlen_join;
 pub mod vj;
+pub mod wal;
 
 use std::time::Duration;
 
@@ -74,12 +76,17 @@ pub use jaccard_join::{
 };
 pub use minispark::SkewBudget;
 pub use report::{runs_to_json, RunReport, RUN_REPORT_SCHEMA};
+pub use serving::{
+    serving_router, ReplayStats, ServingConfig, ServingError, ServingIndex, ServingServer,
+    ServingStats, UpsertOutcome,
+};
 pub use stats::{JoinStats, StatsSnapshot};
 pub use varlen_join::{
     varlen_brute_force, varlen_brute_force_rs, varlen_join, varlen_join_rs,
     varlen_join_rs_with_skew, varlen_join_with_skew,
 };
 pub use vj::{vj_join, vj_join_rs, vj_nl_join, vj_nl_join_rs, vj_repartitioned_join};
+pub use wal::{WalError, WalRecord, WalReplay, WalStore};
 
 use minispark::Cluster;
 use topk_rankings::{Ranking, RankingId};

@@ -241,6 +241,8 @@ pub fn varlen_join_with_skew(
 /// A prefix-emitted member of the bipartite varlen join: the token's rank in
 /// the owning ranking, the ranking itself, and its source relation.
 type RsEntry = (u16, Record, Relation);
+/// A candidate filter over two R-S entries, yielding the oriented pair.
+type RsPairOf<'a> = &'a dyn Fn(&RsEntry, &RsEntry) -> Option<(u64, u64)>;
 
 /// [`varlen_join`] over **two relations** (R-S join) at a raw threshold.
 ///
@@ -392,7 +394,7 @@ pub fn varlen_join_rs_with_skew(
             })
         }
     };
-    let rs_all_pairs = |members: &[RsEntry], pair_of: &dyn Fn(&RsEntry, &RsEntry) -> Option<(u64, u64)>| {
+    let rs_all_pairs = |members: &[RsEntry], pair_of: RsPairOf| {
         let mut out = Vec::new();
         for i in 0..members.len() {
             for j in (i + 1)..members.len() {

@@ -172,7 +172,14 @@ pub fn vj_join_rs(
     right: &[Ranking],
     config: &JoinConfig,
 ) -> Result<JoinOutcome, JoinError> {
-    vj_rs_flavour(cluster, left, right, config, GroupJoinStyle::Indexed, "vj-rs")
+    vj_rs_flavour(
+        cluster,
+        left,
+        right,
+        config,
+        GroupJoinStyle::Indexed,
+        "vj-rs",
+    )
 }
 
 /// VJ-NL over two relations (R-S join), nested-loop verification per group.

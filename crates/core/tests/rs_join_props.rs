@@ -235,9 +235,7 @@ fn varlen_rs_is_schedule_independent_and_matches_the_baseline() {
                 .expect("join must succeed")
                 .pairs
         })
-        .unwrap_or_else(|failure| {
-            panic!("varlen R-S ({skew:?}) is schedule-dependent: {failure}")
-        });
+        .unwrap_or_else(|failure| panic!("varlen R-S ({skew:?}) is schedule-dependent: {failure}"));
         let expected = varlen_brute_force_rs(&reference_cluster(), &left, &right, 30)
             .expect("baseline must succeed")
             .pairs;
@@ -269,8 +267,7 @@ fn rs_skew_budgets_agree_on_a_zipf_hot_dataset() {
             ("VJ-NL-RS", vj_nl_join_rs),
             ("CL-RS", cl_join_rs),
         ] {
-            let outcome =
-                driver(&cluster, &left, &right, &config).expect("join must succeed");
+            let outcome = driver(&cluster, &left, &right, &config).expect("join must succeed");
             assert_eq!(outcome.pairs, expected, "{name} under {skew:?}");
             split_seen |= outcome.stats.posting_lists_split > 0;
         }

@@ -1,0 +1,305 @@
+//! Concurrent + durability integration tests for the online serving layer.
+//!
+//! Three properties, matching the serving design (DESIGN.md §16):
+//!
+//! 1. **No duplicate ids under concurrency** — while writers upsert and
+//!    delete over live HTTP, every `/query` response names each ranking id
+//!    at most once (the tombstoned-slot upsert keeps "one live slot per id"
+//!    true at every instant a reader can observe).
+//! 2. **Deterministic convergence** — writers owning disjoint id ranges
+//!    interleave arbitrarily, yet the final state equals each writer's
+//!    operations replayed serially.
+//! 3. **Kill-and-restart equivalence** — a server restarted from its WAL
+//!    (even with a torn tail appended) answers every query bit-identically
+//!    to a server that never went down.
+
+use std::collections::{HashMap, HashSet};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use minispark::Json;
+use topk_rankings::{Ranking, RankingId};
+use topk_simjoin::serving::FOREIGN_QUERY_ID;
+use topk_simjoin::{ServingConfig, ServingIndex, ServingServer};
+
+type TestResult = Result<(), Box<dyn std::error::Error>>;
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "topk-serving-live-{}-{tag}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// A k=6 ranking: a permutation of `0..6` rotated by `seed`, with one
+/// adjacent transposition chosen by `seed` — every pair of such rankings
+/// is close, so queries return rich result sets.
+fn permuted(id: RankingId, seed: u64) -> Ranking {
+    let mut items: Vec<u32> = (0..6).map(|i| (i + seed as u32) % 6).collect();
+    let swap = (seed as usize) % 5;
+    items.swap(swap, swap + 1);
+    Ranking::new(id, items).expect("rotation of distinct items stays distinct")
+}
+
+fn http(addr: SocketAddr, head: &str, body: Option<&str>) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    let payload = body.unwrap_or("");
+    let request = format!(
+        "{head} HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{payload}",
+        payload.len()
+    );
+    stream.write_all(request.as_bytes()).expect("write request");
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).expect("read response");
+    let status: u16 = raw
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .expect("status line");
+    let body = raw
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or_default();
+    (status, body)
+}
+
+fn upsert_body(rankings: &[Ranking]) -> String {
+    let docs: Vec<String> = rankings
+        .iter()
+        .map(|r| {
+            let items: Vec<String> = r.items().iter().map(u32::to_string).collect();
+            format!(r#"{{"id": {}, "items": [{}]}}"#, r.id(), items.join(","))
+        })
+        .collect();
+    format!("[{}]", docs.join(","))
+}
+
+/// Extracts the match ids from a `/query` or `/nearest` JSON response.
+fn match_ids(body: &str) -> Vec<u64> {
+    let doc = Json::parse(body).expect("response is JSON");
+    doc.get("matches")
+        .and_then(Json::as_arr)
+        .expect("matches array")
+        .iter()
+        .map(|m| m.get("id").and_then(Json::as_u64).expect("numeric id"))
+        .collect()
+}
+
+#[test]
+fn concurrent_writers_and_readers_see_no_duplicate_ids() -> TestResult {
+    const WRITERS: usize = 3;
+    const READERS: usize = 3;
+    const OPS_PER_WRITER: u64 = 40;
+    const IDS_PER_WRITER: u64 = 8;
+
+    let service = Arc::new(ServingIndex::ephemeral(
+        // Aggressive compaction so readers also race rebuilds.
+        ServingConfig::new(0.5).with_compact_ratio(0.2),
+    )?);
+    let server = ServingServer::start(0, Arc::clone(&service), 4)?;
+    let addr = server.addr();
+
+    let mut handles = Vec::new();
+    for w in 0..WRITERS as u64 {
+        handles.push(std::thread::spawn(move || {
+            // Each writer owns ids [w*IDS, (w+1)*IDS): re-upserting its own
+            // ids over and over forces constant replacement, and every
+            // third op deletes (then later revives) an id.
+            for op in 0..OPS_PER_WRITER {
+                let id = w * IDS_PER_WRITER + (op % IDS_PER_WRITER);
+                if op % 3 == 2 {
+                    http(addr, &format!("DELETE /rankings/{id}"), None);
+                } else {
+                    let r = permuted(id, op + w * 100);
+                    let (status, body) = http(addr, "POST /rankings", Some(&upsert_body(&[r])));
+                    assert_eq!(status, 200, "writer upsert failed: {body}");
+                }
+            }
+        }));
+    }
+    for _ in 0..READERS {
+        handles.push(std::thread::spawn(move || {
+            for probe in 0..60u64 {
+                let (status, body) = http(
+                    addr,
+                    &format!("GET /query?theta=0.5&items=0,1,2,3,4,5&id={FOREIGN_QUERY_ID}"),
+                    None,
+                );
+                assert_eq!(status, 200, "{body}");
+                let ids = match_ids(&body);
+                let unique: HashSet<u64> = ids.iter().copied().collect();
+                assert_eq!(
+                    unique.len(),
+                    ids.len(),
+                    "duplicate ids in a concurrent query response: {ids:?}"
+                );
+                if probe % 10 == 0 {
+                    let (status, metrics) = http(addr, "GET /metrics", None);
+                    assert_eq!(status, 200);
+                    assert!(metrics.contains("serving_queries_total"), "{metrics}");
+                }
+            }
+        }));
+    }
+    for handle in handles {
+        handle.join().expect("workload thread");
+    }
+
+    // Deterministic convergence: each id's final state depends only on its
+    // owning writer's (serial) op sequence, so replay it.
+    let mut expected: HashMap<u64, Option<Ranking>> = HashMap::new();
+    for w in 0..WRITERS as u64 {
+        for op in 0..OPS_PER_WRITER {
+            let id = w * IDS_PER_WRITER + (op % IDS_PER_WRITER);
+            if op % 3 == 2 {
+                expected.insert(id, None);
+            } else {
+                expected.insert(id, Some(permuted(id, op + w * 100)));
+            }
+        }
+    }
+    let live_expected = expected.values().flatten().count();
+    assert_eq!(service.len(), live_expected);
+    for (id, want) in &expected {
+        assert_eq!(service.get(*id).as_ref(), want.as_ref(), "id {id}");
+    }
+    Ok(())
+}
+
+/// Applies the shared workload to a service: interleaved upserts (some
+/// replacing), deletes, and batch writes.
+fn apply_workload(service: &ServingIndex, ops: &[(u64, u64, bool)]) {
+    for &(id, seed, delete) in ops {
+        if delete {
+            service.delete(id).expect("delete");
+        } else {
+            service.upsert_batch(&[permuted(id, seed)]).expect("upsert");
+        }
+    }
+}
+
+fn workload() -> Vec<(u64, u64, bool)> {
+    (0..120u64)
+        .map(|op| {
+            let id = op % 17;
+            (id, op * 7 + 3, op % 5 == 4)
+        })
+        .collect()
+}
+
+#[test]
+fn killed_and_restarted_server_answers_identically() -> TestResult {
+    let dir = temp_dir("restart-equivalence");
+    // Small snapshot cadence so the workload crosses several
+    // snapshot-then-truncate cycles before the "crash".
+    let config = ServingConfig::new(0.5).with_snapshot_every(25);
+    let ops = workload();
+    let (first_half, second_half) = ops.split_at(ops.len() / 2);
+
+    // Reference: one service that never restarts.
+    let reference = ServingIndex::ephemeral(config.clone())?;
+    apply_workload(&reference, &ops);
+
+    // Victim: restarted twice mid-workload — dropped without any shutdown
+    // hook, so recovery runs purely from snapshot + WAL.
+    {
+        let (victim, _) = ServingIndex::open(&dir, config.clone())?;
+        apply_workload(&victim, first_half);
+    }
+    {
+        let (victim, replay) = ServingIndex::open(&dir, config.clone())?;
+        assert!(
+            replay.snapshot_rankings > 0 || replay.wal_records > 0,
+            "the first half must have left durable state"
+        );
+        apply_workload(&victim, second_half);
+    }
+    // Simulate a torn final append before the last restart.
+    let wal_path = dir.join("wal.log");
+    let mut bytes = std::fs::read(&wal_path)?;
+    bytes.extend_from_slice(&[42, 42, 42]);
+    std::fs::write(&wal_path, &bytes)?;
+
+    let (victim, replay) = ServingIndex::open(&dir, config)?;
+    assert_eq!(
+        replay.dropped_bytes, 3,
+        "the torn tail is dropped, not fatal"
+    );
+
+    // Bit-identical answers across the full query surface.
+    assert_eq!(victim.len(), reference.len());
+    for probe in 0..23u64 {
+        let query = permuted(FOREIGN_QUERY_ID, probe);
+        for theta in [0.1, 0.3, 0.5] {
+            let got = victim.query(&query, theta)?;
+            let want = reference.query(&query, theta)?;
+            assert_eq!(got, want, "theta {theta} probe {probe}");
+        }
+        assert_eq!(victim.nearest(&query, 5)?, reference.nearest(&query, 5)?);
+    }
+    for id in 0..17u64 {
+        assert_eq!(victim.get(id), reference.get(id), "id {id}");
+    }
+    std::fs::remove_dir_all(&dir)?;
+    Ok(())
+}
+
+#[test]
+fn http_server_restart_preserves_every_response() -> TestResult {
+    let dir = temp_dir("http-restart");
+    let config = ServingConfig::new(0.4).with_snapshot_every(10);
+
+    let queries: Vec<String> = (0..6)
+        .map(|i| {
+            format!(
+                "GET /query?theta=0.4&items={},{},{},{},{},{}",
+                i % 6,
+                (i + 1) % 6,
+                (i + 2) % 6,
+                (i + 3) % 6,
+                (i + 4) % 6,
+                (i + 5) % 6
+            )
+        })
+        .collect();
+
+    let before: Vec<String> = {
+        let (service, _) = ServingIndex::open(&dir, config.clone())?;
+        let server = ServingServer::start(0, Arc::new(service), 2)?;
+        let addr = server.addr();
+        for op in 0..30u64 {
+            let r = permuted(op % 11, op);
+            let (status, body) = http(addr, "POST /rankings", Some(&upsert_body(&[r])));
+            assert_eq!(status, 200, "{body}");
+            if op % 4 == 3 {
+                http(addr, &format!("DELETE /rankings/{}", (op + 2) % 11), None);
+            }
+        }
+        queries
+            .iter()
+            .map(|q| {
+                let (status, body) = http(addr, q, None);
+                assert_eq!(status, 200, "{body}");
+                body
+            })
+            .collect()
+        // server + service drop here: the "kill".
+    };
+
+    let (service, replay) = ServingIndex::open(&dir, config)?;
+    assert!(replay.snapshot_rankings > 0 || replay.wal_records > 0);
+    let server = ServingServer::start(0, Arc::new(service), 2)?;
+    let addr = server.addr();
+    for (q, expected) in queries.iter().zip(&before) {
+        let (status, body) = http(addr, q, None);
+        assert_eq!(status, 200);
+        assert_eq!(&body, expected, "response to {q} changed across restart");
+    }
+    std::fs::remove_dir_all(&dir)?;
+    Ok(())
+}

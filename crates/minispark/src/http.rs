@@ -1,32 +1,542 @@
-//! Minimal zero-dependency blocking HTTP server for the live metrics plane.
+//! Minimal zero-dependency blocking HTTP server: a small router with a
+//! fixed-size worker pool.
 //!
-//! [`LiveServer`] binds a loopback TCP listener and serves two read-only
-//! endpoints while a job runs:
+//! Two server frontends share the plumbing:
 //!
-//! * `GET /metrics` — Prometheus text exposition (format 0.0.4) of the
-//!   current [`TelemetrySnapshot`](crate::telemetry::TelemetrySnapshot);
-//! * `GET /snapshot` — the `minispark/telemetry-snapshot/v1` JSON document.
+//! * [`HttpServer`] — the general router: `GET`/`POST`/`DELETE` with
+//!   `Content-Length` body reads, `{param}` path captures and query-string
+//!   access, behind a fixed pool of worker threads so one slow client can
+//!   never serialize all traffic. The ranking-similarity serving layer
+//!   (`topk_simjoin::serving`) runs on it.
+//! * [`LiveServer`] — the read-only live metrics plane used by the bench
+//!   harness: `GET /metrics` (Prometheus text exposition 0.0.4) and
+//!   `GET /snapshot` (the `minispark/telemetry-snapshot/v1` JSON document),
+//!   served from a swappable [`TelemetrySource`].
 //!
-//! One connection is handled at a time (a scrape is a few kilobytes; a
-//! metrics endpoint does not need concurrency) and every request gets a
-//! fresh snapshot, so the server holds no locks while the engine records.
+//! Request reading is strict about malformed input: a head that exceeds the
+//! 4 KiB cap without terminating answers `431`, a head that ends (EOF or
+//! read timeout) before `\r\n\r\n` or fails to parse answers `400`, and a
+//! declared `Content-Length` beyond the body cap answers `413` — the server
+//! never routes a request parsed from a truncated head.
 //!
-//! The registry being served is held behind a swappable [`TelemetrySource`]:
-//! a cluster-owned server serves its own registry for its whole lifetime,
-//! while a long-lived server (the bench harness's `--live-port`) re-points
-//! the source at each new run's cluster without rebinding the port — which
-//! also sidesteps `TIME_WAIT` rebind failures, since `std` exposes no
-//! `SO_REUSEADDR`.
+//! The registry served by [`LiveServer`] is held behind a swappable
+//! [`TelemetrySource`]: a cluster-owned server serves its own registry for
+//! its whole lifetime, while a long-lived server (the bench harness's
+//! `--live-port`) re-points the source at each new run's cluster without
+//! rebinding the port — which also sidesteps `TIME_WAIT` rebind failures,
+//! since `std` exposes no `SO_REUSEADDR`.
 
 use std::io::{Read, Write};
 use std::net::{Ipv4Addr, SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::{mpsc, Arc};
 use std::time::Duration;
 
 use parking_lot::Mutex;
 
+use crate::json::Json;
 use crate::telemetry::TelemetryRegistry;
+
+/// Request heads (request line + headers) beyond this never route: the
+/// server answers `431 Request Header Fields Too Large`.
+pub const MAX_HEAD_BYTES: usize = 4096;
+
+/// Declared request bodies beyond this answer `413 Content Too Large`.
+/// Large enough for a few thousand upserted rankings per batch, small
+/// enough that a hostile `Content-Length` cannot balloon a worker.
+pub const MAX_BODY_BYTES: usize = 4 << 20;
+
+/// Per-connection socket timeout: a client that stalls longer mid-request
+/// gets `400`/is dropped instead of pinning a worker forever.
+const IO_TIMEOUT: Duration = Duration::from_secs(2);
+
+// ---------------------------------------------------------------------------
+// Request / Response
+// ---------------------------------------------------------------------------
+
+/// One parsed HTTP request.
+#[derive(Debug, Clone)]
+pub struct Request {
+    method: String,
+    path: String,
+    query: Vec<(String, String)>,
+    /// `{param}` captures, filled in by the router on match.
+    params: Vec<(String, String)>,
+    body: Vec<u8>,
+}
+
+impl Request {
+    /// The request method (`GET`, `POST`, `DELETE`, …), uppercase as sent.
+    pub fn method(&self) -> &str {
+        &self.method
+    }
+
+    /// The request path without the query string.
+    pub fn path(&self) -> &str {
+        &self.path
+    }
+
+    /// First query-string value for `key` (`?theta=0.2&n=5`).
+    pub fn query(&self, key: &str) -> Option<&str> {
+        self.query
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// A `{param}` path capture by name (see [`Router::route`]).
+    pub fn param(&self, key: &str) -> Option<&str> {
+        self.params
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The raw request body (empty unless the client sent `Content-Length`).
+    pub fn body(&self) -> &[u8] {
+        &self.body
+    }
+
+    /// The body as UTF-8, if valid.
+    pub fn body_str(&self) -> Option<&str> {
+        std::str::from_utf8(&self.body).ok()
+    }
+}
+
+/// One HTTP response: status, content type, body.
+#[derive(Debug, Clone)]
+pub struct Response {
+    status: u16,
+    content_type: String,
+    body: Vec<u8>,
+}
+
+impl Response {
+    /// A `text/plain` response.
+    pub fn text(status: u16, body: impl Into<String>) -> Self {
+        Self {
+            status,
+            content_type: "text/plain".to_string(),
+            body: body.into().into_bytes(),
+        }
+    }
+
+    /// An `application/json` response rendering `doc`.
+    pub fn json(status: u16, doc: &Json) -> Self {
+        Self {
+            status,
+            content_type: "application/json".to_string(),
+            body: doc.render().into_bytes(),
+        }
+    }
+
+    /// A response with an explicit content type (e.g. the Prometheus text
+    /// exposition's versioned `text/plain`).
+    pub fn with_content_type(status: u16, content_type: &str, body: impl Into<Vec<u8>>) -> Self {
+        Self {
+            status,
+            content_type: content_type.to_string(),
+            body: body.into(),
+        }
+    }
+
+    /// The status code.
+    pub fn status(&self) -> u16 {
+        self.status
+    }
+
+    /// The response body bytes.
+    pub fn body(&self) -> &[u8] {
+        &self.body
+    }
+
+    fn reason(status: u16) -> &'static str {
+        match status {
+            200 => "OK",
+            201 => "Created",
+            400 => "Bad Request",
+            404 => "Not Found",
+            405 => "Method Not Allowed",
+            409 => "Conflict",
+            413 => "Content Too Large",
+            422 => "Unprocessable Content",
+            431 => "Request Header Fields Too Large",
+            500 => "Internal Server Error",
+            503 => "Service Unavailable",
+            _ => "",
+        }
+    }
+
+    fn write_to(&self, stream: &mut TcpStream) -> std::io::Result<()> {
+        let head = format!(
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+            self.status,
+            Self::reason(self.status),
+            self.content_type,
+            self.body.len()
+        );
+        stream.write_all(head.as_bytes())?;
+        stream.write_all(&self.body)?;
+        stream.flush()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Router
+// ---------------------------------------------------------------------------
+
+type Handler = Arc<dyn Fn(&Request) -> Response + Send + Sync>;
+
+enum Segment {
+    Literal(String),
+    Param(String),
+}
+
+struct Route {
+    method: String,
+    segments: Vec<Segment>,
+    handler: Handler,
+}
+
+/// Method + path-pattern dispatch table.
+///
+/// Patterns are `/`-separated literals with `{name}` capture segments:
+/// `/rankings/{id}` matches `/rankings/42` and exposes `id = "42"` via
+/// [`Request::param`]. Unknown paths answer `404`; a known path hit with
+/// the wrong method answers `405`.
+#[derive(Default)]
+pub struct Router {
+    routes: Vec<Route>,
+}
+
+impl Router {
+    /// An empty router.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers `handler` for `method` + `pattern`.
+    pub fn route(
+        &mut self,
+        method: &str,
+        pattern: &str,
+        handler: impl Fn(&Request) -> Response + Send + Sync + 'static,
+    ) {
+        let segments = pattern
+            .trim_matches('/')
+            .split('/')
+            .filter(|s| !s.is_empty())
+            .map(|s| {
+                if let Some(name) = s.strip_prefix('{').and_then(|s| s.strip_suffix('}')) {
+                    Segment::Param(name.to_string())
+                } else {
+                    Segment::Literal(s.to_string())
+                }
+            })
+            .collect();
+        self.routes.push(Route {
+            method: method.to_uppercase(),
+            segments,
+            handler: Arc::new(handler),
+        });
+    }
+
+    /// Matches a path against a route's segments, returning captures.
+    fn match_segments(route: &Route, path: &str) -> Option<Vec<(String, String)>> {
+        let parts: Vec<&str> = path
+            .trim_matches('/')
+            .split('/')
+            .filter(|s| !s.is_empty())
+            .collect();
+        if parts.len() != route.segments.len() {
+            return None;
+        }
+        let mut params = Vec::new();
+        for (seg, part) in route.segments.iter().zip(&parts) {
+            match seg {
+                Segment::Literal(lit) => {
+                    if lit != part {
+                        return None;
+                    }
+                }
+                Segment::Param(name) => params.push((name.clone(), (*part).to_string())),
+            }
+        }
+        Some(params)
+    }
+
+    /// Routes one request: fills `{param}` captures and runs the handler;
+    /// `405` when only the method mismatches, `404` otherwise.
+    pub fn dispatch(&self, request: &mut Request) -> Response {
+        let mut path_matched = false;
+        for route in &self.routes {
+            let Some(params) = Self::match_segments(route, &request.path) else {
+                continue;
+            };
+            if route.method != request.method {
+                path_matched = true;
+                continue;
+            }
+            request.params = params;
+            return (route.handler)(request);
+        }
+        if path_matched {
+            Response::text(405, "method not allowed for this path\n")
+        } else {
+            Response::text(404, "no such endpoint\n")
+        }
+    }
+}
+
+impl std::fmt::Debug for Router {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Router")
+            .field("routes", &self.routes.len())
+            .finish()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Request reading
+// ---------------------------------------------------------------------------
+
+/// Why a connection could not produce a routable request.
+enum ReadFailure {
+    /// The head never terminated within [`MAX_HEAD_BYTES`] → `431`.
+    HeadTooLarge,
+    /// EOF/timeout mid-head, or the head failed to parse → `400`.
+    Malformed(&'static str),
+    /// Declared `Content-Length` beyond [`MAX_BODY_BYTES`] → `413`.
+    BodyTooLarge,
+    /// The client connected and went away without sending anything; no
+    /// response can reach it, drop silently.
+    Disconnected,
+}
+
+/// Reads and parses one request. Never routes a truncated head: anything
+/// short of a complete, well-formed `head + declared body` is a
+/// [`ReadFailure`].
+fn read_request(stream: &mut TcpStream) -> Result<Request, ReadFailure> {
+    let mut buf = vec![0u8; MAX_HEAD_BYTES];
+    let mut len = 0usize;
+    let head_end = loop {
+        if let Some(pos) = find_head_end(&buf[..len]) {
+            break pos;
+        }
+        if len == buf.len() {
+            return Err(ReadFailure::HeadTooLarge);
+        }
+        match stream.read(&mut buf[len..]) {
+            Ok(0) if len == 0 => return Err(ReadFailure::Disconnected),
+            Ok(0) => return Err(ReadFailure::Malformed("connection closed mid-head")),
+            Ok(n) => len += n,
+            Err(_) if len == 0 => return Err(ReadFailure::Disconnected),
+            Err(_) => return Err(ReadFailure::Malformed("read failed mid-head")),
+        }
+    };
+
+    let head = std::str::from_utf8(&buf[..head_end])
+        .map_err(|_| ReadFailure::Malformed("head is not UTF-8"))?;
+    let mut lines = head.split("\r\n");
+    let request_line = lines.next().unwrap_or("");
+    let mut parts = request_line.split(' ');
+    let (Some(method), Some(target), Some(version)) = (parts.next(), parts.next(), parts.next())
+    else {
+        return Err(ReadFailure::Malformed("bad request line"));
+    };
+    if parts.next().is_some() || !version.starts_with("HTTP/1.") {
+        return Err(ReadFailure::Malformed("bad request line"));
+    }
+    if method.is_empty() || !method.chars().all(|c| c.is_ascii_uppercase()) {
+        return Err(ReadFailure::Malformed("bad method"));
+    }
+    if !target.starts_with('/') {
+        return Err(ReadFailure::Malformed("bad request target"));
+    }
+
+    let mut content_length = 0usize;
+    for line in lines {
+        let Some((name, value)) = line.split_once(':') else {
+            continue;
+        };
+        if name.eq_ignore_ascii_case("content-length") {
+            content_length = value
+                .trim()
+                .parse()
+                .map_err(|_| ReadFailure::Malformed("bad Content-Length"))?;
+        }
+    }
+    if content_length > MAX_BODY_BYTES {
+        return Err(ReadFailure::BodyTooLarge);
+    }
+
+    // Body: bytes already read past the head, then the remainder exactly.
+    let mut body = buf[head_end + 4..len].to_vec();
+    if body.len() > content_length {
+        return Err(ReadFailure::Malformed("body longer than Content-Length"));
+    }
+    let already = body.len();
+    body.resize(content_length, 0);
+    if content_length > already && stream.read_exact(&mut body[already..]).is_err() {
+        return Err(ReadFailure::Malformed("connection closed mid-body"));
+    }
+
+    let (path, query_string) = match target.split_once('?') {
+        Some((p, q)) => (p, q),
+        None => (target, ""),
+    };
+    let query = query_string
+        .split('&')
+        .filter(|kv| !kv.is_empty())
+        .map(|kv| match kv.split_once('=') {
+            Some((k, v)) => (k.to_string(), v.to_string()),
+            None => (kv.to_string(), String::new()),
+        })
+        .collect();
+
+    Ok(Request {
+        method: method.to_string(),
+        path: path.to_string(),
+        query,
+        params: Vec::new(),
+        body,
+    })
+}
+
+/// Position of `\r\n\r\n` in `buf`, if present.
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+/// Reads one request, routes it, writes one response, closes.
+fn handle_connection(mut stream: TcpStream, router: &Router) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(IO_TIMEOUT))?;
+    stream.set_write_timeout(Some(IO_TIMEOUT))?;
+    let response = match read_request(&mut stream) {
+        Ok(mut request) => router.dispatch(&mut request),
+        Err(ReadFailure::HeadTooLarge) => Response::text(431, "request head exceeds 4 KiB\n"),
+        Err(ReadFailure::BodyTooLarge) => Response::text(413, "request body too large\n"),
+        Err(ReadFailure::Malformed(why)) => Response::text(400, format!("bad request: {why}\n")),
+        Err(ReadFailure::Disconnected) => return Ok(()),
+    };
+    response.write_to(&mut stream)
+}
+
+// ---------------------------------------------------------------------------
+// HttpServer: acceptor + fixed worker pool
+// ---------------------------------------------------------------------------
+
+/// A blocking HTTP server: one acceptor thread feeding a fixed-size pool of
+/// worker threads over a channel. Binds on construction, serves until drop
+/// (which joins every thread).
+///
+/// The pool is the concurrency cap: `workers` requests are in flight at
+/// most, further connections queue in the channel (and the listen backlog)
+/// — so a slow or stalled client occupies one worker, not the server.
+pub struct HttpServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    acceptor: Option<std::thread::JoinHandle<()>>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl HttpServer {
+    /// Binds `127.0.0.1:port` (`port = 0` picks an ephemeral port, exposed
+    /// via [`HttpServer::addr`]) and starts `workers` worker threads
+    /// (minimum 1) serving `router`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the bind error (port in use, permission) — callers treat a
+    /// failed endpoint as non-fatal and run without one.
+    pub fn start(port: u16, router: Router, workers: usize) -> std::io::Result<Self> {
+        let listener = TcpListener::bind((Ipv4Addr::LOCALHOST, port))?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let router = Arc::new(router);
+        let (sender, receiver) = mpsc::channel::<TcpStream>();
+        let receiver = Arc::new(Mutex::new(receiver));
+
+        let mut worker_handles = Vec::with_capacity(workers.max(1));
+        for i in 0..workers.max(1) {
+            let receiver = Arc::clone(&receiver);
+            let router = Arc::clone(&router);
+            worker_handles.push(
+                std::thread::Builder::new()
+                    .name(format!("minispark-http-{i}"))
+                    .spawn(move || loop {
+                        // locks(one idle worker blocks in recv while holding the receiver mutex — the guard IS the queue discipline, not contention)
+                        let next = receiver.lock().recv();
+                        match next {
+                            Ok(stream) => {
+                                // errors(a failed request/response is the client's problem; the worker keeps serving)
+                                let _ = handle_connection(stream, &router);
+                            }
+                            // Acceptor gone: the server is shutting down.
+                            Err(_) => break,
+                        }
+                    })?,
+            );
+        }
+
+        let thread_stop = Arc::clone(&stop);
+        let acceptor = std::thread::Builder::new()
+            .name("minispark-http-accept".to_string())
+            .spawn(move || {
+                for stream in listener.incoming() {
+                    if thread_stop.load(Ordering::Acquire) {
+                        break;
+                    }
+                    let Ok(stream) = stream else { continue };
+                    if sender.send(stream).is_err() {
+                        break;
+                    }
+                }
+                // Dropping the sender here disconnects every worker's recv.
+            })?;
+
+        Ok(Self {
+            addr,
+            stop,
+            acceptor: Some(acceptor),
+            workers: worker_handles,
+        })
+    }
+
+    /// The bound address (useful with `port = 0`).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+}
+
+impl std::fmt::Debug for HttpServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("HttpServer")
+            .field("addr", &self.addr)
+            .field("workers", &self.workers.len())
+            .finish()
+    }
+}
+
+impl Drop for HttpServer {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        // errors(self-connection only unblocks the accept loop; on failure the timeout covers us)
+        let _ = TcpStream::connect_timeout(&self.addr, Duration::from_millis(200));
+        if let Some(handle) = self.acceptor.take() {
+            // errors(Err means the acceptor thread panicked; Drop must not double-panic)
+            let _ = handle.join();
+        }
+        for handle in self.workers.drain(..) {
+            // errors(Err means a worker thread panicked; Drop must not double-panic)
+            let _ = handle.join();
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// LiveServer: the read-only metrics plane on top of the router
+// ---------------------------------------------------------------------------
 
 /// Swappable handle to the registry a [`LiveServer`] serves. Cloning shares
 /// the slot; [`TelemetrySource::set`] re-points every clone at once.
@@ -62,12 +572,10 @@ impl std::fmt::Debug for TelemetrySource {
     }
 }
 
-/// The blocking metrics endpoint. Binds on construction, serves on a
-/// background thread, shuts down (and joins) on drop.
+/// The blocking metrics endpoint. Binds on construction, serves on
+/// background threads, shuts down (and joins) on drop.
 pub struct LiveServer {
-    addr: SocketAddr,
-    stop: Arc<AtomicBool>,
-    handle: Option<std::thread::JoinHandle<()>>,
+    inner: HttpServer,
 }
 
 impl LiveServer {
@@ -79,128 +587,36 @@ impl LiveServer {
     /// Returns the bind error (port in use, permission) — callers treat a
     /// failed endpoint as non-fatal and run without one.
     pub fn start(port: u16, source: TelemetrySource) -> std::io::Result<Self> {
-        let listener = TcpListener::bind((Ipv4Addr::LOCALHOST, port))?;
-        let addr = listener.local_addr()?;
-        let stop = Arc::new(AtomicBool::new(false));
-        let thread_stop = Arc::clone(&stop);
-        let handle = std::thread::Builder::new()
-            .name("minispark-live".to_string())
-            .spawn(move || {
-                for stream in listener.incoming() {
-                    if thread_stop.load(Ordering::Acquire) {
-                        break;
-                    }
-                    let Ok(stream) = stream else { continue };
-                    // errors(a failed scrape is the scraper's problem; keep serving)
-                    let _ = handle_connection(stream, &source);
-                }
-            })?;
-        Ok(Self {
-            addr,
-            stop,
-            handle: Some(handle),
-        })
+        let mut router = Router::new();
+        let metrics_source = source.clone();
+        router.route("GET", "/metrics", move |_| {
+            Response::with_content_type(
+                200,
+                "text/plain; version=0.0.4; charset=utf-8",
+                metrics_source.current().snapshot().prometheus(),
+            )
+        });
+        router.route("GET", "/snapshot", move |_| {
+            Response::json(200, &source.current().snapshot().to_json())
+        });
+        // Two workers: a scrape is a few kilobytes, but a stalled scraper
+        // must not freeze the plane for the next one.
+        let inner = HttpServer::start(port, router, 2)?;
+        Ok(Self { inner })
     }
 
     /// The bound address (useful with `port = 0`).
     pub fn addr(&self) -> SocketAddr {
-        self.addr
+        self.inner.addr()
     }
 }
 
 impl std::fmt::Debug for LiveServer {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("LiveServer")
-            .field("addr", &self.addr)
+            .field("addr", &self.addr())
             .finish()
     }
-}
-
-impl Drop for LiveServer {
-    fn drop(&mut self) {
-        self.stop.store(true, Ordering::Release);
-        // errors(self-connection only unblocks the accept loop; on failure the timeout covers us)
-        let _ = TcpStream::connect_timeout(&self.addr, Duration::from_millis(200));
-        if let Some(handle) = self.handle.take() {
-            // errors(Err means the server thread panicked; Drop must not double-panic)
-            let _ = handle.join();
-        }
-    }
-}
-
-/// Reads one request, routes it, writes one response, closes.
-fn handle_connection(mut stream: TcpStream, source: &TelemetrySource) -> std::io::Result<()> {
-    stream.set_read_timeout(Some(Duration::from_secs(2)))?;
-    stream.set_write_timeout(Some(Duration::from_secs(2)))?;
-
-    // Read until the end of the request head (or the 4 KiB cap — both
-    // endpoints are body-less GETs, anything longer is not for us).
-    let mut buf = [0u8; 4096];
-    let mut len = 0usize;
-    loop {
-        if len == buf.len() {
-            break;
-        }
-        match stream.read(&mut buf[len..]) {
-            Ok(0) => break,
-            Ok(n) => {
-                len += n;
-                if buf[..len].windows(4).any(|w| w == b"\r\n\r\n") {
-                    break;
-                }
-            }
-            Err(_) => break,
-        }
-    }
-    let head = String::from_utf8_lossy(&buf[..len]);
-    let mut parts = head.split_whitespace();
-    let method = parts.next().unwrap_or("");
-    let path = parts.next().unwrap_or("");
-
-    if method != "GET" {
-        return respond(
-            &mut stream,
-            "405 Method Not Allowed",
-            "text/plain",
-            "GET only\n",
-        );
-    }
-    match path {
-        "/metrics" => {
-            let body = source.current().snapshot().prometheus();
-            respond(
-                &mut stream,
-                "200 OK",
-                "text/plain; version=0.0.4; charset=utf-8",
-                &body,
-            )
-        }
-        "/snapshot" => {
-            let body = source.current().snapshot().to_json().render();
-            respond(&mut stream, "200 OK", "application/json", &body)
-        }
-        _ => respond(
-            &mut stream,
-            "404 Not Found",
-            "text/plain",
-            "try /metrics or /snapshot\n",
-        ),
-    }
-}
-
-fn respond(
-    stream: &mut TcpStream,
-    status: &str,
-    content_type: &str,
-    body: &str,
-) -> std::io::Result<()> {
-    let head = format!(
-        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
-        body.len()
-    );
-    stream.write_all(head.as_bytes())?;
-    stream.write_all(body.as_bytes())?;
-    stream.flush()
 }
 
 #[cfg(test)]
@@ -208,16 +624,45 @@ mod tests {
     use super::*;
 
     fn get(addr: SocketAddr, path: &str) -> (String, String) {
+        let raw = raw_request(addr, &format!("GET {path} HTTP/1.1\r\nHost: x\r\n\r\n"));
+        split_response(&raw)
+    }
+
+    fn raw_request(addr: SocketAddr, request: &str) -> String {
         let mut stream = TcpStream::connect(addr).expect("connect");
-        stream
-            .write_all(format!("GET {path} HTTP/1.1\r\nHost: x\r\n\r\n").as_bytes())
-            .expect("write request");
+        stream.write_all(request.as_bytes()).expect("write request");
         let mut response = String::new();
         stream.read_to_string(&mut response).expect("read response");
+        response
+    }
+
+    fn split_response(response: &str) -> (String, String) {
         let (head, body) = response
             .split_once("\r\n\r\n")
             .expect("response has a head/body split");
         (head.to_string(), body.to_string())
+    }
+
+    fn echo_router() -> Router {
+        let mut router = Router::new();
+        router.route("GET", "/ping", |_| Response::text(200, "pong\n"));
+        router.route("POST", "/echo", |req: &Request| {
+            Response::with_content_type(200, "application/octet-stream", req.body().to_vec())
+        });
+        router.route("DELETE", "/items/{id}", |req: &Request| {
+            Response::text(200, format!("deleted {}\n", req.param("id").unwrap_or("?")))
+        });
+        router.route("GET", "/search", |req: &Request| {
+            Response::text(
+                200,
+                format!(
+                    "q={} n={}\n",
+                    req.query("q").unwrap_or(""),
+                    req.query("n").unwrap_or("-")
+                ),
+            )
+        });
+        router
     }
 
     #[test]
@@ -249,6 +694,10 @@ mod tests {
 
         let (head, _) = get(addr, "/nope");
         assert!(head.starts_with("HTTP/1.1 404"), "{head}");
+
+        // Known path, wrong method.
+        let raw = raw_request(addr, "POST /metrics HTTP/1.1\r\nHost: x\r\n\r\n");
+        assert!(raw.starts_with("HTTP/1.1 405"), "{raw}");
     }
 
     #[test]
@@ -282,5 +731,132 @@ mod tests {
             let _ = stream.read_to_string(&mut out);
             assert!(!out.contains("HTTP/1.1 200"), "server still answering");
         }
+    }
+
+    #[test]
+    fn post_bodies_round_trip_and_params_capture() {
+        let server = HttpServer::start(0, echo_router(), 2).expect("ephemeral bind");
+        let addr = server.addr();
+
+        let body = "a ranking payload";
+        let raw = raw_request(
+            addr,
+            &format!(
+                "POST /echo HTTP/1.1\r\nHost: x\r\nContent-Length: {}\r\n\r\n{body}",
+                body.len()
+            ),
+        );
+        let (head, got) = split_response(&raw);
+        assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+        assert_eq!(got, body);
+
+        let raw = raw_request(addr, "DELETE /items/42 HTTP/1.1\r\nHost: x\r\n\r\n");
+        let (head, got) = split_response(&raw);
+        assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+        assert_eq!(got, "deleted 42\n");
+
+        let (head, got) = get(addr, "/search?q=abc&n=5");
+        assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+        assert_eq!(got, "q=abc n=5\n");
+
+        // Missing query keys are None, empty query strings parse.
+        let (_, got) = get(addr, "/search");
+        assert_eq!(got, "q= n=-\n");
+    }
+
+    #[test]
+    fn oversized_head_is_431_not_misrouted() {
+        // Regression: the old reader parsed whatever fit in its 4 KiB
+        // buffer, routing a request from a *truncated* head. A head that
+        // never terminates within the cap must answer 431.
+        let server = HttpServer::start(0, echo_router(), 1).expect("ephemeral bind");
+        let huge = format!(
+            "GET /ping HTTP/1.1\r\nHost: x\r\nX-Padding: {}\r\n\r\n",
+            "y".repeat(MAX_HEAD_BYTES)
+        );
+        // The server answers (and closes) as soon as the cap is exceeded —
+        // possibly before the client finishes writing — so both the write
+        // and the read tail are best-effort here.
+        let mut stream = TcpStream::connect(server.addr()).expect("connect");
+        let _ = stream.write_all(huge.as_bytes());
+        let mut out = Vec::new();
+        let mut chunk = [0u8; 1024];
+        while let Ok(n) = stream.read(&mut chunk) {
+            if n == 0 {
+                break;
+            }
+            out.extend_from_slice(&chunk[..n]);
+        }
+        let raw = String::from_utf8_lossy(&out);
+        assert!(raw.starts_with("HTTP/1.1 431"), "{raw}");
+    }
+
+    #[test]
+    fn garbage_and_truncated_requests_are_400() {
+        let server = HttpServer::start(0, echo_router(), 1).expect("ephemeral bind");
+        let addr = server.addr();
+
+        // Garbage bytes: no valid request line.
+        let raw = raw_request(addr, "\x01\x02\x03garbage\r\n\r\n");
+        assert!(raw.starts_with("HTTP/1.1 400"), "{raw}");
+
+        // A head cut off mid-line (EOF before \r\n\r\n).
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        stream
+            .write_all(b"GET /ping HTTP/1.1\r\nHost: trunca")
+            .expect("write");
+        stream
+            .shutdown(std::net::Shutdown::Write)
+            .expect("shutdown write half");
+        let mut out = String::new();
+        stream.read_to_string(&mut out).expect("read response");
+        assert!(out.starts_with("HTTP/1.1 400"), "{out}");
+
+        // Bad Content-Length.
+        let raw = raw_request(
+            addr,
+            "POST /echo HTTP/1.1\r\nHost: x\r\nContent-Length: banana\r\n\r\n",
+        );
+        assert!(raw.starts_with("HTTP/1.1 400"), "{raw}");
+
+        // An empty connection (connect, close) gets no response and, more
+        // importantly, does not wedge the worker for the next client.
+        drop(TcpStream::connect(addr).expect("connect"));
+        let (head, _) = get(addr, "/ping");
+        assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+    }
+
+    #[test]
+    fn oversized_body_is_413() {
+        let server = HttpServer::start(0, echo_router(), 1).expect("ephemeral bind");
+        let raw = raw_request(
+            server.addr(),
+            &format!(
+                "POST /echo HTTP/1.1\r\nHost: x\r\nContent-Length: {}\r\n\r\n",
+                MAX_BODY_BYTES + 1
+            ),
+        );
+        assert!(raw.starts_with("HTTP/1.1 413"), "{raw}");
+    }
+
+    #[test]
+    fn slow_client_does_not_serialize_the_pool() {
+        let server = HttpServer::start(0, echo_router(), 2).expect("ephemeral bind");
+        let addr = server.addr();
+        // A stalled client: connects, sends half a head, never finishes.
+        let mut stalled = TcpStream::connect(addr).expect("connect");
+        stalled
+            .write_all(b"GET /ping HTTP/1.1\r\nHost:")
+            .expect("write partial head");
+        // With 2 workers the second one must answer immediately.
+        let start = std::time::Instant::now();
+        let (head, body) = get(addr, "/ping");
+        assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+        assert_eq!(body, "pong\n");
+        assert!(
+            start.elapsed() < IO_TIMEOUT,
+            "fast client waited on the stalled one: {:?}",
+            start.elapsed()
+        );
     }
 }

@@ -89,7 +89,7 @@ pub use check::{audit_snapshot, check_determinism, schedule_matrix, AuditViolati
 pub use codec::Codec;
 pub use config::ClusterConfig;
 pub use dataset::{Cluster, Dataset};
-pub use http::{LiveServer, TelemetrySource};
+pub use http::{HttpServer, LiveServer, Request, Response, Router, TelemetrySource};
 pub use json::Json;
 pub use metrics::{MetricsReport, StageMetrics};
 pub use sched::Schedule;

@@ -46,6 +46,8 @@ pub(crate) const HOT_PATHS: &[&str] = &[
     "crates/core/src/pipeline.rs",
     "crates/core/src/index.rs",
     "crates/core/src/arrivals.rs",
+    "crates/core/src/serving.rs",
+    "crates/core/src/wal.rs",
     "crates/minispark/src/shuffle.rs",
     "crates/minispark/src/skew.rs",
     "crates/minispark/src/spill.rs",

@@ -46,6 +46,10 @@ pub(crate) const HOT_PATHS: &[&str] = &[
     "crates/core/src/index.rs",
     // core: the arrival joiner's query-then-insert loop runs per arrival.
     "crates/core/src/arrivals.rs",
+    // core: the serving layer's per-request and per-record paths (every
+    // upsert/query/delete and every WAL frame runs through these).
+    "crates/core/src/serving.rs",
+    "crates/core/src/wal.rs",
     // minispark: partitioning, skew splitting, spill and codec inner loops.
     "crates/minispark/src/shuffle.rs",
     "crates/minispark/src/skew.rs",

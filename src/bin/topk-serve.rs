@@ -1,0 +1,182 @@
+//! `topk-serve` — the online ranking-similarity service.
+//!
+//! Serves θ range queries and n-nearest lookups over a mutable, durable
+//! corpus of top-k rankings ([`topk_simjoin::serving`]). State survives
+//! restarts through the write-ahead log + snapshot store in `--dir`.
+//!
+//! ```text
+//! topk-serve --dir <state-dir> [options]
+//!   --port <n>         TCP port (default 7878; 0 picks an ephemeral port)
+//!   --theta-max <x>    maximum supported query threshold (default 0.3)
+//!   --workers <n>      HTTP worker threads (default 4)
+//!   --data <file>      seed corpus to upsert on startup (topk-cli format)
+//!   --snapshot-every <n>   WAL records between snapshots (default 512)
+//!   --compact-ratio <x>    tombstone ratio triggering compaction (default 0.3)
+//!   --ephemeral        no durability: serve from memory only (no --dir needed)
+//! ```
+//!
+//! Endpoints: `POST /rankings`, `DELETE /rankings/{id}`,
+//! `GET /rankings/{id}`, `GET /query?theta=..&items=..`,
+//! `GET /nearest?items=..&n=..`, `GET /stats`, `GET /metrics`.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::sync::Arc;
+
+use topk_datagen::io::read_rankings;
+use topk_simjoin::{ServingConfig, ServingIndex, ServingServer};
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  topk-serve --dir <state-dir> [--port n] [--theta-max x] [--workers n] \
+         [--data file] [--snapshot-every n] [--compact-ratio x]\n  \
+         topk-serve --ephemeral [same options, no state dir]"
+    );
+    ExitCode::from(2)
+}
+
+struct Opts {
+    dir: Option<PathBuf>,
+    port: u16,
+    theta_max: f64,
+    workers: usize,
+    data: Option<PathBuf>,
+    snapshot_every: u64,
+    compact_ratio: f64,
+    ephemeral: bool,
+}
+
+fn parse_opts(args: &[String]) -> Result<Opts, String> {
+    let mut opts = Opts {
+        dir: None,
+        port: 7878,
+        theta_max: 0.3,
+        workers: 4,
+        data: None,
+        snapshot_every: 512,
+        compact_ratio: 0.3,
+        ephemeral: false,
+    };
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        match flag.as_str() {
+            "--dir" => opts.dir = Some(PathBuf::from(value("--dir")?)),
+            "--port" => {
+                opts.port = value("--port")?
+                    .parse()
+                    .map_err(|e| format!("bad --port: {e}"))?;
+            }
+            "--theta-max" => {
+                opts.theta_max = value("--theta-max")?
+                    .parse()
+                    .map_err(|e| format!("bad --theta-max: {e}"))?;
+            }
+            "--workers" => {
+                opts.workers = value("--workers")?
+                    .parse()
+                    .map_err(|e| format!("bad --workers: {e}"))?;
+                if opts.workers == 0 {
+                    return Err("--workers must be at least 1".to_string());
+                }
+            }
+            "--data" => opts.data = Some(PathBuf::from(value("--data")?)),
+            "--snapshot-every" => {
+                opts.snapshot_every = value("--snapshot-every")?
+                    .parse()
+                    .map_err(|e| format!("bad --snapshot-every: {e}"))?;
+            }
+            "--compact-ratio" => {
+                opts.compact_ratio = value("--compact-ratio")?
+                    .parse()
+                    .map_err(|e| format!("bad --compact-ratio: {e}"))?;
+            }
+            "--ephemeral" => opts.ephemeral = true,
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    if opts.dir.is_none() && !opts.ephemeral {
+        return Err("either --dir <state-dir> or --ephemeral is required".to_string());
+    }
+    if opts.dir.is_some() && opts.ephemeral {
+        return Err("--dir and --ephemeral are mutually exclusive".to_string());
+    }
+    Ok(opts)
+}
+
+fn run(opts: &Opts) -> Result<(), String> {
+    let config = ServingConfig::new(opts.theta_max)
+        .with_snapshot_every(opts.snapshot_every)
+        .with_compact_ratio(opts.compact_ratio);
+    let service = match &opts.dir {
+        Some(dir) => {
+            let (service, replay) =
+                ServingIndex::open(dir, config).map_err(|e| format!("open {dir:?}: {e}"))?;
+            eprintln!(
+                "recovered {} snapshot rankings + {} wal records ({} torn bytes dropped)",
+                replay.snapshot_rankings, replay.wal_records, replay.dropped_bytes
+            );
+            service
+        }
+        None => ServingIndex::ephemeral(config).map_err(|e| format!("init: {e}"))?,
+    };
+    if let Some(path) = &opts.data {
+        let rankings = read_rankings(path).map_err(|e| format!("read {path:?}: {e}"))?;
+        let outcome = service
+            .upsert_batch(&rankings)
+            .map_err(|e| format!("seed {path:?}: {e}"))?;
+        eprintln!(
+            "seeded {} rankings ({} new, {} replaced)",
+            rankings.len(),
+            outcome.inserted,
+            outcome.replaced
+        );
+    }
+    let service = Arc::new(service);
+    let server = ServingServer::start(opts.port, Arc::clone(&service), opts.workers)
+        .map_err(|e| format!("bind port {}: {e}", opts.port))?;
+    let stats = service.stats();
+    eprintln!(
+        "topk-serve listening on http://{} — {} live rankings, k={}, theta_max={}, {}",
+        server.addr(),
+        stats.live,
+        stats.k,
+        stats.theta_max,
+        if stats.durable {
+            "durable"
+        } else {
+            "ephemeral"
+        }
+    );
+    eprintln!("endpoints: POST /rankings  DELETE /rankings/{{id}}  GET /rankings/{{id}}  GET /query  GET /nearest  GET /stats  GET /metrics");
+    // Serve until killed. The worker pool runs in background threads; park
+    // the main thread instead of spinning.
+    loop {
+        std::thread::park();
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") || args.is_empty() {
+        return usage();
+    }
+    let opts = match parse_opts(&args) {
+        Ok(opts) => opts,
+        Err(message) => {
+            eprintln!("error: {message}");
+            return usage();
+        }
+    };
+    match run(&opts) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("error: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}
